@@ -1,0 +1,436 @@
+//! Rank and linear correlation measures used by the paper's §V-C.2:
+//! Kendall's τ between similarity rankings and Pearson correlation
+//! (the paper's Equation 15) between tagging quality and ranking accuracy.
+
+/// Pearson (linear) correlation coefficient of two equal-length samples —
+/// the paper's Equation 15.
+///
+/// Returns 0 when either sample has zero variance or fewer than two points
+/// (the correlation is undefined; 0 keeps downstream aggregation total).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mx = mean(x);
+    let my = mean(y);
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+/// Arithmetic mean of a sample (0 for an empty sample).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (with the `n − 1` denominator); 0 when fewer than
+/// two points.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Kendall's τ-b rank correlation between two equal-length samples,
+/// tie-corrected, computed in `O(m log m)` with Knight's algorithm.
+///
+/// Values range from −1 (exactly opposite rankings) to 1 (identical rankings),
+/// matching the description in the paper's §V-C.2. Returns 0 when fewer than
+/// two points or when either sample is entirely tied.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let m = x.len();
+    if m < 2 {
+        return 0.0;
+    }
+
+    // Sort indices by (x, y).
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        x[a].partial_cmp(&x[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(y[a].partial_cmp(&y[b]).unwrap_or(std::cmp::Ordering::Equal))
+    });
+
+    let n0 = (m * (m - 1) / 2) as f64;
+
+    // Ties in x, and joint ties in (x, y).
+    let mut n1 = 0.0; // Σ t_x (t_x − 1) / 2
+    let mut n3 = 0.0; // Σ t_xy (t_xy − 1) / 2
+    {
+        let mut i = 0;
+        while i < m {
+            let mut j = i + 1;
+            while j < m && x[order[j]] == x[order[i]] {
+                j += 1;
+            }
+            let tie = (j - i) as f64;
+            n1 += tie * (tie - 1.0) / 2.0;
+            // joint ties within this x-tie block
+            let mut k = i;
+            while k < j {
+                let mut l = k + 1;
+                while l < j && y[order[l]] == y[order[k]] {
+                    l += 1;
+                }
+                let joint = (l - k) as f64;
+                n3 += joint * (joint - 1.0) / 2.0;
+                k = l;
+            }
+            i = j;
+        }
+    }
+
+    // Ties in y.
+    let mut y_sorted: Vec<f64> = y.to_vec();
+    y_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut n2 = 0.0;
+    {
+        let mut i = 0;
+        while i < m {
+            let mut j = i + 1;
+            while j < m && y_sorted[j] == y_sorted[i] {
+                j += 1;
+            }
+            let tie = (j - i) as f64;
+            n2 += tie * (tie - 1.0) / 2.0;
+            i = j;
+        }
+    }
+
+    // Discordant pairs = inversions of the y sequence ordered by (x, y).
+    let y_in_x_order: Vec<f64> = order.iter().map(|&i| y[i]).collect();
+    let swaps = count_inversions(&y_in_x_order) as f64;
+
+    let denominator = ((n0 - n1) * (n0 - n2)).sqrt();
+    if denominator <= 0.0 {
+        return 0.0;
+    }
+    (n0 - n1 - n2 + n3 - 2.0 * swaps) / denominator
+}
+
+/// Kendall's τ-a rank correlation: `(concordant − discordant) / (m(m−1)/2)`.
+///
+/// Unlike τ-b it applies no tie correction, which makes it the appropriate
+/// variant when the ground-truth ranking has massive ties (as the taxonomy
+/// distances in the Figure 7 experiment do): a pair tied in either ranking
+/// simply contributes nothing, instead of inflating the coefficient through a
+/// smaller tie-corrected denominator.
+pub fn kendall_tau_a(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let m = x.len();
+    if m < 2 {
+        return 0.0;
+    }
+
+    // Sort indices by (x, y) and count discordant pairs (inversions of y among
+    // pairs not tied in x) exactly as in Knight's algorithm.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        x[a].partial_cmp(&x[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(y[a].partial_cmp(&y[b]).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let n0 = (m as f64) * (m as f64 - 1.0) / 2.0;
+
+    // Tie bookkeeping identical to kendall_tau().
+    let mut n1 = 0.0;
+    let mut n3 = 0.0;
+    {
+        let mut i = 0;
+        while i < m {
+            let mut j = i + 1;
+            while j < m && x[order[j]] == x[order[i]] {
+                j += 1;
+            }
+            let tie = (j - i) as f64;
+            n1 += tie * (tie - 1.0) / 2.0;
+            let mut k = i;
+            while k < j {
+                let mut l = k + 1;
+                while l < j && y[order[l]] == y[order[k]] {
+                    l += 1;
+                }
+                let joint = (l - k) as f64;
+                n3 += joint * (joint - 1.0) / 2.0;
+                k = l;
+            }
+            i = j;
+        }
+    }
+    let mut y_sorted: Vec<f64> = y.to_vec();
+    y_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut n2 = 0.0;
+    {
+        let mut i = 0;
+        while i < m {
+            let mut j = i + 1;
+            while j < m && y_sorted[j] == y_sorted[i] {
+                j += 1;
+            }
+            let tie = (j - i) as f64;
+            n2 += tie * (tie - 1.0) / 2.0;
+            i = j;
+        }
+    }
+    let y_in_x_order: Vec<f64> = order.iter().map(|&i| y[i]).collect();
+    let discordant = count_inversions(&y_in_x_order) as f64;
+    // Comparable pairs (untied in both rankings) split into concordant and
+    // discordant: C + D = n0 − n1 − n2 + n3.
+    let comparable = n0 - n1 - n2 + n3;
+    let concordant = comparable - discordant;
+    (concordant - discordant) / n0
+}
+
+/// Naive `O(m²)` Kendall τ-a used as the test oracle for [`kendall_tau_a`].
+pub fn kendall_tau_a_naive(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let m = x.len();
+    if m < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0f64;
+    let mut discordant = 0f64;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let product = (x[i] - x[j]) * (y[i] - y[j]);
+            if product > 0.0 {
+                concordant += 1.0;
+            } else if product < 0.0 {
+                discordant += 1.0;
+            }
+        }
+    }
+    (concordant - discordant) / ((m as f64) * (m as f64 - 1.0) / 2.0)
+}
+
+/// Naive `O(m²)` Kendall τ-b used as the test oracle for [`kendall_tau`].
+pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let m = x.len();
+    if m < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0f64;
+    let mut discordant = 0f64;
+    let mut ties_x = 0f64;
+    let mut ties_y = 0f64;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                // joint tie: contributes to neither
+            } else if dx == 0.0 {
+                ties_x += 1.0;
+            } else if dy == 0.0 {
+                ties_y += 1.0;
+            } else if dx * dy > 0.0 {
+                concordant += 1.0;
+            } else {
+                discordant += 1.0;
+            }
+        }
+    }
+    let denom =
+        ((concordant + discordant + ties_x) * (concordant + discordant + ties_y)).sqrt();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (concordant - discordant) / denom
+    }
+}
+
+/// Counts inversions of a float sequence with an iterative bottom-up merge sort.
+fn count_inversions(values: &[f64]) -> u64 {
+    let mut work: Vec<f64> = values.to_vec();
+    let mut buffer = vec![0.0; work.len()];
+    let mut inversions = 0u64;
+    let n = work.len();
+    let mut width = 1;
+    while width < n {
+        let mut start = 0;
+        while start + width < n {
+            let mid = start + width;
+            let end = (start + 2 * width).min(n);
+            // Merge work[start..mid] and work[mid..end] into buffer.
+            let (mut i, mut j, mut k) = (start, mid, start);
+            while i < mid && j < end {
+                if work[i] <= work[j] {
+                    buffer[k] = work[i];
+                    i += 1;
+                } else {
+                    // work[j] jumps ahead of all remaining left elements.
+                    inversions += (mid - i) as u64;
+                    buffer[k] = work[j];
+                    j += 1;
+                }
+                k += 1;
+            }
+            while i < mid {
+                buffer[k] = work[i];
+                i += 1;
+                k += 1;
+            }
+            while j < end {
+                buffer[k] = work[j];
+                j += 1;
+                k += 1;
+            }
+            work[start..end].copy_from_slice(&buffer[start..end]);
+            start += 2 * width;
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_and_short_samples() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pearson_rejects_mismatched_lengths() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_and_std_dev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kendall_identical_and_reversed() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y_same = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let y_rev = [50.0, 40.0, 30.0, 20.0, 10.0];
+        assert!((kendall_tau(&x, &y_same) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&x, &y_rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_handles_all_tied_samples() {
+        assert_eq!(kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(kendall_tau(&[0.5], &[0.5]), 0.0);
+    }
+
+    #[test]
+    fn kendall_known_value_with_ties() {
+        // x: [1, 2, 2, 3], y: [1, 3, 2, 4]
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 2.0, 4.0];
+        let fast = kendall_tau(&x, &y);
+        let naive = kendall_tau_naive(&x, &y);
+        assert!((fast - naive).abs() < 1e-12, "fast {fast} vs naive {naive}");
+        assert!(fast > 0.5 && fast < 1.0);
+    }
+
+    #[test]
+    fn kendall_fast_matches_naive_on_pseudorandom_data() {
+        // Deterministic pseudo-random data with plenty of ties.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 17) as f64
+        };
+        for _ in 0..200 {
+            x.push(next());
+            y.push(next());
+        }
+        let fast = kendall_tau(&x, &y);
+        let naive = kendall_tau_naive(&x, &y);
+        assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
+    }
+
+    #[test]
+    fn kendall_tau_a_identical_and_reversed() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [1.0, 2.0, 3.0, 4.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau_a(&x, &up) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau_a(&x, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(kendall_tau_a(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_a_ties_reduce_magnitude() {
+        // τ-a divides by all pairs, so ties pull the coefficient towards zero
+        // instead of being corrected away as in τ-b.
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let a = kendall_tau_a(&x, &y);
+        let b = kendall_tau(&x, &y);
+        assert!(a < b, "τ-a ({a}) should be below τ-b ({b}) in the presence of ties");
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_a_fast_matches_naive_on_pseudorandom_data() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 987654321u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 9) as f64
+        };
+        for _ in 0..150 {
+            x.push(next());
+            y.push(next());
+        }
+        let fast = kendall_tau_a(&x, &y);
+        let naive = kendall_tau_a_naive(&x, &y);
+        assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
+    }
+
+    #[test]
+    fn count_inversions_matches_definition() {
+        assert_eq!(count_inversions(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(count_inversions(&[3.0, 2.0, 1.0]), 3);
+        assert_eq!(count_inversions(&[2.0, 1.0, 3.0, 0.0]), 4);
+        assert_eq!(count_inversions(&[]), 0);
+        assert_eq!(count_inversions(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # tagging-analysis
+//!
+//! Downstream-application analysis for the reproduction of *"On Incentive-based
+//! Tagging"* (ICDE 2013): the §V-C case studies that show how better tagging
+//! quality translates into better resource–resource similarity measurements.
+//!
+//! * [`topk`] — top-k most-similar-resources queries (Tables VI and VII);
+//! * [`accuracy`] — overall ranking accuracy of pairwise similarities against a
+//!   taxonomy ground truth, measured with Kendall's τ (Figure 7);
+//! * [`correlation`] — Pearson and Kendall correlation primitives
+//!   (the paper's Equation 15 and the τ measure of §V-C.2).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod accuracy;
+pub mod correlation;
+pub mod topk;
+
+pub use accuracy::{
+    ground_truth_similarities, pairwise_similarities, ranking_accuracy, rfds_after_allocation,
+};
+pub use correlation::{kendall_tau, kendall_tau_a, kendall_tau_a_naive, kendall_tau_naive, mean, pearson, std_dev};
+pub use topk::{category_hits, overlap_fraction, top_k_similar, RankedResource};

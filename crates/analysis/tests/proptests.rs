@@ -1,0 +1,96 @@
+//! Property-based tests for the analysis crate: correlation measures behave
+//! like correlations, the fast Kendall implementations agree with their naive
+//! oracles, and top-k queries satisfy basic ranking invariants.
+
+use proptest::prelude::*;
+
+use tagging_analysis::correlation::{
+    kendall_tau, kendall_tau_a, kendall_tau_a_naive, kendall_tau_naive, pearson,
+};
+use tagging_analysis::topk::{overlap_fraction, top_k_similar};
+use tagging_core::model::TagId;
+use tagging_core::rfd::Rfd;
+
+/// Strategy: a sample of 2–60 values drawn from a small discrete set (to force
+/// plenty of ties, the hard case for Kendall implementations).
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u8..12, 2..60)
+        .prop_map(|v| v.into_iter().map(|x| x as f64).collect())
+}
+
+/// Strategy: a set of 2–12 sparse rfds over a 10-tag universe.
+fn arb_rfds() -> impl Strategy<Value = Vec<Rfd>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..10, 1u64..20), 1..6),
+        2..12,
+    )
+    .prop_map(|resources| {
+        resources
+            .into_iter()
+            .map(|counts| Rfd::from_counts(counts.into_iter().map(|(t, c)| (TagId(t), c))))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Fast τ-b matches the naive oracle.
+    #[test]
+    fn kendall_tau_b_matches_naive(x in arb_sample(), y in arb_sample()) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        prop_assert!((kendall_tau(x, y) - kendall_tau_naive(x, y)).abs() < 1e-9);
+    }
+
+    /// Fast τ-a matches the naive oracle.
+    #[test]
+    fn kendall_tau_a_matches_naive(x in arb_sample(), y in arb_sample()) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        prop_assert!((kendall_tau_a(x, y) - kendall_tau_a_naive(x, y)).abs() < 1e-9);
+    }
+
+    /// Both τ variants and Pearson are bounded, symmetric in their arguments'
+    /// joint permutation, and equal to ±1 / 0 in the obvious degenerate cases.
+    #[test]
+    fn correlations_are_bounded_and_symmetric(x in arb_sample(), y in arb_sample()) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        for value in [kendall_tau(x, y), kendall_tau_a(x, y), pearson(x, y)] {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&value));
+        }
+        prop_assert!((kendall_tau(x, y) - kendall_tau(y, x)).abs() < 1e-9);
+        prop_assert!((kendall_tau_a(x, y) - kendall_tau_a(y, x)).abs() < 1e-9);
+        prop_assert!((pearson(x, y) - pearson(y, x)).abs() < 1e-9);
+    }
+
+    /// A sample correlates perfectly with itself (when it has any variation).
+    #[test]
+    fn self_correlation_is_one(x in arb_sample()) {
+        let has_variation = x.windows(2).any(|w| w[0] != w[1]);
+        if has_variation {
+            prop_assert!((pearson(&x, &x) - 1.0).abs() < 1e-9);
+            prop_assert!((kendall_tau(&x, &x) - 1.0).abs() < 1e-9);
+            prop_assert!(kendall_tau_a(&x, &x) > 0.0);
+        }
+    }
+
+    /// Top-k results are sorted by similarity, exclude the subject, and are a
+    /// subset of the resource set; overlap with themselves is always 1.
+    #[test]
+    fn top_k_invariants(rfds in arb_rfds(), k in 1usize..15) {
+        let subject = tagging_core::model::ResourceId(0);
+        let top = top_k_similar(subject, &rfds, k);
+        prop_assert!(top.len() <= k.min(rfds.len() - 1));
+        for window in top.windows(2) {
+            prop_assert!(window[0].similarity >= window[1].similarity - 1e-12);
+        }
+        for entry in &top {
+            prop_assert!(entry.resource != subject);
+            prop_assert!((entry.resource.index()) < rfds.len());
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&entry.similarity));
+        }
+        if !top.is_empty() {
+            prop_assert!((overlap_fraction(&top, &top) - 1.0).abs() < 1e-12);
+        }
+    }
+}

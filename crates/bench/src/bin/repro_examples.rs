@@ -1,0 +1,94 @@
+//! Reproduces the paper's running example (Examples 1–3 and Tables I, II, IV):
+//! the Google Earth / Picasa resources, their rfds, tagging qualities, and the
+//! optimal assignment of a budget of 2 post tasks.
+//!
+//! Usage: `cargo run -p tagging-bench --bin repro_examples`
+
+use tagging_bench::reporting::{fmt_f64, TextTable};
+use tagging_core::model::{Post, ResourceId, TagDictionary};
+use tagging_core::rfd::{rfd_of_prefix, Rfd};
+use tagging_core::similarity::cosine;
+use tagging_strategies::dp::{optimal_allocation, QualityTable};
+
+fn main() {
+    let mut dict = TagDictionary::new();
+    let post = |names: &[&str], dict: &mut TagDictionary| {
+        Post::from_names(dict, names.iter().copied()).unwrap()
+    };
+
+    // Table I: post sequences of r1 = Google Earth and r2 = Picasa.
+    let r1_initial = vec![
+        post(&["google", "earth"], &mut dict),
+        post(&["google", "geographic"], &mut dict),
+        post(&["earth"], &mut dict),
+    ];
+    let r2_initial = vec![post(&["pictures"], &mut dict), post(&["pictures"], &mut dict)];
+
+    let google = dict.get("google").unwrap();
+    let earth = dict.get("earth").unwrap();
+    let geographic = dict.get("geographic").unwrap();
+    let pictures = dict.get("pictures").unwrap();
+
+    // Table II: the stable rfds of the two resources.
+    let phi1 = Rfd::from_weights([(google, 0.25), (geographic, 0.25), (earth, 0.5)]);
+    let phi2 = Rfd::from_weights([(google, 0.33), (pictures, 0.67)]);
+
+    println!("=== Table II: rfds and stable rfds ===");
+    let mut table = TextTable::new(["vector", "google", "geographic", "earth", "pictures"]);
+    let f1 = rfd_of_prefix(&r1_initial, 3);
+    let f2 = rfd_of_prefix(&r2_initial, 2);
+    for (name, rfd) in [("F1(3)", &f1), ("phi1", &phi1), ("F2(2)", &f2), ("phi2", &phi2)] {
+        table.add_row([
+            name.to_string(),
+            fmt_f64(rfd.get(google), 2),
+            fmt_f64(rfd.get(geographic), 2),
+            fmt_f64(rfd.get(earth), 2),
+            fmt_f64(rfd.get(pictures), 2),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Example 2: tagging qualities.
+    let q1 = cosine(&f1, &phi1);
+    let q2 = cosine(&f2, &phi2);
+    println!("=== Example 2: tagging quality ===");
+    println!("q1(3) = {q1:.3}  (paper: 0.953)");
+    println!("q2(2) = {q2:.3}  (paper: 0.897)");
+    println!("q(R)  = {:.3}  (paper: 0.925)\n", (q1 + q2) / 2.0);
+
+    // Example 3 / Table IV: the next posts each resource would receive.
+    let r1_future = vec![
+        post(&["geographic", "earth"], &mut dict),
+        post(&["google", "geographic"], &mut dict),
+    ];
+    let r2_future = vec![post(&["google", "pictures"], &mut dict), post(&["google"], &mut dict)];
+
+    let table_q = QualityTable::from_posts(
+        &[r1_initial, r2_initial],
+        &[r1_future, r2_future],
+        &[phi1, phi2],
+        2,
+    );
+    println!("=== Table IV: quality of resources for each assignment (B = 2) ===");
+    let mut t4 = TextTable::new(["(x1, x2)", "q1(c1 + x1)", "q2(c2 + x2)", "q(c + x)"]);
+    for (x1, x2) in [(0usize, 2usize), (1, 1), (2, 0)] {
+        let q1 = table_q.quality(0, x1);
+        let q2 = table_q.quality(1, x2);
+        t4.add_row([
+            format!("({x1}, {x2})"),
+            fmt_f64(q1, 3),
+            fmt_f64(q2, 3),
+            fmt_f64((q1 + q2) / 2.0, 3),
+        ]);
+    }
+    println!("{}", t4.render());
+
+    let dp = optimal_allocation(&table_q, 2);
+    println!(
+        "DP optimal assignment: x = ({}, {}) with mean quality {:.3}  (paper: (1, 1), 0.990)",
+        dp.allocation[0],
+        dp.allocation[1],
+        dp.mean_quality()
+    );
+    let _ = ResourceId(0);
+}

@@ -1,0 +1,54 @@
+//! Reproduces Figure 1 of the paper:
+//! (a) relative frequencies of a popular resource's top tags vs its post count;
+//! (b) the log-binned posts-per-resource distribution of a whole-crawl corpus.
+//!
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig1 -- [--scale S] [a|b]`
+
+use tagging_bench::experiments::{fig1a_tag_frequencies, fig1b_posts_distribution};
+use tagging_bench::reporting::{render_series, TextTable};
+use tagging_bench::{scale_from_args, setup};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args.clone());
+    let panel = args
+        .iter()
+        .find(|a| *a == "a" || *a == "b")
+        .cloned()
+        .unwrap_or_else(|| "ab".to_string());
+
+    if panel.contains('a') {
+        println!("=== Figure 1(a): tags' relative frequencies vs number of posts ===");
+        let corpus = setup::build_corpus(scale);
+        let series = fig1a_tag_frequencies(&corpus, 5, 10);
+        println!(
+            "resource {} ({} posts), tracked tags: {}",
+            series.resource,
+            corpus.full_sequence(series.resource).len(),
+            series.tag_names.join(", ")
+        );
+        let labels: Vec<&str> = series.tag_names.iter().map(String::as_str).collect();
+        println!("{}", render_series("posts", &labels, &series.rows));
+    }
+
+    if panel.contains('b') {
+        println!("=== Figure 1(b): posts-per-resource distribution (log bins) ===");
+        let resources = match scale {
+            setup::Scale::Smoke => 2_000,
+            setup::Scale::Default => 20_000,
+            setup::Scale::Paper => 100_000,
+        };
+        let hist = fig1b_posts_distribution(resources, 2007);
+        let mut table = TextTable::new(["posts (bin)", "resources"]);
+        for (lo, hi, count) in &hist.bins {
+            table.add_row([format!("{lo}-{hi}"), count.to_string()]);
+        }
+        println!("{}", table.render());
+        println!(
+            "heavy-tailed: {} (head bin {} resources vs tail bin {})",
+            hist.is_heavy_tailed(),
+            hist.bins.first().map(|b| b.2).unwrap_or(0),
+            hist.bins.last().map(|b| b.2).unwrap_or(0)
+        );
+    }
+}

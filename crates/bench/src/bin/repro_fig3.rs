@@ -1,0 +1,42 @@
+//! Reproduces Figure 3 of the paper: adjacent similarity and MA score of one
+//! resource as it accumulates posts (ω = 20), plus the resulting stable point.
+//!
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig3 -- [--scale S]`
+
+use tagging_bench::reporting::TextTable;
+use tagging_bench::{experiments::fig3_stability_series, scale_from_args, setup};
+use tagging_core::stability::StabilityParams;
+
+fn main() {
+    let scale = scale_from_args(std::env::args().skip(1));
+    let corpus = setup::build_corpus(scale);
+    // The paper's illustration uses ω = 20 and a threshold near 0.99.
+    let params = StabilityParams::new(20, 0.99);
+    let series = fig3_stability_series(&corpus, params);
+
+    println!("=== Figure 3: MA score and stable rfd (ω = 20, τ = 0.99) ===");
+    println!(
+        "resource {} ({} posts), stable point: {:?}",
+        series.resource,
+        series.rows.len(),
+        series.stable_point
+    );
+
+    let mut table = TextTable::new(["posts", "adjacent similarity", "MA score"]);
+    for (k, adjacent, ma) in &series.rows {
+        // Print every 5th row to keep the output readable.
+        if k % 5 == 0 || Some(*k) == series.stable_point {
+            table.add_row([
+                k.to_string(),
+                format!("{adjacent:.4}"),
+                ma.map(|m| format!("{m:.4}")).unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if let Some(sp) = series.stable_point {
+        println!("practically-stable rfd reached after {sp} posts (paper example: 100 posts)");
+    } else {
+        println!("this resource never reaches its stable point under (20, 0.99)");
+    }
+}

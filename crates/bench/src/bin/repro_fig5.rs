@@ -1,0 +1,40 @@
+//! Reproduces Figure 5 of the paper: tagging quality vs number of posts for a
+//! "simple" resource (few significant tags, stabilises quickly) and a "complex"
+//! resource (rich content, needs far more posts), illustrating why Fewest Posts
+//! First buys large quality improvements on sparsely-tagged resources.
+//!
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig5 -- [--scale S]`
+
+use tagging_bench::reporting::TextTable;
+use tagging_bench::{experiments::fig5_quality_curves, scale_from_args, setup};
+
+fn main() {
+    let scale = scale_from_args(std::env::args().skip(1));
+    let corpus = setup::build_corpus(scale);
+    let pair = fig5_quality_curves(&corpus);
+
+    println!("=== Figure 5: quality vs number of posts ===");
+    println!(
+        "simple resource  {} (complexity {}), complex resource {} (complexity {})",
+        pair.simple.0,
+        corpus.profiles[pair.simple.0.index()].complexity,
+        pair.complex.0,
+        corpus.profiles[pair.complex.0.index()].complexity,
+    );
+
+    let mut table = TextTable::new(["posts", "quality (simple r_i)", "quality (complex r_j)"]);
+    let len = pair.simple.1.len().min(pair.complex.1.len()).min(81);
+    for k in (0..len).step_by(5) {
+        table.add_row([
+            k.to_string(),
+            format!("{:.4}", pair.simple.1[k]),
+            format!("{:.4}", pair.complex.1[k]),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The simple resource's curve rises (and flattens) earlier: giving a post\n\
+         task to a sparsely-tagged resource yields a much larger quality\n\
+         improvement than giving it to one that is already well described."
+    );
+}

@@ -1,0 +1,142 @@
+//! Reproduces Figure 6 of the paper — the main evaluation of the incentive
+//! allocation strategies:
+//!
+//! * (a) tagging quality vs budget,
+//! * (b) number of over-tagged resources vs budget,
+//! * (c) number of wasted post tasks vs budget,
+//! * (d) percentage of under-tagged resources vs budget,
+//! * (e) tagging quality vs number of resources,
+//! * (f) effect of the MA window ω on MU / FP-MU / FP,
+//! * (g) runtime vs budget,
+//! * (h) runtime vs number of resources.
+//!
+//! Usage:
+//! `cargo run --release -p tagging-bench --bin repro_fig6 -- [--scale S] [panels]`
+//! where `panels` is any subset of the letters `abcdefgh` (default: all).
+
+use tagging_bench::experiments::{
+    fig6_budget_sweep, fig6e_resource_sweep, fig6f_omega_sweep, sweep_strategy_names,
+};
+use tagging_bench::reporting::render_series;
+use tagging_bench::{scale_from_args, setup, Scale};
+use tagging_sim::sweep::SweepPoint;
+
+fn series_rows<F>(points: &[SweepPoint], names: &[&str], f: F) -> Vec<(usize, Vec<f64>)>
+where
+    F: Fn(&tagging_sim::metrics::RunMetrics) -> f64,
+{
+    points
+        .iter()
+        .map(|p| {
+            (
+                p.x,
+                names
+                    .iter()
+                    .map(|n| p.metrics(n).map(&f).unwrap_or(f64::NAN))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args.clone());
+    let panels: String = args
+        .iter()
+        .find(|a| a.chars().all(|c| "abcdefgh".contains(c)) && !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "abcdefgh".to_string());
+
+    // DP is included except at paper scale for the very largest budgets, where
+    // it dominates the wall-clock time (as the paper itself observes).
+    let include_dp = scale != Scale::Paper;
+    let names_owned = sweep_strategy_names(include_dp);
+    let names: Vec<&str> = names_owned.clone();
+
+    let scenario = setup::build_scenario(scale);
+    println!(
+        "corpus: {} resources, initial quality {:.4}, initially under-tagged {:.1}%, over-tagged {}",
+        scenario.len(),
+        scenario.initial_quality(),
+        100.0 * scenario.initially_under_tagged() as f64 / scenario.len() as f64,
+        scenario.initially_over_tagged()
+    );
+
+    if panels.chars().any(|c| "abcdg".contains(c)) {
+        let budgets = scale.budgets();
+        let points = fig6_budget_sweep(&scenario, &budgets, include_dp, scale.dp_table_cap(), 5);
+
+        if panels.contains('a') {
+            println!("\n=== Figure 6(a): Quality vs Budget ===");
+            println!(
+                "{}",
+                render_series("budget", &names, &series_rows(&points, &names, |m| m.mean_quality))
+            );
+        }
+        if panels.contains('b') {
+            println!("\n=== Figure 6(b): Over-tagged resources vs Budget ===");
+            println!(
+                "{}",
+                render_series("budget", &names, &series_rows(&points, &names, |m| m.over_tagged as f64))
+            );
+        }
+        if panels.contains('c') {
+            println!("\n=== Figure 6(c): Wasted posts vs Budget ===");
+            println!(
+                "{}",
+                render_series("budget", &names, &series_rows(&points, &names, |m| m.wasted_posts as f64))
+            );
+        }
+        if panels.contains('d') {
+            println!("\n=== Figure 6(d): Percentage of under-tagged resources vs Budget ===");
+            println!(
+                "{}",
+                render_series("budget", &names, &series_rows(&points, &names, |m| m.under_tagged_fraction))
+            );
+        }
+        if panels.contains('g') {
+            println!("\n=== Figure 6(g): Runtime (s) vs Budget ===");
+            println!(
+                "{}",
+                render_series("budget", &names, &series_rows(&points, &names, |m| m.runtime_seconds))
+            );
+        }
+    }
+
+    if panels.contains('e') || panels.contains('h') {
+        let counts = scale.resource_counts();
+        let points = fig6e_resource_sweep(
+            &scenario,
+            &counts,
+            scale.default_budget(),
+            include_dp,
+            scale.dp_table_cap(),
+        );
+        if panels.contains('e') {
+            println!("\n=== Figure 6(e): Quality vs Number of Resources (B = {}) ===", scale.default_budget());
+            println!(
+                "{}",
+                render_series("resources", &names, &series_rows(&points, &names, |m| m.mean_quality))
+            );
+        }
+        if panels.contains('h') {
+            println!("\n=== Figure 6(h): Runtime (s) vs Number of Resources ===");
+            println!(
+                "{}",
+                render_series("resources", &names, &series_rows(&points, &names, |m| m.runtime_seconds))
+            );
+        }
+    }
+
+    if panels.contains('f') {
+        let omegas = scale.omegas();
+        let points = fig6f_omega_sweep(&scenario, &omegas, scale.default_budget());
+        let omega_names = ["FP-MU", "FP", "MU"];
+        println!("\n=== Figure 6(f): Effect of ω (B = {}) ===", scale.default_budget());
+        println!(
+            "{}",
+            render_series("omega", &omega_names, &series_rows(&points, &omega_names, |m| m.mean_quality))
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Reproduces the dataset statistics quoted in the paper's introduction and
+//! §V-A: the skew of posts across resources, the share of over-tagged resources
+//! and wasted posts, the share of under-tagged resources, and how few posts
+//! would be needed to salvage them.
+//!
+//! Usage: `cargo run --release -p tagging-bench --bin repro_intro_stats -- [--scale S]`
+
+use tagging_bench::experiments::intro_statistics;
+use tagging_bench::reporting::{fmt_f64, fmt_percent, TextTable};
+use tagging_bench::{scale_from_args, setup};
+
+fn main() {
+    let scale = scale_from_args(std::env::args().skip(1));
+    let corpus = setup::build_corpus(scale);
+    let stats = intro_statistics(&corpus);
+
+    println!("=== Introduction / §V-A dataset statistics ===");
+    let mut table = TextTable::new(["statistic", "this reproduction", "paper"]);
+    table.add_row([
+        "resources".to_string(),
+        stats.num_resources.to_string(),
+        "5,000".to_string(),
+    ]);
+    table.add_row([
+        "total posts".to_string(),
+        stats.total_posts.to_string(),
+        "562,048".to_string(),
+    ]);
+    table.add_row([
+        "initial (January) posts".to_string(),
+        stats.total_initial_posts.to_string(),
+        "148,471".to_string(),
+    ]);
+    table.add_row([
+        "mean posts per resource".to_string(),
+        fmt_f64(stats.mean_posts, 1),
+        "112".to_string(),
+    ]);
+    table.add_row([
+        "mean initial posts per resource".to_string(),
+        fmt_f64(stats.mean_initial_posts, 1),
+        "29.7".to_string(),
+    ]);
+    table.add_row([
+        "mean stable point".to_string(),
+        fmt_f64(stats.mean_stable_point, 1),
+        "112 (range 50-200)".to_string(),
+    ]);
+    table.add_row([
+        "resources that stabilise".to_string(),
+        fmt_percent(stats.stabilised_fraction()),
+        "100% (by sample construction)".to_string(),
+    ]);
+    table.add_row([
+        "over-tagged resources (initially)".to_string(),
+        format!(
+            "{} ({})",
+            stats.over_tagged_initial,
+            fmt_percent(stats.over_tagged_fraction())
+        ),
+        "~7%".to_string(),
+    ]);
+    table.add_row([
+        "posts wasted on over-tagged resources".to_string(),
+        format!("{} ({})", stats.wasted_posts, fmt_percent(stats.wasted_fraction)),
+        "~48%".to_string(),
+    ]);
+    table.add_row([
+        "under-tagged resources (<= 10 posts initially)".to_string(),
+        format!(
+            "{} ({})",
+            stats.under_tagged_initial,
+            fmt_percent(stats.under_tagged_fraction())
+        ),
+        "~25%".to_string(),
+    ]);
+    table.add_row([
+        "posts needed to salvage all under-tagged".to_string(),
+        format!(
+            "{} ({} of wasted posts)",
+            stats.salvage_posts_needed,
+            fmt_percent(stats.salvage_ratio())
+        ),
+        "~1% of wasted posts".to_string(),
+    ]);
+    println!("{}", table.render());
+}

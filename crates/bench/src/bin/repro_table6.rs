@@ -1,0 +1,68 @@
+//! Reproduces Table VI of the paper: the top-10 most similar resources for a
+//! single under-tagged subject resource, comparing four rfd snapshots —
+//! the initial posts ("Jan 31"), FC with a budget, FP with the same budget, and
+//! the full data ("Dec 31", the ideal list).
+//!
+//! Usage: `cargo run --release -p tagging-bench --bin repro_table6 -- [--scale S]`
+
+use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison};
+use tagging_bench::reporting::{fmt_percent, TextTable};
+use tagging_bench::{scale_from_args, setup};
+use tagging_sim::scenario::Scenario;
+
+fn main() {
+    let scale = scale_from_args(std::env::args().skip(1));
+    let corpus = setup::build_corpus(scale);
+    let scenario =
+        Scenario::from_corpus(&corpus, &setup::scenario_params()).take(scale.accuracy_resources());
+    let budget = (scale.default_budget() as f64 * scenario.len() as f64
+        / scale.num_resources() as f64)
+        .round() as usize;
+
+    let subject = pick_case_study_subjects(&scenario, 1)[0];
+    let comparison = top_k_comparison(&corpus, &scenario, subject, 10, budget);
+
+    println!("=== Table VI: top-10 similar resources ===");
+    println!(
+        "subject: {} ({}), initial posts: {}, budget: {budget}",
+        comparison.subject_name,
+        corpus
+            .corpus
+            .resource(subject)
+            .map(|r| r.description.clone())
+            .unwrap_or_default(),
+        scenario.initial[subject.index()].len()
+    );
+
+    let name_of = |id: tagging_core::model::ResourceId| -> String {
+        corpus
+            .corpus
+            .resource(id)
+            .map(|r| format!("{} [{}]", r.name, r.description))
+            .unwrap_or_default()
+    };
+
+    let mut table = TextTable::new(["rank", "Jan 31 (initial)", "FC", "FP", "Dec 31 (ideal)"]);
+    for rank in 0..10 {
+        let cell = |list: &[tagging_analysis::topk::RankedResource]| {
+            list.get(rank).map(|r| name_of(r.resource)).unwrap_or_default()
+        };
+        table.add_row([
+            (rank + 1).to_string(),
+            cell(&comparison.initial),
+            cell(&comparison.fc),
+            cell(&comparison.fp),
+            cell(&comparison.ideal),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "overlap with the ideal list: initial {}, FC {}, FP {}",
+        fmt_percent(comparison.initial_overlap()),
+        fmt_percent(comparison.fc_overlap()),
+        fmt_percent(comparison.fp_overlap()),
+    );
+    println!(
+        "(paper: FC matches 4/10 of the ideal list, FP matches 9/10 for www.myphysicslab.com)"
+    );
+}

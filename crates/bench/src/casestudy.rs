@@ -1,0 +1,304 @@
+//! Experiment drivers for the paper's §V-C case studies: the top-10 similar
+//! resources tables (Tables VI and VII) and the ranking-accuracy experiment
+//! (Figure 7).
+
+use tagging_analysis::accuracy::{ranking_accuracy, rfds_after_allocation};
+use tagging_analysis::correlation::pearson;
+use tagging_analysis::topk::{overlap_fraction, top_k_similar, RankedResource};
+use tagging_core::model::{Post, ResourceId};
+use tagging_core::rfd::{rfd_of_prefix, Rfd};
+use tagging_sim::engine::{run_strategy, RunConfig};
+use tagging_sim::metrics::{delivered_posts, mean_quality};
+use tagging_sim::scenario::Scenario;
+use tagging_strategies::framework::{run_allocation, ReplaySource};
+use tagging_strategies::StrategyKind;
+
+use delicious_sim::generator::SyntheticCorpus;
+
+/// The four rfd snapshots the paper compares in Tables VI/VII:
+/// initial posts only, FC-allocated, FP-allocated, and the full data.
+#[derive(Debug, Clone)]
+pub struct TopKComparison {
+    /// The subject resource of the query.
+    pub subject: ResourceId,
+    /// Human-readable name of the subject resource.
+    pub subject_name: String,
+    /// Top-k under the initial ("Jan 31") rfds.
+    pub initial: Vec<RankedResource>,
+    /// Top-k after a budget allocated by FC.
+    pub fc: Vec<RankedResource>,
+    /// Top-k after the same budget allocated by FP.
+    pub fp: Vec<RankedResource>,
+    /// Top-k under the full-data ("Dec 31") rfds — the ideal list.
+    pub ideal: Vec<RankedResource>,
+}
+
+impl TopKComparison {
+    /// Overlap of the FC list with the ideal list (fraction of shared entries).
+    pub fn fc_overlap(&self) -> f64 {
+        overlap_fraction(&self.fc, &self.ideal)
+    }
+
+    /// Overlap of the FP list with the ideal list.
+    pub fn fp_overlap(&self) -> f64 {
+        overlap_fraction(&self.fp, &self.ideal)
+    }
+
+    /// Overlap of the initial list with the ideal list.
+    pub fn initial_overlap(&self) -> f64 {
+        overlap_fraction(&self.initial, &self.ideal)
+    }
+}
+
+/// Builds the rfds of every resource under a given strategy and budget,
+/// restricted to the scenario's resources.
+fn rfds_under_strategy(
+    scenario: &Scenario,
+    kind: StrategyKind,
+    budget: usize,
+    omega: usize,
+    seed: u64,
+) -> Vec<Rfd> {
+    let mut strategy = kind.build(omega, seed);
+    let mut source = ReplaySource::new(scenario.future.clone());
+    let outcome = run_allocation(
+        strategy.as_mut(),
+        &mut source,
+        &scenario.initial,
+        &scenario.popularity,
+        budget,
+    );
+    let delivered: Vec<Vec<Post>> = {
+        let mut d: Vec<Vec<Post>> = vec![Vec::new(); scenario.len()];
+        for step in &outcome.trace {
+            if let Some(post) = &step.post {
+                d[step.resource.index()].push(post.clone());
+            }
+        }
+        d
+    };
+    rfds_after_allocation(&scenario.initial, &delivered)
+}
+
+/// Runs one Table-VI style comparison for a single subject resource.
+///
+/// `corpus` supplies the full sequences (the "Dec 31" ideal rfds) and resource
+/// names; `scenario` must have been derived from the same corpus.
+pub fn top_k_comparison(
+    corpus: &SyntheticCorpus,
+    scenario: &Scenario,
+    subject: ResourceId,
+    k: usize,
+    budget: usize,
+) -> TopKComparison {
+    assert!(
+        subject.index() < scenario.len(),
+        "subject {subject} outside the scenario"
+    );
+    let initial_rfds: Vec<Rfd> = scenario
+        .initial
+        .iter()
+        .map(|posts| rfd_of_prefix(posts, posts.len()))
+        .collect();
+    let ideal_rfds: Vec<Rfd> = (0..scenario.len())
+        .map(|i| {
+            let full = corpus.full_sequence(ResourceId(i as u32));
+            rfd_of_prefix(full, full.len())
+        })
+        .collect();
+    let fc_rfds = rfds_under_strategy(scenario, StrategyKind::Fc, budget, 5, 17);
+    let fp_rfds = rfds_under_strategy(scenario, StrategyKind::Fp, budget, 5, 17);
+
+    let subject_name = corpus
+        .corpus
+        .resource(subject)
+        .map(|r| r.name.clone())
+        .unwrap_or_default();
+
+    TopKComparison {
+        subject,
+        subject_name,
+        initial: top_k_similar(subject, &initial_rfds, k),
+        fc: top_k_similar(subject, &fc_rfds, k),
+        fp: top_k_similar(subject, &fp_rfds, k),
+        ideal: top_k_similar(subject, &ideal_rfds, k),
+    }
+}
+
+/// Picks interesting subject resources for the Table VI/VII case studies:
+/// resources that are clearly under-tagged initially (so the initial list is
+/// poor) but have rich full sequences (so the ideal list is meaningful).
+pub fn pick_case_study_subjects(scenario: &Scenario, count: usize) -> Vec<ResourceId> {
+    let mut candidates: Vec<(usize, ResourceId)> = (0..scenario.len())
+        .filter(|&i| !scenario.future[i].is_empty())
+        .map(|i| (scenario.initial[i].len(), ResourceId(i as u32)))
+        .collect();
+    candidates.sort_by_key(|&(c, id)| (c, id.0));
+    candidates
+        .into_iter()
+        .take(count)
+        .map(|(_, id)| id)
+        .collect()
+}
+
+/// One point of the Figure 7 experiments: a strategy at a budget, its mean
+/// tagging quality and its ranking accuracy (Kendall's τ against the taxonomy).
+#[derive(Debug, Clone)]
+pub struct AccuracyPoint {
+    /// Strategy name.
+    pub strategy: String,
+    /// Budget of the run.
+    pub budget: usize,
+    /// Mean tagging quality after the run.
+    pub quality: f64,
+    /// Kendall's τ ranking accuracy after the run.
+    pub accuracy: f64,
+}
+
+/// Runs the Figure 7(a) experiment: for every strategy and budget, the ranking
+/// accuracy of pairwise similarities against the taxonomy ground truth.
+///
+/// The DP optimum is included when `include_dp` is set.
+pub fn fig7_accuracy_sweep(
+    corpus: &SyntheticCorpus,
+    scenario: &Scenario,
+    budgets: &[usize],
+    omega: usize,
+    include_dp: bool,
+    dp_table_cap: usize,
+) -> Vec<AccuracyPoint> {
+    let mut points = Vec::new();
+    for &budget in budgets {
+        let config = RunConfig {
+            budget,
+            omega,
+            seed: 1,
+        };
+        if include_dp {
+            let metrics = tagging_sim::engine::run_dp_capped(scenario, &config, dp_table_cap);
+            let delivered: Vec<Vec<Post>> = (0..scenario.len())
+                .map(|i| {
+                    let take = (metrics.allocation[i] as usize).min(scenario.future[i].len());
+                    scenario.future[i][..take].to_vec()
+                })
+                .collect();
+            let rfds = rfds_after_allocation(&scenario.initial, &delivered);
+            points.push(AccuracyPoint {
+                strategy: "DP".to_string(),
+                budget,
+                quality: metrics.mean_quality,
+                accuracy: ranking_accuracy(&rfds, &corpus.taxonomy),
+            });
+        }
+        for kind in StrategyKind::ALL {
+            let mut strategy = kind.build(omega, 1);
+            let mut source = ReplaySource::new(scenario.future.clone());
+            let outcome = run_allocation(
+                strategy.as_mut(),
+                &mut source,
+                &scenario.initial,
+                &scenario.popularity,
+                budget,
+            );
+            let delivered = delivered_posts(scenario, &outcome);
+            let rfds = rfds_after_allocation(&scenario.initial, &delivered);
+            points.push(AccuracyPoint {
+                strategy: kind.name().to_string(),
+                budget,
+                quality: mean_quality(scenario, &delivered),
+                accuracy: ranking_accuracy(&rfds, &corpus.taxonomy),
+            });
+        }
+    }
+    points
+}
+
+/// The Figure 7(b) headline number: the Pearson correlation between tagging
+/// quality and ranking accuracy across all runs (the paper reports > 98%).
+pub fn quality_accuracy_correlation(points: &[AccuracyPoint]) -> f64 {
+    let quality: Vec<f64> = points.iter().map(|p| p.quality).collect();
+    let accuracy: Vec<f64> = points.iter().map(|p| p.accuracy).collect();
+    pearson(&quality, &accuracy)
+}
+
+/// Runs a single strategy and reports its quality — a small helper for the
+/// ablation benches that compare similarity metrics and data-structure choices.
+pub fn quality_of_strategy(scenario: &Scenario, kind: StrategyKind, budget: usize) -> f64 {
+    let config = RunConfig {
+        budget,
+        omega: 5,
+        seed: 1,
+    };
+    run_strategy(scenario, kind, &config).mean_quality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{scenario_params, smoke_corpus};
+    use tagging_sim::scenario::Scenario;
+
+    fn small_setup() -> (&'static SyntheticCorpus, Scenario) {
+        let corpus = smoke_corpus();
+        let scenario = Scenario::from_corpus(corpus, &scenario_params()).take(60);
+        (corpus, scenario)
+    }
+
+    #[test]
+    fn case_study_subjects_are_under_tagged() {
+        let (_corpus, scenario) = small_setup();
+        let subjects = pick_case_study_subjects(&scenario, 4);
+        assert_eq!(subjects.len(), 4);
+        let median_initial = {
+            let mut counts: Vec<usize> = scenario.initial.iter().map(Vec::len).collect();
+            counts.sort_unstable();
+            counts[counts.len() / 2]
+        };
+        for s in &subjects {
+            assert!(scenario.initial[s.index()].len() <= median_initial);
+        }
+    }
+
+    #[test]
+    fn top_k_comparison_fp_at_least_as_good_as_initial() {
+        let (corpus, scenario) = small_setup();
+        let subject = pick_case_study_subjects(&scenario, 1)[0];
+        let comparison = top_k_comparison(corpus, &scenario, subject, 10, 400);
+        assert_eq!(comparison.subject, subject);
+        assert_eq!(comparison.ideal.len(), 10);
+        assert!(!comparison.subject_name.is_empty());
+        // FP uses the budget to enrich under-tagged resources, so its list should
+        // match the ideal at least as well as the untouched initial list.
+        assert!(
+            comparison.fp_overlap() >= comparison.initial_overlap() - 1e-9,
+            "FP overlap {} vs initial {}",
+            comparison.fp_overlap(),
+            comparison.initial_overlap()
+        );
+    }
+
+    #[test]
+    fn fig7_accuracy_correlates_with_quality() {
+        let (corpus, _) = small_setup();
+        // Use a small sub-scenario: the pairwise ranking is quadratic in n.
+        let scenario = Scenario::from_corpus(corpus, &scenario_params()).take(40);
+        let points = fig7_accuracy_sweep(corpus, &scenario, &[0, 100, 300], 5, false, 0);
+        assert_eq!(points.len(), 3 * StrategyKind::ALL.len());
+        for p in &points {
+            assert!((-1.0..=1.0).contains(&p.accuracy));
+            assert!((0.0..=1.0).contains(&p.quality));
+        }
+        let corr = quality_accuracy_correlation(&points);
+        assert!(
+            corr > 0.3,
+            "quality and ranking accuracy should be positively correlated, got {corr}"
+        );
+    }
+
+    #[test]
+    fn quality_of_strategy_helper_runs() {
+        let (_corpus, scenario) = small_setup();
+        let q = quality_of_strategy(&scenario, StrategyKind::Fp, 100);
+        assert!((0.0..=1.0).contains(&q));
+    }
+}

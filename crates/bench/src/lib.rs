@@ -1,0 +1,58 @@
+//! # tagging-bench
+//!
+//! Benchmark harness and figure/table reproduction drivers for the ICDE 2013
+//! paper *"On Incentive-based Tagging"*.
+//!
+//! * [`setup`] — experiment scales (smoke / default / paper), corpus and
+//!   scenario construction;
+//! * [`experiments`] — drivers for Figures 1, 3, 5 and 6;
+//! * [`casestudy`] — drivers for Tables VI/VII and Figure 7;
+//! * [`reporting`] — plain-text tables and series used by the `repro_*`
+//!   binaries.
+//!
+//! Run `cargo run --release -p tagging-bench --bin repro_fig6 -- --scale default`
+//! (and the other `repro_*` binaries) to regenerate each figure/table, or
+//! `cargo bench -p tagging-bench` for the Criterion micro/macro benchmarks.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod casestudy;
+pub mod experiments;
+pub mod reporting;
+pub mod setup;
+
+pub use setup::Scale;
+
+/// Parses the common `--scale <smoke|default|paper>` argument used by all
+/// `repro_*` binaries; defaults to [`Scale::Default`]. Unknown arguments are
+/// ignored so binaries can add their own flags.
+pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--scale" {
+            if let Some(value) = args.next() {
+                if let Some(scale) = Scale::parse(&value) {
+                    return scale;
+                }
+                eprintln!("unknown scale '{value}', using default");
+            }
+        }
+    }
+    Scale::Default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_args_parses_and_defaults() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(scale_from_args(args(&["--scale", "smoke"])), Scale::Smoke);
+        assert_eq!(scale_from_args(args(&["--scale", "paper"])), Scale::Paper);
+        assert_eq!(scale_from_args(args(&["--scale", "bogus"])), Scale::Default);
+        assert_eq!(scale_from_args(args(&[])), Scale::Default);
+        assert_eq!(scale_from_args(args(&["--other", "x"])), Scale::Default);
+    }
+}

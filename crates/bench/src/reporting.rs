@@ -1,0 +1,147 @@
+//! Plain-text reporting helpers: aligned tables and x/y series, so every
+//! `repro_*` binary prints output that can be compared line-by-line with the
+//! corresponding table or figure in the paper.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; it is padded or truncated to the header width.
+    pub fn add_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:width$}", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&mut out, &separator);
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a floating point value with a fixed number of decimals.
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn fmt_percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+/// Renders an `(x, series…)` data block, one line per x value — the plain-text
+/// equivalent of one figure panel.
+pub fn render_series(x_label: &str, series_labels: &[&str], rows: &[(usize, Vec<f64>)]) -> String {
+    let mut table = TextTable::new(
+        std::iter::once(x_label.to_string()).chain(series_labels.iter().map(|s| s.to_string())),
+    );
+    for (x, values) in rows {
+        let mut cells = vec![x.to_string()];
+        cells.extend(values.iter().map(|v| fmt_f64(*v, 4)));
+        table.add_row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = TextTable::new(["name", "value"]);
+        table.add_row(["FP", "0.95"]);
+        table.add_row(["FP-MU", "0.96"]);
+        let out = table.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("-----"));
+        // Columns are aligned: "value" column starts at the same offset.
+        let offset = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].len().max(offset), lines[2].len());
+        assert!(!table.is_empty());
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn table_pads_and_truncates_rows() {
+        let mut table = TextTable::new(["a", "b"]);
+        table.add_row(["1"]);
+        table.add_row(["1", "2", "3"]);
+        let out = table.render();
+        assert!(out.contains('1'));
+        assert!(!out.contains('3'), "extra cells must be dropped");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(0.86549, 3), "0.865");
+        assert_eq!(fmt_percent(0.253), "25.3%");
+    }
+
+    #[test]
+    fn series_rendering_contains_every_row() {
+        let rows = vec![(0, vec![0.86, 0.86]), (1000, vec![0.92, 0.88])];
+        let out = render_series("budget", &["DP", "FC"], &rows);
+        assert!(out.contains("budget"));
+        assert!(out.contains("DP"));
+        assert!(out.contains("1000"));
+        assert!(out.contains("0.9200"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # tagging-core
+//!
+//! Core data model and metrics from *"On Incentive-based Tagging"*
+//! (Yang, Cheng, Mo, Kao, Cheung — ICDE 2013).
+//!
+//! A social tagging system lets users annotate *resources* (URLs, photos, …)
+//! with *posts*: small sets of free-form *tags*. The paper observes that the
+//! relative tag frequency distribution (rfd) of a resource converges as the
+//! resource accumulates posts, formalises that observation into a **tagging
+//! stability** score (a moving average of adjacent rfd similarities) and a
+//! **tagging quality** metric (similarity of the current rfd to the stable rfd),
+//! and then asks how a fixed incentive budget should be allocated across
+//! resources to maximise aggregate quality.
+//!
+//! This crate contains the foundation every other crate in the workspace builds
+//! on:
+//!
+//! * [`model`] — tags, posts, post sequences, resources and corpora (§III-A);
+//! * [`rfd`] — sparse relative tag frequency distributions and incremental
+//!   frequency tracking (Definitions 3–5);
+//! * [`similarity`] — cosine similarity (Appendix A) plus alternative metrics
+//!   behind the [`similarity::SimilarityMetric`] trait;
+//! * [`stability`] — adjacent similarity, MA scores, practically-stable rfds and
+//!   stable/unstable points (Definitions 6–8);
+//! * [`quality`] — per-resource and set-level tagging quality (Definitions 9–10).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tagging_core::model::{Post, TagDictionary};
+//! use tagging_core::stability::{StabilityAnalyzer, StabilityParams};
+//!
+//! let mut dict = TagDictionary::new();
+//! let steady = Post::from_names(&mut dict, ["maps", "google"]).unwrap();
+//! let posts: Vec<Post> = vec![steady; 30];
+//!
+//! let analyzer = StabilityAnalyzer::new(StabilityParams::new(5, 0.99));
+//! let profile = analyzer.analyze(&posts);
+//! assert_eq!(profile.stable_point, Some(5));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod model;
+pub mod quality;
+pub mod rfd;
+pub mod similarity;
+pub mod stability;
+
+pub use model::{Corpus, Post, PostSequence, Resource, ResourceId, TagDictionary, TagId};
+pub use quality::{quality_curve, QualityEvaluator};
+pub use rfd::{rfd_of_prefix, FrequencyTracker, Rfd};
+pub use similarity::{cosine, CosineSimilarity, MetricKind, SimilarityMetric};
+pub use stability::{MaTracker, StabilityAnalyzer, StabilityParams, StabilityProfile};

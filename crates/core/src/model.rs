@@ -1,0 +1,528 @@
+//! Data model of a social tagging system (paper §III-A).
+//!
+//! The paper models a tagging system as a set of *resources* `R = {r_1..r_n}`
+//! (e.g. URLs), a universe of *tags* `T = {t_1..t_m}`, and for each resource a
+//! *post sequence*: the chronologically ordered list of posts it has received,
+//! where a post (Definition 1) is a non-empty set of tags assigned by one tagger
+//! in a single tagging operation.
+//!
+//! This module provides:
+//!
+//! * [`TagId`] / [`ResourceId`] — cheap copyable newtype identifiers;
+//! * [`TagDictionary`] — an interner mapping tag strings to dense [`TagId`]s;
+//! * [`Post`] — a deduplicated, sorted, non-empty set of tags;
+//! * [`PostSequence`] — the ordered posts of one resource (Definition 2);
+//! * [`Resource`] — a resource together with its post sequence and metadata;
+//! * [`Corpus`] — a collection of resources sharing one tag dictionary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a tag inside a [`TagDictionary`].
+///
+/// Tag ids are dense (`0..dictionary.len()`), which lets relative tag frequency
+/// distributions be stored as sparse vectors indexed by `TagId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// Returns the id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a resource inside a [`Corpus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// Returns the id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Interner for tag strings.
+///
+/// Every distinct tag string is assigned a dense [`TagId`]. The dictionary is the
+/// concrete realisation of the paper's tag universe `T`; `|T|` is
+/// [`TagDictionary::len`].
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TagDictionary {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, TagId>,
+}
+
+impl TagDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary pre-populated with the given tag names.
+    ///
+    /// Duplicate names are interned once.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict = Self::new();
+        for name in names {
+            dict.intern(name.as_ref());
+        }
+        dict
+    }
+
+    /// Interns `name`, returning its [`TagId`]. Idempotent.
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = TagId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned tag by name.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the tag name for `id`, or `None` if the id is out of range.
+    pub fn name(&self, id: TagId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct tags interned so far (the paper's `|T|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns true when no tag has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(TagId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TagId(i as u32), n.as_str()))
+    }
+
+    /// Rebuilds the name → id index. Needed after deserialization because the
+    /// reverse index is not serialized.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), TagId(i as u32)))
+            .collect();
+    }
+}
+
+/// A post: the non-empty set of tags a tagger assigns to a resource in one
+/// tagging operation (paper Definition 1).
+///
+/// Tags are stored sorted and deduplicated so that set semantics hold and
+/// iteration order is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Post {
+    tags: Vec<TagId>,
+}
+
+/// Error returned when attempting to construct an empty [`Post`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyPostError;
+
+impl fmt::Display for EmptyPostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a post must contain at least one tag (paper Definition 1)")
+    }
+}
+
+impl std::error::Error for EmptyPostError {}
+
+impl Post {
+    /// Builds a post from an iterator of tag ids.
+    ///
+    /// Duplicates are removed; returns [`EmptyPostError`] if the result would be
+    /// empty, because the paper defines a post as a *non-empty* set of tags.
+    pub fn new<I: IntoIterator<Item = TagId>>(tags: I) -> Result<Self, EmptyPostError> {
+        let mut tags: Vec<TagId> = tags.into_iter().collect();
+        tags.sort_unstable();
+        tags.dedup();
+        if tags.is_empty() {
+            Err(EmptyPostError)
+        } else {
+            Ok(Self { tags })
+        }
+    }
+
+    /// Builds a post from tag names, interning them into `dict`.
+    pub fn from_names<I, S>(dict: &mut TagDictionary, names: I) -> Result<Self, EmptyPostError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self::new(names.into_iter().map(|n| dict.intern(n.as_ref())))
+    }
+
+    /// Number of distinct tags in the post.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// A post is never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Returns true when `tag` appears in the post.
+    pub fn contains(&self, tag: TagId) -> bool {
+        self.tags.binary_search(&tag).is_ok()
+    }
+
+    /// The tags of the post in ascending id order.
+    pub fn tags(&self) -> &[TagId] {
+        &self.tags
+    }
+
+    /// Iterates over the tags of the post.
+    pub fn iter(&self) -> impl Iterator<Item = TagId> + '_ {
+        self.tags.iter().copied()
+    }
+}
+
+/// The chronologically ordered posts received by one resource
+/// (paper Definition 2: `(p_i(1), p_i(2), ...)`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PostSequence {
+    posts: Vec<Post>,
+}
+
+impl PostSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sequence from posts already in chronological order.
+    pub fn from_posts(posts: Vec<Post>) -> Self {
+        Self { posts }
+    }
+
+    /// Appends a post as the newest element of the sequence.
+    pub fn push(&mut self, post: Post) {
+        self.posts.push(post);
+    }
+
+    /// Number of posts in the sequence (the paper's `k` upper bound).
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Returns true when the resource has never been tagged.
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// The `k`-th post `p_i(k)`, 1-based as in the paper.
+    ///
+    /// Returns `None` when `k == 0` or `k > len()`.
+    pub fn post(&self, k: usize) -> Option<&Post> {
+        if k == 0 {
+            None
+        } else {
+            self.posts.get(k - 1)
+        }
+    }
+
+    /// All posts in chronological order (0-based slice).
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// Iterates over the posts in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &Post> {
+        self.posts.iter()
+    }
+
+    /// Returns the prefix of the first `k` posts.
+    pub fn prefix(&self, k: usize) -> &[Post] {
+        &self.posts[..k.min(self.posts.len())]
+    }
+}
+
+impl FromIterator<Post> for PostSequence {
+    fn from_iter<I: IntoIterator<Item = Post>>(iter: I) -> Self {
+        Self {
+            posts: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A resource (e.g. a URL) together with its full post sequence and optional
+/// human-readable metadata used by the case studies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Resource {
+    /// Identifier of the resource within its [`Corpus`].
+    pub id: ResourceId,
+    /// Human readable name (the URL in the paper's dataset).
+    pub name: String,
+    /// Optional description, used by the Table VII style case studies.
+    pub description: String,
+    /// The full post sequence of the resource.
+    pub posts: PostSequence,
+}
+
+impl Resource {
+    /// Creates a resource with an empty post sequence.
+    pub fn new(id: ResourceId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            description: String::new(),
+            posts: PostSequence::new(),
+        }
+    }
+
+    /// Sets the description, builder-style.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Sets the post sequence, builder-style.
+    pub fn with_posts(mut self, posts: PostSequence) -> Self {
+        self.posts = posts;
+        self
+    }
+
+    /// Number of posts the resource has received in total.
+    pub fn post_count(&self) -> usize {
+        self.posts.len()
+    }
+}
+
+/// A collection of resources sharing one tag dictionary — the concrete `R` and
+/// `T` of the paper.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The shared tag universe `T`.
+    pub tags: TagDictionary,
+    /// The resources `R`, indexed by `ResourceId::index()`.
+    pub resources: Vec<Resource>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resource with the given name and returns its id.
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource::new(id, name));
+        id
+    }
+
+    /// Number of resources (the paper's `n`).
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Returns true when the corpus holds no resources.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Immutable access to a resource by id.
+    pub fn resource(&self, id: ResourceId) -> Option<&Resource> {
+        self.resources.get(id.index())
+    }
+
+    /// Mutable access to a resource by id.
+    pub fn resource_mut(&mut self, id: ResourceId) -> Option<&mut Resource> {
+        self.resources.get_mut(id.index())
+    }
+
+    /// Iterates over all resources in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Resource> {
+        self.resources.iter()
+    }
+
+    /// Total number of posts across all resources.
+    pub fn total_posts(&self) -> usize {
+        self.resources.iter().map(Resource::post_count).sum()
+    }
+
+    /// Appends a post to the given resource's sequence.
+    ///
+    /// Returns `false` when the resource id is unknown.
+    pub fn append_post(&mut self, id: ResourceId, post: Post) -> bool {
+        match self.resources.get_mut(id.index()) {
+            Some(r) => {
+                r.posts.push(post);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restores internal lookup structures after deserialization.
+    pub fn rebuild_indexes(&mut self) {
+        self.tags.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_dictionary_interns_once() {
+        let mut dict = TagDictionary::new();
+        let a = dict.intern("google");
+        let b = dict.intern("earth");
+        let a2 = dict.intern("google");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(dict.len(), 2);
+        assert_eq!(dict.name(a), Some("google"));
+        assert_eq!(dict.name(b), Some("earth"));
+        assert_eq!(dict.get("google"), Some(a));
+        assert_eq!(dict.get("missing"), None);
+    }
+
+    #[test]
+    fn tag_dictionary_from_names_dedups() {
+        let dict = TagDictionary::from_names(["a", "b", "a", "c", "b"]);
+        assert_eq!(dict.len(), 3);
+    }
+
+    #[test]
+    fn tag_dictionary_iter_in_id_order() {
+        let dict = TagDictionary::from_names(["x", "y", "z"]);
+        let collected: Vec<_> = dict.iter().map(|(id, n)| (id.0, n.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "x".to_string()), (1, "y".to_string()), (2, "z".to_string())]
+        );
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        let mut dict = TagDictionary::from_names(["a", "b"]);
+        dict.index.clear();
+        assert_eq!(dict.get("a"), None);
+        dict.rebuild_index();
+        assert_eq!(dict.get("a"), Some(TagId(0)));
+        assert_eq!(dict.get("b"), Some(TagId(1)));
+    }
+
+    #[test]
+    fn post_requires_at_least_one_tag() {
+        assert_eq!(Post::new(std::iter::empty()), Err(EmptyPostError));
+        let p = Post::new([TagId(3)]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn post_deduplicates_and_sorts() {
+        let p = Post::new([TagId(5), TagId(1), TagId(5), TagId(3)]).unwrap();
+        assert_eq!(p.tags(), &[TagId(1), TagId(3), TagId(5)]);
+        assert!(p.contains(TagId(3)));
+        assert!(!p.contains(TagId(2)));
+    }
+
+    #[test]
+    fn post_from_names_interns() {
+        let mut dict = TagDictionary::new();
+        let p = Post::from_names(&mut dict, ["google", "earth", "google"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn post_sequence_is_one_based_like_the_paper() {
+        let mut seq = PostSequence::new();
+        assert!(seq.is_empty());
+        let p1 = Post::new([TagId(0)]).unwrap();
+        let p2 = Post::new([TagId(1)]).unwrap();
+        seq.push(p1.clone());
+        seq.push(p2.clone());
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.post(0), None);
+        assert_eq!(seq.post(1), Some(&p1));
+        assert_eq!(seq.post(2), Some(&p2));
+        assert_eq!(seq.post(3), None);
+    }
+
+    #[test]
+    fn post_sequence_prefix_clamps() {
+        let seq: PostSequence = (0..5)
+            .map(|i| Post::new([TagId(i)]).unwrap())
+            .collect();
+        assert_eq!(seq.prefix(3).len(), 3);
+        assert_eq!(seq.prefix(99).len(), 5);
+        assert_eq!(seq.prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn corpus_add_and_lookup() {
+        let mut corpus = Corpus::new();
+        let r1 = corpus.add_resource("earth.google.com");
+        let r2 = corpus.add_resource("picasa.google.com");
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.resource(r1).unwrap().name, "earth.google.com");
+        assert_eq!(corpus.resource(r2).unwrap().id, r2);
+        assert!(corpus.resource(ResourceId(42)).is_none());
+    }
+
+    #[test]
+    fn corpus_append_post_counts() {
+        let mut corpus = Corpus::new();
+        let r = corpus.add_resource("r");
+        let tag = corpus.tags.intern("maps");
+        assert!(corpus.append_post(r, Post::new([tag]).unwrap()));
+        assert!(corpus.append_post(r, Post::new([tag]).unwrap()));
+        assert!(!corpus.append_post(ResourceId(9), Post::new([tag]).unwrap()));
+        assert_eq!(corpus.resource(r).unwrap().post_count(), 2);
+        assert_eq!(corpus.total_posts(), 2);
+    }
+
+    #[test]
+    fn resource_builder_style() {
+        let seq: PostSequence = vec![Post::new([TagId(0)]).unwrap()].into_iter().collect();
+        let r = Resource::new(ResourceId(0), "espn.go.com")
+            .with_description("sports")
+            .with_posts(seq);
+        assert_eq!(r.description, "sports");
+        assert_eq!(r.post_count(), 1);
+    }
+}

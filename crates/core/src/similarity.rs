@@ -1,0 +1,317 @@
+//! Similarity metrics between relative tag frequency distributions.
+//!
+//! The paper (Appendix A) fixes **cosine similarity** as the metric `s` used for
+//! adjacent similarity, MA scores and tagging quality:
+//!
+//! ```text
+//! s(F_i(k_i), F_j(k_j)) = Σ_l F_i[l]·F_j[l] / (‖F_i‖₂ · ‖F_j‖₂)
+//! ```
+//!
+//! with `s = 0` when either distribution is the all-zero `F(0)`.
+//!
+//! We expose the metric as a trait ([`SimilarityMetric`]) so the ablation benches
+//! can swap in alternatives (Jaccard over supports, Hellinger affinity, total
+//! variation affinity) while the rest of the system — MA scores, quality,
+//! strategies — is metric-agnostic.
+
+use crate::rfd::Rfd;
+
+/// A similarity metric over rfds, returning values in `[0, 1]` where `1` means
+/// "identical" and `0` means "nothing in common" (or an undefined comparison
+/// involving the empty distribution).
+pub trait SimilarityMetric: Send + Sync {
+    /// Computes the similarity of two rfds.
+    fn similarity(&self, a: &Rfd, b: &Rfd) -> f64;
+
+    /// Human-readable metric name, used in benchmark and experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Cosine similarity — the paper's metric (Appendix A, Equation 16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CosineSimilarity;
+
+impl SimilarityMetric for CosineSimilarity {
+    fn similarity(&self, a: &Rfd, b: &Rfd) -> f64 {
+        cosine(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+/// Cosine similarity of two rfds, with the paper's convention that the
+/// similarity is 0 when either argument is the empty distribution.
+pub fn cosine(a: &Rfd, b: &Rfd) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let denom = a.l2_norm() * b.l2_norm();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    // Clamp to [0, 1] to absorb floating-point error; rfds are non-negative so
+    // the mathematical value already lies in this range.
+    (a.dot(b) / denom).clamp(0.0, 1.0)
+}
+
+/// Jaccard similarity over the *supports* (sets of tags with non-zero relative
+/// frequency). Ignores the frequency values themselves; useful as an ablation
+/// that shows why a weighted metric is needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JaccardSimilarity;
+
+impl SimilarityMetric for JaccardSimilarity {
+    fn similarity(&self, a: &Rfd, b: &Rfd) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let tags_a: Vec<_> = a.iter().map(|(t, _)| t).collect();
+        let tags_b: Vec<_> = b.iter().map(|(t, _)| t).collect();
+        let mut intersection = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < tags_a.len() && j < tags_b.len() {
+            match tags_a[i].cmp(&tags_b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    intersection += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = tags_a.len() + tags_b.len() - intersection;
+        if union == 0 {
+            0.0
+        } else {
+            intersection as f64 / union as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+}
+
+/// Hellinger affinity (Bhattacharyya coefficient): `Σ_t sqrt(a_t · b_t)`.
+///
+/// Like cosine it is 1 for identical distributions and 0 for disjoint supports,
+/// but it weights rare tags relatively more heavily.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HellingerAffinity;
+
+impl SimilarityMetric for HellingerAffinity {
+    fn similarity(&self, a: &Rfd, b: &Rfd) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let entries_a: Vec<_> = a.iter().collect();
+        let entries_b: Vec<_> = b.iter().collect();
+        let (mut i, mut j) = (0, 0);
+        while i < entries_a.len() && j < entries_b.len() {
+            let (ta, wa) = entries_a[i];
+            let (tb, wb) = entries_b[j];
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += (wa * wb).sqrt();
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "hellinger"
+    }
+}
+
+/// Total-variation affinity: `1 − ½‖a − b‖₁`. Equals 1 for identical
+/// distributions and 0 for disjoint supports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TotalVariationAffinity;
+
+impl SimilarityMetric for TotalVariationAffinity {
+    fn similarity(&self, a: &Rfd, b: &Rfd) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        (1.0 - 0.5 * a.l1_distance(b)).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "total-variation"
+    }
+}
+
+/// Enumeration of the built-in metrics, convenient for configuration files and
+/// command-line selection in the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// The paper's cosine similarity.
+    Cosine,
+    /// Support-set Jaccard similarity.
+    Jaccard,
+    /// Hellinger affinity (Bhattacharyya coefficient).
+    Hellinger,
+    /// Total-variation affinity.
+    TotalVariation,
+}
+
+impl MetricKind {
+    /// All built-in metric kinds.
+    pub const ALL: [MetricKind; 4] = [
+        MetricKind::Cosine,
+        MetricKind::Jaccard,
+        MetricKind::Hellinger,
+        MetricKind::TotalVariation,
+    ];
+
+    /// Instantiates the metric behind this kind.
+    pub fn build(self) -> Box<dyn SimilarityMetric> {
+        match self {
+            MetricKind::Cosine => Box::new(CosineSimilarity),
+            MetricKind::Jaccard => Box::new(JaccardSimilarity),
+            MetricKind::Hellinger => Box::new(HellingerAffinity),
+            MetricKind::TotalVariation => Box::new(TotalVariationAffinity),
+        }
+    }
+
+    /// Parses a metric name as used on benchmark command lines.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "cosine" => Some(MetricKind::Cosine),
+            "jaccard" => Some(MetricKind::Jaccard),
+            "hellinger" => Some(MetricKind::Hellinger),
+            "tv" | "total-variation" | "total_variation" => Some(MetricKind::TotalVariation),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TagId;
+
+    fn rfd(pairs: &[(u32, u64)]) -> Rfd {
+        Rfd::from_counts(pairs.iter().map(|&(t, c)| (TagId(t), c)))
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = rfd(&[(0, 2), (1, 1)]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_disjoint_is_zero() {
+        let a = rfd(&[(0, 1)]);
+        let b = rfd(&[(1, 1)]);
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_empty_is_zero_by_convention() {
+        let a = rfd(&[(0, 1)]);
+        assert_eq!(cosine(&a, &Rfd::empty()), 0.0);
+        assert_eq!(cosine(&Rfd::empty(), &a), 0.0);
+        assert_eq!(cosine(&Rfd::empty(), &Rfd::empty()), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant_in_counts() {
+        let a = rfd(&[(0, 1), (1, 3)]);
+        let b = rfd(&[(0, 10), (1, 30)]);
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_matches_paper_example_2_r1() {
+        // Paper Table II: F1(3) = (.4, .2, .4, 0), stable φ̂1 = (.25, .25, .5, 0)
+        // over tags (google, geographic, earth, pictures); q1(3) = 0.953.
+        let f = Rfd::from_weights([(TagId(0), 0.4), (TagId(1), 0.2), (TagId(2), 0.4)]);
+        let phi = Rfd::from_weights([(TagId(0), 0.25), (TagId(1), 0.25), (TagId(2), 0.5)]);
+        let s = cosine(&f, &phi);
+        assert!((s - 0.953).abs() < 5e-3, "got {s}");
+    }
+
+    #[test]
+    fn cosine_matches_paper_example_2_r2() {
+        // Paper Table II: F2(2) = (0, 0, 0, 1), φ̂2 = (.33, 0, 0, .67); q2(2) = 0.897.
+        let f = Rfd::from_weights([(TagId(3), 1.0)]);
+        let phi = Rfd::from_weights([(TagId(0), 0.33), (TagId(3), 0.67)]);
+        let s = cosine(&f, &phi);
+        assert!((s - 0.897).abs() < 5e-3, "got {s}");
+    }
+
+    #[test]
+    fn jaccard_counts_support_overlap_only() {
+        let a = rfd(&[(0, 100), (1, 1)]);
+        let b = rfd(&[(0, 1), (1, 100)]);
+        let j = JaccardSimilarity.similarity(&a, &b);
+        assert!((j - 1.0).abs() < 1e-12);
+        let c = rfd(&[(2, 1)]);
+        assert_eq!(JaccardSimilarity.similarity(&a, &c), 0.0);
+        assert_eq!(JaccardSimilarity.similarity(&a, &Rfd::empty()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a = rfd(&[(0, 1), (1, 1)]);
+        let b = rfd(&[(1, 1), (2, 1)]);
+        let j = JaccardSimilarity.similarity(&a, &b);
+        assert!((j - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_identical_is_one_disjoint_is_zero() {
+        let a = rfd(&[(0, 1), (1, 3)]);
+        assert!((HellingerAffinity.similarity(&a, &a) - 1.0).abs() < 1e-9);
+        let b = rfd(&[(5, 1)]);
+        assert_eq!(HellingerAffinity.similarity(&a, &b), 0.0);
+        assert_eq!(HellingerAffinity.similarity(&Rfd::empty(), &a), 0.0);
+    }
+
+    #[test]
+    fn total_variation_identical_is_one_disjoint_is_zero() {
+        let a = rfd(&[(0, 1), (1, 1)]);
+        assert!((TotalVariationAffinity.similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let b = rfd(&[(2, 1)]);
+        assert!(TotalVariationAffinity.similarity(&a, &b).abs() < 1e-12);
+        assert_eq!(TotalVariationAffinity.similarity(&a, &Rfd::empty()), 0.0);
+    }
+
+    #[test]
+    fn all_metrics_bounded_and_symmetric() {
+        let a = rfd(&[(0, 3), (1, 1), (4, 2)]);
+        let b = rfd(&[(1, 2), (4, 5), (7, 1)]);
+        for kind in MetricKind::ALL {
+            let metric = kind.build();
+            let s_ab = metric.similarity(&a, &b);
+            let s_ba = metric.similarity(&b, &a);
+            assert!((0.0..=1.0).contains(&s_ab), "{} out of range", metric.name());
+            assert!((s_ab - s_ba).abs() < 1e-12, "{} not symmetric", metric.name());
+        }
+    }
+
+    #[test]
+    fn metric_kind_parse_roundtrip() {
+        assert_eq!(MetricKind::parse("cosine"), Some(MetricKind::Cosine));
+        assert_eq!(MetricKind::parse("JACCARD"), Some(MetricKind::Jaccard));
+        assert_eq!(MetricKind::parse("hellinger"), Some(MetricKind::Hellinger));
+        assert_eq!(MetricKind::parse("tv"), Some(MetricKind::TotalVariation));
+        assert_eq!(MetricKind::parse("unknown"), None);
+        for kind in MetricKind::ALL {
+            let name = kind.build().name();
+            // every built-in metric's reported name parses back to the same kind
+            assert_eq!(MetricKind::parse(name), Some(kind));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the core data structures and metrics.
+//!
+//! These check the mathematical invariants the rest of the workspace relies on:
+//! rfds are probability distributions, similarity metrics are bounded and
+//! symmetric, the incremental trackers agree with the offline definitions, and
+//! quality is invariant under tag relabelling.
+
+use proptest::prelude::*;
+
+use tagging_core::model::{Post, TagId};
+use tagging_core::quality::quality_curve;
+use tagging_core::rfd::{rfd_of_prefix, FrequencyTracker, Rfd};
+use tagging_core::similarity::{cosine, MetricKind, SimilarityMetric};
+use tagging_core::stability::{MaTracker, StabilityAnalyzer, StabilityParams};
+
+/// Strategy: a post over a small tag universe (1–6 distinct tags out of 12).
+fn arb_post() -> impl Strategy<Value = Post> {
+    proptest::collection::btree_set(0u32..12, 1..=6)
+        .prop_map(|tags| Post::new(tags.into_iter().map(TagId)).expect("non-empty"))
+}
+
+/// Strategy: a post sequence of 0–60 posts.
+fn arb_sequence() -> impl Strategy<Value = Vec<Post>> {
+    proptest::collection::vec(arb_post(), 0..60)
+}
+
+/// Strategy: raw (tag, count) pairs for building rfds.
+fn arb_counts() -> impl Strategy<Value = Vec<(TagId, u64)>> {
+    proptest::collection::vec((0u32..20, 0u64..50), 0..15)
+        .prop_map(|v| v.into_iter().map(|(t, c)| (TagId(t), c)).collect())
+}
+
+proptest! {
+    /// A non-empty rfd always sums to 1; the empty rfd sums to 0.
+    #[test]
+    fn rfd_total_mass_is_one_or_zero(counts in arb_counts()) {
+        let rfd = Rfd::from_counts(counts.iter().copied());
+        let mass = rfd.total_mass();
+        if rfd.is_empty() {
+            prop_assert!(mass.abs() < 1e-12);
+        } else {
+            prop_assert!((mass - 1.0).abs() < 1e-9, "mass = {mass}");
+        }
+    }
+
+    /// Every component of an rfd lies in (0, 1].
+    #[test]
+    fn rfd_components_are_probabilities(counts in arb_counts()) {
+        let rfd = Rfd::from_counts(counts.iter().copied());
+        for (_, w) in rfd.iter() {
+            prop_assert!(w > 0.0 && w <= 1.0 + 1e-12);
+        }
+    }
+
+    /// The incremental frequency tracker agrees with the non-incremental
+    /// definition at every prefix length.
+    #[test]
+    fn tracker_matches_prefix_definition(posts in arb_sequence()) {
+        let mut tracker = FrequencyTracker::new();
+        for (idx, post) in posts.iter().enumerate() {
+            tracker.push(post);
+            let k = idx + 1;
+            prop_assert_eq!(tracker.rfd(), rfd_of_prefix(&posts, k));
+        }
+    }
+
+    /// All similarity metrics return values in [0, 1], are symmetric, and give 1
+    /// on identical non-empty inputs.
+    #[test]
+    fn similarity_metrics_bounded_symmetric_reflexive(
+        a in arb_counts(),
+        b in arb_counts(),
+    ) {
+        let ra = Rfd::from_counts(a.iter().copied());
+        let rb = Rfd::from_counts(b.iter().copied());
+        for kind in MetricKind::ALL {
+            let metric = kind.build();
+            let s_ab = metric.similarity(&ra, &rb);
+            let s_ba = metric.similarity(&rb, &ra);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s_ab), "{}: {}", metric.name(), s_ab);
+            prop_assert!((s_ab - s_ba).abs() < 1e-9, "{} asymmetric", metric.name());
+            if !ra.is_empty() {
+                let s_aa = metric.similarity(&ra, &ra);
+                prop_assert!((s_aa - 1.0).abs() < 1e-9, "{}: self-sim {}", metric.name(), s_aa);
+            }
+        }
+    }
+
+    /// Cosine similarity is invariant to scaling the raw counts.
+    #[test]
+    fn cosine_scale_invariant(counts in arb_counts(), factor in 1u64..20) {
+        let a = Rfd::from_counts(counts.iter().copied());
+        let b = Rfd::from_counts(counts.iter().map(|&(t, c)| (t, c * factor)));
+        if !a.is_empty() {
+            prop_assert!((cosine(&a, &b) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The incremental MA tracker agrees with the offline stability analyzer at
+    /// every prefix, for several window sizes.
+    #[test]
+    fn ma_tracker_matches_offline(posts in arb_sequence(), omega in 2usize..8) {
+        let analyzer = StabilityAnalyzer::new(StabilityParams::new(omega, 0.9999));
+        let profile = analyzer.analyze(&posts);
+        let mut tracker = MaTracker::new(omega);
+        for (idx, post) in posts.iter().enumerate() {
+            let ma = tracker.push(post);
+            let k = idx + 1;
+            match (ma, profile.ma_at(k)) {
+                (Some(inc), Some(off)) => prop_assert!((inc - off).abs() < 1e-9),
+                (None, None) => {}
+                (inc, off) => prop_assert!(false, "definedness mismatch at k={k}: {inc:?} vs {off:?}"),
+            }
+        }
+    }
+
+    /// The MA score, when defined, lies in [0, 1].
+    #[test]
+    fn ma_scores_bounded(posts in arb_sequence()) {
+        let analyzer = StabilityAnalyzer::new(StabilityParams::strategy_default());
+        let profile = analyzer.analyze(&posts);
+        for &ma in &profile.ma_scores {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&ma));
+        }
+    }
+
+    /// The stable point, if reported, really is the smallest k whose MA score
+    /// exceeds τ.
+    #[test]
+    fn stable_point_is_minimal(posts in arb_sequence(), tau in 0.5f64..0.999) {
+        let params = StabilityParams::new(4, tau);
+        let analyzer = StabilityAnalyzer::new(params);
+        let profile = analyzer.analyze(&posts);
+        if let Some(sp) = profile.stable_point {
+            prop_assert!(profile.ma_at(sp).unwrap() > tau);
+            for k in params.omega..sp {
+                prop_assert!(profile.ma_at(k).unwrap() <= tau, "earlier k={k} already stable");
+            }
+        } else {
+            for k in params.omega..=posts.len() {
+                prop_assert!(profile.ma_at(k).unwrap() <= tau);
+            }
+        }
+    }
+
+    /// A quality curve evaluated against the final rfd of the same sequence ends
+    /// at exactly 1 and stays within [0, 1] throughout.
+    #[test]
+    fn quality_curve_bounded_and_ends_at_one(posts in arb_sequence()) {
+        prop_assume!(!posts.is_empty());
+        let reference = rfd_of_prefix(&posts, posts.len());
+        let curve = quality_curve(&posts, &reference);
+        prop_assert_eq!(curve.len(), posts.len() + 1);
+        for &q in &curve {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&q));
+        }
+        prop_assert!((curve[posts.len()] - 1.0).abs() < 1e-9);
+    }
+
+    /// Quality is invariant under a relabelling (permutation) of tag ids applied
+    /// consistently to both the posts and the reference rfd.
+    #[test]
+    fn quality_invariant_under_tag_relabelling(posts in arb_sequence(), shift in 1u32..50) {
+        prop_assume!(!posts.is_empty());
+        let reference = rfd_of_prefix(&posts, posts.len());
+        let relabel = |t: TagId| TagId(t.0 + shift);
+        let shifted_posts: Vec<Post> = posts
+            .iter()
+            .map(|p| Post::new(p.iter().map(relabel)).unwrap())
+            .collect();
+        let shifted_reference = Rfd::from_weights(reference.iter().map(|(t, w)| (relabel(t), w)));
+        let original = quality_curve(&posts, &reference);
+        let shifted = quality_curve(&shifted_posts, &shifted_reference);
+        for (o, s) in original.iter().zip(shifted.iter()) {
+            prop_assert!((o - s).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Synthetic del.icio.us-style corpus generator.
+//!
+//! This is the substitute for the 2007 del.icio.us dump used by the paper's
+//! experiments (§V-A). A generated [`SyntheticCorpus`] contains, for each
+//! resource,
+//!
+//! * a latent [`ResourceProfile`] (its true tag distribution, built from the
+//!   topic model in [`crate::topics`]);
+//! * a full post sequence sampled from that distribution — the analogue of the
+//!   resource's complete Year-2007 post sequence;
+//! * a popularity weight following a Zipf law (Figure 1(b));
+//! * an initial post count `c_i` — the analogue of the posts received by
+//!   January 31 that form the starting state of every allocation strategy;
+//! * a category assignment in a synthetic taxonomy (the ODP ground-truth
+//!   substitute for §V-C).
+//!
+//! All randomness flows from a single seed, so every experiment in the
+//! workspace is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tagging_core::model::{Corpus, Post, PostSequence, Resource, ResourceId};
+use tagging_core::rfd::Rfd;
+
+use crate::taxonomy::{CategoryId, Taxonomy};
+use crate::topics::{build_profile, sample_post, ProfileParams, ResourceProfile, TopicId, TopicModel};
+use crate::zipf::Zipf;
+
+/// Configuration of the synthetic corpus generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of resources to generate (the paper's sample uses 5,000).
+    pub num_resources: usize,
+    /// Number of latent topics.
+    pub num_topics: usize,
+    /// Vocabulary size per topic.
+    pub vocab_per_topic: usize,
+    /// Sub-categories per topic in the synthetic taxonomy.
+    pub subcategories_per_topic: usize,
+    /// Zipf exponent of the resource popularity distribution.
+    pub popularity_exponent: f64,
+    /// Minimum number of posts in a resource's full sequence.
+    pub min_posts: usize,
+    /// Mean number of posts per resource over the full sequence
+    /// (the paper's sample averages 112).
+    pub mean_posts: usize,
+    /// Hard cap on a single resource's sequence length.
+    pub max_posts: usize,
+    /// Fraction of the full sequence that, on average, arrives before the
+    /// strategies start (the paper's January posts are 26.4% of the year).
+    pub initial_fraction: f64,
+    /// Maximum number of tags per post.
+    pub max_tags_per_post: usize,
+    /// Per-tag probability of a typo (a fresh, never-repeating tag).
+    pub noise_rate: f64,
+    /// Parameters of the per-resource latent profiles.
+    pub profile: ProfileParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self::paper_sample()
+    }
+}
+
+impl GeneratorConfig {
+    /// The analogue of the paper's experimental sample: 5,000 resources whose
+    /// sequences are long enough to reach their stable points, averaging ~112
+    /// posts each, with a skewed initial (January) state.
+    pub fn paper_sample() -> Self {
+        Self {
+            num_resources: 5_000,
+            num_topics: 20,
+            vocab_per_topic: 30,
+            subcategories_per_topic: 4,
+            popularity_exponent: 0.85,
+            min_posts: 60,
+            mean_posts: 112,
+            max_posts: 3_000,
+            initial_fraction: 0.264,
+            max_tags_per_post: 4,
+            noise_rate: 0.02,
+            profile: ProfileParams::default(),
+            seed: 20130408, // ICDE 2013 opened on 8 April 2013.
+        }
+    }
+
+    /// A smaller configuration for unit/integration tests and quick examples.
+    pub fn small(num_resources: usize, seed: u64) -> Self {
+        Self {
+            num_resources,
+            num_topics: 6,
+            vocab_per_topic: 12,
+            subcategories_per_topic: 2,
+            popularity_exponent: 0.9,
+            min_posts: 40,
+            mean_posts: 80,
+            max_posts: 400,
+            initial_fraction: 0.264,
+            max_tags_per_post: 4,
+            noise_rate: 0.02,
+            profile: ProfileParams::default(),
+            seed,
+        }
+    }
+
+    /// A configuration that mimics the *whole* del.icio.us crawl rather than the
+    /// curated sample: many resources, most of which receive only a handful of
+    /// posts. Used to reproduce the post-count distribution of Figure 1(b).
+    pub fn full_web(num_resources: usize, seed: u64) -> Self {
+        Self {
+            num_resources,
+            num_topics: 20,
+            vocab_per_topic: 30,
+            subcategories_per_topic: 4,
+            popularity_exponent: 1.25,
+            min_posts: 1,
+            mean_posts: 6,
+            max_posts: 20_000,
+            initial_fraction: 0.264,
+            max_tags_per_post: 4,
+            noise_rate: 0.02,
+            profile: ProfileParams::default(),
+            seed,
+        }
+    }
+
+    /// Returns a copy with a different number of resources (used by the
+    /// "effect of number of resources" sweep, Figure 6(e)/(h)).
+    pub fn with_resources(mut self, num_resources: usize) -> Self {
+        self.num_resources = num_resources;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated synthetic corpus: the workspace-wide analogue of the paper's
+/// 5,000-URL del.icio.us sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticCorpus {
+    /// The resources and their *full* post sequences (the whole "year").
+    pub corpus: Corpus,
+    /// Latent profile of each resource, indexed by `ResourceId::index()`.
+    pub profiles: Vec<ResourceProfile>,
+    /// Popularity weight of each resource (sums to 1), indexed by resource.
+    pub popularity: Vec<f64>,
+    /// Number of posts each resource has received *before* any strategy runs
+    /// (the paper's `c_i`, i.e. the January posts).
+    pub initial_posts: Vec<usize>,
+    /// The synthetic category taxonomy with every resource assigned to a leaf.
+    pub taxonomy: Taxonomy,
+    /// The configuration the corpus was generated from.
+    pub config: GeneratorConfig,
+}
+
+impl SyntheticCorpus {
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// True when the corpus holds no resources.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// Iterator over all resource ids.
+    pub fn resource_ids(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        (0..self.corpus.len() as u32).map(ResourceId)
+    }
+
+    /// The full post sequence of a resource.
+    pub fn full_sequence(&self, id: ResourceId) -> &[Post] {
+        self.corpus
+            .resource(id)
+            .map(|r| r.posts.posts())
+            .unwrap_or(&[])
+    }
+
+    /// The initial (pre-strategy) posts of a resource.
+    pub fn initial_sequence(&self, id: ResourceId) -> &[Post] {
+        let c = self.initial_posts[id.index()];
+        &self.full_sequence(id)[..c]
+    }
+
+    /// The posts of a resource that are still "in the future" when strategies
+    /// start — the pool a post task on this resource draws from.
+    pub fn future_sequence(&self, id: ResourceId) -> &[Post] {
+        let c = self.initial_posts[id.index()];
+        &self.full_sequence(id)[c..]
+    }
+
+    /// The true (latent) tag distribution of a resource.
+    pub fn true_distribution(&self, id: ResourceId) -> &Rfd {
+        &self.profiles[id.index()].true_distribution
+    }
+
+    /// Total number of posts over all full sequences.
+    pub fn total_posts(&self) -> usize {
+        self.corpus.total_posts()
+    }
+
+    /// Total number of initial posts (the "January" posts).
+    pub fn total_initial_posts(&self) -> usize {
+        self.initial_posts.iter().sum()
+    }
+
+    /// Restores internal indexes after deserialization.
+    pub fn rebuild_indexes(&mut self) {
+        self.corpus.rebuild_indexes();
+    }
+}
+
+/// Generates a synthetic corpus from the given configuration.
+pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
+    assert!(config.num_resources >= 1, "need at least one resource");
+    assert!(
+        (0.0..=1.0).contains(&config.initial_fraction),
+        "initial_fraction must lie in [0, 1]"
+    );
+    assert!(config.mean_posts >= config.min_posts.max(1), "mean_posts must be >= min_posts");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_resources;
+
+    let mut corpus = Corpus::new();
+    let topic_model = TopicModel::build(&mut corpus.tags, config.num_topics, config.vocab_per_topic);
+
+    // ---- Taxonomy: root → topic category → sub-categories -------------------
+    // Each sub-category also owns a distinguishing tag that is mixed into the
+    // true distribution of the resources assigned to it. This keeps the ground
+    // truth (taxonomy distance) and the observable signal (tag overlap) aligned,
+    // the property the paper's ODP-based accuracy experiment relies on.
+    let mut taxonomy = Taxonomy::new();
+    let mut leaves: Vec<Vec<(CategoryId, crate::topics::TopicId)>> = Vec::new();
+    let mut subcat_tags: Vec<Vec<tagging_core::model::TagId>> = Vec::new();
+    for topic in &topic_model.topics {
+        let cat = taxonomy.add_category(taxonomy.root(), format!("Top/{}", topic.name));
+        let mut subcats = Vec::with_capacity(config.subcategories_per_topic.max(1));
+        let mut tags_for_topic = Vec::with_capacity(config.subcategories_per_topic.max(1));
+        for s in 0..config.subcategories_per_topic.max(1) {
+            subcats.push((
+                taxonomy.add_category(cat, format!("Top/{}/sub-{s}", topic.name)),
+                topic.id,
+            ));
+            tags_for_topic.push(corpus.tags.intern(&format!("{}-sub{s}", topic.name)));
+        }
+        leaves.push(subcats);
+        subcat_tags.push(tags_for_topic);
+    }
+
+    // ---- Popularity ranks ---------------------------------------------------
+    // Resource ids are assigned popularity ranks through a random permutation so
+    // that id order carries no information.
+    let zipf = Zipf::new(n, config.popularity_exponent);
+    let zipf_weights = zipf.weights();
+    let mut rank_of_resource: Vec<usize> = (0..n).collect();
+    // Fisher-Yates shuffle driven by the seeded RNG.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        rank_of_resource.swap(i, j);
+    }
+    let popularity: Vec<f64> = (0..n).map(|i| zipf_weights[rank_of_resource[i]]).collect();
+
+    // ---- Sequence lengths ---------------------------------------------------
+    // Every resource gets at least `min_posts`; the remaining post mass is
+    // distributed proportionally to popularity, capped at `max_posts`.
+    let total_posts_target = config.mean_posts.saturating_mul(n);
+    let extra_pool = total_posts_target.saturating_sub(config.min_posts * n) as f64;
+    let lengths: Vec<usize> = (0..n)
+        .map(|i| {
+            let extra = (extra_pool * popularity[i]).round() as usize;
+            (config.min_posts + extra).clamp(config.min_posts.max(1), config.max_posts)
+        })
+        .collect();
+
+    // ---- Profiles, posts, initial counts ------------------------------------
+    let mut profiles = Vec::with_capacity(n);
+    let mut initial_posts = Vec::with_capacity(n);
+    let mut typo_counter = 0u64;
+
+    for i in 0..n {
+        let id = ResourceId(i as u32);
+        let primary = TopicId((rng.gen_range(0..topic_model.num_topics())) as u32);
+        let name = format!("www.resource-{i}.example/{}", topic_model.topics[primary.index()].name);
+        let self_tag = corpus.tags.intern(&format!("site-{i}"));
+        let mut profile = build_profile(&mut rng, &topic_model, &config.profile, primary, self_tag);
+
+        // Sub-category: a leaf of the primary topic, plus its distinguishing tag
+        // mixed into the true distribution (15% of the mass).
+        let subcat_index = rng.gen_range(0..leaves[primary.index()].len());
+        let (leaf, _) = leaves[primary.index()][subcat_index];
+        let subcat_tag = subcat_tags[primary.index()][subcat_index];
+        profile.true_distribution = Rfd::from_weights(
+            profile
+                .true_distribution
+                .iter()
+                .map(|(t, w)| (t, w * 0.85))
+                .chain(std::iter::once((subcat_tag, 0.15))),
+        );
+
+        // Early-phase distractor distribution: the first posts of a resource tend
+        // to describe tangential aspects (generic tags, a neighbouring topic, the
+        // site itself) before the community converges on the real content — the
+        // paper's www.myphysicslab.com example, whose early posts were all about
+        // Java rather than physics. Early posts are drawn from a 50/50 mixture of
+        // the true distribution and this distractor.
+        let distractor_topic = profile
+            .secondary_topic
+            .unwrap_or(TopicId(((primary.index() + 1) % topic_model.num_topics()) as u32));
+        let distractor = {
+            let other = &topic_model.topics[distractor_topic.index()];
+            let other_len = 4.min(other.vocabulary.len());
+            let other_total: f64 = other.vocabulary[..other_len].iter().map(|(_, w)| w).sum();
+            let global_total: f64 = topic_model.global_tags.iter().map(|(_, w)| w).sum();
+            Rfd::from_weights(
+                other.vocabulary[..other_len]
+                    .iter()
+                    .map(|&(t, w)| (t, 0.4 * w / other_total))
+                    .chain(
+                        topic_model
+                            .global_tags
+                            .iter()
+                            .map(|&(t, w)| (t, 0.4 * w / global_total)),
+                    )
+                    .chain(std::iter::once((self_tag, 0.2))),
+            )
+        };
+        let early_distribution = Rfd::from_weights(
+            profile
+                .true_distribution
+                .iter()
+                .map(|(t, w)| (t, 0.5 * w))
+                .chain(distractor.iter().map(|(t, w)| (t, 0.5 * w))),
+        );
+        let early_len = (lengths[i] / 4).clamp(5, 15);
+
+        // Posts of the full sequence.
+        let mut posts = PostSequence::new();
+        for j in 0..lengths[i] {
+            let distribution = if j < early_len {
+                &early_distribution
+            } else {
+                &profile.true_distribution
+            };
+            let tags = sample_post(
+                &mut rng,
+                &mut corpus.tags,
+                distribution,
+                config.max_tags_per_post,
+                config.noise_rate,
+                &mut typo_counter,
+            );
+            posts.push(Post::new(tags).expect("sampled posts are non-empty"));
+        }
+
+        // Initial ("January") count: on average `initial_fraction` of the
+        // sequence, but with a squared-uniform multiplier so that a sizeable
+        // share of resources start heavily under-tagged, as in the paper.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let multiplier = 3.0 * u * u; // mean 1, mass concentrated near 0
+        let c = ((lengths[i] as f64) * config.initial_fraction * multiplier).round() as usize;
+        let c = c.clamp(1, lengths[i].saturating_sub(1).max(1));
+        initial_posts.push(c);
+
+        taxonomy.assign(id, leaf);
+
+        let description = match profile.secondary_topic {
+            Some(sec) => format!(
+                "{} / {}",
+                topic_model.topics[primary.index()].name,
+                topic_model.topics[sec.index()].name
+            ),
+            None => topic_model.topics[primary.index()].name.clone(),
+        };
+        let resource = Resource::new(id, name)
+            .with_description(description)
+            .with_posts(posts);
+        corpus.resources.push(resource);
+        profiles.push(profile);
+    }
+
+    SyntheticCorpus {
+        corpus,
+        profiles,
+        popularity,
+        initial_posts,
+        taxonomy,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagging_core::similarity::cosine;
+    use tagging_core::stability::{StabilityAnalyzer, StabilityParams};
+
+    fn small_corpus() -> SyntheticCorpus {
+        generate(&GeneratorConfig::small(60, 7))
+    }
+
+    #[test]
+    fn generates_requested_number_of_resources() {
+        let sc = small_corpus();
+        assert_eq!(sc.len(), 60);
+        assert_eq!(sc.profiles.len(), 60);
+        assert_eq!(sc.popularity.len(), 60);
+        assert_eq!(sc.initial_posts.len(), 60);
+        assert_eq!(sc.taxonomy.assigned_count(), 60);
+        assert!(!sc.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generate(&GeneratorConfig::small(40, 99));
+        let b = generate(&GeneratorConfig::small(40, 99));
+        assert_eq!(a.total_posts(), b.total_posts());
+        assert_eq!(a.initial_posts, b.initial_posts);
+        for id in a.resource_ids() {
+            assert_eq!(a.full_sequence(id), b.full_sequence(id));
+        }
+        let c = generate(&GeneratorConfig::small(40, 100));
+        assert_ne!(a.initial_posts, c.initial_posts);
+    }
+
+    #[test]
+    fn sequence_lengths_respect_bounds_and_mean() {
+        let config = GeneratorConfig::small(80, 3);
+        let sc = generate(&config);
+        let lengths: Vec<usize> = sc.resource_ids().map(|id| sc.full_sequence(id).len()).collect();
+        for &len in &lengths {
+            assert!(len >= config.min_posts);
+            assert!(len <= config.max_posts);
+        }
+        let mean = lengths.iter().sum::<usize>() as f64 / lengths.len() as f64;
+        assert!(
+            (mean - config.mean_posts as f64).abs() < config.mean_posts as f64 * 0.35,
+            "mean sequence length {mean} far from target {}",
+            config.mean_posts
+        );
+    }
+
+    #[test]
+    fn initial_posts_are_a_proper_nonempty_prefix() {
+        let sc = small_corpus();
+        for id in sc.resource_ids() {
+            let c = sc.initial_posts[id.index()];
+            assert!(c >= 1);
+            assert!(c < sc.full_sequence(id).len());
+            assert_eq!(sc.initial_sequence(id).len(), c);
+            assert_eq!(
+                sc.initial_sequence(id).len() + sc.future_sequence(id).len(),
+                sc.full_sequence(id).len()
+            );
+        }
+    }
+
+    #[test]
+    fn popularity_is_a_distribution() {
+        let sc = small_corpus();
+        let total: f64 = sc.popularity.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(sc.popularity.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn initial_post_skew_leaves_some_resources_under_tagged() {
+        let sc = generate(&GeneratorConfig::small(200, 5));
+        let under = sc.initial_posts.iter().filter(|&&c| c <= 10).count();
+        // The paper reports ~25% under-tagged; the synthetic corpus should have a
+        // substantial under-tagged share too (we only require a loose band here).
+        let frac = under as f64 / sc.len() as f64;
+        assert!(frac > 0.10, "only {frac} of resources start under-tagged");
+        assert!(frac < 0.90);
+    }
+
+    #[test]
+    fn rfd_of_long_sequences_approaches_true_distribution() {
+        let sc = small_corpus();
+        // Pick the resource with the longest sequence: its empirical rfd should
+        // be close to its latent true distribution (typo noise keeps it < 1).
+        let id = sc
+            .resource_ids()
+            .max_by_key(|id| sc.full_sequence(*id).len())
+            .unwrap();
+        let posts = sc.full_sequence(id);
+        let rfd = tagging_core::rfd::rfd_of_prefix(posts, posts.len());
+        let sim = cosine(&rfd, sc.true_distribution(id));
+        assert!(sim > 0.9, "similarity to true distribution is only {sim}");
+    }
+
+    #[test]
+    fn most_resources_reach_a_stable_point() {
+        let sc = generate(&GeneratorConfig::small(50, 11));
+        let analyzer = StabilityAnalyzer::new(StabilityParams::new(10, 0.995));
+        let stable = sc
+            .resource_ids()
+            .filter(|id| analyzer.stable_point(sc.full_sequence(*id)).is_some())
+            .count();
+        assert!(
+            stable as f64 / sc.len() as f64 > 0.8,
+            "only {stable}/{} resources stabilise",
+            sc.len()
+        );
+    }
+
+    #[test]
+    fn taxonomy_groups_same_topic_resources_closer() {
+        let sc = generate(&GeneratorConfig::small(100, 13));
+        // Average taxonomy distance between same-primary-topic pairs should be
+        // smaller than between different-topic pairs.
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        let ids: Vec<ResourceId> = sc.resource_ids().collect();
+        for (ai, &a) in ids.iter().enumerate() {
+            for &b in ids.iter().skip(ai + 1) {
+                let d = sc.taxonomy.resource_distance(a, b).unwrap() as f64;
+                if sc.profiles[a.index()].primary_topic == sc.profiles[b.index()].primary_topic {
+                    same.push(d);
+                } else {
+                    diff.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(mean(&same) < mean(&diff));
+    }
+
+    #[test]
+    fn full_web_config_produces_heavy_tail() {
+        let sc = generate(&GeneratorConfig::full_web(500, 17));
+        let lengths: Vec<usize> = sc.resource_ids().map(|id| sc.full_sequence(id).len()).collect();
+        let singletons = lengths.iter().filter(|&&l| l <= 2).count();
+        let max = *lengths.iter().max().unwrap();
+        assert!(singletons > 100, "expected many rarely-tagged resources, got {singletons}");
+        assert!(max > 50, "expected a popular head, max sequence is {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn generate_rejects_empty_config() {
+        let mut cfg = GeneratorConfig::small(10, 1);
+        cfg.num_resources = 0;
+        generate(&cfg);
+    }
+}

@@ -1,0 +1,119 @@
+//! JSON import/export of synthetic corpora.
+//!
+//! The paper's experiments reuse one fixed 5,000-URL sample across every figure.
+//! To make the reproduction equally consistent (and to avoid regenerating a
+//! large corpus for every benchmark invocation), a [`SyntheticCorpus`] can be
+//! written to and read back from a JSON file.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use crate::generator::SyntheticCorpus;
+
+/// Errors that can occur while saving or loading a corpus.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Json(e) => write!(f, "JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Writes a corpus to a JSON file (overwriting any existing file).
+pub fn save_corpus(corpus: &SyntheticCorpus, path: &Path) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    let writer = BufWriter::new(file);
+    serde_json::to_writer(writer, corpus)?;
+    Ok(())
+}
+
+/// Reads a corpus back from a JSON file and restores its internal indexes.
+pub fn load_corpus(path: &Path) -> Result<SyntheticCorpus, IoError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut corpus: SyntheticCorpus = serde_json::from_reader(reader)?;
+    corpus.rebuild_indexes();
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn corpus_roundtrips_through_json() {
+        let corpus = generate(&GeneratorConfig::small(25, 42));
+        let dir = std::env::temp_dir().join("delicious-sim-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+
+        save_corpus(&corpus, &path).expect("save");
+        let loaded = load_corpus(&path).expect("load");
+
+        assert_eq!(loaded.len(), corpus.len());
+        assert_eq!(loaded.initial_posts, corpus.initial_posts);
+        assert_eq!(loaded.total_posts(), corpus.total_posts());
+        for id in corpus.resource_ids() {
+            assert_eq!(loaded.full_sequence(id), corpus.full_sequence(id));
+            assert_eq!(
+                loaded.taxonomy.assignment(id),
+                corpus.taxonomy.assignment(id)
+            );
+        }
+        // The rebuilt tag index resolves names again.
+        let some_tag = corpus.corpus.tags.iter().next().unwrap();
+        assert_eq!(loaded.corpus.tags.get(some_tag.1), Some(some_tag.0));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_reports_io_error() {
+        let err = load_corpus(Path::new("/nonexistent/definitely/missing.json")).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("I/O error"));
+    }
+
+    #[test]
+    fn load_malformed_json_reports_json_error() {
+        let dir = std::env::temp_dir().join("delicious-sim-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = load_corpus(&path).unwrap_err();
+        assert!(matches!(err, IoError::Json(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

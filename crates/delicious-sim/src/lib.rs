@@ -1,0 +1,48 @@
+//! # delicious-sim
+//!
+//! Synthetic del.icio.us-style corpus generator — the data substrate of the
+//! reproduction of *"On Incentive-based Tagging"* (ICDE 2013).
+//!
+//! The paper's experiments run on a 5,000-URL sample of the 2007 del.icio.us
+//! crawl. That dataset is not available, so this crate builds a statistically
+//! equivalent synthetic corpus:
+//!
+//! * every resource has a latent **true tag distribution** drawn from a topic
+//!   model ([`topics`]), so its rfd converges exactly as the paper's
+//!   Figure 1(a) shows;
+//! * resource popularity follows a **Zipf law** ([`zipf`]), reproducing the
+//!   skewed posts-per-resource distribution of Figure 1(b) and the paper's
+//!   wasted-post / under-tagging statistics ([`stats`]);
+//! * a synthetic **category taxonomy** ([`taxonomy`]) stands in for the Open
+//!   Directory Project ground truth of the §V-C accuracy case study;
+//! * generation is fully **deterministic** given a seed ([`generator`]), and
+//!   corpora can be persisted as JSON ([`io`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use delicious_sim::generator::{generate, GeneratorConfig};
+//!
+//! let corpus = generate(&GeneratorConfig::small(50, 42));
+//! assert_eq!(corpus.len(), 50);
+//! // Every resource starts with a non-empty "January" prefix of its sequence.
+//! for id in corpus.resource_ids() {
+//!     assert!(!corpus.initial_sequence(id).is_empty());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod generator;
+pub mod io;
+pub mod stats;
+pub mod taxonomy;
+pub mod topics;
+pub mod zipf;
+
+pub use generator::{generate, GeneratorConfig, SyntheticCorpus};
+pub use stats::{CorpusStatistics, PostCountHistogram, StatisticsParams};
+pub use taxonomy::{Category, CategoryId, Taxonomy};
+pub use topics::{ProfileParams, ResourceProfile, Topic, TopicId, TopicModel};
+pub use zipf::{WeightedIndex, Zipf};

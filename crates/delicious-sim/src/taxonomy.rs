@@ -1,0 +1,273 @@
+//! Synthetic category taxonomy — the stand-in for the Open Directory Project
+//! (dmoz) ground truth used by the paper's §V-C.2 accuracy experiment.
+//!
+//! The paper ranks all resource pairs by the cosine similarity of their rfds and
+//! compares that ranking (via Kendall's τ) against a ground-truth ranking derived
+//! from the resources' distance in the ODP category hierarchy.
+//!
+//! We build a small category **tree** (root → topic categories → sub-categories)
+//! and attach every resource to a leaf determined by its latent topics: resources
+//! sharing a primary topic land in the same subtree, so tree distance correlates
+//! with true content similarity — the property the experiment relies on.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use tagging_core::model::ResourceId;
+
+/// Identifier of a node in the [`Taxonomy`] tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CategoryId(pub u32);
+
+impl CategoryId {
+    /// Returns the id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of the category tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Category {
+    /// Node id.
+    pub id: CategoryId,
+    /// Human-readable name (e.g. "Science/Physics").
+    pub name: String,
+    /// Parent node; `None` for the root.
+    pub parent: Option<CategoryId>,
+    /// Depth of the node (root = 0).
+    pub depth: usize,
+}
+
+/// A rooted category tree with resources attached to its nodes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Taxonomy {
+    categories: Vec<Category>,
+    assignments: HashMap<ResourceId, CategoryId>,
+}
+
+impl Taxonomy {
+    /// Creates a taxonomy containing only a root node named "Top".
+    pub fn new() -> Self {
+        let mut t = Self {
+            categories: Vec::new(),
+            assignments: HashMap::new(),
+        };
+        t.categories.push(Category {
+            id: CategoryId(0),
+            name: "Top".to_string(),
+            parent: None,
+            depth: 0,
+        });
+        t
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> CategoryId {
+        CategoryId(0)
+    }
+
+    /// Adds a child category under `parent` and returns its id.
+    ///
+    /// Panics when `parent` does not exist (taxonomy construction is an internal,
+    /// programmer-controlled step; a malformed tree is a bug, not runtime input).
+    pub fn add_category(&mut self, parent: CategoryId, name: impl Into<String>) -> CategoryId {
+        let parent_depth = self
+            .categories
+            .get(parent.index())
+            .expect("parent category exists")
+            .depth;
+        let id = CategoryId(self.categories.len() as u32);
+        self.categories.push(Category {
+            id,
+            name: name.into(),
+            parent: Some(parent),
+            depth: parent_depth + 1,
+        });
+        id
+    }
+
+    /// Number of categories (including the root).
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// True when only the root exists and nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.categories.len() <= 1 && self.assignments.is_empty()
+    }
+
+    /// Access a category by id.
+    pub fn category(&self, id: CategoryId) -> Option<&Category> {
+        self.categories.get(id.index())
+    }
+
+    /// Assigns a resource to a category (replacing any previous assignment).
+    pub fn assign(&mut self, resource: ResourceId, category: CategoryId) {
+        assert!(
+            category.index() < self.categories.len(),
+            "cannot assign to a nonexistent category"
+        );
+        self.assignments.insert(resource, category);
+    }
+
+    /// The category a resource is assigned to, if any.
+    pub fn assignment(&self, resource: ResourceId) -> Option<CategoryId> {
+        self.assignments.get(&resource).copied()
+    }
+
+    /// Number of assigned resources.
+    pub fn assigned_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Path from a category up to the root (inclusive), starting at the category.
+    fn path_to_root(&self, mut id: CategoryId) -> Vec<CategoryId> {
+        let mut path = vec![id];
+        while let Some(parent) = self.categories[id.index()].parent {
+            path.push(parent);
+            id = parent;
+        }
+        path
+    }
+
+    /// Tree distance (number of edges) between two categories.
+    pub fn category_distance(&self, a: CategoryId, b: CategoryId) -> usize {
+        if a == b {
+            return 0;
+        }
+        let path_a = self.path_to_root(a);
+        let path_b = self.path_to_root(b);
+        // Find the lowest common ancestor by walking the root-ward paths.
+        let set_a: HashMap<CategoryId, usize> =
+            path_a.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        for (steps_b, &cat) in path_b.iter().enumerate() {
+            if let Some(&steps_a) = set_a.get(&cat) {
+                return steps_a + steps_b;
+            }
+        }
+        // Both paths end at the root, so a common ancestor always exists.
+        unreachable!("all categories share the root ancestor")
+    }
+
+    /// Tree distance between the categories of two resources.
+    ///
+    /// Returns `None` when either resource is unassigned.
+    pub fn resource_distance(&self, a: ResourceId, b: ResourceId) -> Option<usize> {
+        let ca = self.assignment(a)?;
+        let cb = self.assignment(b)?;
+        Some(self.category_distance(ca, cb))
+    }
+
+    /// Ground-truth similarity of two resources in `[0, 1]`: `1 / (1 + distance)`.
+    ///
+    /// The paper only needs the induced *ranking* of pairs, so any strictly
+    /// decreasing transform of tree distance works; the reciprocal keeps values
+    /// bounded and easy to reason about. Unassigned resources get similarity 0.
+    pub fn ground_truth_similarity(&self, a: ResourceId, b: ResourceId) -> f64 {
+        match self.resource_distance(a, b) {
+            Some(d) => 1.0 / (1.0 + d as f64),
+            None => 0.0,
+        }
+    }
+
+    /// Iterates over `(resource, category)` assignments in unspecified order.
+    pub fn assignments(&self) -> impl Iterator<Item = (ResourceId, CategoryId)> + '_ {
+        self.assignments.iter().map(|(&r, &c)| (r, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_taxonomy() -> (Taxonomy, CategoryId, CategoryId, CategoryId, CategoryId) {
+        // Top ── science ── physics
+        //    │           └─ chemistry
+        //    └─ computing ── java
+        let mut t = Taxonomy::new();
+        let science = t.add_category(t.root(), "Science");
+        let physics = t.add_category(science, "Science/Physics");
+        let chemistry = t.add_category(science, "Science/Chemistry");
+        let computing = t.add_category(t.root(), "Computing");
+        let java = t.add_category(computing, "Computing/Java");
+        (t, physics, chemistry, java, science)
+    }
+
+    #[test]
+    fn new_taxonomy_has_root_only() {
+        let t = Taxonomy::new();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.category(t.root()).unwrap().depth, 0);
+        assert!(t.category(t.root()).unwrap().parent.is_none());
+    }
+
+    #[test]
+    fn depths_follow_parents() {
+        let (t, physics, _chem, java, science) = sample_taxonomy();
+        assert_eq!(t.category(science).unwrap().depth, 1);
+        assert_eq!(t.category(physics).unwrap().depth, 2);
+        assert_eq!(t.category(java).unwrap().depth, 2);
+    }
+
+    #[test]
+    fn category_distance_via_lca() {
+        let (t, physics, chemistry, java, science) = sample_taxonomy();
+        assert_eq!(t.category_distance(physics, physics), 0);
+        assert_eq!(t.category_distance(physics, chemistry), 2);
+        assert_eq!(t.category_distance(physics, science), 1);
+        // physics → science → Top → computing → java = 4 edges
+        assert_eq!(t.category_distance(physics, java), 4);
+        // symmetric
+        assert_eq!(t.category_distance(java, physics), 4);
+    }
+
+    #[test]
+    fn resource_distance_and_similarity() {
+        let (mut t, physics, chemistry, java, _science) = sample_taxonomy();
+        let r0 = ResourceId(0);
+        let r1 = ResourceId(1);
+        let r2 = ResourceId(2);
+        t.assign(r0, physics);
+        t.assign(r1, chemistry);
+        t.assign(r2, java);
+        assert_eq!(t.resource_distance(r0, r1), Some(2));
+        assert_eq!(t.resource_distance(r0, r2), Some(4));
+        assert_eq!(t.resource_distance(r0, ResourceId(9)), None);
+        assert!(t.ground_truth_similarity(r0, r1) > t.ground_truth_similarity(r0, r2));
+        assert_eq!(t.ground_truth_similarity(r0, ResourceId(9)), 0.0);
+        assert!((t.ground_truth_similarity(r0, r0) - 1.0).abs() < 1e-12);
+        assert_eq!(t.assigned_count(), 3);
+    }
+
+    #[test]
+    fn reassignment_replaces() {
+        let (mut t, physics, chemistry, _java, _science) = sample_taxonomy();
+        let r = ResourceId(5);
+        t.assign(r, physics);
+        t.assign(r, chemistry);
+        assert_eq!(t.assignment(r), Some(chemistry));
+        assert_eq!(t.assigned_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent category")]
+    fn assign_to_unknown_category_panics() {
+        let mut t = Taxonomy::new();
+        t.assign(ResourceId(0), CategoryId(99));
+    }
+
+    #[test]
+    fn assignments_iterator_covers_all() {
+        let (mut t, physics, chemistry, java, _science) = sample_taxonomy();
+        t.assign(ResourceId(0), physics);
+        t.assign(ResourceId(1), chemistry);
+        t.assign(ResourceId(2), java);
+        let mut all: Vec<_> = t.assignments().collect();
+        all.sort_by_key(|(r, _)| r.0);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], (ResourceId(0), physics));
+    }
+}

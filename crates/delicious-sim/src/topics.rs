@@ -1,0 +1,445 @@
+//! Latent topic model behind the synthetic corpus.
+//!
+//! Each synthetic resource is "about" one primary topic (physics, java, video
+//! editing, …) and optionally blends in a secondary topic. A topic owns a
+//! vocabulary of tags with Zipf-decaying weights; a resource's **true tag
+//! distribution** mixes
+//!
+//! * its primary topic's vocabulary (most of the mass),
+//! * a secondary topic's vocabulary (content that spans areas, like the paper's
+//!   www.myphysicslab.com which is both *physics* and *java*),
+//! * a handful of globally popular tags (`cool`, `toread`, …), and
+//! * a resource-specific tag (its own name), mimicking self-referential tags.
+//!
+//! Posts are then drawn from the true distribution (plus typo noise) by the
+//! generator, so a resource's rfd converges to (a noisy version of) its true
+//! distribution as it accumulates posts — exactly the convergence behaviour of
+//! the paper's Figure 1(a). The number of distinct high-weight tags controls how
+//! many posts a resource needs before its rfd stabilises, which is how we
+//! reproduce the paper's spread of stable points (50–250 posts).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use tagging_core::model::{TagDictionary, TagId};
+use tagging_core::rfd::Rfd;
+
+use crate::zipf::WeightedIndex;
+
+/// Identifier of a topic within a [`TopicModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// Returns the id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A topic: a named vocabulary of tags with decaying weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topic {
+    /// Topic id.
+    pub id: TopicId,
+    /// Human-readable name, e.g. "physics".
+    pub name: String,
+    /// Tags of the topic with their (unnormalised) weights, heaviest first.
+    pub vocabulary: Vec<(TagId, f64)>,
+}
+
+/// Names used for the synthetic topics. Chosen to echo the paper's case studies
+/// (physics, java, video editing, photo sharing, architecture news, sports, …).
+pub const TOPIC_NAMES: &[&str] = &[
+    "physics", "java", "video-editing", "video-sharing", "photo-editing", "photo-sharing",
+    "architecture", "news", "sports", "travel", "maps", "music", "cooking", "politics",
+    "machine-learning", "databases", "security", "design", "finance", "health",
+];
+
+/// Globally popular tags that show up on resources of every topic.
+pub const GLOBAL_TAGS: &[&str] = &["cool", "toread", "reference", "web", "free", "tools"];
+
+/// The full latent model: topics, global tags and the shared tag dictionary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicModel {
+    /// All topics.
+    pub topics: Vec<Topic>,
+    /// The globally popular tags and their weights.
+    pub global_tags: Vec<(TagId, f64)>,
+}
+
+impl TopicModel {
+    /// Builds a topic model with `num_topics` topics of `vocab_per_topic` tags
+    /// each, interning every tag into `dict`.
+    ///
+    /// Topic vocabularies are disjoint (tag strings are prefixed with the topic
+    /// name) so that topical similarity is meaningful; the global tags are
+    /// shared by all resources.
+    pub fn build(dict: &mut TagDictionary, num_topics: usize, vocab_per_topic: usize) -> Self {
+        assert!(num_topics >= 1, "need at least one topic");
+        assert!(vocab_per_topic >= 2, "each topic needs at least two tags");
+        let mut topics = Vec::with_capacity(num_topics);
+        for t in 0..num_topics {
+            let base_name = TOPIC_NAMES[t % TOPIC_NAMES.len()];
+            let name = if t < TOPIC_NAMES.len() {
+                base_name.to_string()
+            } else {
+                format!("{base_name}-{}", t / TOPIC_NAMES.len())
+            };
+            let mut vocabulary = Vec::with_capacity(vocab_per_topic);
+            for v in 0..vocab_per_topic {
+                let tag_name = if v == 0 {
+                    name.clone()
+                } else {
+                    format!("{name}-{v}")
+                };
+                let id = dict.intern(&tag_name);
+                // Zipf-decaying weight within the topic vocabulary.
+                let weight = 1.0 / (v as f64 + 1.0).powf(1.15);
+                vocabulary.push((id, weight));
+            }
+            topics.push(Topic {
+                id: TopicId(t as u32),
+                name,
+                vocabulary,
+            });
+        }
+        let global_tags = GLOBAL_TAGS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (dict.intern(name), 1.0 / (i as f64 + 1.0)))
+            .collect();
+        Self {
+            topics,
+            global_tags,
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Access a topic by id.
+    pub fn topic(&self, id: TopicId) -> Option<&Topic> {
+        self.topics.get(id.index())
+    }
+}
+
+/// The latent profile of one synthetic resource: which topics it is about and
+/// its true tag distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// Primary topic.
+    pub primary_topic: TopicId,
+    /// Optional secondary topic (resources with multi-dimensional content).
+    pub secondary_topic: Option<TopicId>,
+    /// The true tag distribution posts are drawn from.
+    pub true_distribution: Rfd,
+    /// Number of "significant" tags (weight above 1% of the maximum); a proxy
+    /// for how many posts the resource needs to stabilise.
+    pub complexity: usize,
+}
+
+/// Parameters controlling how a resource profile mixes its components.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProfileParams {
+    /// Probability that a resource blends in a secondary topic.
+    pub secondary_topic_prob: f64,
+    /// Mass given to the secondary topic when present.
+    pub secondary_topic_mass: f64,
+    /// Mass given to the globally popular tags.
+    pub global_tag_mass: f64,
+    /// Mass given to the resource's own "self" tag.
+    pub self_tag_mass: f64,
+    /// Number of top vocabulary tags of the primary topic actually used by a
+    /// *simple* resource; complex resources use the full vocabulary.
+    pub simple_vocab_size: usize,
+    /// Probability that a resource is "complex" (uses the full topic vocabulary
+    /// and therefore needs more posts to stabilise).
+    pub complex_resource_prob: f64,
+}
+
+impl Default for ProfileParams {
+    fn default() -> Self {
+        Self {
+            secondary_topic_prob: 0.25,
+            secondary_topic_mass: 0.25,
+            global_tag_mass: 0.10,
+            self_tag_mass: 0.05,
+            simple_vocab_size: 6,
+            complex_resource_prob: 0.4,
+        }
+    }
+}
+
+/// Builds the latent profile of one resource.
+///
+/// `self_tag` is a tag unique to the resource (its name); `rng` drives the
+/// random choices (secondary topic, complexity).
+pub fn build_profile<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &TopicModel,
+    params: &ProfileParams,
+    primary_topic: TopicId,
+    self_tag: TagId,
+) -> ResourceProfile {
+    let primary = model.topic(primary_topic).expect("primary topic exists");
+
+    let complex = rng.gen_bool(params.complex_resource_prob);
+    let vocab_len = if complex {
+        primary.vocabulary.len()
+    } else {
+        params.simple_vocab_size.min(primary.vocabulary.len())
+    };
+
+    let secondary_topic = if model.num_topics() > 1 && rng.gen_bool(params.secondary_topic_prob) {
+        // Pick a different topic uniformly.
+        loop {
+            let t = TopicId(rng.gen_range(0..model.num_topics() as u32));
+            if t != primary_topic {
+                break Some(t);
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut weights: Vec<(TagId, f64)> = Vec::new();
+    let primary_mass = 1.0
+        - params.global_tag_mass
+        - params.self_tag_mass
+        - if secondary_topic.is_some() {
+            params.secondary_topic_mass
+        } else {
+            0.0
+        };
+
+    let primary_total: f64 = primary.vocabulary[..vocab_len].iter().map(|(_, w)| w).sum();
+    for &(tag, w) in &primary.vocabulary[..vocab_len] {
+        weights.push((tag, primary_mass * w / primary_total));
+    }
+
+    if let Some(sec) = secondary_topic {
+        let topic = model.topic(sec).expect("secondary topic exists");
+        let sec_len = params.simple_vocab_size.min(topic.vocabulary.len());
+        let sec_total: f64 = topic.vocabulary[..sec_len].iter().map(|(_, w)| w).sum();
+        for &(tag, w) in &topic.vocabulary[..sec_len] {
+            weights.push((tag, params.secondary_topic_mass * w / sec_total));
+        }
+    }
+
+    let global_total: f64 = model.global_tags.iter().map(|(_, w)| w).sum();
+    for &(tag, w) in &model.global_tags {
+        weights.push((tag, params.global_tag_mass * w / global_total));
+    }
+
+    weights.push((self_tag, params.self_tag_mass));
+
+    let true_distribution = Rfd::from_weights(weights);
+    let max_weight = true_distribution
+        .iter()
+        .map(|(_, w)| w)
+        .fold(0.0f64, f64::max);
+    let complexity = true_distribution
+        .iter()
+        .filter(|(_, w)| *w >= 0.01 * max_weight)
+        .count();
+
+    ResourceProfile {
+        primary_topic,
+        secondary_topic,
+        true_distribution,
+        complexity,
+    }
+}
+
+/// Samples one post (a set of 1–`max_tags` distinct tags) from a true tag
+/// distribution, with a per-tag probability `noise_rate` of replacing a sampled
+/// tag with a fresh "typo" tag interned on the fly.
+pub fn sample_post<R: Rng + ?Sized>(
+    rng: &mut R,
+    dict: &mut TagDictionary,
+    distribution: &Rfd,
+    max_tags: usize,
+    noise_rate: f64,
+    typo_counter: &mut u64,
+) -> Vec<TagId> {
+    let entries: Vec<(TagId, f64)> = distribution.iter().collect();
+    let weights: Vec<f64> = entries.iter().map(|(_, w)| *w).collect();
+    let sampler = WeightedIndex::new(&weights).expect("true distribution is non-empty");
+    // Real del.icio.us posts contain a handful of tags; 1..=max_tags with a bias
+    // towards 2-3 tags.
+    let num_tags = 1 + rng.gen_range(0..max_tags.max(1));
+    let mut tags = Vec::with_capacity(num_tags);
+    for _ in 0..num_tags {
+        if noise_rate > 0.0 && rng.gen_bool(noise_rate) {
+            // A typo: a brand-new tag that will (practically) never repeat.
+            *typo_counter += 1;
+            let typo = dict.intern(&format!("typo-{typo_counter}"));
+            tags.push(typo);
+        } else {
+            let idx = sampler.sample(rng);
+            tags.push(entries[idx].0);
+        }
+    }
+    tags.sort_unstable();
+    tags.dedup();
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> (TagDictionary, TopicModel) {
+        let mut dict = TagDictionary::new();
+        let model = TopicModel::build(&mut dict, 8, 12);
+        (dict, model)
+    }
+
+    #[test]
+    fn topic_model_builds_disjoint_vocabularies() {
+        let (dict, model) = model();
+        assert_eq!(model.num_topics(), 8);
+        // 8 topics × 12 tags + 6 global tags.
+        assert_eq!(dict.len(), 8 * 12 + GLOBAL_TAGS.len());
+        // Vocabularies are disjoint.
+        let mut seen = std::collections::HashSet::new();
+        for topic in &model.topics {
+            for (tag, w) in &topic.vocabulary {
+                assert!(*w > 0.0);
+                assert!(seen.insert(*tag), "tag {tag} shared between topics");
+            }
+        }
+    }
+
+    #[test]
+    fn topic_names_extend_beyond_builtin_list() {
+        let mut dict = TagDictionary::new();
+        let model = TopicModel::build(&mut dict, TOPIC_NAMES.len() + 3, 4);
+        assert_eq!(model.num_topics(), TOPIC_NAMES.len() + 3);
+        // The wrapped-around topics get disambiguated names.
+        let last = &model.topics[TOPIC_NAMES.len()];
+        assert!(last.name.contains('-'), "name: {}", last.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn topic_model_rejects_zero_topics() {
+        let mut dict = TagDictionary::new();
+        TopicModel::build(&mut dict, 0, 5);
+    }
+
+    #[test]
+    fn profile_distribution_is_normalised_and_uses_primary_topic() {
+        let (mut dict, model) = model();
+        let self_tag = dict.intern("www.myphysicslab.com");
+        let mut rng = StdRng::seed_from_u64(3);
+        let profile = build_profile(
+            &mut rng,
+            &model,
+            &ProfileParams::default(),
+            TopicId(0),
+            self_tag,
+        );
+        assert!((profile.true_distribution.total_mass() - 1.0).abs() < 1e-9);
+        assert!(profile.complexity >= 2);
+        // The heaviest primary tag carries substantial mass.
+        let head_tag = model.topics[0].vocabulary[0].0;
+        assert!(profile.true_distribution.get(head_tag) > 0.1);
+        // The self tag is present.
+        assert!(profile.true_distribution.get(self_tag) > 0.0);
+    }
+
+    #[test]
+    fn complex_resources_have_larger_support() {
+        let (mut dict, model) = model();
+        let params = ProfileParams {
+            complex_resource_prob: 1.0,
+            secondary_topic_prob: 0.0,
+            ..ProfileParams::default()
+        };
+        let simple_params = ProfileParams {
+            complex_resource_prob: 0.0,
+            secondary_topic_prob: 0.0,
+            ..ProfileParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let t1 = dict.intern("r-complex");
+        let t2 = dict.intern("r-simple");
+        let complex = build_profile(&mut rng, &model, &params, TopicId(1), t1);
+        let simple = build_profile(&mut rng, &model, &simple_params, TopicId(1), t2);
+        assert!(
+            complex.true_distribution.support() > simple.true_distribution.support(),
+            "complex {} vs simple {}",
+            complex.true_distribution.support(),
+            simple.true_distribution.support()
+        );
+    }
+
+    #[test]
+    fn secondary_topic_never_equals_primary() {
+        let (mut dict, model) = model();
+        let params = ProfileParams {
+            secondary_topic_prob: 1.0,
+            ..ProfileParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        for i in 0..50 {
+            let tag = dict.intern(&format!("res-{i}"));
+            let primary = TopicId(i % model.num_topics() as u32);
+            let profile = build_profile(&mut rng, &model, &params, primary, tag);
+            assert_eq!(profile.primary_topic, primary);
+            assert_ne!(profile.secondary_topic, Some(primary));
+            assert!(profile.secondary_topic.is_some());
+        }
+    }
+
+    #[test]
+    fn sample_post_draws_from_distribution() {
+        let (mut dict, model) = model();
+        let self_tag = dict.intern("r0");
+        let mut rng = StdRng::seed_from_u64(5);
+        let profile = build_profile(
+            &mut rng,
+            &model,
+            &ProfileParams::default(),
+            TopicId(2),
+            self_tag,
+        );
+        let mut typos = 0u64;
+        for _ in 0..200 {
+            let tags = sample_post(&mut rng, &mut dict, &profile.true_distribution, 4, 0.0, &mut typos);
+            assert!(!tags.is_empty());
+            assert!(tags.len() <= 4);
+            for t in &tags {
+                assert!(profile.true_distribution.get(*t) > 0.0, "tag outside support");
+            }
+        }
+        assert_eq!(typos, 0);
+    }
+
+    #[test]
+    fn sample_post_noise_introduces_fresh_tags() {
+        let (mut dict, model) = model();
+        let self_tag = dict.intern("r0");
+        let mut rng = StdRng::seed_from_u64(6);
+        let profile = build_profile(
+            &mut rng,
+            &model,
+            &ProfileParams::default(),
+            TopicId(0),
+            self_tag,
+        );
+        let before = dict.len();
+        let mut typos = 0u64;
+        for _ in 0..300 {
+            sample_post(&mut rng, &mut dict, &profile.true_distribution, 3, 0.2, &mut typos);
+        }
+        assert!(typos > 0);
+        assert!(dict.len() > before);
+    }
+}

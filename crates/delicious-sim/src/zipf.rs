@@ -1,0 +1,245 @@
+//! Zipf / power-law sampling utilities.
+//!
+//! The paper's Figure 1(b) shows that the number of posts per del.icio.us URL is
+//! extremely skewed: over ten million URLs were tagged exactly once while a
+//! handful were tagged more than 10,000 times. A Zipf (discrete power-law)
+//! distribution over resource ranks reproduces that shape, and the same
+//! distribution drives the Free-Choice tagger model (taggers overwhelmingly pick
+//! popular resources).
+//!
+//! We implement Zipf sampling ourselves (inverse-CDF over precomputed cumulative
+//! weights with binary search) rather than pulling in an extra statistics crate.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / k^s`.
+///
+/// Sampling is `O(log n)` via binary search over the cumulative weights; the
+/// weights themselves are computed once at construction (`O(n)`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n ≥ 1` ranks with exponent `s > 0`.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n >= 1, "a Zipf distribution needs at least one rank");
+        assert!(
+            exponent > 0.0 && exponent.is_finite(),
+            "the Zipf exponent must be positive and finite (got {exponent})"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        Self {
+            cumulative,
+            exponent,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the distribution has zero ranks (never constructible; provided
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of rank `k` (1-based). Returns 0 outside `1..=n`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 || rank > self.cumulative.len() {
+            return 0.0;
+        }
+        let total = *self.cumulative.last().expect("non-empty");
+        let upper = self.cumulative[rank - 1];
+        let lower = if rank >= 2 { self.cumulative[rank - 2] } else { 0.0 };
+        (upper - lower) / total
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.gen_range(0.0..total);
+        // partition_point returns the first index whose cumulative weight exceeds u.
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        idx.min(self.cumulative.len() - 1) + 1
+    }
+
+    /// Draws a 0-based index in `0..n` (convenience wrapper around [`Zipf::sample`]).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample(rng) - 1
+    }
+
+    /// The normalised weight vector `w_k ∝ 1/k^s`, useful for deterministic
+    /// expected-count computations (e.g. splitting an initial post budget).
+    pub fn weights(&self) -> Vec<f64> {
+        let total = *self.cumulative.last().expect("non-empty");
+        let mut prev = 0.0;
+        self.cumulative
+            .iter()
+            .map(|&c| {
+                let w = (c - prev) / total;
+                prev = c;
+                w
+            })
+            .collect()
+    }
+}
+
+/// A discrete distribution over arbitrary non-negative weights, sampled by
+/// inverse CDF. Used for per-resource tag distributions.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from raw weights. Negative, NaN or infinite weights are
+    /// treated as 0. Returns `None` when every weight is 0.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };
+            acc += w;
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 {
+            None
+        } else {
+            Some(Self { cumulative })
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no categories.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a 0-based category index proportionally to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        idx.min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn zipf_rejects_bad_exponent() {
+        Zipf::new(10, 0.0);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(101), 0.0);
+    }
+
+    #[test]
+    fn zipf_weights_match_pmf() {
+        let z = Zipf::new(20, 0.8);
+        let w = z.weights();
+        assert_eq!(w.len(), 20);
+        for (i, &wi) in w.iter().enumerate() {
+            assert!((wi - z.pmf(i + 1)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range_and_favour_low_ranks() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=50).contains(&r));
+            counts[r - 1] += 1;
+        }
+        // Rank 1 should be sampled far more often than rank 50.
+        assert!(counts[0] > counts[49] * 5, "counts: {} vs {}", counts[0], counts[49]);
+        // Empirical frequency of rank 1 should be near its pmf.
+        let freq = counts[0] as f64 / 20_000.0;
+        assert!((freq - z.pmf(1)).abs() < 0.02, "freq {freq} pmf {}", z.pmf(1));
+    }
+
+    #[test]
+    fn zipf_sample_index_is_zero_based() {
+        let z = Zipf::new(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let i = z.sample_index(&mut rng);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn zipf_determinism_with_same_seed() {
+        let z = Zipf::new(1000, 1.0);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn weighted_index_none_when_all_zero() {
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_none());
+        assert!(WeightedIndex::new(&[]).is_none());
+        assert!(WeightedIndex::new(&[f64::NAN, -1.0]).is_none());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let w = WeightedIndex::new(&[0.0, 3.0, 1.0]).unwrap();
+        assert_eq!(w.len(), 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+    }
+}

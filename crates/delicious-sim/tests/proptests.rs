@@ -1,0 +1,119 @@
+//! Property-based tests for the synthetic corpus generator: whatever the
+//! configuration and seed, a generated corpus must satisfy the structural
+//! invariants every downstream experiment relies on.
+
+use proptest::prelude::*;
+
+use delicious_sim::generator::{generate, GeneratorConfig};
+use delicious_sim::stats::{CorpusStatistics, PostCountHistogram, StatisticsParams};
+use delicious_sim::zipf::Zipf;
+use tagging_core::stability::StabilityParams;
+
+/// Strategy: a small but varied generator configuration.
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (10usize..60, 2usize..8, 0u64..1_000, 0.6f64..1.4).prop_map(
+        |(num_resources, num_topics, seed, exponent)| {
+            let mut config = GeneratorConfig::small(num_resources, seed);
+            config.num_topics = num_topics;
+            config.popularity_exponent = exponent;
+            config
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants of a generated corpus.
+    #[test]
+    fn generated_corpus_is_well_formed(config in arb_config()) {
+        let corpus = generate(&config);
+        prop_assert_eq!(corpus.len(), config.num_resources);
+        prop_assert_eq!(corpus.profiles.len(), config.num_resources);
+        prop_assert_eq!(corpus.popularity.len(), config.num_resources);
+        prop_assert_eq!(corpus.initial_posts.len(), config.num_resources);
+        prop_assert_eq!(corpus.taxonomy.assigned_count(), config.num_resources);
+
+        // Popularity is a probability distribution.
+        let total: f64 = corpus.popularity.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+
+        for id in corpus.resource_ids() {
+            let full = corpus.full_sequence(id);
+            prop_assert!(full.len() >= config.min_posts);
+            prop_assert!(full.len() <= config.max_posts);
+            // The initial prefix is a non-empty strict prefix.
+            let c = corpus.initial_posts[id.index()];
+            prop_assert!(c >= 1 && c < full.len());
+            // Every post is non-empty and its tags exist in the dictionary.
+            for post in full {
+                prop_assert!(!post.is_empty());
+                for tag in post.iter() {
+                    prop_assert!(corpus.corpus.tags.name(tag).is_some());
+                }
+            }
+            // The true distribution is a normalised distribution.
+            prop_assert!((corpus.true_distribution(id).total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The same configuration always generates the same corpus; different seeds
+    /// generate different corpora.
+    #[test]
+    fn generation_is_deterministic(config in arb_config()) {
+        let a = generate(&config);
+        let b = generate(&config);
+        prop_assert_eq!(a.initial_posts.clone(), b.initial_posts.clone());
+        prop_assert_eq!(a.total_posts(), b.total_posts());
+        let other = generate(&config.clone().with_seed(config.seed.wrapping_add(1)));
+        // Total post counts may coincide, but the concrete sequences must differ.
+        let differs = a
+            .resource_ids()
+            .any(|id| a.full_sequence(id) != other.full_sequence(id));
+        prop_assert!(differs);
+    }
+
+    /// Corpus statistics are internally consistent for any generated corpus.
+    #[test]
+    fn statistics_are_consistent(config in arb_config()) {
+        let corpus = generate(&config);
+        let stats = CorpusStatistics::compute(
+            &corpus,
+            &StatisticsParams {
+                stability: StabilityParams::new(10, 0.995),
+                under_tagged_threshold: 10,
+            },
+        );
+        prop_assert_eq!(stats.num_resources, corpus.len());
+        prop_assert_eq!(stats.total_posts, corpus.total_posts());
+        prop_assert!(stats.total_initial_posts <= stats.total_posts);
+        prop_assert!(stats.wasted_posts <= stats.total_posts);
+        prop_assert!(stats.over_tagged_initial <= stats.num_resources);
+        prop_assert!(stats.under_tagged_initial <= stats.num_resources);
+        prop_assert!((0.0..=1.0).contains(&stats.wasted_fraction));
+        prop_assert!((0.0..=1.0).contains(&stats.stabilised_fraction()));
+    }
+
+    /// The post-count histogram always covers exactly the corpus resources.
+    #[test]
+    fn histogram_partitions_the_corpus(config in arb_config(), base in 2usize..12) {
+        let corpus = generate(&config);
+        let hist = PostCountHistogram::from_corpus(&corpus, base);
+        prop_assert_eq!(hist.total(), corpus.len());
+    }
+
+    /// Zipf sampling stays within range and its pmf is a distribution for any
+    /// size / exponent combination.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..500, exponent in 0.2f64..3.0, seed in 0u64..100) {
+        let zipf = Zipf::new(n, exponent);
+        let total: f64 = (1..=n).map(|k| zipf.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let rank = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&rank));
+        }
+    }
+}

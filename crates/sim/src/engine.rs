@@ -1,0 +1,264 @@
+//! The experiment engine: run a strategy (or the DP optimum) against a
+//! [`Scenario`] for a given budget and collect the metrics of Figure 6.
+
+use std::time::Instant;
+
+use tagging_strategies::dp::{optimal_allocation, QualityTable};
+use tagging_strategies::framework::{run_allocation, AllocationStrategy, ReplaySource};
+use tagging_strategies::StrategyKind;
+
+use crate::metrics::{
+    delivered_posts, mean_quality, over_tagged_count, under_tagged_fraction, wasted_posts,
+    RunMetrics,
+};
+use crate::scenario::Scenario;
+
+/// Configuration of a single engine run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Budget of reward units (post tasks).
+    pub budget: usize,
+    /// MA window ω used by MU / FP-MU (the paper's default is 5).
+    pub omega: usize,
+    /// Seed for the Free-Choice tagger model.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            budget: 5_000,
+            omega: 5,
+            seed: 1,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Creates a config with the given budget and the paper's defaults otherwise.
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            budget,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs one of the built-in practical strategies.
+pub fn run_strategy(scenario: &Scenario, kind: StrategyKind, config: &RunConfig) -> RunMetrics {
+    let mut strategy = kind.build(config.omega, config.seed);
+    run_custom(scenario, strategy.as_mut(), config)
+}
+
+/// Runs an arbitrary [`AllocationStrategy`] implementation.
+pub fn run_custom(
+    scenario: &Scenario,
+    strategy: &mut dyn AllocationStrategy,
+    config: &RunConfig,
+) -> RunMetrics {
+    let mut source = ReplaySource::new(scenario.future.clone());
+    let start = Instant::now();
+    let outcome = run_allocation(
+        strategy,
+        &mut source,
+        &scenario.initial,
+        &scenario.popularity,
+        config.budget,
+    );
+    let runtime_seconds = start.elapsed().as_secs_f64();
+
+    let delivered = delivered_posts(scenario, &outcome);
+    RunMetrics {
+        strategy: strategy.name().to_string(),
+        budget: config.budget,
+        mean_quality: mean_quality(scenario, &delivered),
+        over_tagged: over_tagged_count(scenario, &outcome.allocated),
+        wasted_posts: wasted_posts(scenario, &outcome.allocated),
+        under_tagged_fraction: under_tagged_fraction(scenario, &outcome.allocated),
+        undelivered: outcome.undelivered,
+        runtime_seconds,
+        allocation: outcome.allocated,
+    }
+}
+
+/// Runs the offline DP optimum of §III-D. Like the paper's DP, it is given the
+/// full future post sequences and the stable rfds.
+///
+/// The per-resource quality table is capped at `max_per_resource` additional
+/// posts (default: the budget) to bound memory; the cap never affects
+/// optimality because quality stops changing once a resource's recorded future
+/// posts run out.
+pub fn run_dp(scenario: &Scenario, config: &RunConfig) -> RunMetrics {
+    run_dp_capped(scenario, config, config.budget)
+}
+
+/// [`run_dp`] with an explicit per-resource cap on the quality table width.
+pub fn run_dp_capped(scenario: &Scenario, config: &RunConfig, max_per_resource: usize) -> RunMetrics {
+    let start = Instant::now();
+    let cap = max_per_resource.min(config.budget);
+    let table = QualityTable::from_posts(
+        &scenario.initial,
+        &scenario.future,
+        &scenario.references,
+        cap,
+    );
+    let result = optimal_allocation(&table, config.budget);
+    let runtime_seconds = start.elapsed().as_secs_f64();
+
+    // Deliver the allocated posts (up to what the recorded future provides) so
+    // quality/under-tagging metrics are computed the same way as for the online
+    // strategies.
+    let delivered: Vec<_> = (0..scenario.len())
+        .map(|i| {
+            let take = (result.allocation[i] as usize).min(scenario.future[i].len());
+            scenario.future[i][..take].to_vec()
+        })
+        .collect();
+    let undelivered: usize = (0..scenario.len())
+        .map(|i| (result.allocation[i] as usize).saturating_sub(scenario.future[i].len()))
+        .sum();
+
+    RunMetrics {
+        strategy: "DP".to_string(),
+        budget: config.budget,
+        mean_quality: mean_quality(scenario, &delivered),
+        over_tagged: over_tagged_count(scenario, &result.allocation),
+        wasted_posts: wasted_posts(scenario, &result.allocation),
+        under_tagged_fraction: under_tagged_fraction(scenario, &result.allocation),
+        undelivered,
+        runtime_seconds,
+        allocation: result.allocation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioParams};
+    use delicious_sim::generator::{generate, GeneratorConfig};
+    use tagging_core::stability::StabilityParams;
+
+    fn scenario(n: usize, seed: u64) -> Scenario {
+        let corpus = generate(&GeneratorConfig::small(n, seed));
+        Scenario::from_corpus(
+            &corpus,
+            &ScenarioParams {
+                stability: StabilityParams::new(10, 0.995),
+                under_tagged_threshold: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn every_strategy_produces_complete_metrics() {
+        let s = scenario(30, 41);
+        let config = RunConfig {
+            budget: 100,
+            omega: 5,
+            seed: 3,
+        };
+        for kind in StrategyKind::ALL {
+            let metrics = run_strategy(&s, kind, &config);
+            assert_eq!(metrics.strategy, kind.name());
+            assert_eq!(metrics.budget, 100);
+            assert_eq!(metrics.allocation.iter().map(|&x| x as usize).sum::<usize>(), 100);
+            assert!((0.0..=1.0).contains(&metrics.mean_quality));
+            assert!((0.0..=1.0).contains(&metrics.under_tagged_fraction));
+            assert!(metrics.over_tagged <= s.len());
+            assert!(metrics.wasted_posts <= 100);
+            assert!(metrics.runtime_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn quality_improves_over_initial_for_fp_and_fpmu() {
+        let s = scenario(40, 42);
+        let initial_quality = s.initial_quality();
+        let config = RunConfig {
+            budget: 300,
+            omega: 5,
+            seed: 7,
+        };
+        for kind in [StrategyKind::Fp, StrategyKind::FpMu] {
+            let metrics = run_strategy(&s, kind, &config);
+            assert!(
+                metrics.mean_quality > initial_quality,
+                "{} did not improve quality: {} vs {}",
+                kind.name(),
+                metrics.mean_quality,
+                initial_quality
+            );
+        }
+    }
+
+    #[test]
+    fn dp_dominates_every_practical_strategy() {
+        let s = scenario(15, 43);
+        let config = RunConfig {
+            budget: 60,
+            omega: 5,
+            seed: 11,
+        };
+        let dp = run_dp(&s, &config);
+        assert_eq!(dp.strategy, "DP");
+        assert_eq!(dp.allocation.iter().map(|&x| x as usize).sum::<usize>(), 60);
+        for kind in StrategyKind::ALL {
+            let metrics = run_strategy(&s, kind, &config);
+            assert!(
+                dp.mean_quality >= metrics.mean_quality - 1e-9,
+                "{} beat DP: {} vs {}",
+                kind.name(),
+                metrics.mean_quality,
+                dp.mean_quality
+            );
+        }
+    }
+
+    #[test]
+    fn dp_capped_table_still_spends_budget() {
+        let s = scenario(10, 44);
+        let config = RunConfig {
+            budget: 40,
+            omega: 5,
+            seed: 1,
+        };
+        let dp = run_dp_capped(&s, &config, 20);
+        assert_eq!(dp.allocation.iter().map(|&x| x as usize).sum::<usize>(), 40);
+        assert!((0.0..=1.0).contains(&dp.mean_quality));
+    }
+
+    #[test]
+    fn fc_wastes_more_posts_than_fp() {
+        let s = scenario(60, 45);
+        let config = RunConfig {
+            budget: 400,
+            omega: 5,
+            seed: 5,
+        };
+        let fc = run_strategy(&s, StrategyKind::Fc, &config);
+        let fp = run_strategy(&s, StrategyKind::Fp, &config);
+        // FC piles posts on popular (often over-tagged) resources; FP never does.
+        assert!(
+            fc.wasted_posts >= fp.wasted_posts,
+            "FC wasted {} vs FP {}",
+            fc.wasted_posts,
+            fp.wasted_posts
+        );
+        // FP reduces the under-tagged fraction at least as much as FC.
+        assert!(fp.under_tagged_fraction <= fc.under_tagged_fraction + 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_returns_initial_state_metrics() {
+        let s = scenario(20, 46);
+        let config = RunConfig {
+            budget: 0,
+            omega: 5,
+            seed: 1,
+        };
+        let metrics = run_strategy(&s, StrategyKind::Rr, &config);
+        assert!((metrics.mean_quality - s.initial_quality()).abs() < 1e-12);
+        assert_eq!(metrics.wasted_posts, 0);
+        assert_eq!(metrics.over_tagged, s.initially_over_tagged());
+    }
+}

@@ -1,0 +1,46 @@
+//! # tagging-sim
+//!
+//! The experiment engine of the reproduction of *"On Incentive-based Tagging"*
+//! (ICDE 2013): it wires the synthetic corpus ([`delicious_sim`]), the metrics
+//! ([`tagging_core`]) and the allocation strategies ([`tagging_strategies`])
+//! into runnable experiments.
+//!
+//! * [`scenario`] — freezes a corpus into the experiment input (initial posts,
+//!   recorded future posts, stable reference rfds, popularity weights);
+//! * [`engine`] — runs one strategy (or the DP optimum) for one budget and
+//!   collects the metrics of the paper's Figure 6;
+//! * [`market`] — a crowdsourcing-market post source that never runs out of
+//!   workers (replay first, then generate from the latent distributions);
+//! * [`metrics`] — the metric definitions themselves (quality, over-tagging,
+//!   wasted posts, under-tagging);
+//! * [`sweep`] — budget / resource-count / ω sweeps, i.e. the loops behind the
+//!   individual panels of Figure 6.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use delicious_sim::generator::{generate, GeneratorConfig};
+//! use tagging_sim::engine::{run_strategy, RunConfig};
+//! use tagging_sim::scenario::{Scenario, ScenarioParams};
+//! use tagging_strategies::StrategyKind;
+//!
+//! let corpus = generate(&GeneratorConfig::small(30, 7));
+//! let scenario = Scenario::from_corpus(&corpus, &ScenarioParams::default());
+//! let metrics = run_strategy(&scenario, StrategyKind::Fp, &RunConfig::with_budget(100));
+//! assert!(metrics.mean_quality >= scenario.initial_quality());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod market;
+pub mod metrics;
+pub mod scenario;
+pub mod sweep;
+
+pub use engine::{run_custom, run_dp, run_dp_capped, run_strategy, RunConfig};
+pub use market::MarketSource;
+pub use metrics::RunMetrics;
+pub use scenario::{Scenario, ScenarioParams};
+pub use sweep::{budget_sweep, omega_sweep, resource_sweep, SweepAlgorithms, SweepPoint};

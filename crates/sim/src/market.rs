@@ -1,0 +1,180 @@
+//! A crowdsourcing-market post source.
+//!
+//! The paper's evaluation replays recorded future posts, which caps how many
+//! post tasks a single resource can absorb. A real crowdsourcing deployment
+//! (the paper's Figure 2 / Mechanical Turk scenario) has no such cap: there is
+//! always another worker willing to complete a post task. [`MarketSource`]
+//! models that: it first replays the recorded future posts of a resource and,
+//! once those are exhausted, samples fresh posts from the resource's latent
+//! true tag distribution — the same generative process the corpus was built
+//! from. This is the source to use for what-if studies beyond the recorded
+//! data (e.g. "how much budget until *every* resource is stable?", the paper's
+//! 200,000-post FP vs 2,000,000-post FC comparison).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use delicious_sim::generator::SyntheticCorpus;
+use delicious_sim::topics::sample_post;
+use tagging_core::model::{Post, ResourceId, TagDictionary};
+use tagging_core::rfd::Rfd;
+
+use tagging_strategies::framework::PostSource;
+
+/// Replays recorded future posts, then generates new posts from each
+/// resource's true distribution. Never returns `None`.
+#[derive(Debug, Clone)]
+pub struct MarketSource {
+    future: Vec<Vec<Post>>,
+    cursor: Vec<usize>,
+    true_distributions: Vec<Rfd>,
+    dictionary: TagDictionary,
+    rng: StdRng,
+    max_tags_per_post: usize,
+    noise_rate: f64,
+    typo_counter: u64,
+    generated: usize,
+}
+
+impl MarketSource {
+    /// Builds a market source from a synthetic corpus and its initial split.
+    ///
+    /// `seed` drives the generation of posts beyond the recorded data.
+    pub fn from_corpus(corpus: &SyntheticCorpus, seed: u64) -> Self {
+        let n = corpus.len();
+        let future: Vec<Vec<Post>> = corpus
+            .resource_ids()
+            .map(|id| corpus.future_sequence(id).to_vec())
+            .collect();
+        let true_distributions = corpus
+            .resource_ids()
+            .map(|id| corpus.true_distribution(id).clone())
+            .collect();
+        Self {
+            future,
+            cursor: vec![0; n],
+            true_distributions,
+            dictionary: corpus.corpus.tags.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            max_tags_per_post: corpus.config.max_tags_per_post,
+            noise_rate: corpus.config.noise_rate,
+            typo_counter: 0,
+            generated: 0,
+        }
+    }
+
+    /// Number of posts that had to be generated beyond the recorded data.
+    pub fn generated_posts(&self) -> usize {
+        self.generated
+    }
+}
+
+impl PostSource for MarketSource {
+    fn next_post(&mut self, resource: ResourceId) -> Option<Post> {
+        let i = resource.index();
+        if i >= self.future.len() {
+            return None;
+        }
+        if let Some(post) = self.future[i].get(self.cursor[i]) {
+            self.cursor[i] += 1;
+            return Some(post.clone());
+        }
+        // Recorded posts are exhausted: recruit a fresh worker, i.e. sample a
+        // new post from the resource's latent distribution.
+        let tags = sample_post(
+            &mut self.rng,
+            &mut self.dictionary,
+            &self.true_distributions[i],
+            self.max_tags_per_post,
+            self.noise_rate,
+            &mut self.typo_counter,
+        );
+        self.generated += 1;
+        Some(Post::new(tags).expect("sampled posts are non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioParams};
+    use delicious_sim::generator::{generate, GeneratorConfig};
+    use tagging_core::similarity::cosine;
+    use tagging_strategies::framework::run_allocation;
+    use tagging_strategies::FewestPostsFirst;
+
+    fn corpus() -> SyntheticCorpus {
+        generate(&GeneratorConfig::small(20, 61))
+    }
+
+    #[test]
+    fn replays_recorded_posts_first() {
+        let corpus = corpus();
+        let mut source = MarketSource::from_corpus(&corpus, 1);
+        let id = ResourceId(0);
+        let recorded = corpus.future_sequence(id).to_vec();
+        for expected in &recorded {
+            assert_eq!(source.next_post(id).as_ref(), Some(expected));
+        }
+        assert_eq!(source.generated_posts(), 0);
+        // The next post is generated, not recorded.
+        assert!(source.next_post(id).is_some());
+        assert_eq!(source.generated_posts(), 1);
+    }
+
+    #[test]
+    fn never_runs_dry_and_generated_posts_follow_the_true_distribution() {
+        let corpus = corpus();
+        let mut source = MarketSource::from_corpus(&corpus, 2);
+        let id = ResourceId(1);
+        let mut tracker = tagging_core::rfd::FrequencyTracker::new();
+        for _ in 0..(corpus.future_sequence(id).len() + 500) {
+            let post = source.next_post(id).expect("the market never runs dry");
+            tracker.push(&post);
+        }
+        assert!(source.generated_posts() >= 500);
+        let sim = cosine(&tracker.rfd(), corpus.true_distribution(id));
+        assert!(sim > 0.85, "generated posts drift from the true distribution: {sim}");
+    }
+
+    #[test]
+    fn unknown_resource_returns_none() {
+        let corpus = corpus();
+        let mut source = MarketSource::from_corpus(&corpus, 3);
+        assert!(source.next_post(ResourceId(999)).is_none());
+    }
+
+    #[test]
+    fn fp_with_market_source_has_no_undelivered_tasks() {
+        let corpus = corpus();
+        let scenario = Scenario::from_corpus(&corpus, &ScenarioParams::default());
+        let mut fp = FewestPostsFirst::new();
+        let mut source = MarketSource::from_corpus(&corpus, 4);
+        // A budget far larger than the recorded future posts of any resource.
+        let outcome = run_allocation(
+            &mut fp,
+            &mut source,
+            &scenario.initial,
+            &scenario.popularity,
+            2_000,
+        );
+        assert_eq!(outcome.undelivered, 0);
+        assert_eq!(outcome.allocated.iter().map(|&x| x as usize).sum::<usize>(), 2_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let corpus = corpus();
+        let draw = |seed: u64| {
+            let mut source = MarketSource::from_corpus(&corpus, seed);
+            let id = ResourceId(2);
+            // Skip past the recorded posts.
+            for _ in 0..corpus.future_sequence(id).len() {
+                source.next_post(id);
+            }
+            (0..20).map(|_| source.next_post(id).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

@@ -1,0 +1,225 @@
+//! Metric collectors for allocation runs — the quantities plotted in the
+//! paper's Figure 6:
+//!
+//! * (a) mean tagging quality after the budget is spent;
+//! * (b) number of over-tagged resources;
+//! * (c) number of wasted post tasks (tasks on already over-tagged resources);
+//! * (d) percentage of resources that remain under-tagged.
+
+use tagging_core::model::Post;
+use tagging_core::rfd::FrequencyTracker;
+use tagging_core::similarity::cosine;
+
+use tagging_strategies::framework::AllocationOutcome;
+
+use crate::scenario::Scenario;
+
+/// The per-run metrics reported for every strategy and budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Strategy name ("FP", "DP", …).
+    pub strategy: String,
+    /// Budget the run was given.
+    pub budget: usize,
+    /// Mean tagging quality `q(R, c + x)` after the run.
+    pub mean_quality: f64,
+    /// Number of resources at or past their stable point after the run.
+    pub over_tagged: usize,
+    /// Number of post tasks spent on resources that had already passed their
+    /// stable point when (or before) the task was allocated.
+    pub wasted_posts: usize,
+    /// Fraction of resources still at or below the under-tagged threshold.
+    pub under_tagged_fraction: f64,
+    /// Post tasks that produced no post because the recorded future posts of the
+    /// chosen resource were exhausted.
+    pub undelivered: usize,
+    /// Wall-clock time spent inside the allocation algorithm, in seconds.
+    pub runtime_seconds: f64,
+    /// The final allocation `x`.
+    pub allocation: Vec<u32>,
+}
+
+/// Computes the delivered posts per resource from an allocation outcome.
+pub fn delivered_posts(scenario: &Scenario, outcome: &AllocationOutcome) -> Vec<Vec<Post>> {
+    let mut delivered: Vec<Vec<Post>> = vec![Vec::new(); scenario.len()];
+    for step in &outcome.trace {
+        if let Some(post) = &step.post {
+            delivered[step.resource.index()].push(post.clone());
+        }
+    }
+    delivered
+}
+
+/// Mean tagging quality after each resource has received its initial posts plus
+/// the delivered posts.
+pub fn mean_quality(scenario: &Scenario, delivered: &[Vec<Post>]) -> f64 {
+    assert_eq!(delivered.len(), scenario.len());
+    if scenario.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = (0..scenario.len())
+        .map(|i| {
+            let mut tracker = FrequencyTracker::from_posts(scenario.initial[i].iter());
+            for post in &delivered[i] {
+                tracker.push(post);
+            }
+            cosine(&tracker.rfd(), &scenario.references[i])
+        })
+        .sum();
+    total / scenario.len() as f64
+}
+
+/// Number of resources whose total post count has reached or passed their
+/// stable point after the run (Figure 6(b)).
+pub fn over_tagged_count(scenario: &Scenario, allocation: &[u32]) -> usize {
+    (0..scenario.len())
+        .filter(|&i| match scenario.stable_points[i] {
+            Some(sp) => scenario.initial[i].len() + allocation[i] as usize >= sp,
+            None => false,
+        })
+        .count()
+}
+
+/// Number of allocated post tasks that landed on a resource already at or past
+/// its stable point (Figure 6(c)). A task is wasted when the resource's total
+/// post count at allocation time is at least its stable point.
+pub fn wasted_posts(scenario: &Scenario, allocation: &[u32]) -> usize {
+    (0..scenario.len())
+        .map(|i| {
+            let Some(sp) = scenario.stable_points[i] else {
+                return 0;
+            };
+            let c = scenario.initial[i].len();
+            let x = allocation[i] as usize;
+            // Tasks allocated while the count was already >= sp.
+            (c + x).saturating_sub(sp.max(c)).min(x)
+        })
+        .sum()
+}
+
+/// Fraction of resources still at or below the under-tagged threshold after the
+/// run (Figure 6(d)).
+pub fn under_tagged_fraction(scenario: &Scenario, allocation: &[u32]) -> f64 {
+    if scenario.is_empty() {
+        return 0.0;
+    }
+    let under = (0..scenario.len())
+        .filter(|&i| {
+            scenario.initial[i].len() + allocation[i] as usize <= scenario.under_tagged_threshold
+        })
+        .count();
+    under as f64 / scenario.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioParams;
+    use delicious_sim::generator::{generate, GeneratorConfig};
+    use tagging_core::model::ResourceId;
+    use tagging_core::stability::StabilityParams;
+    use tagging_strategies::framework::{run_allocation, ReplaySource};
+    use tagging_strategies::FewestPostsFirst;
+
+    fn scenario() -> Scenario {
+        let corpus = generate(&GeneratorConfig::small(40, 31));
+        Scenario::from_corpus(
+            &corpus,
+            &ScenarioParams {
+                stability: StabilityParams::new(10, 0.995),
+                under_tagged_threshold: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn zero_allocation_matches_initial_state() {
+        let s = scenario();
+        let allocation = vec![0u32; s.len()];
+        let delivered: Vec<Vec<Post>> = vec![Vec::new(); s.len()];
+        assert!((mean_quality(&s, &delivered) - s.initial_quality()).abs() < 1e-12);
+        assert_eq!(over_tagged_count(&s, &allocation), s.initially_over_tagged());
+        assert_eq!(wasted_posts(&s, &allocation), 0);
+        let expected_fraction = s.initially_under_tagged() as f64 / s.len() as f64;
+        assert!((under_tagged_fraction(&s, &allocation) - expected_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivering_posts_improves_quality_of_under_tagged_resources() {
+        let s = scenario();
+        let mut fp = FewestPostsFirst::new();
+        let mut source = ReplaySource::new(s.future.clone());
+        let outcome = run_allocation(&mut fp, &mut source, &s.initial, &s.popularity, 200);
+        let delivered = delivered_posts(&s, &outcome);
+        let q_after = mean_quality(&s, &delivered);
+        assert!(
+            q_after > s.initial_quality(),
+            "quality should improve: {} -> {}",
+            s.initial_quality(),
+            q_after
+        );
+        // FP reduces the under-tagged fraction monotonically.
+        assert!(
+            under_tagged_fraction(&s, &outcome.allocated)
+                <= s.initially_under_tagged() as f64 / s.len() as f64
+        );
+    }
+
+    #[test]
+    fn wasted_posts_counts_only_tasks_past_the_stable_point() {
+        let s = scenario();
+        // Find a resource that is already over-tagged initially.
+        let over = (0..s.len()).find(|&i| {
+            matches!(s.stable_points[i], Some(sp) if s.initial[i].len() >= sp)
+        });
+        if let Some(i) = over {
+            let mut allocation = vec![0u32; s.len()];
+            allocation[i] = 5;
+            assert_eq!(wasted_posts(&s, &allocation), 5);
+        }
+        // A resource well below its stable point wastes nothing for small x.
+        let under = (0..s.len())
+            .find(|&i| matches!(s.stable_points[i], Some(sp) if s.initial[i].len() + 3 < sp));
+        if let Some(i) = under {
+            let mut allocation = vec![0u32; s.len()];
+            allocation[i] = 3;
+            assert_eq!(wasted_posts(&s, &allocation), 0);
+        }
+        assert!(over.is_some() || under.is_some(), "test corpus too degenerate");
+    }
+
+    #[test]
+    fn wasted_posts_partial_overshoot() {
+        let s = scenario();
+        // A resource below its stable point that we push past it: only the posts
+        // beyond the stable point are wasted.
+        if let Some(i) = (0..s.len()).find(|&i| {
+            matches!(s.stable_points[i], Some(sp) if s.initial[i].len() < sp && sp - s.initial[i].len() <= 20)
+        }) {
+            let sp = s.stable_points[i].unwrap();
+            let gap = sp - s.initial[i].len();
+            let mut allocation = vec![0u32; s.len()];
+            allocation[i] = (gap + 4) as u32;
+            assert_eq!(wasted_posts(&s, &allocation), 4);
+        }
+    }
+
+    #[test]
+    fn delivered_posts_groups_by_resource() {
+        let s = scenario();
+        let mut fp = FewestPostsFirst::new();
+        let mut source = ReplaySource::new(s.future.clone());
+        let outcome = run_allocation(&mut fp, &mut source, &s.initial, &s.popularity, 50);
+        let delivered = delivered_posts(&s, &outcome);
+        let total_delivered: usize = delivered.iter().map(Vec::len).sum();
+        assert_eq!(total_delivered + outcome.undelivered, 50);
+        for i in 0..s.len() {
+            assert!(delivered[i].len() <= outcome.allocated[i] as usize);
+            // Delivered posts are exactly the prefix of the recorded future posts.
+            for (j, post) in delivered[i].iter().enumerate() {
+                assert_eq!(post, &s.future[i][j]);
+            }
+        }
+        let _ = ResourceId(0);
+    }
+}

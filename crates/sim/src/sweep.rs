@@ -1,0 +1,225 @@
+//! Parameter sweeps — the loops behind the paper's Figure 6 panels.
+//!
+//! * [`budget_sweep`] — quality / over-tagging / wasted posts / under-tagging as
+//!   the budget grows (Figures 6(a)–(d), 6(g));
+//! * [`resource_sweep`] — effect of the number of resources at a fixed budget
+//!   (Figures 6(e), 6(h));
+//! * [`omega_sweep`] — effect of the MA window ω on MU / FP-MU / FP
+//!   (Figure 6(f)).
+
+use tagging_strategies::StrategyKind;
+
+use crate::engine::{run_dp_capped, run_strategy, RunConfig};
+use crate::metrics::RunMetrics;
+use crate::scenario::Scenario;
+
+/// Which algorithms a sweep should include.
+#[derive(Debug, Clone)]
+pub struct SweepAlgorithms {
+    /// The practical strategies to run.
+    pub strategies: Vec<StrategyKind>,
+    /// Whether to run the DP optimum as well.
+    pub include_dp: bool,
+    /// Per-resource cap on the DP quality table (bounds memory / time).
+    pub dp_table_cap: usize,
+}
+
+impl Default for SweepAlgorithms {
+    fn default() -> Self {
+        Self {
+            strategies: StrategyKind::ALL.to_vec(),
+            include_dp: true,
+            dp_table_cap: 2_000,
+        }
+    }
+}
+
+impl SweepAlgorithms {
+    /// Only the practical strategies (no DP) — useful for large budgets where
+    /// the DP would dominate the running time, as in the paper's Figure 6(g).
+    pub fn practical_only() -> Self {
+        Self {
+            include_dp: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// One point of a sweep: the independent variable plus every algorithm's metrics.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The value of the swept parameter (budget, resource count, or ω).
+    pub x: usize,
+    /// Metrics per algorithm, in the order the algorithms were run.
+    pub results: Vec<RunMetrics>,
+}
+
+impl SweepPoint {
+    /// Looks up the metrics of an algorithm by name.
+    pub fn metrics(&self, strategy: &str) -> Option<&RunMetrics> {
+        self.results.iter().find(|m| m.strategy == strategy)
+    }
+}
+
+/// Runs every algorithm at every budget (Figures 6(a)–(d) and, via the recorded
+/// runtimes, 6(g)).
+pub fn budget_sweep(
+    scenario: &Scenario,
+    budgets: &[usize],
+    algorithms: &SweepAlgorithms,
+    base_config: &RunConfig,
+) -> Vec<SweepPoint> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            let config = RunConfig {
+                budget,
+                ..*base_config
+            };
+            let mut results = Vec::new();
+            if algorithms.include_dp {
+                results.push(run_dp_capped(scenario, &config, algorithms.dp_table_cap));
+            }
+            for &kind in &algorithms.strategies {
+                results.push(run_strategy(scenario, kind, &config));
+            }
+            SweepPoint { x: budget, results }
+        })
+        .collect()
+}
+
+/// Runs every algorithm on prefixes of the scenario with increasing resource
+/// counts at a fixed budget (Figures 6(e) and 6(h)).
+pub fn resource_sweep(
+    scenario: &Scenario,
+    resource_counts: &[usize],
+    algorithms: &SweepAlgorithms,
+    config: &RunConfig,
+) -> Vec<SweepPoint> {
+    resource_counts
+        .iter()
+        .map(|&n| {
+            let sub = scenario.take(n);
+            let mut results = Vec::new();
+            if algorithms.include_dp {
+                results.push(run_dp_capped(&sub, config, algorithms.dp_table_cap));
+            }
+            for &kind in &algorithms.strategies {
+                results.push(run_strategy(&sub, kind, config));
+            }
+            SweepPoint { x: n, results }
+        })
+        .collect()
+}
+
+/// Runs MU, FP-MU and FP for every ω (Figure 6(f)); FP does not use ω but is
+/// included as the reference line the paper plots.
+pub fn omega_sweep(scenario: &Scenario, omegas: &[usize], config: &RunConfig) -> Vec<SweepPoint> {
+    omegas
+        .iter()
+        .map(|&omega| {
+            let cfg = RunConfig { omega, ..*config };
+            let results = vec![
+                run_strategy(scenario, StrategyKind::FpMu, &cfg),
+                run_strategy(scenario, StrategyKind::Fp, &cfg),
+                run_strategy(scenario, StrategyKind::Mu, &cfg),
+            ];
+            SweepPoint { x: omega, results }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioParams};
+    use delicious_sim::generator::{generate, GeneratorConfig};
+    use tagging_core::stability::StabilityParams;
+
+    fn scenario(n: usize) -> Scenario {
+        let corpus = generate(&GeneratorConfig::small(n, 77));
+        Scenario::from_corpus(
+            &corpus,
+            &ScenarioParams {
+                stability: StabilityParams::new(10, 0.995),
+                under_tagged_threshold: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn budget_sweep_produces_one_point_per_budget() {
+        let s = scenario(25);
+        let algorithms = SweepAlgorithms {
+            strategies: vec![StrategyKind::Fp, StrategyKind::Fc],
+            include_dp: true,
+            dp_table_cap: 50,
+        };
+        let points = budget_sweep(&s, &[0, 50, 100], &algorithms, &RunConfig::default());
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.results.len(), 3); // DP + FP + FC
+            assert!(p.metrics("DP").is_some());
+            assert!(p.metrics("FP").is_some());
+            assert!(p.metrics("FC").is_some());
+            assert!(p.metrics("RR").is_none());
+        }
+        // Quality under FP is non-decreasing in budget.
+        let q: Vec<f64> = points
+            .iter()
+            .map(|p| p.metrics("FP").unwrap().mean_quality)
+            .collect();
+        assert!(q[1] >= q[0] - 1e-9);
+        assert!(q[2] >= q[1] - 1e-9);
+    }
+
+    #[test]
+    fn resource_sweep_quality_decreases_with_more_resources() {
+        let s = scenario(60);
+        let algorithms = SweepAlgorithms {
+            strategies: vec![StrategyKind::Fp],
+            include_dp: false,
+            dp_table_cap: 0,
+        };
+        let config = RunConfig {
+            budget: 120,
+            omega: 5,
+            seed: 1,
+        };
+        let points = resource_sweep(&s, &[15, 60], &algorithms, &config);
+        assert_eq!(points.len(), 2);
+        let q_small = points[0].metrics("FP").unwrap().mean_quality;
+        let q_large = points[1].metrics("FP").unwrap().mean_quality;
+        // With a fixed budget, more resources means fewer tasks each: the paper's
+        // Figure 6(e) shows quality decreasing. Allow a tiny tolerance.
+        assert!(
+            q_large <= q_small + 0.02,
+            "quality should not improve with more resources: {q_small} -> {q_large}"
+        );
+    }
+
+    #[test]
+    fn omega_sweep_runs_the_three_omega_sensitive_strategies() {
+        let s = scenario(25);
+        let config = RunConfig {
+            budget: 80,
+            omega: 5,
+            seed: 1,
+        };
+        let points = omega_sweep(&s, &[2, 5, 8], &config);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.results.len(), 3);
+            assert!(p.metrics("MU").is_some());
+            assert!(p.metrics("FP-MU").is_some());
+            assert!(p.metrics("FP").is_some());
+        }
+        // FP ignores ω, so its quality is identical across ω values.
+        let fp_q: Vec<f64> = points
+            .iter()
+            .map(|p| p.metrics("FP").unwrap().mean_quality)
+            .collect();
+        assert!((fp_q[0] - fp_q[1]).abs() < 1e-12);
+        assert!((fp_q[1] - fp_q[2]).abs() < 1e-12);
+    }
+}

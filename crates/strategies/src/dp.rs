@@ -1,0 +1,382 @@
+//! The theoretically optimal DP algorithm (paper §III-D, Appendix B,
+//! Algorithm 6).
+//!
+//! DP assumes it knows, for every resource, (a) the posts the resource *would*
+//! receive for each additional post task and (b) the resource's stable rfd. It
+//! can therefore tabulate `q_i(c_i + x)` for every `x ≤ B` ([`QualityTable`])
+//! and solve
+//!
+//! ```text
+//! maximise Σ_i q_i(c_i + x_i)   subject to   Σ_i x_i = B, x_i ∈ ℤ≥0
+//! ```
+//!
+//! exactly, by dynamic programming over (budget, resource prefix):
+//!
+//! ```text
+//! Q(b, 1) = q_1(c_1 + b)
+//! Q(b, l) = max_{0 ≤ x_l ≤ b}  Q(b − x_l, l − 1) + q_l(c_l + x_l)
+//! ```
+//!
+//! Time is `O(n·B²)` once the table is built (`O(n·|T|·B)` for the table) and
+//! space is `O(n·B)` — the complexities reported in the paper's Table V. Like
+//! the paper, we use DP only as an offline upper bound to compare the practical
+//! strategies against; it is far too slow for production use at full budget.
+
+use tagging_core::model::Post;
+use tagging_core::rfd::{FrequencyTracker, Rfd};
+use tagging_core::similarity::{CosineSimilarity, SimilarityMetric};
+
+/// Precomputed per-resource quality values `q_i(c_i + x)` for `x = 0..=budget`.
+#[derive(Debug, Clone)]
+pub struct QualityTable {
+    /// `values[i][x]` = quality of resource `i` after `x` additional post tasks.
+    values: Vec<Vec<f64>>,
+}
+
+impl QualityTable {
+    /// Builds the table from the initial posts, the known future posts and the
+    /// reference (stable) rfds of every resource.
+    ///
+    /// When a resource has fewer than `budget` future posts, its quality stays at
+    /// the value reached after its last future post — additional post tasks can
+    /// no longer change its rfd, mirroring the paper's replay-based evaluation.
+    pub fn from_posts(
+        initial: &[Vec<Post>],
+        future: &[Vec<Post>],
+        references: &[Rfd],
+        budget: usize,
+    ) -> Self {
+        Self::from_posts_with_metric(initial, future, references, budget, &CosineSimilarity)
+    }
+
+    /// [`QualityTable::from_posts`] with a custom similarity metric.
+    pub fn from_posts_with_metric<M: SimilarityMetric>(
+        initial: &[Vec<Post>],
+        future: &[Vec<Post>],
+        references: &[Rfd],
+        budget: usize,
+        metric: &M,
+    ) -> Self {
+        assert_eq!(initial.len(), future.len(), "initial/future length mismatch");
+        assert_eq!(initial.len(), references.len(), "initial/references length mismatch");
+        let n = initial.len();
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut tracker = FrequencyTracker::from_posts(initial[i].iter());
+            let mut row = Vec::with_capacity(budget + 1);
+            row.push(metric.similarity(&tracker.rfd(), &references[i]));
+            for x in 1..=budget {
+                if let Some(post) = future[i].get(x - 1) {
+                    tracker.push(post);
+                    row.push(metric.similarity(&tracker.rfd(), &references[i]));
+                } else {
+                    // No more future posts: quality can no longer change.
+                    let last = *row.last().expect("row has at least the x = 0 entry");
+                    row.push(last);
+                }
+            }
+            values.push(row);
+        }
+        Self { values }
+    }
+
+    /// Builds a table directly from explicit quality rows (used in tests and by
+    /// ablation benches).
+    pub fn from_rows(values: Vec<Vec<f64>>) -> Self {
+        assert!(!values.is_empty(), "the table needs at least one resource");
+        let width = values[0].len();
+        assert!(width >= 1, "each row needs at least the x = 0 entry");
+        assert!(
+            values.iter().all(|row| row.len() == width),
+            "all rows must cover the same budget range"
+        );
+        Self { values }
+    }
+
+    /// Number of resources.
+    pub fn num_resources(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Largest per-resource allocation the table covers.
+    pub fn max_allocation(&self) -> usize {
+        self.values[0].len() - 1
+    }
+
+    /// `q_i(c_i + x)`; `x` values beyond the table are clamped to the last entry.
+    pub fn quality(&self, resource: usize, x: usize) -> f64 {
+        let row = &self.values[resource];
+        row[x.min(row.len() - 1)]
+    }
+}
+
+/// Result of an (optimal) allocation computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpAllocation {
+    /// Post tasks per resource (`x`), summing to the budget.
+    pub allocation: Vec<u32>,
+    /// The achieved total quality `Σ_i q_i(c_i + x_i)` (not averaged).
+    pub total_quality: f64,
+}
+
+impl DpAllocation {
+    /// Average quality `q(R, c + x)` = total quality / n.
+    pub fn mean_quality(&self) -> f64 {
+        self.total_quality / self.allocation.len().max(1) as f64
+    }
+}
+
+/// Algorithm 6: exact DP over (budget, resource prefix).
+///
+/// Panics when the table is empty. `budget` may exceed
+/// [`QualityTable::max_allocation`]; per-resource allocations beyond the table
+/// simply stop improving quality (consistent with [`QualityTable::quality`]).
+pub fn optimal_allocation(table: &QualityTable, budget: usize) -> DpAllocation {
+    let n = table.num_resources();
+    assert!(n >= 1, "cannot allocate over zero resources");
+
+    // q[b] for the current prefix; y[l][b] records the optimal x_l at (b, l).
+    let mut prev: Vec<f64> = (0..=budget).map(|b| table.quality(0, b)).collect();
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(n);
+    choice.push((0..=budget).map(|b| b as u32).collect());
+
+    for l in 1..n {
+        let mut cur = vec![f64::NEG_INFINITY; budget + 1];
+        let mut cur_choice = vec![0u32; budget + 1];
+        for b in 0..=budget {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_x = 0u32;
+            for x in 0..=b {
+                let candidate = prev[b - x] + table.quality(l, x);
+                if candidate > best {
+                    best = candidate;
+                    best_x = x as u32;
+                }
+            }
+            cur[b] = best;
+            cur_choice[b] = best_x;
+        }
+        prev = cur;
+        choice.push(cur_choice);
+    }
+
+    // Backtrack the optimal assignment.
+    let total_quality = prev[budget];
+    let mut allocation = vec![0u32; n];
+    let mut b = budget;
+    for l in (0..n).rev() {
+        let x = choice[l][b] as usize;
+        allocation[l] = x as u32;
+        b -= x;
+    }
+    debug_assert_eq!(b, 0, "backtracking must consume the whole budget");
+
+    DpAllocation {
+        allocation,
+        total_quality,
+    }
+}
+
+/// Exhaustive search over all allocations — exponential, only usable on tiny
+/// instances; kept as the ground truth the DP is tested against.
+pub fn brute_force_allocation(table: &QualityTable, budget: usize) -> DpAllocation {
+    let n = table.num_resources();
+    assert!(n >= 1, "cannot allocate over zero resources");
+    let mut best: Option<DpAllocation> = None;
+    let mut current = vec![0u32; n];
+
+    fn recurse(
+        table: &QualityTable,
+        current: &mut Vec<u32>,
+        resource: usize,
+        remaining: usize,
+        best: &mut Option<DpAllocation>,
+    ) {
+        let n = table.num_resources();
+        if resource == n - 1 {
+            current[resource] = remaining as u32;
+            let total: f64 = current
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| table.quality(i, x as usize))
+                .sum();
+            let better = match best {
+                Some(b) => total > b.total_quality,
+                None => true,
+            };
+            if better {
+                *best = Some(DpAllocation {
+                    allocation: current.clone(),
+                    total_quality: total,
+                });
+            }
+            return;
+        }
+        for x in 0..=remaining {
+            current[resource] = x as u32;
+            recurse(table, current, resource + 1, remaining - x, best);
+        }
+    }
+
+    recurse(table, &mut current, 0, budget, &mut best);
+    best.expect("at least one allocation exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagging_core::model::{TagDictionary, TagId};
+    use tagging_core::rfd::rfd_of_prefix;
+
+    fn post(tag: u32) -> Post {
+        Post::new([TagId(tag)]).unwrap()
+    }
+
+    #[test]
+    fn quality_table_clamps_beyond_future() {
+        let initial = vec![vec![post(0)]];
+        let future = vec![vec![post(1)]];
+        let references = vec![Rfd::from_counts([(TagId(0), 1), (TagId(1), 1)])];
+        let table = QualityTable::from_posts(&initial, &future, &references, 5);
+        assert_eq!(table.num_resources(), 1);
+        assert_eq!(table.max_allocation(), 5);
+        // After the single future post the rfd equals the reference: quality 1.
+        assert!((table.quality(0, 1) - 1.0).abs() < 1e-12);
+        // Further allocations cannot change anything.
+        assert_eq!(table.quality(0, 5), table.quality(0, 1));
+        assert_eq!(table.quality(0, 99), table.quality(0, 5));
+    }
+
+    #[test]
+    fn quality_table_matches_paper_example_3() {
+        // Example 3 / Table IV: r1 has 3 posts, r2 has 2; budget 2.
+        // Next posts: r1 gets {geographic, earth} then {google, geographic};
+        //             r2 gets {google, picture} then {google}.
+        let mut dict = TagDictionary::new();
+        let p = |names: &[&str], dict: &mut TagDictionary| {
+            Post::from_names(dict, names.iter().copied()).unwrap()
+        };
+        let r1_initial = vec![
+            p(&["google", "earth"], &mut dict),
+            p(&["google", "geographic"], &mut dict),
+            p(&["earth"], &mut dict),
+        ];
+        let r2_initial = vec![p(&["pictures"], &mut dict), p(&["pictures"], &mut dict)];
+        let r1_future = vec![
+            p(&["geographic", "earth"], &mut dict),
+            p(&["google", "geographic"], &mut dict),
+        ];
+        // The paper's Example 3 writes "{google, picture}"; in context this is the
+        // "pictures" tag of Table II, so we use the shared tag here.
+        let r2_future = vec![p(&["google", "pictures"], &mut dict), p(&["google"], &mut dict)];
+        let google = dict.get("google").unwrap();
+        let earth = dict.get("earth").unwrap();
+        let geographic = dict.get("geographic").unwrap();
+        let pictures = dict.get("pictures").unwrap();
+        let phi1 = Rfd::from_weights([(google, 0.25), (geographic, 0.25), (earth, 0.5)]);
+        let phi2 = Rfd::from_weights([(google, 0.33), (pictures, 0.67)]);
+
+        let table = QualityTable::from_posts(
+            &[r1_initial, r2_initial],
+            &[r1_future, r2_future],
+            &[phi1, phi2],
+            2,
+        );
+        // Table IV, row (1,1): q1(4) = 0.990 and q2(3) = 0.990.
+        assert!((table.quality(0, 1) - 0.990).abs() < 5e-3, "q1(4) = {}", table.quality(0, 1));
+        assert!((table.quality(1, 1) - 0.990).abs() < 5e-3, "q2(3) = {}", table.quality(1, 1));
+        // Row (0,2): q2(4) = 0.992;   row (2,0): q1(5) = 0.943.
+        assert!((table.quality(1, 2) - 0.992).abs() < 5e-3, "q2(4) = {}", table.quality(1, 2));
+        assert!((table.quality(0, 2) - 0.943).abs() < 5e-3, "q1(5) = {}", table.quality(0, 2));
+
+        // The DP must therefore pick the (1, 1) assignment, as the paper states.
+        let result = optimal_allocation(&table, 2);
+        assert_eq!(result.allocation, vec![1, 1]);
+        assert!((result.mean_quality() - 0.990).abs() < 5e-3);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_small_instances() {
+        // Hand-crafted concave-ish and non-concave rows to exercise the search.
+        let table = QualityTable::from_rows(vec![
+            vec![0.10, 0.40, 0.55, 0.60, 0.62, 0.63],
+            vec![0.50, 0.52, 0.90, 0.91, 0.92, 0.92],
+            vec![0.80, 0.81, 0.82, 0.83, 0.84, 0.85],
+            vec![0.05, 0.06, 0.07, 0.70, 0.71, 0.72],
+        ]);
+        for budget in 0..=5 {
+            let dp = optimal_allocation(&table, budget);
+            let bf = brute_force_allocation(&table, budget);
+            assert!(
+                (dp.total_quality - bf.total_quality).abs() < 1e-12,
+                "budget {budget}: dp {} vs brute force {}",
+                dp.total_quality,
+                bf.total_quality
+            );
+            assert_eq!(dp.allocation.iter().sum::<u32>() as usize, budget);
+        }
+    }
+
+    #[test]
+    fn dp_zero_budget_allocates_nothing() {
+        let table = QualityTable::from_rows(vec![vec![0.3, 0.9], vec![0.5, 0.8]]);
+        let result = optimal_allocation(&table, 0);
+        assert_eq!(result.allocation, vec![0, 0]);
+        assert!((result.total_quality - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_single_resource_gets_everything() {
+        let table = QualityTable::from_rows(vec![vec![0.1, 0.2, 0.3, 0.9]]);
+        let result = optimal_allocation(&table, 3);
+        assert_eq!(result.allocation, vec![3]);
+        assert!((result.total_quality - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_budget_beyond_table_is_handled() {
+        // Budget 4 but the table only covers x ≤ 2 per resource: extra units are
+        // still assigned (they just stop improving quality).
+        let table = QualityTable::from_rows(vec![vec![0.2, 0.5, 0.6], vec![0.3, 0.4, 0.45]]);
+        let result = optimal_allocation(&table, 4);
+        assert_eq!(result.allocation.iter().sum::<u32>(), 4);
+        assert!((result.total_quality - (0.6 + 0.45)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_prefers_resources_with_larger_marginal_gains() {
+        // Resource 0 gains +0.4 from its first task; resource 1 gains +0.01.
+        let table = QualityTable::from_rows(vec![vec![0.5, 0.9, 0.91], vec![0.9, 0.91, 0.92]]);
+        let result = optimal_allocation(&table, 1);
+        assert_eq!(result.allocation, vec![1, 0]);
+    }
+
+    #[test]
+    fn quality_table_built_from_posts_is_consistent_with_rfd_prefixes() {
+        let initial = vec![vec![post(0), post(0)]];
+        let future = vec![vec![post(1), post(1), post(1)]];
+        let reference = Rfd::from_counts([(TagId(0), 1), (TagId(1), 1)]);
+        let table = QualityTable::from_posts(&initial, &future, std::slice::from_ref(&reference), 3);
+        for x in 0..=3 {
+            let mut posts = initial[0].clone();
+            posts.extend_from_slice(&future[0][..x]);
+            let expected = tagging_core::similarity::cosine(
+                &rfd_of_prefix(&posts, posts.len()),
+                &reference,
+            );
+            assert!((table.quality(0, x) - expected).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn from_rows_rejects_empty() {
+        QualityTable::from_rows(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same budget range")]
+    fn from_rows_rejects_ragged_rows() {
+        QualityTable::from_rows(vec![vec![0.1, 0.2], vec![0.3]]);
+    }
+}

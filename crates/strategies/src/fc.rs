@@ -1,0 +1,131 @@
+//! The Free Choice strategy (paper §IV-A).
+//!
+//! FC is the baseline that models how existing collaborative tagging systems
+//! already behave: taggers pick whichever resource they like, and in practice
+//! they overwhelmingly pick popular resources. CHOOSE therefore simply samples a
+//! resource proportionally to its popularity weight.
+//!
+//! The paper's evaluation shows FC barely improves tagging quality even with a
+//! large budget, because roughly half of its post tasks land on resources that
+//! are already over-tagged.
+
+use rand::distributions::WeightedIndex;
+use rand::prelude::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tagging_core::model::{Post, ResourceId};
+
+use crate::framework::{AllocationStrategy, AllocationView};
+
+/// Free Choice: taggers pick resources proportionally to popularity.
+#[derive(Debug)]
+pub struct FreeChoice {
+    rng: StdRng,
+    sampler: Option<WeightedIndex<f64>>,
+}
+
+impl FreeChoice {
+    /// Creates the strategy with its own deterministic tagger-choice RNG.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            sampler: None,
+        }
+    }
+}
+
+impl AllocationStrategy for FreeChoice {
+    fn name(&self) -> &'static str {
+        "FC"
+    }
+
+    fn init(&mut self, view: &AllocationView<'_>) {
+        // Taggers pick proportionally to popularity. When every weight is zero
+        // (degenerate input) fall back to the uniform distribution.
+        let weights: Vec<f64> = view
+            .popularity
+            .iter()
+            .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+            .collect();
+        self.sampler = WeightedIndex::new(weights.clone()).ok().or_else(|| {
+            WeightedIndex::new(vec![1.0; view.len()]).ok()
+        });
+    }
+
+    fn choose(&mut self, view: &AllocationView<'_>) -> ResourceId {
+        let sampler = self
+            .sampler
+            .as_ref()
+            .expect("init() must be called before choose()");
+        let idx = sampler.sample(&mut self.rng);
+        debug_assert!(idx < view.len());
+        ResourceId(idx as u32)
+    }
+
+    fn update(&mut self, _view: &AllocationView<'_>, _resource: ResourceId, _post: Option<&Post>) {
+        // FC keeps no state beyond the fixed popularity sampler.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{run_allocation, ReplaySource};
+    use tagging_core::model::TagId;
+
+    fn post(tag: u32) -> Post {
+        Post::new([TagId(tag)]).unwrap()
+    }
+
+    #[test]
+    fn fc_concentrates_on_popular_resources() {
+        // Resource 0 is 20x more popular than each of the others.
+        let n = 5;
+        let initial: Vec<Vec<Post>> = (0..n).map(|i| vec![post(i as u32)]).collect();
+        let mut popularity = vec![1.0; n];
+        popularity[0] = 20.0;
+        let future: Vec<Vec<Post>> = (0..n).map(|i| vec![post(i as u32); 2000]).collect();
+
+        let mut fc = FreeChoice::new(1);
+        let mut source = ReplaySource::new(future);
+        let outcome = run_allocation(&mut fc, &mut source, &initial, &popularity, 1_000);
+
+        assert_eq!(outcome.allocated.iter().sum::<u32>(), 1_000);
+        // The popular resource should receive the lion's share (~20/24 ≈ 83%).
+        assert!(
+            outcome.allocated[0] > 600,
+            "popular resource got only {} tasks",
+            outcome.allocated[0]
+        );
+        for i in 1..n {
+            assert!(outcome.allocated[i] < 200);
+        }
+    }
+
+    #[test]
+    fn fc_is_deterministic_per_seed() {
+        let initial: Vec<Vec<Post>> = (0..4).map(|i| vec![post(i)]).collect();
+        let popularity = vec![0.4, 0.3, 0.2, 0.1];
+        let run = |seed| {
+            let mut fc = FreeChoice::new(seed);
+            let mut source = ReplaySource::new(vec![vec![post(0); 100]; 4]);
+            run_allocation(&mut fc, &mut source, &initial, &popularity, 50).allocated
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn fc_handles_degenerate_popularity() {
+        // All-zero popularity falls back to uniform sampling instead of panicking.
+        let initial: Vec<Vec<Post>> = (0..3).map(|i| vec![post(i)]).collect();
+        let popularity = vec![0.0, 0.0, 0.0];
+        let mut fc = FreeChoice::new(3);
+        let mut source = ReplaySource::new(vec![vec![post(0); 100]; 3]);
+        let outcome = run_allocation(&mut fc, &mut source, &initial, &popularity, 90);
+        assert_eq!(outcome.allocated.iter().sum::<u32>(), 90);
+        // Every resource should get some tasks under the uniform fallback.
+        assert!(outcome.allocated.iter().all(|&x| x > 0));
+    }
+}

@@ -1,0 +1,253 @@
+//! The hybrid FP-MU strategy (paper §IV-E, Algorithm 5).
+//!
+//! MU cannot rank resources that have fewer than ω posts, and those are exactly
+//! the heavily under-tagged resources most in need of attention. FP-MU therefore
+//! runs in two phases:
+//!
+//! 1. **Warm-up:** while any resource has fewer than ω posts, allocate with FP.
+//!    Because a below-ω resource is always among the globally fewest-tagged
+//!    resources, FP spends the warm-up budget exactly on bringing every resource
+//!    up to ω posts — the quantity Algorithm 5 computes up front as
+//!    `b = Σ_i max(0, ω − c_i)`.
+//! 2. **MU phase:** once every resource has at least ω posts (so every MA score
+//!    is defined), switch to MU for the remaining budget.
+//!
+//! The paper notes that a larger ω lengthens the warm-up, making FP-MU behave
+//! more and more like plain FP (Figure 6(f)).
+
+use tagging_core::model::{Post, ResourceId};
+
+use crate::fp::FewestPostsFirst;
+use crate::framework::{AllocationStrategy, AllocationView};
+use crate::mu::MostUnstableFirst;
+
+/// Which phase FP-MU is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    WarmUp,
+    Mu,
+}
+
+/// Hybrid strategy: FP until every resource has ω posts, then MU.
+#[derive(Debug)]
+pub struct FpMu {
+    omega: usize,
+    fp: FewestPostsFirst,
+    mu: MostUnstableFirst,
+    /// Number of resources still below ω posts.
+    below_omega: usize,
+    /// Phase the last CHOOSE was made in (so UPDATE routes to the right queue).
+    last_phase: Phase,
+}
+
+impl FpMu {
+    /// Creates the strategy with MA window size `omega ≥ 2`.
+    pub fn new(omega: usize) -> Self {
+        Self {
+            omega,
+            fp: FewestPostsFirst::new(),
+            mu: MostUnstableFirst::new(omega),
+            below_omega: 0,
+            last_phase: Phase::WarmUp,
+        }
+    }
+
+    /// The MA window size ω.
+    pub fn omega(&self) -> usize {
+        self.omega
+    }
+
+    /// True while the warm-up (FP) phase is still running.
+    pub fn in_warm_up(&self) -> bool {
+        self.below_omega > 0
+    }
+
+    /// The warm-up budget Algorithm 5 would compute up front:
+    /// `Σ_i max(0, ω − (c_i + x_i))` at the current state.
+    pub fn remaining_warm_up_budget(&self, view: &AllocationView<'_>) -> usize {
+        (0..view.len())
+            .map(|i| self.omega.saturating_sub(view.total_count(ResourceId(i as u32))))
+            .sum()
+    }
+}
+
+impl AllocationStrategy for FpMu {
+    fn name(&self) -> &'static str {
+        "FP-MU"
+    }
+
+    fn init(&mut self, view: &AllocationView<'_>) {
+        self.fp.init(view);
+        self.mu.init(view);
+        self.below_omega = (0..view.len())
+            .filter(|&i| view.total_count(ResourceId(i as u32)) < self.omega)
+            .count();
+        self.last_phase = if self.below_omega > 0 {
+            Phase::WarmUp
+        } else {
+            Phase::Mu
+        };
+    }
+
+    fn choose(&mut self, view: &AllocationView<'_>) -> ResourceId {
+        if self.below_omega > 0 {
+            self.last_phase = Phase::WarmUp;
+            self.fp.choose(view)
+        } else {
+            self.last_phase = Phase::Mu;
+            self.mu.choose(view)
+        }
+    }
+
+    fn update(&mut self, view: &AllocationView<'_>, resource: ResourceId, post: Option<&Post>) {
+        match self.last_phase {
+            Phase::WarmUp => {
+                // The FP heap popped this resource in CHOOSE; reinsert it with the
+                // new count, and let MU's tracker observe the post so its MA score
+                // is ready when the warm-up ends.
+                self.fp.update(view, resource, post);
+                self.mu.observe(resource, post);
+                // Did this task lift the resource to ω posts?
+                if view.total_count(resource) == self.omega {
+                    self.below_omega = self.below_omega.saturating_sub(1);
+                }
+            }
+            Phase::Mu => {
+                self.mu.update(view, resource, post);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{run_allocation, ReplaySource};
+    use tagging_core::model::TagId;
+
+    fn post(tag: u32) -> Post {
+        Post::new([TagId(tag)]).unwrap()
+    }
+
+    fn stable_sequence(tag: u32, n: usize) -> Vec<Post> {
+        vec![post(tag); n]
+    }
+
+    fn unstable_sequence(base: u32, n: usize) -> Vec<Post> {
+        (0..n).map(|i| post(base + (i % 4) as u32)).collect()
+    }
+
+    #[test]
+    fn warm_up_lifts_every_resource_to_omega() {
+        let omega = 5;
+        // Counts 1, 2, 8: warm-up needs (5-1) + (5-2) = 7 units.
+        let initial = vec![
+            stable_sequence(0, 1),
+            stable_sequence(1, 2),
+            unstable_sequence(10, 8),
+        ];
+        let popularity = vec![1.0 / 3.0; 3];
+        let mut fpmu = FpMu::new(omega);
+        let mut source = ReplaySource::new(vec![
+            stable_sequence(0, 100),
+            stable_sequence(1, 100),
+            unstable_sequence(10, 100),
+        ]);
+        let outcome = run_allocation(&mut fpmu, &mut source, &initial, &popularity, 7);
+        // After exactly the warm-up budget, all resources have ≥ ω posts.
+        for i in 0..3 {
+            let total = initial[i].len() + outcome.allocated[i] as usize;
+            assert!(total >= omega, "resource {i} has only {total} posts");
+        }
+        assert!(!fpmu.in_warm_up());
+        // The already-rich resource received nothing during warm-up.
+        assert_eq!(outcome.allocated[2], 0);
+    }
+
+    #[test]
+    fn after_warm_up_behaves_like_mu() {
+        let omega = 5;
+        // All resources already at/above ω; resource 1 is unstable.
+        let initial = vec![stable_sequence(0, 10), unstable_sequence(10, 10)];
+        let popularity = vec![0.5, 0.5];
+        let mut fpmu = FpMu::new(omega);
+        let mut source =
+            ReplaySource::new(vec![stable_sequence(0, 100), unstable_sequence(10, 100)]);
+        let outcome = run_allocation(&mut fpmu, &mut source, &initial, &popularity, 10);
+        assert!(
+            outcome.allocated[1] > outcome.allocated[0],
+            "MU phase should favour the unstable resource: {:?}",
+            outcome.allocated
+        );
+    }
+
+    #[test]
+    fn switches_from_fp_to_mu_mid_run() {
+        let omega = 4;
+        // Resource 0 below ω (2 posts) and *unstable-looking*; resource 1 stable
+        // with many posts. Budget 10: 2 units of warm-up, then MU decides.
+        let initial = vec![unstable_sequence(0, 2), stable_sequence(20, 12)];
+        let popularity = vec![0.5, 0.5];
+        let mut fpmu = FpMu::new(omega);
+        let mut source =
+            ReplaySource::new(vec![unstable_sequence(0, 100), stable_sequence(20, 100)]);
+        let outcome = run_allocation(&mut fpmu, &mut source, &initial, &popularity, 10);
+        // Warm-up gives resource 0 its first 2 tasks (tracked in the trace).
+        assert_eq!(outcome.trace[0].resource, ResourceId(0));
+        assert_eq!(outcome.trace[1].resource, ResourceId(0));
+        // After warm-up the unstable resource 0 keeps winning under MU, while the
+        // perfectly stable resource 1 receives nothing.
+        assert_eq!(outcome.allocated[1], 0);
+        assert_eq!(outcome.allocated[0], 10);
+    }
+
+    #[test]
+    fn large_omega_makes_fpmu_equal_fp() {
+        // With ω larger than any reachable post count, FP-MU never leaves the
+        // warm-up phase and must allocate exactly like FP (paper Figure 6(f)).
+        let omega = 1_000;
+        let initial = vec![
+            stable_sequence(0, 3),
+            stable_sequence(1, 7),
+            unstable_sequence(10, 5),
+        ];
+        let popularity = vec![1.0 / 3.0; 3];
+        let budget = 40;
+
+        let mut fpmu = FpMu::new(omega);
+        let mut source_a = ReplaySource::new(vec![
+            stable_sequence(0, 200),
+            stable_sequence(1, 200),
+            unstable_sequence(10, 200),
+        ]);
+        let fpmu_outcome =
+            run_allocation(&mut fpmu, &mut source_a, &initial, &popularity, budget);
+
+        let mut fp = crate::fp::FewestPostsFirst::new();
+        let mut source_b = ReplaySource::new(vec![
+            stable_sequence(0, 200),
+            stable_sequence(1, 200),
+            unstable_sequence(10, 200),
+        ]);
+        let fp_outcome = run_allocation(&mut fp, &mut source_b, &initial, &popularity, budget);
+
+        assert_eq!(fpmu_outcome.allocated, fp_outcome.allocated);
+        assert!(fpmu.in_warm_up());
+    }
+
+    #[test]
+    fn remaining_warm_up_budget_matches_algorithm_5() {
+        let omega = 5;
+        let initial = vec![stable_sequence(0, 1), stable_sequence(1, 2), stable_sequence(2, 9)];
+        let allocated = vec![0u32, 1, 0];
+        let popularity = vec![1.0 / 3.0; 3];
+        let view = AllocationView {
+            initial_sequences: &initial,
+            allocated: &allocated,
+            popularity: &popularity,
+        };
+        let fpmu = FpMu::new(omega);
+        // max(0,5-1) + max(0,5-3) + max(0,5-9) = 4 + 2 + 0 = 6.
+        assert_eq!(fpmu.remaining_warm_up_budget(&view), 6);
+    }
+}

@@ -1,0 +1,346 @@
+//! The incentive allocation framework (paper §IV, Algorithm 1).
+//!
+//! All practical strategies share one loop: while budget remains, CHOOSE a
+//! resource, present it to a tagger, receive the completed post, UPDATE internal
+//! state, and decrement the budget. Strategies differ only in INIT / CHOOSE /
+//! UPDATE, which is exactly the [`AllocationStrategy`] trait.
+//!
+//! The environment side of the loop — "a tagger completes a post task on the
+//! chosen resource" — is abstracted as a [`PostSource`]. The simulation crate
+//! provides sources that replay recorded future posts and/or sample new posts
+//! from a resource's latent distribution.
+
+use tagging_core::model::{Post, ResourceId};
+
+/// Read-only view of the allocation state shared with strategies.
+///
+/// `initial_posts[i]` is the paper's `c_i` (posts a resource had before the
+/// strategy started); `allocated[i]` is `x_i` (post tasks allocated so far).
+#[derive(Debug, Clone)]
+pub struct AllocationView<'a> {
+    /// The initial post sequences of every resource, indexed by resource.
+    pub initial_sequences: &'a [Vec<Post>],
+    /// Post tasks allocated to each resource so far (`x`).
+    pub allocated: &'a [u32],
+    /// Popularity weight of each resource (used by the Free-Choice tagger model).
+    pub popularity: &'a [f64],
+}
+
+impl<'a> AllocationView<'a> {
+    /// Number of resources `n`.
+    pub fn len(&self) -> usize {
+        self.initial_sequences.len()
+    }
+
+    /// True when there are no resources.
+    pub fn is_empty(&self) -> bool {
+        self.initial_sequences.is_empty()
+    }
+
+    /// The paper's `c_i`: number of posts resource `i` had initially.
+    pub fn initial_count(&self, id: ResourceId) -> usize {
+        self.initial_sequences[id.index()].len()
+    }
+
+    /// `c_i + x_i`: total posts the resource has received so far.
+    pub fn total_count(&self, id: ResourceId) -> usize {
+        self.initial_count(id) + self.allocated[id.index()] as usize
+    }
+}
+
+/// A strategy's interface to the framework loop of Algorithm 1.
+pub trait AllocationStrategy {
+    /// Short name used in experiment reports ("FP", "MU", …).
+    fn name(&self) -> &'static str;
+
+    /// INIT(): called once before the loop with the initial state.
+    fn init(&mut self, view: &AllocationView<'_>);
+
+    /// CHOOSE(): returns the resource the next post task should be offered on.
+    fn choose(&mut self, view: &AllocationView<'_>) -> ResourceId;
+
+    /// UPDATE(): called after the post task on `resource` completes.
+    ///
+    /// `post` is the post the tagger submitted, or `None` when the environment
+    /// could not produce a post for that resource (e.g. a strict replay source
+    /// ran out of recorded posts); the reward unit is consumed either way.
+    fn update(&mut self, view: &AllocationView<'_>, resource: ResourceId, post: Option<&Post>);
+}
+
+/// The environment that turns an allocated post task into an actual post.
+pub trait PostSource {
+    /// Produces the next post for `resource`, or `None` when no further post can
+    /// be obtained for it.
+    fn next_post(&mut self, resource: ResourceId) -> Option<Post>;
+}
+
+/// A [`PostSource`] that replays pre-recorded future post sequences and returns
+/// `None` once a resource's recorded posts are exhausted — the strict analogue
+/// of the paper's setup, where a strategy can only "receive" posts that actually
+/// occurred later in 2007.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    future: Vec<Vec<Post>>,
+    cursor: Vec<usize>,
+}
+
+impl ReplaySource {
+    /// Creates a replay source from per-resource future post sequences.
+    pub fn new(future: Vec<Vec<Post>>) -> Self {
+        let cursor = vec![0; future.len()];
+        Self { future, cursor }
+    }
+
+    /// Number of posts still available for a resource.
+    pub fn remaining(&self, resource: ResourceId) -> usize {
+        let i = resource.index();
+        self.future[i].len() - self.cursor[i]
+    }
+}
+
+impl PostSource for ReplaySource {
+    fn next_post(&mut self, resource: ResourceId) -> Option<Post> {
+        let i = resource.index();
+        let pos = self.cursor[i];
+        let post = self.future.get(i)?.get(pos)?.clone();
+        self.cursor[i] = pos + 1;
+        Some(post)
+    }
+}
+
+/// One step of an allocation run: which resource was chosen and whether a post
+/// was actually delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationStep {
+    /// The resource chosen by the strategy.
+    pub resource: ResourceId,
+    /// The post the tagger submitted, if any.
+    pub post: Option<Post>,
+}
+
+/// The outcome of running a strategy for a whole budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationOutcome {
+    /// Post tasks allocated per resource (the paper's assignment `x`).
+    pub allocated: Vec<u32>,
+    /// The chronological trace of steps, in allocation order.
+    pub trace: Vec<AllocationStep>,
+    /// Number of post tasks that produced no post because the source was
+    /// exhausted for the chosen resource.
+    pub undelivered: usize,
+}
+
+impl AllocationOutcome {
+    /// Total budget consumed (equals the requested budget).
+    pub fn budget_spent(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// The allocation as `(resource, x_i)` pairs for resources with `x_i > 0`.
+    pub fn nonzero_allocations(&self) -> Vec<(ResourceId, u32)> {
+        self.allocated
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x > 0)
+            .map(|(i, &x)| (ResourceId(i as u32), x))
+            .collect()
+    }
+}
+
+/// Runs Algorithm 1: invests `budget` reward units one at a time using
+/// `strategy`, drawing completed posts from `source`.
+///
+/// `initial_sequences` and `popularity` describe the starting state; they are
+/// exposed to the strategy through [`AllocationView`].
+pub fn run_allocation<S: AllocationStrategy + ?Sized, P: PostSource + ?Sized>(
+    strategy: &mut S,
+    source: &mut P,
+    initial_sequences: &[Vec<Post>],
+    popularity: &[f64],
+    budget: usize,
+) -> AllocationOutcome {
+    assert_eq!(
+        initial_sequences.len(),
+        popularity.len(),
+        "initial sequences and popularity weights must cover the same resources"
+    );
+    let n = initial_sequences.len();
+    assert!(n > 0, "cannot allocate a budget over zero resources");
+
+    let mut allocated = vec![0u32; n];
+    let mut trace = Vec::with_capacity(budget);
+    let mut undelivered = 0usize;
+
+    {
+        let view = AllocationView {
+            initial_sequences,
+            allocated: &allocated,
+            popularity,
+        };
+        strategy.init(&view);
+    }
+
+    for _ in 0..budget {
+        let chosen = {
+            let view = AllocationView {
+                initial_sequences,
+                allocated: &allocated,
+                popularity,
+            };
+            strategy.choose(&view)
+        };
+        assert!(
+            chosen.index() < n,
+            "strategy {} chose an unknown resource {chosen}",
+            strategy.name()
+        );
+        let post = source.next_post(chosen);
+        if post.is_none() {
+            undelivered += 1;
+        }
+        allocated[chosen.index()] += 1;
+        {
+            let view = AllocationView {
+                initial_sequences,
+                allocated: &allocated,
+                popularity,
+            };
+            strategy.update(&view, chosen, post.as_ref());
+        }
+        trace.push(AllocationStep {
+            resource: chosen,
+            post,
+        });
+    }
+
+    AllocationOutcome {
+        allocated,
+        trace,
+        undelivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagging_core::model::TagId;
+
+    /// A trivial strategy that always picks resource 0 — used to test the
+    /// framework loop itself.
+    struct AlwaysFirst {
+        init_called: bool,
+        updates: usize,
+    }
+
+    impl AllocationStrategy for AlwaysFirst {
+        fn name(&self) -> &'static str {
+            "always-first"
+        }
+        fn init(&mut self, _view: &AllocationView<'_>) {
+            self.init_called = true;
+        }
+        fn choose(&mut self, _view: &AllocationView<'_>) -> ResourceId {
+            ResourceId(0)
+        }
+        fn update(&mut self, view: &AllocationView<'_>, resource: ResourceId, _post: Option<&Post>) {
+            assert_eq!(resource, ResourceId(0));
+            assert_eq!(view.allocated[0] as usize, self.updates + 1);
+            self.updates += 1;
+        }
+    }
+
+    fn simple_post(tag: u32) -> Post {
+        Post::new([TagId(tag)]).unwrap()
+    }
+
+    fn two_resource_state() -> (Vec<Vec<Post>>, Vec<f64>) {
+        let initial = vec![vec![simple_post(0)], vec![simple_post(1), simple_post(1)]];
+        let popularity = vec![0.5, 0.5];
+        (initial, popularity)
+    }
+
+    #[test]
+    fn framework_spends_exactly_the_budget() {
+        let (initial, popularity) = two_resource_state();
+        let mut strategy = AlwaysFirst {
+            init_called: false,
+            updates: 0,
+        };
+        let mut source = ReplaySource::new(vec![vec![simple_post(0); 10], vec![]]);
+        let outcome = run_allocation(&mut strategy, &mut source, &initial, &popularity, 7);
+        assert!(strategy.init_called);
+        assert_eq!(strategy.updates, 7);
+        assert_eq!(outcome.budget_spent(), 7);
+        assert_eq!(outcome.allocated, vec![7, 0]);
+        assert_eq!(outcome.undelivered, 0);
+        assert_eq!(outcome.nonzero_allocations(), vec![(ResourceId(0), 7)]);
+    }
+
+    #[test]
+    fn exhausted_source_counts_undelivered_tasks() {
+        let (initial, popularity) = two_resource_state();
+        let mut strategy = AlwaysFirst {
+            init_called: false,
+            updates: 0,
+        };
+        // Only 3 recorded posts for resource 0; a budget of 5 leaves 2 undelivered.
+        let mut source = ReplaySource::new(vec![vec![simple_post(0); 3], vec![]]);
+        let outcome = run_allocation(&mut strategy, &mut source, &initial, &popularity, 5);
+        assert_eq!(outcome.undelivered, 2);
+        assert_eq!(outcome.allocated[0], 5);
+        assert_eq!(outcome.trace.iter().filter(|s| s.post.is_some()).count(), 3);
+    }
+
+    #[test]
+    fn zero_budget_only_initialises() {
+        let (initial, popularity) = two_resource_state();
+        let mut strategy = AlwaysFirst {
+            init_called: false,
+            updates: 0,
+        };
+        let mut source = ReplaySource::new(vec![vec![], vec![]]);
+        let outcome = run_allocation(&mut strategy, &mut source, &initial, &popularity, 0);
+        assert!(strategy.init_called);
+        assert_eq!(outcome.budget_spent(), 0);
+        assert_eq!(outcome.allocated, vec![0, 0]);
+    }
+
+    #[test]
+    fn allocation_view_counts() {
+        let (initial, _popularity) = two_resource_state();
+        let allocated = vec![2, 0];
+        let popularity = vec![0.5, 0.5];
+        let view = AllocationView {
+            initial_sequences: &initial,
+            allocated: &allocated,
+            popularity: &popularity,
+        };
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.initial_count(ResourceId(0)), 1);
+        assert_eq!(view.total_count(ResourceId(0)), 3);
+        assert_eq!(view.total_count(ResourceId(1)), 2);
+    }
+
+    #[test]
+    fn replay_source_remaining() {
+        let mut source = ReplaySource::new(vec![vec![simple_post(0); 2]]);
+        assert_eq!(source.remaining(ResourceId(0)), 2);
+        assert!(source.next_post(ResourceId(0)).is_some());
+        assert_eq!(source.remaining(ResourceId(0)), 1);
+        assert!(source.next_post(ResourceId(0)).is_some());
+        assert!(source.next_post(ResourceId(0)).is_none());
+        assert_eq!(source.remaining(ResourceId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero resources")]
+    fn run_allocation_rejects_empty_state() {
+        let mut strategy = AlwaysFirst {
+            init_called: false,
+            updates: 0,
+        };
+        let mut source = ReplaySource::new(vec![]);
+        run_allocation(&mut strategy, &mut source, &[], &[], 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! # tagging-strategies
+//!
+//! Incentive allocation strategies from *"On Incentive-based Tagging"*
+//! (ICDE 2013): how should a fixed budget of paid "post tasks" be distributed
+//! across resources to maximise their aggregate tagging quality?
+//!
+//! The crate provides
+//!
+//! * the shared allocation framework of Algorithm 1 ([`framework`]): strategies
+//!   implement INIT / CHOOSE / UPDATE ([`framework::AllocationStrategy`]) and the
+//!   framework invests one reward unit at a time, drawing completed posts from a
+//!   [`framework::PostSource`];
+//! * the five practical strategies of §IV —
+//!   [`fc::FreeChoice`], [`rr::RoundRobin`], [`fp::FewestPostsFirst`],
+//!   [`mu::MostUnstableFirst`] and [`fpmu::FpMu`];
+//! * the offline optimal algorithm of §III-D ([`dp`]): a dynamic program over
+//!   precomputed quality tables, used as the upper-bound reference in every
+//!   experiment.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tagging_core::model::{Post, TagId};
+//! use tagging_strategies::fp::FewestPostsFirst;
+//! use tagging_strategies::framework::{run_allocation, ReplaySource};
+//!
+//! let post = |t: u32| Post::new([TagId(t)]).unwrap();
+//! // Two resources: one with 5 initial posts, one with just 1.
+//! let initial = vec![vec![post(0); 5], vec![post(1); 1]];
+//! let popularity = vec![0.9, 0.1];
+//! let mut source = ReplaySource::new(vec![vec![post(0); 10], vec![post(1); 10]]);
+//!
+//! let mut fp = FewestPostsFirst::new();
+//! let outcome = run_allocation(&mut fp, &mut source, &initial, &popularity, 4);
+//! // FP channels every task to the under-tagged resource.
+//! assert_eq!(outcome.allocated, vec![0, 4]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dp;
+pub mod fc;
+pub mod fp;
+pub mod fpmu;
+pub mod framework;
+pub mod mu;
+pub mod rr;
+pub mod util;
+
+pub use dp::{brute_force_allocation, optimal_allocation, DpAllocation, QualityTable};
+pub use fc::FreeChoice;
+pub use fp::FewestPostsFirst;
+pub use fpmu::FpMu;
+pub use framework::{
+    run_allocation, AllocationOutcome, AllocationStep, AllocationStrategy, AllocationView,
+    PostSource, ReplaySource,
+};
+pub use mu::MostUnstableFirst;
+pub use rr::RoundRobin;
+
+use tagging_core::model::ResourceId;
+
+/// Identifier of a built-in strategy, convenient for sweeps and command lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Free Choice (popularity-driven baseline).
+    Fc,
+    /// Round Robin.
+    Rr,
+    /// Fewest Posts First.
+    Fp,
+    /// Most Unstable First.
+    Mu,
+    /// Hybrid FP then MU.
+    FpMu,
+}
+
+impl StrategyKind {
+    /// All practical strategies, in the order the paper's figures list them.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::FpMu,
+        StrategyKind::Fp,
+        StrategyKind::Rr,
+        StrategyKind::Mu,
+        StrategyKind::Fc,
+    ];
+
+    /// The display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Fc => "FC",
+            StrategyKind::Rr => "RR",
+            StrategyKind::Fp => "FP",
+            StrategyKind::Mu => "MU",
+            StrategyKind::FpMu => "FP-MU",
+        }
+    }
+
+    /// Parses a strategy name (case-insensitive; accepts "fp-mu" and "fpmu").
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "fc" => Some(StrategyKind::Fc),
+            "rr" => Some(StrategyKind::Rr),
+            "fp" => Some(StrategyKind::Fp),
+            "mu" => Some(StrategyKind::Mu),
+            "fp-mu" | "fpmu" | "fp_mu" => Some(StrategyKind::FpMu),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the strategy. `omega` configures MU / FP-MU; `seed` drives
+    /// the Free-Choice tagger model.
+    pub fn build(self, omega: usize, seed: u64) -> Box<dyn AllocationStrategy> {
+        match self {
+            StrategyKind::Fc => Box::new(FreeChoice::new(seed)),
+            StrategyKind::Rr => Box::new(RoundRobin::new()),
+            StrategyKind::Fp => Box::new(FewestPostsFirst::new()),
+            StrategyKind::Mu => Box::new(MostUnstableFirst::new(omega)),
+            StrategyKind::FpMu => Box::new(FpMu::new(omega)),
+        }
+    }
+}
+
+/// Convenience: turn an allocation vector into `(resource, x_i)` pairs with
+/// non-zero allocations, sorted by descending allocation.
+pub fn top_allocations(allocation: &[u32], limit: usize) -> Vec<(ResourceId, u32)> {
+    let mut pairs: Vec<(ResourceId, u32)> = allocation
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x > 0)
+        .map(|(i, &x)| (ResourceId(i as u32), x))
+        .collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(limit);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_kind_parse_and_name_roundtrip() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(StrategyKind::parse("fpmu"), Some(StrategyKind::FpMu));
+        assert_eq!(StrategyKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn strategy_kind_builds_correctly_named_strategies() {
+        for kind in StrategyKind::ALL {
+            let strategy = kind.build(5, 42);
+            assert_eq!(strategy.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn top_allocations_sorts_and_truncates() {
+        let allocation = vec![0, 5, 2, 5, 1];
+        let top = top_allocations(&allocation, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], (ResourceId(1), 5));
+        assert_eq!(top[1], (ResourceId(3), 5));
+        assert_eq!(top[2], (ResourceId(2), 2));
+    }
+
+    #[test]
+    fn top_allocations_empty_when_nothing_allocated() {
+        assert!(top_allocations(&[0, 0, 0], 5).is_empty());
+    }
+}

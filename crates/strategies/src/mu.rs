@@ -1,0 +1,263 @@
+//! The Most Unstable First strategy (paper §IV-D, Algorithm 4).
+//!
+//! MU allocates the next post task to the resource with the **lowest MA score**
+//! — the resource whose rfd is currently the least stable and therefore
+//! presumably needs quality improvement the most. Resources that have received
+//! fewer than ω posts have no MA score and are ignored (the weakness FP-MU
+//! fixes).
+//!
+//! Implementation notes, mirroring the paper's complexity discussion
+//! (Table V, Appendix C):
+//!
+//! * each resource keeps an incremental [`MaTracker`], so an UPDATE costs
+//!   `O(d)` where `d` is the number of distinct tags of that resource, not
+//!   `O(ω·|T|)`;
+//! * the priority queue is a binary heap with **lazy deletion**: entries carry a
+//!   version number and stale entries are skipped on pop, so the structure also
+//!   supports resources whose MA score becomes defined mid-run (needed by the
+//!   FP-MU warm-up phase).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tagging_core::model::{Post, ResourceId};
+use tagging_core::stability::MaTracker;
+
+use crate::framework::{AllocationStrategy, AllocationView};
+use crate::util::OrdF64;
+
+/// Most Unstable First: allocate to the resource with the lowest MA score.
+#[derive(Debug)]
+pub struct MostUnstableFirst {
+    omega: usize,
+    trackers: Vec<MaTracker>,
+    /// Min-heap over (MA score, version, resource id); stale versions are skipped.
+    queue: BinaryHeap<Reverse<(OrdF64, u64, u32)>>,
+    version: Vec<u64>,
+}
+
+impl MostUnstableFirst {
+    /// Creates the strategy with MA window size `omega ≥ 2`.
+    pub fn new(omega: usize) -> Self {
+        assert!(omega >= 2, "the MA window ω must be at least 2 (got {omega})");
+        Self {
+            omega,
+            trackers: Vec::new(),
+            queue: BinaryHeap::new(),
+            version: Vec::new(),
+        }
+    }
+
+    /// The MA window size ω.
+    pub fn omega(&self) -> usize {
+        self.omega
+    }
+
+    /// Current MA score of a resource, if defined.
+    pub fn ma_score(&self, id: ResourceId) -> Option<f64> {
+        self.trackers.get(id.index()).and_then(MaTracker::ma_score)
+    }
+
+    /// Feeds a post that was allocated by *another* strategy (the FP-MU warm-up
+    /// phase) into this resource's tracker, enqueueing the resource once its MA
+    /// score becomes defined.
+    pub fn observe(&mut self, resource: ResourceId, post: Option<&Post>) {
+        let i = resource.index();
+        if let Some(post) = post {
+            self.trackers[i].push(post);
+        }
+        if let Some(ma) = self.trackers[i].ma_score() {
+            self.version[i] += 1;
+            self.queue
+                .push(Reverse((OrdF64::new(ma), self.version[i], resource.0)));
+        }
+    }
+
+    /// Pops the resource with the lowest valid MA score, skipping stale entries.
+    fn pop_most_unstable(&mut self) -> Option<ResourceId> {
+        while let Some(Reverse((_ma, version, id))) = self.queue.pop() {
+            if self.version[id as usize] == version {
+                return Some(ResourceId(id));
+            }
+        }
+        None
+    }
+
+    /// Fallback when no resource has a defined MA score: pick the resource with
+    /// the fewest posts (deterministic, sensible, and only reachable when every
+    /// resource is below ω — the situation MU is documented to handle poorly).
+    fn fallback(&self, view: &AllocationView<'_>) -> ResourceId {
+        (0..view.len())
+            .map(|i| ResourceId(i as u32))
+            .min_by_key(|id| (view.total_count(*id), id.0))
+            .expect("at least one resource")
+    }
+}
+
+impl AllocationStrategy for MostUnstableFirst {
+    fn name(&self) -> &'static str {
+        "MU"
+    }
+
+    fn init(&mut self, view: &AllocationView<'_>) {
+        let n = view.len();
+        self.queue.clear();
+        self.version = vec![0; n];
+        self.trackers = (0..n)
+            .map(|i| MaTracker::from_posts(self.omega, view.initial_sequences[i].iter()))
+            .collect();
+        for i in 0..n {
+            if let Some(ma) = self.trackers[i].ma_score() {
+                self.version[i] += 1;
+                self.queue
+                    .push(Reverse((OrdF64::new(ma), self.version[i], i as u32)));
+            }
+        }
+    }
+
+    fn choose(&mut self, view: &AllocationView<'_>) -> ResourceId {
+        match self.pop_most_unstable() {
+            Some(id) => id,
+            None => self.fallback(view),
+        }
+    }
+
+    fn update(&mut self, _view: &AllocationView<'_>, resource: ResourceId, post: Option<&Post>) {
+        // Identical to observe(): push the new post (if any) into the tracker and
+        // reinsert the resource with its refreshed MA score.
+        self.observe(resource, post);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{run_allocation, ReplaySource};
+    use tagging_core::model::{TagDictionary, TagId};
+
+    fn post(tag: u32) -> Post {
+        Post::new([TagId(tag)]).unwrap()
+    }
+
+    /// A stable sequence: the same post repeated `n` times.
+    fn stable_sequence(tag: u32, n: usize) -> Vec<Post> {
+        vec![post(tag); n]
+    }
+
+    /// An unstable sequence: alternating disjoint tag pairs.
+    fn unstable_sequence(base: u32, n: usize) -> Vec<Post> {
+        (0..n)
+            .map(|i| post(base + (i % 4) as u32))
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "ω must be at least 2")]
+    fn mu_rejects_omega_one() {
+        MostUnstableFirst::new(1);
+    }
+
+    #[test]
+    fn mu_prefers_the_least_stable_resource() {
+        // Resource 0: perfectly stable; resource 1: unstable. Both have ≥ ω posts.
+        let initial = vec![stable_sequence(0, 12), unstable_sequence(10, 12)];
+        let popularity = vec![0.5, 0.5];
+        let mut mu = MostUnstableFirst::new(5);
+        let mut source = ReplaySource::new(vec![stable_sequence(0, 100), unstable_sequence(10, 100)]);
+        let outcome = run_allocation(&mut mu, &mut source, &initial, &popularity, 10);
+        assert!(
+            outcome.allocated[1] > outcome.allocated[0],
+            "unstable resource should receive more tasks: {:?}",
+            outcome.allocated
+        );
+    }
+
+    #[test]
+    fn mu_ignores_resources_below_omega() {
+        // Resource 0 has only 2 posts (< ω = 5) and is ignored even though it is
+        // the most in need; resource 1 has 10 mildly-unstable posts.
+        let initial = vec![stable_sequence(0, 2), unstable_sequence(10, 10)];
+        let popularity = vec![0.5, 0.5];
+        let mut mu = MostUnstableFirst::new(5);
+        let mut source = ReplaySource::new(vec![stable_sequence(0, 50), unstable_sequence(10, 50)]);
+        let outcome = run_allocation(&mut mu, &mut source, &initial, &popularity, 8);
+        assert_eq!(outcome.allocated[0], 0, "below-ω resource must be ignored by MU");
+        assert_eq!(outcome.allocated[1], 8);
+    }
+
+    #[test]
+    fn mu_falls_back_to_fewest_posts_when_no_ma_defined() {
+        // Every resource is below ω: MU cannot rank by MA score and falls back.
+        let initial = vec![stable_sequence(0, 3), stable_sequence(1, 1)];
+        let popularity = vec![0.5, 0.5];
+        let mut mu = MostUnstableFirst::new(5);
+        let mut source = ReplaySource::new(vec![stable_sequence(0, 50), stable_sequence(1, 50)]);
+        let outcome = run_allocation(&mut mu, &mut source, &initial, &popularity, 2);
+        // The fallback picks the resource with fewest posts (resource 1).
+        assert_eq!(outcome.allocated[1], 2);
+    }
+
+    #[test]
+    fn mu_ma_scores_track_posts() {
+        let mut dict = TagDictionary::new();
+        let steady = Post::from_names(&mut dict, ["a", "b"]).unwrap();
+        let initial = vec![vec![steady.clone(); 6]];
+        let allocated = vec![0u32];
+        let popularity = vec![1.0];
+        let view = AllocationView {
+            initial_sequences: &initial,
+            allocated: &allocated,
+            popularity: &popularity,
+        };
+        let mut mu = MostUnstableFirst::new(4);
+        mu.init(&view);
+        let ma0 = mu.ma_score(ResourceId(0)).unwrap();
+        assert!((ma0 - 1.0).abs() < 1e-12, "constant sequence has MA 1");
+        // Observing a divergent post lowers the MA score.
+        let outlier = Post::from_names(&mut dict, ["zzz"]).unwrap();
+        mu.observe(ResourceId(0), Some(&outlier));
+        let ma1 = mu.ma_score(ResourceId(0)).unwrap();
+        assert!(ma1 < ma0);
+    }
+
+    #[test]
+    fn mu_observe_enqueues_resources_that_cross_omega() {
+        // Resource 0 starts below ω; feeding it posts via observe() must make it
+        // eligible for CHOOSE.
+        let initial = vec![stable_sequence(0, 3), unstable_sequence(10, 10)];
+        let allocated = vec![0u32, 0];
+        let popularity = vec![0.5, 0.5];
+        let view = AllocationView {
+            initial_sequences: &initial,
+            allocated: &allocated,
+            popularity: &popularity,
+        };
+        let mut mu = MostUnstableFirst::new(5);
+        mu.init(&view);
+        assert!(mu.ma_score(ResourceId(0)).is_none());
+        // Push two more posts: the resource reaches ω = 5 posts.
+        mu.observe(ResourceId(0), Some(&post(0)));
+        mu.observe(ResourceId(0), Some(&post(0)));
+        assert!(mu.ma_score(ResourceId(0)).is_some());
+        // It is now somewhere in the queue; a sequence of pops must eventually
+        // return it (after the less stable resource 1).
+        let first = mu.pop_most_unstable().unwrap();
+        let second = mu.pop_most_unstable().unwrap();
+        assert_ne!(first, second);
+        assert!(first == ResourceId(1) || second == ResourceId(1));
+        assert!(first == ResourceId(0) || second == ResourceId(0));
+    }
+
+    #[test]
+    fn mu_update_with_none_post_keeps_resource_enqueued() {
+        let initial = vec![unstable_sequence(0, 10)];
+        let popularity = vec![1.0];
+        let mut mu = MostUnstableFirst::new(5);
+        // Source with no future posts: every task is undelivered, but MU must not
+        // lose the resource from its queue or loop forever.
+        let mut source = ReplaySource::new(vec![vec![]]);
+        let outcome = run_allocation(&mut mu, &mut source, &initial, &popularity, 5);
+        assert_eq!(outcome.allocated[0], 5);
+        assert_eq!(outcome.undelivered, 5);
+    }
+}

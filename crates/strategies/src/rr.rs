@@ -1,0 +1,109 @@
+//! The Round Robin strategy (paper §IV-B, Algorithm 2).
+//!
+//! RR cycles through the resources in id order, ignoring how many posts they
+//! have or how stable their rfds are. It needs almost no state and serves as a
+//! simple "spread the budget evenly" baseline: the paper finds it clearly better
+//! than FC (it does not pile posts onto popular resources) but clearly worse
+//! than FP / FP-MU (it does not focus on the resources that need posts most).
+
+use tagging_core::model::{Post, ResourceId};
+
+use crate::framework::{AllocationStrategy, AllocationView};
+
+/// Round Robin: allocate post tasks to resources in cyclic id order.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    /// Index of the last chosen resource (the paper's global variable `l`).
+    last: usize,
+    initialised: bool,
+}
+
+impl RoundRobin {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AllocationStrategy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn init(&mut self, _view: &AllocationView<'_>) {
+        // Algorithm 2 starts with l = 1; our ids are 0-based, so the first
+        // CHOOSE() should return resource 1 mod n — we keep the paper's exact
+        // behaviour of starting at the *second* resource, which is immaterial.
+        self.last = 1;
+        self.initialised = true;
+    }
+
+    fn choose(&mut self, view: &AllocationView<'_>) -> ResourceId {
+        assert!(self.initialised, "init() must be called before choose()");
+        ResourceId((self.last % view.len()) as u32)
+    }
+
+    fn update(&mut self, _view: &AllocationView<'_>, _resource: ResourceId, _post: Option<&Post>) {
+        self.last += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{run_allocation, ReplaySource};
+    use tagging_core::model::TagId;
+
+    fn post(tag: u32) -> Post {
+        Post::new([TagId(tag)]).unwrap()
+    }
+
+    #[test]
+    fn rr_distributes_evenly() {
+        let n = 4;
+        let initial: Vec<Vec<Post>> = (0..n).map(|i| vec![post(i as u32)]).collect();
+        let popularity = vec![0.25; n];
+        let mut rr = RoundRobin::new();
+        let mut source = ReplaySource::new(vec![vec![post(0); 100]; n]);
+        let outcome = run_allocation(&mut rr, &mut source, &initial, &popularity, 8);
+        // 8 units over 4 resources → exactly 2 each.
+        assert_eq!(outcome.allocated, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn rr_handles_budget_not_divisible_by_n() {
+        let n = 3;
+        let initial: Vec<Vec<Post>> = (0..n).map(|i| vec![post(i as u32)]).collect();
+        let popularity = vec![1.0 / 3.0; n];
+        let mut rr = RoundRobin::new();
+        let mut source = ReplaySource::new(vec![vec![post(0); 100]; n]);
+        let outcome = run_allocation(&mut rr, &mut source, &initial, &popularity, 7);
+        let mut counts = outcome.allocated.clone();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![2, 2, 3]);
+        assert_eq!(outcome.allocated.iter().sum::<u32>(), 7);
+    }
+
+    #[test]
+    fn rr_cycles_in_id_order() {
+        let n = 3;
+        let initial: Vec<Vec<Post>> = (0..n).map(|i| vec![post(i as u32)]).collect();
+        let popularity = vec![1.0 / 3.0; n];
+        let mut rr = RoundRobin::new();
+        let mut source = ReplaySource::new(vec![vec![post(0); 100]; n]);
+        let outcome = run_allocation(&mut rr, &mut source, &initial, &popularity, 6);
+        let order: Vec<u32> = outcome.trace.iter().map(|s| s.resource.0).collect();
+        // Algorithm 2 starts at (1 mod n) + ... : resource 1, 2, 0, 1, 2, 0.
+        assert_eq!(order, vec![1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn rr_single_resource() {
+        let initial = vec![vec![post(0)]];
+        let popularity = vec![1.0];
+        let mut rr = RoundRobin::new();
+        let mut source = ReplaySource::new(vec![vec![post(0); 10]]);
+        let outcome = run_allocation(&mut rr, &mut source, &initial, &popularity, 5);
+        assert_eq!(outcome.allocated, vec![5]);
+    }
+}

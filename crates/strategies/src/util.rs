@@ -1,0 +1,66 @@
+//! Small utilities shared by the allocation strategies.
+
+use std::cmp::Ordering;
+
+/// A totally ordered `f64` wrapper (ordering via [`f64::total_cmp`]), used as a
+/// priority-queue key for MA scores.
+///
+/// NaN keys are rejected at construction so that the heap ordering is always the
+/// intuitive numeric one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a finite (non-NaN) value.
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "priority keys must not be NaN");
+        Self(value)
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        let mut values = vec![OrdF64::new(0.5), OrdF64::new(0.1), OrdF64::new(0.9)];
+        values.sort();
+        assert_eq!(values[0].get(), 0.1);
+        assert_eq!(values[2].get(), 0.9);
+        assert!(OrdF64::new(0.2) < OrdF64::new(0.3));
+        assert_eq!(OrdF64::new(0.2), OrdF64::new(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan() {
+        OrdF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn handles_negative_zero_and_infinities() {
+        assert!(OrdF64::new(f64::NEG_INFINITY) < OrdF64::new(0.0));
+        assert!(OrdF64::new(f64::INFINITY) > OrdF64::new(1.0));
+        assert!(OrdF64::new(-0.0) <= OrdF64::new(0.0));
+    }
+}

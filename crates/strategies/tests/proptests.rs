@@ -1,0 +1,169 @@
+//! Property-based tests for the allocation strategies.
+//!
+//! Invariants checked:
+//! * every strategy spends exactly the budget, never allocates to an unknown
+//!   resource and never produces a negative allocation;
+//! * FP keeps post counts as level as possible (max − min ≤ 1 above the initial
+//!   water line);
+//! * DP is at least as good as every practical strategy and as brute force says
+//!   it can be, on the same quality table.
+
+use proptest::prelude::*;
+
+use tagging_core::model::{Post, TagId};
+use tagging_strategies::dp::{brute_force_allocation, optimal_allocation, QualityTable};
+use tagging_strategies::framework::{run_allocation, ReplaySource};
+use tagging_strategies::StrategyKind;
+
+fn post(tag: u32) -> Post {
+    Post::new([TagId(tag)]).unwrap()
+}
+
+/// Strategy: initial post counts for 2–8 resources, each 0–20 posts.
+fn arb_initial_counts() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..20, 2..8)
+}
+
+/// Builds initial sequences whose posts cycle over a small per-resource tag set,
+/// so MA scores are well defined and vary across resources.
+fn initial_sequences(counts: &[usize]) -> Vec<Vec<Post>> {
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            (0..c)
+                .map(|j| post((i * 10 + j % 3) as u32))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Ample future posts for every resource.
+fn future_sequences(n: usize) -> Vec<Vec<Post>> {
+    (0..n)
+        .map(|i| (0..200).map(|j| post((i * 10 + j % 3) as u32)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every built-in strategy spends exactly the budget.
+    #[test]
+    fn strategies_spend_exactly_the_budget(
+        counts in arb_initial_counts(),
+        budget in 0usize..60,
+        omega in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let n = counts.len();
+        let initial = initial_sequences(&counts);
+        let popularity: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        for kind in StrategyKind::ALL {
+            let mut strategy = kind.build(omega, seed);
+            let mut source = ReplaySource::new(future_sequences(n));
+            let outcome = run_allocation(
+                strategy.as_mut(),
+                &mut source,
+                &initial,
+                &popularity,
+                budget,
+            );
+            prop_assert_eq!(outcome.allocated.len(), n);
+            prop_assert_eq!(
+                outcome.allocated.iter().map(|&x| x as usize).sum::<usize>(),
+                budget,
+                "{} did not spend the budget",
+                kind.name()
+            );
+            prop_assert_eq!(outcome.trace.len(), budget);
+        }
+    }
+
+    /// FP levels the post counts: any resource that received at least one task
+    /// ends within one post of the global minimum.
+    #[test]
+    fn fp_waterfills(counts in arb_initial_counts(), budget in 1usize..80) {
+        let n = counts.len();
+        let initial = initial_sequences(&counts);
+        let popularity = vec![1.0 / n as f64; n];
+        let mut fp = tagging_strategies::FewestPostsFirst::new();
+        let mut source = ReplaySource::new(future_sequences(n));
+        let outcome = run_allocation(&mut fp, &mut source, &initial, &popularity, budget);
+        let totals: Vec<usize> = (0..n)
+            .map(|i| counts[i] + outcome.allocated[i] as usize)
+            .collect();
+        let min_total = *totals.iter().min().unwrap();
+        for i in 0..n {
+            if outcome.allocated[i] > 0 {
+                prop_assert!(
+                    totals[i] <= min_total + 1,
+                    "resource {i} over-filled: totals {totals:?}"
+                );
+            }
+        }
+    }
+
+    /// DP achieves at least the quality of any practical strategy evaluated on
+    /// the same quality table (it is the offline optimum).
+    #[test]
+    fn dp_dominates_practical_strategies(
+        counts in proptest::collection::vec(0usize..8, 2..5),
+        budget in 0usize..15,
+        seed in 0u64..100,
+    ) {
+        let n = counts.len();
+        let initial = initial_sequences(&counts);
+        let popularity: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let future = future_sequences(n);
+        // Reference rfd: the rfd of initial + all future posts (a stand-in for the
+        // stable rfd; any fixed reference works for the dominance property).
+        let references: Vec<_> = (0..n)
+            .map(|i| {
+                let mut all = initial[i].clone();
+                all.extend_from_slice(&future[i]);
+                tagging_core::rfd::rfd_of_prefix(&all, all.len())
+            })
+            .collect();
+        let table = QualityTable::from_posts(&initial, &future, &references, budget);
+        let dp = optimal_allocation(&table, budget);
+
+        for kind in StrategyKind::ALL {
+            let mut strategy = kind.build(3, seed);
+            let mut source = ReplaySource::new(future.clone());
+            let outcome = run_allocation(
+                strategy.as_mut(),
+                &mut source,
+                &initial,
+                &popularity,
+                budget,
+            );
+            let practical_quality: f64 = (0..n)
+                .map(|i| table.quality(i, outcome.allocated[i] as usize))
+                .sum();
+            prop_assert!(
+                dp.total_quality >= practical_quality - 1e-9,
+                "{} beat DP: {} vs {}",
+                kind.name(),
+                practical_quality,
+                dp.total_quality
+            );
+        }
+    }
+
+    /// DP equals brute force on tiny instances with arbitrary quality rows.
+    #[test]
+    fn dp_equals_brute_force(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 5),
+            1..4,
+        ),
+        budget in 0usize..4,
+    ) {
+        let table = QualityTable::from_rows(rows);
+        let dp = optimal_allocation(&table, budget);
+        let bf = brute_force_allocation(&table, budget);
+        prop_assert!((dp.total_quality - bf.total_quality).abs() < 1e-9);
+        prop_assert_eq!(dp.allocation.iter().map(|&x| x as usize).sum::<usize>(), budget);
+    }
+}

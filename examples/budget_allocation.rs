@@ -1,0 +1,72 @@
+//! Budget allocation for a crowdsourcing campaign.
+//!
+//! Scenario: you operate a tagging system and can pay for a limited number of
+//! post tasks on Mechanical-Turk-style workers. This example shows how to
+//!
+//! * decide which strategy to use by sweeping the budget,
+//! * inspect *where* a strategy spends the budget (which resources),
+//! * estimate how large a budget is needed to eliminate under-tagging.
+//!
+//! Run with: `cargo run --release -p tagging-bench --example budget_allocation`
+
+use delicious_sim::generator::{generate, GeneratorConfig};
+use tagging_sim::engine::{run_strategy, RunConfig};
+use tagging_sim::scenario::{Scenario, ScenarioParams};
+use tagging_sim::sweep::{budget_sweep, SweepAlgorithms};
+use tagging_strategies::{top_allocations, StrategyKind};
+
+fn main() {
+    let corpus = generate(&GeneratorConfig::small(400, 7));
+    let scenario = Scenario::from_corpus(&corpus, &ScenarioParams::default());
+    println!(
+        "{} resources, initial quality {:.4}, {} initially under-tagged",
+        scenario.len(),
+        scenario.initial_quality(),
+        scenario.initially_under_tagged()
+    );
+
+    // --- 1. Sweep the budget with the practical strategies -------------------
+    let budgets = [0, 200, 400, 800, 1_600];
+    let algorithms = SweepAlgorithms {
+        strategies: vec![StrategyKind::Fp, StrategyKind::FpMu, StrategyKind::Rr, StrategyKind::Fc],
+        include_dp: false,
+        dp_table_cap: 0,
+    };
+    let points = budget_sweep(&scenario, &budgets, &algorithms, &RunConfig::default());
+    println!("\nbudget  FP      FP-MU   RR      FC      (mean tagging quality)");
+    for p in &points {
+        println!(
+            "{:<7} {:.4}  {:.4}  {:.4}  {:.4}",
+            p.x,
+            p.metrics("FP").unwrap().mean_quality,
+            p.metrics("FP-MU").unwrap().mean_quality,
+            p.metrics("RR").unwrap().mean_quality,
+            p.metrics("FC").unwrap().mean_quality,
+        );
+    }
+
+    // --- 2. Where does FP spend a 800-task budget? ---------------------------
+    let fp = run_strategy(&scenario, StrategyKind::Fp, &RunConfig::with_budget(800));
+    println!("\ntop 10 resources by FP allocation (budget 800):");
+    for (resource, tasks) in top_allocations(&fp.allocation, 10) {
+        let name = &corpus.corpus.resource(resource).unwrap().name;
+        println!(
+            "  {name}: {tasks} tasks (had {} initial posts)",
+            scenario.initial[resource.index()].len()
+        );
+    }
+
+    // --- 3. How big a budget removes under-tagging entirely? -----------------
+    let mut budget = 200;
+    loop {
+        let metrics = run_strategy(&scenario, StrategyKind::Fp, &RunConfig::with_budget(budget));
+        println!(
+            "budget {budget:>5}: {:.1}% of resources still under-tagged",
+            100.0 * metrics.under_tagged_fraction
+        );
+        if metrics.under_tagged_fraction == 0.0 || budget >= 12_800 {
+            break;
+        }
+        budget *= 2;
+    }
+}

@@ -1,0 +1,100 @@
+//! Dataset exploration: the statistics that motivate incentive-based tagging.
+//!
+//! Generates a synthetic del.icio.us-style corpus and reports the phenomena the
+//! paper's introduction is built on: the skewed posts-per-resource distribution,
+//! rfd convergence of a popular resource, stable/unstable points, wasted posts
+//! and under-tagging, plus a JSON export/import round trip.
+//!
+//! Run with: `cargo run --release -p tagging-bench --example dataset_exploration`
+
+use delicious_sim::generator::{generate, GeneratorConfig};
+use delicious_sim::io::{load_corpus, save_corpus};
+use delicious_sim::stats::{CorpusStatistics, PostCountHistogram, StatisticsParams};
+use tagging_core::rfd::FrequencyTracker;
+use tagging_core::stability::{StabilityAnalyzer, StabilityParams};
+
+fn main() {
+    let corpus = generate(&GeneratorConfig::small(500, 2024));
+    println!(
+        "corpus: {} resources, {} posts, {} distinct tags",
+        corpus.len(),
+        corpus.total_posts(),
+        corpus.corpus.tags.len()
+    );
+
+    // --- Posts-per-resource distribution (Figure 1(b) flavour) ---------------
+    let histogram = PostCountHistogram::from_corpus(&corpus, 10);
+    println!("\nposts-per-resource histogram (log10 bins):");
+    for (lo, hi, count) in &histogram.bins {
+        println!("  {lo:>5}-{hi:<6} {count}");
+    }
+
+    // --- rfd convergence of the most popular resource (Figure 1(a) flavour) --
+    let popular = corpus
+        .resource_ids()
+        .max_by_key(|id| corpus.full_sequence(*id).len())
+        .unwrap();
+    let posts = corpus.full_sequence(popular);
+    let mut tracker = FrequencyTracker::new();
+    println!(
+        "\nrfd convergence of {} ({} posts): top tag's relative frequency",
+        corpus.corpus.resource(popular).unwrap().name,
+        posts.len()
+    );
+    for (idx, post) in posts.iter().enumerate() {
+        tracker.push(post);
+        let k = idx + 1;
+        if k % (posts.len() / 8).max(1) == 0 {
+            let rfd = tracker.rfd();
+            if let Some((tag, weight)) = rfd.top_tags(1).first() {
+                println!(
+                    "  after {k:>4} posts: {} = {:.3}",
+                    corpus.corpus.tags.name(*tag).unwrap_or("?"),
+                    weight
+                );
+            }
+        }
+    }
+
+    // --- Stable / unstable points ---------------------------------------------
+    let analyzer = StabilityAnalyzer::new(StabilityParams::new(15, 0.999));
+    let profile = analyzer.analyze(posts);
+    println!(
+        "\nstable point of that resource: {:?}; unstable point (adjacent similarity < 0.95): {}",
+        profile.stable_point,
+        analyzer.unstable_point(posts, 0.95)
+    );
+
+    // --- The introduction's headline statistics -------------------------------
+    let stats = CorpusStatistics::compute(
+        &corpus,
+        &StatisticsParams {
+            stability: StabilityParams::new(15, 0.999),
+            under_tagged_threshold: 10,
+        },
+    );
+    println!(
+        "\nover-tagged initially: {} ({:.1}%), wasted posts: {} ({:.1}%), \
+         under-tagged: {} ({:.1}%), salvage needs {} posts ({:.1}% of wasted)",
+        stats.over_tagged_initial,
+        100.0 * stats.over_tagged_fraction(),
+        stats.wasted_posts,
+        100.0 * stats.wasted_fraction,
+        stats.under_tagged_initial,
+        100.0 * stats.under_tagged_fraction(),
+        stats.salvage_posts_needed,
+        100.0 * stats.salvage_ratio()
+    );
+
+    // --- JSON round trip -------------------------------------------------------
+    let path = std::env::temp_dir().join("delicious-sim-example-corpus.json");
+    save_corpus(&corpus, &path).expect("save corpus");
+    let reloaded = load_corpus(&path).expect("load corpus");
+    println!(
+        "\nexported the corpus to {} ({} bytes) and reloaded {} resources",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        reloaded.len()
+    );
+    std::fs::remove_file(&path).ok();
+}

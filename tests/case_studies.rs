@@ -1,0 +1,86 @@
+//! Integration tests for the §V-C case studies: the Table VI/VII top-k
+//! comparisons and the Figure 7 similarity-ranking accuracy experiment.
+
+use tagging_analysis::topk::{category_hits, top_k_similar};
+use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison};
+use tagging_bench::setup::{scenario_params, smoke_corpus};
+use tagging_core::model::ResourceId;
+use tagging_core::rfd::rfd_of_prefix;
+use tagging_sim::scenario::Scenario;
+
+#[test]
+fn table6_fp_list_is_closer_to_ideal_than_initial_list() {
+    let corpus = smoke_corpus();
+    let scenario = Scenario::from_corpus(corpus, &scenario_params()).take(80);
+    let subjects = pick_case_study_subjects(&scenario, 3);
+    assert_eq!(subjects.len(), 3);
+
+    let mut fp_better_or_equal = 0;
+    for subject in &subjects {
+        let comparison = top_k_comparison(corpus, &scenario, *subject, 10, 300);
+        assert_eq!(comparison.ideal.len(), 10);
+        assert_eq!(comparison.fp.len(), 10);
+        if comparison.fp_overlap() >= comparison.initial_overlap() {
+            fp_better_or_equal += 1;
+        }
+    }
+    assert!(
+        fp_better_or_equal >= 2,
+        "FP should not degrade the top-10 list for most subjects"
+    );
+}
+
+#[test]
+fn table7_ideal_lists_are_dominated_by_the_subjects_topic() {
+    // With the full data, a subject's top-10 most similar resources should
+    // mostly share its primary topic — the paper's "Dec 31" column.
+    let corpus = smoke_corpus();
+    let scenario = Scenario::from_corpus(corpus, &scenario_params()).take(120);
+    let subjects = pick_case_study_subjects(&scenario, 3);
+
+    for subject in subjects {
+        let ideal_rfds: Vec<_> = (0..scenario.len())
+            .map(|i| {
+                let full = corpus.full_sequence(ResourceId(i as u32));
+                rfd_of_prefix(full, full.len())
+            })
+            .collect();
+        let ideal = top_k_similar(subject, &ideal_rfds, 10);
+        let topic = corpus.profiles[subject.index()].primary_topic;
+        let same_topic =
+            category_hits(&ideal, |r| corpus.profiles[r.index()].primary_topic == topic);
+        // The subject's topic covers only ~1/20 of all resources, so 4+ hits in
+        // the top-10 indicates genuine topical retrieval rather than chance.
+        assert!(
+            same_topic >= 4,
+            "only {same_topic}/10 ideal results share the subject's topic"
+        );
+    }
+}
+
+#[test]
+fn case_study_subjects_have_room_to_improve() {
+    let corpus = smoke_corpus();
+    let scenario = Scenario::from_corpus(corpus, &scenario_params()).take(100);
+    let subjects = pick_case_study_subjects(&scenario, 5);
+    for subject in subjects {
+        // Subjects are under-tagged initially but have future posts to draw on.
+        assert!(scenario.initial[subject.index()].len() <= 20);
+        assert!(!scenario.future[subject.index()].is_empty());
+    }
+}
+
+#[test]
+fn top_k_comparison_is_deterministic() {
+    let corpus = smoke_corpus();
+    let scenario = Scenario::from_corpus(corpus, &scenario_params()).take(60);
+    let subject = pick_case_study_subjects(&scenario, 1)[0];
+    let a = top_k_comparison(corpus, &scenario, subject, 10, 200);
+    let b = top_k_comparison(corpus, &scenario, subject, 10, 200);
+    let ids = |list: &[tagging_analysis::topk::RankedResource]| {
+        list.iter().map(|r| r.resource).collect::<Vec<_>>()
+    };
+    assert_eq!(ids(&a.fp), ids(&b.fp));
+    assert_eq!(ids(&a.fc), ids(&b.fc));
+    assert_eq!(ids(&a.ideal), ids(&b.ideal));
+}

@@ -1,0 +1,191 @@
+//! Shape assertions for the reproduced figures: for every panel of Figures 1,
+//! 3, 5, 6 and 7 the tests check the *qualitative* relationship the paper
+//! reports (who wins, what rises, where the crossovers are) on the smoke-scale
+//! corpus.
+
+use tagging_bench::casestudy::{fig7_accuracy_sweep, quality_accuracy_correlation};
+use tagging_bench::experiments::{
+    fig1a_tag_frequencies, fig1b_posts_distribution, fig3_stability_series, fig5_quality_curves,
+    fig6_budget_sweep, fig6e_resource_sweep, fig6f_omega_sweep, intro_statistics,
+};
+use tagging_bench::setup::{scenario_params, smoke_corpus, smoke_scenario};
+use tagging_core::stability::StabilityParams;
+use tagging_sim::scenario::Scenario;
+
+#[test]
+fn fig1a_relative_frequencies_converge() {
+    let corpus = smoke_corpus();
+    let series = fig1a_tag_frequencies(corpus, 5, 10);
+    assert!(series.rows.len() >= 5);
+    // Total variation between consecutive sampled rows shrinks from the first
+    // half to the second half of the sequence.
+    let deltas: Vec<f64> = series
+        .rows
+        .windows(2)
+        .map(|w| {
+            w[0].1
+                .iter()
+                .zip(&w[1].1)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        })
+        .collect();
+    let half = deltas.len() / 2;
+    let early: f64 = deltas[..half].iter().sum::<f64>() / half.max(1) as f64;
+    let late: f64 = deltas[half..].iter().sum::<f64>() / (deltas.len() - half).max(1) as f64;
+    assert!(
+        late < early,
+        "rfd movement should shrink as posts accumulate: early {early} late {late}"
+    );
+}
+
+#[test]
+fn fig1b_distribution_is_skewed() {
+    let hist = fig1b_posts_distribution(800, 11);
+    assert!(hist.is_heavy_tailed());
+    // The first bin (rarely-tagged resources) holds the majority.
+    assert!(hist.bins[0].2 * 2 > hist.total());
+}
+
+#[test]
+fn fig3_ma_score_rises_to_stability() {
+    let corpus = smoke_corpus();
+    let series = fig3_stability_series(corpus, StabilityParams::new(20, 0.99));
+    let stable = series.stable_point.expect("popular resource must stabilise");
+    // The MA score at the stable point exceeds the threshold, and the mean MA
+    // score before it is lower than after it.
+    let before: Vec<f64> = series
+        .rows
+        .iter()
+        .filter(|(k, _, ma)| *k < stable && ma.is_some())
+        .map(|(_, _, ma)| ma.unwrap())
+        .collect();
+    let after: Vec<f64> = series
+        .rows
+        .iter()
+        .filter(|(k, _, ma)| *k >= stable && ma.is_some())
+        .map(|(_, _, ma)| ma.unwrap())
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(mean(&after) > mean(&before));
+}
+
+#[test]
+fn fig5_simple_resource_stabilises_before_complex_one() {
+    let pair = fig5_quality_curves(smoke_corpus());
+    let first_above = |curve: &[f64], threshold: f64| {
+        curve
+            .iter()
+            .position(|&q| q > threshold)
+            .unwrap_or(curve.len())
+    };
+    assert!(first_above(&pair.simple.1, 0.9) <= first_above(&pair.complex.1, 0.9));
+}
+
+#[test]
+fn fig6_panel_relationships_hold() {
+    let scenario = smoke_scenario();
+    let budgets = [0usize, 300, 800];
+    let points = fig6_budget_sweep(scenario, &budgets, true, 400, 5);
+
+    // (a) Quality: DP dominates everything; FP/FP-MU close to DP; FC the worst
+    //     improver at the largest budget.
+    let last = &points[2];
+    let q = |name: &str| last.metrics(name).unwrap().mean_quality;
+    for name in ["FP", "FP-MU", "RR", "MU", "FC"] {
+        assert!(q("DP") >= q(name) - 1e-9, "DP must dominate {name}");
+    }
+    assert!(q("FP") > q("FC"));
+    assert!(q("FP-MU") > q("FC"));
+
+    // (b)/(c) Over-tagging and waste: FC and RR are the only strategies whose
+    //     wasted-post counts grow substantially.
+    let wasted = |name: &str| last.metrics(name).unwrap().wasted_posts;
+    assert_eq!(wasted("FP"), 0);
+    assert_eq!(wasted("FP-MU"), 0);
+    assert!(wasted("FC") > 0);
+
+    // (d) Under-tagging: FP's curve stays flat for small budgets and then drops
+    //     sharply (the paper's water-filling effect); once the budget exceeds
+    //     the salvage requirement FP is at least as good as FC.
+    let under = |name: &str| last.metrics(name).unwrap().under_tagged_fraction;
+    let initial_under = points[0].metrics("FP").unwrap().under_tagged_fraction;
+    assert!(under("FP") < initial_under, "FP should eventually cut under-tagging");
+    assert!(under("FP") <= under("FC") + 1e-9);
+    // And the under-tagged fraction never increases with budget for FP.
+    let fp_under: Vec<f64> = points
+        .iter()
+        .map(|p| p.metrics("FP").unwrap().under_tagged_fraction)
+        .collect();
+    assert!(fp_under.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+
+    // (g) Runtime: DP is the slowest algorithm at the largest budget.
+    let runtime = |name: &str| last.metrics(name).unwrap().runtime_seconds;
+    for name in ["FP", "RR", "FC"] {
+        assert!(
+            runtime("DP") > runtime(name),
+            "DP should be slower than {name}"
+        );
+    }
+}
+
+#[test]
+fn fig6e_quality_decreases_with_more_resources() {
+    let scenario = smoke_scenario();
+    let points = fig6e_resource_sweep(scenario, &[60, 200], 200, false, 0);
+    let q = |idx: usize| points[idx].metrics("FP").unwrap().mean_quality;
+    assert!(
+        q(1) <= q(0) + 0.02,
+        "with a fixed budget, quality should not rise when resources are added"
+    );
+}
+
+#[test]
+fn fig6f_large_omega_reduces_fpmu_to_fp_and_hurts_mu() {
+    let scenario = smoke_scenario();
+    let points = fig6f_omega_sweep(scenario, &[2, 8, 16], 200);
+    // At the largest ω, FP-MU equals FP exactly (warm-up never completes).
+    let last = &points[2];
+    let fp = last.metrics("FP").unwrap().mean_quality;
+    let fpmu = last.metrics("FP-MU").unwrap().mean_quality;
+    assert!((fp - fpmu).abs() < 1e-9, "FP-MU should equal FP at large ω");
+    // MU's quality does not improve as ω grows (it ignores ever more resources).
+    let mu: Vec<f64> = points
+        .iter()
+        .map(|p| p.metrics("MU").unwrap().mean_quality)
+        .collect();
+    assert!(mu[2] <= mu[0] + 1e-6, "MU quality should not rise with ω: {mu:?}");
+}
+
+#[test]
+fn fig7_accuracy_tracks_quality() {
+    let corpus = smoke_corpus();
+    let scenario = Scenario::from_corpus(corpus, &scenario_params()).take(60);
+    let points = fig7_accuracy_sweep(corpus, &scenario, &[0, 150, 400], 5, false, 0);
+    let corr = quality_accuracy_correlation(&points);
+    assert!(
+        corr > 0.5,
+        "ranking accuracy should correlate positively with tagging quality, got {corr}"
+    );
+    // FP's accuracy at the largest budget beats its accuracy at budget 0.
+    let fp_acc = |budget: usize| {
+        points
+            .iter()
+            .find(|p| p.strategy == "FP" && p.budget == budget)
+            .unwrap()
+            .accuracy
+    };
+    assert!(fp_acc(400) > fp_acc(0));
+}
+
+#[test]
+fn intro_headline_statistics_have_the_papers_shape() {
+    let stats = intro_statistics(smoke_corpus());
+    // A minority of resources is over-tagged, yet they absorb a large share of
+    // all posts ("wasted"); a substantial share of resources is under-tagged;
+    // salvaging them needs only a small fraction of the wasted posts.
+    assert!(stats.over_tagged_fraction() < 0.5);
+    assert!(stats.wasted_fraction > 0.2);
+    assert!(stats.under_tagged_fraction() > 0.1);
+    assert!(stats.salvage_ratio() < 0.25);
+}

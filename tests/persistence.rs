@@ -1,0 +1,69 @@
+//! Integration tests for corpus persistence: a corpus saved to JSON and loaded
+//! back must drive every downstream computation (scenario, strategies, quality)
+//! to identical results.
+
+use tagging_bench::setup::scenario_params;
+use delicious_sim::generator::{generate, GeneratorConfig};
+use delicious_sim::io::{load_corpus, save_corpus};
+use tagging_sim::engine::{run_strategy, RunConfig};
+use tagging_sim::scenario::Scenario;
+use tagging_strategies::StrategyKind;
+
+#[test]
+fn corpus_roundtrip_preserves_experiment_results() {
+    let corpus = generate(&GeneratorConfig::small(50, 404));
+    let dir = std::env::temp_dir().join("incentive-tagging-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.json");
+    save_corpus(&corpus, &path).expect("save");
+    let reloaded = load_corpus(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let scenario_a = Scenario::from_corpus(&corpus, &scenario_params());
+    let scenario_b = Scenario::from_corpus(&reloaded, &scenario_params());
+    assert_eq!(scenario_a.len(), scenario_b.len());
+    assert!((scenario_a.initial_quality() - scenario_b.initial_quality()).abs() < 1e-12);
+
+    let config = RunConfig {
+        budget: 150,
+        omega: 5,
+        seed: 7,
+    };
+    for kind in [StrategyKind::Fp, StrategyKind::FpMu, StrategyKind::Rr] {
+        let a = run_strategy(&scenario_a, kind, &config);
+        let b = run_strategy(&scenario_b, kind, &config);
+        assert_eq!(a.allocation, b.allocation, "{} diverged after reload", kind.name());
+        assert!((a.mean_quality - b.mean_quality).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn reloaded_corpus_preserves_taxonomy_and_profiles() {
+    let corpus = generate(&GeneratorConfig::small(30, 505));
+    let dir = std::env::temp_dir().join("incentive-tagging-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("taxonomy.json");
+    save_corpus(&corpus, &path).expect("save");
+    let reloaded = load_corpus(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    for id in corpus.resource_ids() {
+        assert_eq!(
+            corpus.taxonomy.assignment(id),
+            reloaded.taxonomy.assignment(id)
+        );
+        // Float values may wobble in the last ULP across the JSON text
+        // round-trip; the distributions must agree to within numerical noise.
+        let original = corpus.true_distribution(id);
+        let restored = reloaded.true_distribution(id);
+        assert_eq!(original.support(), restored.support());
+        for ((tag_a, weight_a), (tag_b, weight_b)) in original.iter().zip(restored.iter()) {
+            assert_eq!(tag_a, tag_b);
+            assert!((weight_a - weight_b).abs() < 1e-12);
+        }
+        assert_eq!(
+            corpus.profiles[id.index()].primary_topic,
+            reloaded.profiles[id.index()].primary_topic
+        );
+    }
+}
