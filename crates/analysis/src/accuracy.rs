@@ -58,9 +58,8 @@ pub fn ground_truth_similarities(taxonomy: &Taxonomy, num_resources: usize) -> V
     let mut similarities = Vec::with_capacity(num_resources * (num_resources - 1) / 2);
     for i in 0..num_resources {
         for j in (i + 1)..num_resources {
-            similarities.push(
-                taxonomy.ground_truth_similarity(ResourceId(i as u32), ResourceId(j as u32)),
-            );
+            similarities
+                .push(taxonomy.ground_truth_similarity(ResourceId(i as u32), ResourceId(j as u32)));
         }
     }
     similarities

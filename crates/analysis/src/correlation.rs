@@ -253,8 +253,7 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> f64 {
             }
         }
     }
-    let denom =
-        ((concordant + discordant + ties_x) * (concordant + discordant + ties_y)).sqrt();
+    let denom = ((concordant + discordant + ties_x) * (concordant + discordant + ties_y)).sqrt();
     if denom <= 0.0 {
         0.0
     } else {
@@ -373,7 +372,9 @@ mod tests {
         let mut y = Vec::new();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 17) as f64
         };
         for _ in 0..200 {
@@ -403,7 +404,10 @@ mod tests {
         let y = [1.0, 2.0, 3.0, 4.0];
         let a = kendall_tau_a(&x, &y);
         let b = kendall_tau(&x, &y);
-        assert!(a < b, "τ-a ({a}) should be below τ-b ({b}) in the presence of ties");
+        assert!(
+            a < b,
+            "τ-a ({a}) should be below τ-b ({b}) in the presence of ties"
+        );
         assert!(a > 0.0);
     }
 
@@ -413,7 +417,9 @@ mod tests {
         let mut y = Vec::new();
         let mut state = 987654321u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 9) as f64
         };
         for _ in 0..150 {

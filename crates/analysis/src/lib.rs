@@ -9,6 +9,19 @@
 //!   taxonomy ground truth, measured with Kendall's τ (Figure 7);
 //! * [`correlation`] — Pearson and Kendall correlation primitives
 //!   (the paper's Equation 15 and the τ measure of §V-C.2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tagging_analysis::correlation::{kendall_tau, pearson};
+//!
+//! // Quality and accuracy move together: a perfectly monotone relationship
+//! // scores 1 under both correlation measures.
+//! let quality = [0.2, 0.4, 0.6, 0.8];
+//! let accuracy = [0.50, 0.61, 0.72, 0.83];
+//! assert!((pearson(&quality, &accuracy) - 1.0).abs() < 1e-6);
+//! assert!((kendall_tau(&quality, &accuracy) - 1.0).abs() < 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -20,5 +33,7 @@ pub mod topk;
 pub use accuracy::{
     ground_truth_similarities, pairwise_similarities, ranking_accuracy, rfds_after_allocation,
 };
-pub use correlation::{kendall_tau, kendall_tau_a, kendall_tau_a_naive, kendall_tau_naive, mean, pearson, std_dev};
+pub use correlation::{
+    kendall_tau, kendall_tau_a, kendall_tau_a_naive, kendall_tau_naive, mean, pearson, std_dev,
+};
 pub use topk::{category_hits, overlap_fraction, top_k_similar, RankedResource};

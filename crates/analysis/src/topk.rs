@@ -138,14 +138,32 @@ mod tests {
     #[test]
     fn overlap_fraction_counts_shared_entries() {
         let a = vec![
-            RankedResource { resource: ResourceId(1), similarity: 0.9 },
-            RankedResource { resource: ResourceId(2), similarity: 0.8 },
-            RankedResource { resource: ResourceId(3), similarity: 0.7 },
+            RankedResource {
+                resource: ResourceId(1),
+                similarity: 0.9,
+            },
+            RankedResource {
+                resource: ResourceId(2),
+                similarity: 0.8,
+            },
+            RankedResource {
+                resource: ResourceId(3),
+                similarity: 0.7,
+            },
         ];
         let b = vec![
-            RankedResource { resource: ResourceId(2), similarity: 0.9 },
-            RankedResource { resource: ResourceId(3), similarity: 0.8 },
-            RankedResource { resource: ResourceId(4), similarity: 0.7 },
+            RankedResource {
+                resource: ResourceId(2),
+                similarity: 0.9,
+            },
+            RankedResource {
+                resource: ResourceId(3),
+                similarity: 0.8,
+            },
+            RankedResource {
+                resource: ResourceId(4),
+                similarity: 0.7,
+            },
         ];
         assert!((overlap_fraction(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(overlap_fraction(&[], &b), 0.0);
@@ -155,9 +173,18 @@ mod tests {
     #[test]
     fn category_hits_uses_predicate() {
         let list = vec![
-            RankedResource { resource: ResourceId(0), similarity: 0.9 },
-            RankedResource { resource: ResourceId(3), similarity: 0.8 },
-            RankedResource { resource: ResourceId(4), similarity: 0.7 },
+            RankedResource {
+                resource: ResourceId(0),
+                similarity: 0.9,
+            },
+            RankedResource {
+                resource: ResourceId(3),
+                similarity: 0.8,
+            },
+            RankedResource {
+                resource: ResourceId(4),
+                similarity: 0.7,
+            },
         ];
         let physics = [ResourceId(0), ResourceId(1), ResourceId(2)];
         let hits = category_hits(&list, |r| physics.contains(&r));

@@ -20,16 +20,13 @@ fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
 
 /// Strategy: a set of 2–12 sparse rfds over a 10-tag universe.
 fn arb_rfds() -> impl Strategy<Value = Vec<Rfd>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u32..10, 1u64..20), 1..6),
-        2..12,
-    )
-    .prop_map(|resources| {
-        resources
-            .into_iter()
-            .map(|counts| Rfd::from_counts(counts.into_iter().map(|(t, c)| (TagId(t), c))))
-            .collect()
-    })
+    proptest::collection::vec(proptest::collection::vec((0u32..10, 1u64..20), 1..6), 2..12)
+        .prop_map(|resources| {
+            resources
+                .into_iter()
+                .map(|counts| Rfd::from_counts(counts.into_iter().map(|(t, c)| (TagId(t), c))))
+                .collect()
+        })
 }
 
 proptest! {

@@ -72,14 +72,26 @@ fn heap_vs_scan(c: &mut Criterion) {
             b.iter(|| {
                 let mut fp = tagging_strategies::FewestPostsFirst::new();
                 let mut source = ReplaySource::new(scenario.future.clone());
-                run_allocation(&mut fp, &mut source, &scenario.initial, &scenario.popularity, budget)
+                run_allocation(
+                    &mut fp,
+                    &mut source,
+                    &scenario.initial,
+                    &scenario.popularity,
+                    budget,
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("scan", budget), &budget, |b, &budget| {
             b.iter(|| {
                 let mut fp = FewestPostsScan;
                 let mut source = ReplaySource::new(scenario.future.clone());
-                run_allocation(&mut fp, &mut source, &scenario.initial, &scenario.popularity, budget)
+                run_allocation(
+                    &mut fp,
+                    &mut source,
+                    &scenario.initial,
+                    &scenario.popularity,
+                    budget,
+                )
             })
         });
     }

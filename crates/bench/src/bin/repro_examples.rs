@@ -22,7 +22,10 @@ fn main() {
         post(&["google", "geographic"], &mut dict),
         post(&["earth"], &mut dict),
     ];
-    let r2_initial = vec![post(&["pictures"], &mut dict), post(&["pictures"], &mut dict)];
+    let r2_initial = vec![
+        post(&["pictures"], &mut dict),
+        post(&["pictures"], &mut dict),
+    ];
 
     let google = dict.get("google").unwrap();
     let earth = dict.get("earth").unwrap();
@@ -37,7 +40,12 @@ fn main() {
     let mut table = TextTable::new(["vector", "google", "geographic", "earth", "pictures"]);
     let f1 = rfd_of_prefix(&r1_initial, 3);
     let f2 = rfd_of_prefix(&r2_initial, 2);
-    for (name, rfd) in [("F1(3)", &f1), ("phi1", &phi1), ("F2(2)", &f2), ("phi2", &phi2)] {
+    for (name, rfd) in [
+        ("F1(3)", &f1),
+        ("phi1", &phi1),
+        ("F2(2)", &f2),
+        ("phi2", &phi2),
+    ] {
         table.add_row([
             name.to_string(),
             fmt_f64(rfd.get(google), 2),
@@ -61,7 +69,10 @@ fn main() {
         post(&["geographic", "earth"], &mut dict),
         post(&["google", "geographic"], &mut dict),
     ];
-    let r2_future = vec![post(&["google", "pictures"], &mut dict), post(&["google"], &mut dict)];
+    let r2_future = vec![
+        post(&["google", "pictures"], &mut dict),
+        post(&["google"], &mut dict),
+    ];
 
     let table_q = QualityTable::from_posts(
         &[r1_initial, r2_initial],

@@ -29,7 +29,8 @@ fn main() {
             table.add_row([
                 k.to_string(),
                 format!("{adjacent:.4}"),
-                ma.map(|m| format!("{m:.4}")).unwrap_or_else(|| "-".to_string()),
+                ma.map(|m| format!("{m:.4}"))
+                    .unwrap_or_else(|| "-".to_string()),
             ]);
         }
     }

@@ -71,35 +71,55 @@ fn main() {
             println!("\n=== Figure 6(a): Quality vs Budget ===");
             println!(
                 "{}",
-                render_series("budget", &names, &series_rows(&points, &names, |m| m.mean_quality))
+                render_series(
+                    "budget",
+                    &names,
+                    &series_rows(&points, &names, |m| m.mean_quality)
+                )
             );
         }
         if panels.contains('b') {
             println!("\n=== Figure 6(b): Over-tagged resources vs Budget ===");
             println!(
                 "{}",
-                render_series("budget", &names, &series_rows(&points, &names, |m| m.over_tagged as f64))
+                render_series(
+                    "budget",
+                    &names,
+                    &series_rows(&points, &names, |m| m.over_tagged as f64)
+                )
             );
         }
         if panels.contains('c') {
             println!("\n=== Figure 6(c): Wasted posts vs Budget ===");
             println!(
                 "{}",
-                render_series("budget", &names, &series_rows(&points, &names, |m| m.wasted_posts as f64))
+                render_series(
+                    "budget",
+                    &names,
+                    &series_rows(&points, &names, |m| m.wasted_posts as f64)
+                )
             );
         }
         if panels.contains('d') {
             println!("\n=== Figure 6(d): Percentage of under-tagged resources vs Budget ===");
             println!(
                 "{}",
-                render_series("budget", &names, &series_rows(&points, &names, |m| m.under_tagged_fraction))
+                render_series(
+                    "budget",
+                    &names,
+                    &series_rows(&points, &names, |m| m.under_tagged_fraction)
+                )
             );
         }
         if panels.contains('g') {
             println!("\n=== Figure 6(g): Runtime (s) vs Budget ===");
             println!(
                 "{}",
-                render_series("budget", &names, &series_rows(&points, &names, |m| m.runtime_seconds))
+                render_series(
+                    "budget",
+                    &names,
+                    &series_rows(&points, &names, |m| m.runtime_seconds)
+                )
             );
         }
     }
@@ -114,17 +134,28 @@ fn main() {
             scale.dp_table_cap(),
         );
         if panels.contains('e') {
-            println!("\n=== Figure 6(e): Quality vs Number of Resources (B = {}) ===", scale.default_budget());
+            println!(
+                "\n=== Figure 6(e): Quality vs Number of Resources (B = {}) ===",
+                scale.default_budget()
+            );
             println!(
                 "{}",
-                render_series("resources", &names, &series_rows(&points, &names, |m| m.mean_quality))
+                render_series(
+                    "resources",
+                    &names,
+                    &series_rows(&points, &names, |m| m.mean_quality)
+                )
             );
         }
         if panels.contains('h') {
             println!("\n=== Figure 6(h): Runtime (s) vs Number of Resources ===");
             println!(
                 "{}",
-                render_series("resources", &names, &series_rows(&points, &names, |m| m.runtime_seconds))
+                render_series(
+                    "resources",
+                    &names,
+                    &series_rows(&points, &names, |m| m.runtime_seconds)
+                )
             );
         }
     }
@@ -133,10 +164,17 @@ fn main() {
         let omegas = scale.omegas();
         let points = fig6f_omega_sweep(&scenario, &omegas, scale.default_budget());
         let omega_names = ["FP-MU", "FP", "MU"];
-        println!("\n=== Figure 6(f): Effect of ω (B = {}) ===", scale.default_budget());
+        println!(
+            "\n=== Figure 6(f): Effect of ω (B = {}) ===",
+            scale.default_budget()
+        );
         println!(
             "{}",
-            render_series("omega", &omega_names, &series_rows(&points, &omega_names, |m| m.mean_quality))
+            render_series(
+                "omega",
+                &omega_names,
+                &series_rows(&points, &omega_names, |m| m.mean_quality)
+            )
         );
     }
 }

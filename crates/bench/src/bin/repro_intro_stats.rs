@@ -62,7 +62,11 @@ fn main() {
     ]);
     table.add_row([
         "posts wasted on over-tagged resources".to_string(),
-        format!("{} ({})", stats.wasted_posts, fmt_percent(stats.wasted_fraction)),
+        format!(
+            "{} ({})",
+            stats.wasted_posts,
+            fmt_percent(stats.wasted_fraction)
+        ),
         "~48%".to_string(),
     ]);
     table.add_row([

@@ -45,7 +45,9 @@ fn main() {
     let mut table = TextTable::new(["rank", "Jan 31 (initial)", "FC", "FP", "Dec 31 (ideal)"]);
     for rank in 0..10 {
         let cell = |list: &[tagging_analysis::topk::RankedResource]| {
-            list.get(rank).map(|r| name_of(r.resource)).unwrap_or_default()
+            list.get(rank)
+                .map(|r| name_of(r.resource))
+                .unwrap_or_default()
         };
         table.add_row([
             (rank + 1).to_string(),

@@ -22,7 +22,9 @@ fn main() {
 
     let subjects = pick_case_study_subjects(&scenario, 4);
 
-    println!("=== Table VII: top-10 composition for several subject resources (budget {budget}) ===");
+    println!(
+        "=== Table VII: top-10 composition for several subject resources (budget {budget}) ==="
+    );
     let mut table = TextTable::new([
         "subject",
         "description",
@@ -35,7 +37,8 @@ fn main() {
     for subject in subjects {
         let comparison = top_k_comparison(&corpus, &scenario, subject, 10, budget);
         let subject_topic = corpus.profiles[subject.index()].primary_topic;
-        let same_topic = |id: ResourceId| corpus.profiles[id.index()].primary_topic == subject_topic;
+        let same_topic =
+            |id: ResourceId| corpus.profiles[id.index()].primary_topic == subject_topic;
         table.add_row([
             comparison.subject_name.clone(),
             corpus

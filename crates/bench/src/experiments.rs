@@ -109,13 +109,7 @@ pub fn fig3_stability_series(corpus: &SyntheticCorpus, params: StabilityParams) 
     let posts = corpus.full_sequence(resource);
     let profile = StabilityAnalyzer::new(params).analyze(posts);
     let rows = (1..=posts.len())
-        .map(|k| {
-            (
-                k,
-                profile.adjacent_similarity[k - 1],
-                profile.ma_at(k),
-            )
-        })
+        .map(|k| (k, profile.adjacent_similarity[k - 1], profile.ma_at(k)))
         .collect();
     StabilitySeries {
         resource,
@@ -316,7 +310,8 @@ mod tests {
         assert_ne!(simple_id, complex_id);
         // Early in the sequence the simple resource reaches high quality sooner
         // than the complex one (compare the first index where quality > 0.95).
-        let first_above = |curve: &[f64]| curve.iter().position(|&q| q > 0.95).unwrap_or(curve.len());
+        let first_above =
+            |curve: &[f64]| curve.iter().position(|&q| q > 0.95).unwrap_or(curve.len());
         assert!(first_above(simple_curve) <= first_above(complex_curve));
     }
 

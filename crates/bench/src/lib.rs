@@ -13,6 +13,19 @@
 //! Run `cargo run --release -p tagging-bench --bin repro_fig6 -- --scale default`
 //! (and the other `repro_*` binaries) to regenerate each figure/table, or
 //! `cargo bench -p tagging-bench` for the Criterion micro/macro benchmarks.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tagging_bench::{scale_from_args, Scale};
+//!
+//! // Every repro_* binary accepts `--scale <smoke|default|paper>`.
+//! let args = ["--scale", "smoke"].map(String::from);
+//! assert_eq!(scale_from_args(args), Scale::Smoke);
+//! // Unknown flags are ignored and the scale falls back to the default.
+//! let args = ["--verbose"].map(String::from);
+//! assert_eq!(scale_from_args(args), Scale::Default);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

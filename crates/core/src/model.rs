@@ -159,7 +159,10 @@ pub struct EmptyPostError;
 
 impl fmt::Display for EmptyPostError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "a post must contain at least one tag (paper Definition 1)")
+        write!(
+            f,
+            "a post must contain at least one tag (paper Definition 1)"
+        )
     }
 }
 
@@ -430,7 +433,11 @@ mod tests {
         let collected: Vec<_> = dict.iter().map(|(id, n)| (id.0, n.to_string())).collect();
         assert_eq!(
             collected,
-            vec![(0, "x".to_string()), (1, "y".to_string()), (2, "z".to_string())]
+            vec![
+                (0, "x".to_string()),
+                (1, "y".to_string()),
+                (2, "z".to_string())
+            ]
         );
     }
 
@@ -485,9 +492,7 @@ mod tests {
 
     #[test]
     fn post_sequence_prefix_clamps() {
-        let seq: PostSequence = (0..5)
-            .map(|i| Post::new([TagId(i)]).unwrap())
-            .collect();
+        let seq: PostSequence = (0..5).map(|i| Post::new([TagId(i)]).unwrap()).collect();
         assert_eq!(seq.prefix(3).len(), 3);
         assert_eq!(seq.prefix(99).len(), 5);
         assert_eq!(seq.prefix(0).len(), 0);

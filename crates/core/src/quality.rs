@@ -172,7 +172,10 @@ mod tests {
             post(&mut dict, &["google", "geographic"]),
             post(&mut dict, &["earth"]),
         ];
-        let r2_posts = vec![post(&mut dict, &["pictures"]), post(&mut dict, &["pictures"])];
+        let r2_posts = vec![
+            post(&mut dict, &["pictures"]),
+            post(&mut dict, &["pictures"]),
+        ];
         let google = dict.get("google").unwrap();
         let earth = dict.get("earth").unwrap();
         let geographic = dict.get("geographic").unwrap();
@@ -218,7 +221,10 @@ mod tests {
     #[test]
     fn set_quality_of_empty_set_is_zero() {
         let eval = QualityEvaluator::new();
-        assert_eq!(eval.set_quality(std::iter::empty::<(ResourceId, &Rfd)>()), 0.0);
+        assert_eq!(
+            eval.set_quality(std::iter::empty::<(ResourceId, &Rfd)>()),
+            0.0
+        );
     }
 
     #[test]
@@ -227,9 +233,9 @@ mod tests {
         let curve = quality_curve(&r1_posts, &phi1);
         assert_eq!(curve.len(), r1_posts.len() + 1);
         assert_eq!(curve[0], 0.0);
-        for k in 1..=r1_posts.len() {
+        for (k, &q) in curve.iter().enumerate().skip(1) {
             let direct = cosine(&crate::rfd::rfd_of_prefix(&r1_posts, k), &phi1);
-            assert!((curve[k] - direct).abs() < 1e-12, "k={k}");
+            assert!((q - direct).abs() < 1e-12, "k={k}");
         }
     }
 

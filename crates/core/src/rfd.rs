@@ -112,11 +112,7 @@ impl Rfd {
 
     /// Euclidean (L2) norm of the sparse vector.
     pub fn l2_norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Dot product with another rfd, exploiting sparsity (merge join).
@@ -179,7 +175,11 @@ impl Rfd {
     /// "top tags" of a resource.
     pub fn top_tags(&self, k: usize) -> Vec<(TagId, f64)> {
         let mut sorted: Vec<(TagId, f64)> = self.entries.clone();
-        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        sorted.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         sorted.truncate(k);
         sorted
     }

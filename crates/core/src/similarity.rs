@@ -296,8 +296,16 @@ mod tests {
             let metric = kind.build();
             let s_ab = metric.similarity(&a, &b);
             let s_ba = metric.similarity(&b, &a);
-            assert!((0.0..=1.0).contains(&s_ab), "{} out of range", metric.name());
-            assert!((s_ab - s_ba).abs() < 1e-12, "{} not symmetric", metric.name());
+            assert!(
+                (0.0..=1.0).contains(&s_ab),
+                "{} out of range",
+                metric.name()
+            );
+            assert!(
+                (s_ab - s_ba).abs() < 1e-12,
+                "{} not symmetric",
+                metric.name()
+            );
         }
     }
 

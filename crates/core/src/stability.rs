@@ -42,7 +42,10 @@ impl StabilityParams {
     /// Creates a parameter set, panicking when `omega < 2` — the MA score is not
     /// defined for smaller windows (Definition 7 requires ω ≥ 2).
     pub fn new(omega: usize, tau: f64) -> Self {
-        assert!(omega >= 2, "the MA window ω must be at least 2 (got {omega})");
+        assert!(
+            omega >= 2,
+            "the MA window ω must be at least 2 (got {omega})"
+        );
         assert!(
             (0.0..=1.0).contains(&tau),
             "the stability threshold τ must lie in [0, 1] (got {tau})"
@@ -229,7 +232,10 @@ pub struct MaTracker {
 impl MaTracker {
     /// Creates a tracker with window size `omega ≥ 2` that has seen no posts.
     pub fn new(omega: usize) -> Self {
-        assert!(omega >= 2, "the MA window ω must be at least 2 (got {omega})");
+        assert!(
+            omega >= 2,
+            "the MA window ω must be at least 2 (got {omega})"
+        );
         Self {
             omega,
             tracker: FrequencyTracker::new(),
@@ -306,7 +312,9 @@ mod tests {
     /// A sequence in which every post is identical becomes perfectly stable: all
     /// adjacent similarities after the first equal 1.
     fn constant_sequence(n: usize) -> Vec<Post> {
-        (0..n).map(|_| Post::new([TagId(0), TagId(1)]).unwrap()).collect()
+        (0..n)
+            .map(|_| Post::new([TagId(0), TagId(1)]).unwrap())
+            .collect()
     }
 
     #[test]
@@ -382,7 +390,9 @@ mod tests {
         let mut dict = TagDictionary::new();
         let a = post(&mut dict, &["a"]);
         let b = post(&mut dict, &["b"]);
-        let posts: Vec<Post> = (0..40).map(|i| if i % 2 == 0 { a.clone() } else { b.clone() }).collect();
+        let posts: Vec<Post> = (0..40)
+            .map(|i| if i % 2 == 0 { a.clone() } else { b.clone() })
+            .collect();
         let analyzer = StabilityAnalyzer::new(StabilityParams::new(5, 0.999));
         let profile = analyzer.analyze(&posts);
         // The distribution does converge towards (0.5, 0.5) so similarity rises,

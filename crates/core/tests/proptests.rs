@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use tagging_core::model::{Post, TagId};
 use tagging_core::quality::quality_curve;
 use tagging_core::rfd::{rfd_of_prefix, FrequencyTracker, Rfd};
-use tagging_core::similarity::{cosine, MetricKind, SimilarityMetric};
+use tagging_core::similarity::{cosine, MetricKind};
 use tagging_core::stability::{MaTracker, StabilityAnalyzer, StabilityParams};
 
 /// Strategy: a post over a small tag universe (1–6 distinct tags out of 12).

@@ -25,7 +25,9 @@ use tagging_core::model::{Corpus, Post, PostSequence, Resource, ResourceId};
 use tagging_core::rfd::Rfd;
 
 use crate::taxonomy::{CategoryId, Taxonomy};
-use crate::topics::{build_profile, sample_post, ProfileParams, ResourceProfile, TopicId, TopicModel};
+use crate::topics::{
+    build_profile, sample_post, ProfileParams, ResourceProfile, TopicId, TopicModel,
+};
 use crate::zipf::Zipf;
 
 /// Configuration of the synthetic corpus generator.
@@ -227,13 +229,17 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
         (0.0..=1.0).contains(&config.initial_fraction),
         "initial_fraction must lie in [0, 1]"
     );
-    assert!(config.mean_posts >= config.min_posts.max(1), "mean_posts must be >= min_posts");
+    assert!(
+        config.mean_posts >= config.min_posts.max(1),
+        "mean_posts must be >= min_posts"
+    );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = config.num_resources;
 
     let mut corpus = Corpus::new();
-    let topic_model = TopicModel::build(&mut corpus.tags, config.num_topics, config.vocab_per_topic);
+    let topic_model =
+        TopicModel::build(&mut corpus.tags, config.num_topics, config.vocab_per_topic);
 
     // ---- Taxonomy: root → topic category → sub-categories -------------------
     // Each sub-category also owns a distinguishing tag that is mixed into the
@@ -288,10 +294,13 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
     let mut initial_posts = Vec::with_capacity(n);
     let mut typo_counter = 0u64;
 
-    for i in 0..n {
+    for (i, &seq_len) in lengths.iter().enumerate() {
         let id = ResourceId(i as u32);
         let primary = TopicId((rng.gen_range(0..topic_model.num_topics())) as u32);
-        let name = format!("www.resource-{i}.example/{}", topic_model.topics[primary.index()].name);
+        let name = format!(
+            "www.resource-{i}.example/{}",
+            topic_model.topics[primary.index()].name
+        );
         let self_tag = corpus.tags.intern(&format!("site-{i}"));
         let mut profile = build_profile(&mut rng, &topic_model, &config.profile, primary, self_tag);
 
@@ -314,9 +323,9 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
         // paper's www.myphysicslab.com example, whose early posts were all about
         // Java rather than physics. Early posts are drawn from a 50/50 mixture of
         // the true distribution and this distractor.
-        let distractor_topic = profile
-            .secondary_topic
-            .unwrap_or(TopicId(((primary.index() + 1) % topic_model.num_topics()) as u32));
+        let distractor_topic = profile.secondary_topic.unwrap_or(TopicId(
+            ((primary.index() + 1) % topic_model.num_topics()) as u32,
+        ));
         let distractor = {
             let other = &topic_model.topics[distractor_topic.index()];
             let other_len = 4.min(other.vocabulary.len());
@@ -342,11 +351,11 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
                 .map(|(t, w)| (t, 0.5 * w))
                 .chain(distractor.iter().map(|(t, w)| (t, 0.5 * w))),
         );
-        let early_len = (lengths[i] / 4).clamp(5, 15);
+        let early_len = (seq_len / 4).clamp(5, 15);
 
         // Posts of the full sequence.
         let mut posts = PostSequence::new();
-        for j in 0..lengths[i] {
+        for j in 0..seq_len {
             let distribution = if j < early_len {
                 &early_distribution
             } else {
@@ -368,8 +377,8 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
         // share of resources start heavily under-tagged, as in the paper.
         let u: f64 = rng.gen_range(0.0..1.0);
         let multiplier = 3.0 * u * u; // mean 1, mass concentrated near 0
-        let c = ((lengths[i] as f64) * config.initial_fraction * multiplier).round() as usize;
-        let c = c.clamp(1, lengths[i].saturating_sub(1).max(1));
+        let c = ((seq_len as f64) * config.initial_fraction * multiplier).round() as usize;
+        let c = c.clamp(1, seq_len.saturating_sub(1).max(1));
         initial_posts.push(c);
 
         taxonomy.assign(id, leaf);
@@ -437,7 +446,10 @@ mod tests {
     fn sequence_lengths_respect_bounds_and_mean() {
         let config = GeneratorConfig::small(80, 3);
         let sc = generate(&config);
-        let lengths: Vec<usize> = sc.resource_ids().map(|id| sc.full_sequence(id).len()).collect();
+        let lengths: Vec<usize> = sc
+            .resource_ids()
+            .map(|id| sc.full_sequence(id).len())
+            .collect();
         for &len in &lengths {
             assert!(len >= config.min_posts);
             assert!(len <= config.max_posts);
@@ -539,10 +551,16 @@ mod tests {
     #[test]
     fn full_web_config_produces_heavy_tail() {
         let sc = generate(&GeneratorConfig::full_web(500, 17));
-        let lengths: Vec<usize> = sc.resource_ids().map(|id| sc.full_sequence(id).len()).collect();
+        let lengths: Vec<usize> = sc
+            .resource_ids()
+            .map(|id| sc.full_sequence(id).len())
+            .collect();
         let singletons = lengths.iter().filter(|&&l| l <= 2).count();
         let max = *lengths.iter().max().unwrap();
-        assert!(singletons > 100, "expected many rarely-tagged resources, got {singletons}");
+        assert!(
+            singletons > 100,
+            "expected many rarely-tagged resources, got {singletons}"
+        );
         assert!(max > 50, "expected a popular head, max sequence is {max}");
     }
 

@@ -51,7 +51,10 @@ impl PostCountHistogram {
         let mut lower = 1usize;
         while lower <= max.max(1) {
             let upper = lower.saturating_mul(base).saturating_sub(1);
-            let count = lengths.iter().filter(|&&l| l >= lower && l <= upper).count();
+            let count = lengths
+                .iter()
+                .filter(|&&l| l >= lower && l <= upper)
+                .count();
             bins.push((lower, upper, count));
             lower = lower.saturating_mul(base);
         }
@@ -241,9 +244,8 @@ mod tests {
     #[test]
     fn histogram_from_lengths_heavy_tail() {
         // 90 resources with 1 post, 10 with 100 posts.
-        let lengths: Vec<usize> = std::iter::repeat(1)
-            .take(90)
-            .chain(std::iter::repeat(100).take(10))
+        let lengths: Vec<usize> = std::iter::repeat_n(1, 90)
+            .chain(std::iter::repeat_n(100, 10))
             .collect();
         let hist = PostCountHistogram::from_lengths(lengths, 10);
         assert!(hist.is_heavy_tailed());
@@ -296,11 +298,7 @@ mod tests {
                 under_tagged_threshold: 10,
             },
         );
-        let recount = corpus
-            .initial_posts
-            .iter()
-            .filter(|&&c| c <= 10)
-            .count();
+        let recount = corpus.initial_posts.iter().filter(|&&c| c <= 10).count();
         assert_eq!(stats.under_tagged_initial, recount);
         // Salvage needs at most (threshold) posts per under-tagged resource.
         assert!(stats.salvage_posts_needed <= stats.under_tagged_initial * 11);

@@ -51,9 +51,26 @@ pub struct Topic {
 /// Names used for the synthetic topics. Chosen to echo the paper's case studies
 /// (physics, java, video editing, photo sharing, architecture news, sports, …).
 pub const TOPIC_NAMES: &[&str] = &[
-    "physics", "java", "video-editing", "video-sharing", "photo-editing", "photo-sharing",
-    "architecture", "news", "sports", "travel", "maps", "music", "cooking", "politics",
-    "machine-learning", "databases", "security", "design", "finance", "health",
+    "physics",
+    "java",
+    "video-editing",
+    "video-sharing",
+    "photo-editing",
+    "photo-sharing",
+    "architecture",
+    "news",
+    "sports",
+    "travel",
+    "maps",
+    "music",
+    "cooking",
+    "politics",
+    "machine-learning",
+    "databases",
+    "security",
+    "design",
+    "finance",
+    "health",
 ];
 
 /// Globally popular tags that show up on resources of every topic.
@@ -412,11 +429,21 @@ mod tests {
         );
         let mut typos = 0u64;
         for _ in 0..200 {
-            let tags = sample_post(&mut rng, &mut dict, &profile.true_distribution, 4, 0.0, &mut typos);
+            let tags = sample_post(
+                &mut rng,
+                &mut dict,
+                &profile.true_distribution,
+                4,
+                0.0,
+                &mut typos,
+            );
             assert!(!tags.is_empty());
             assert!(tags.len() <= 4);
             for t in &tags {
-                assert!(profile.true_distribution.get(*t) > 0.0, "tag outside support");
+                assert!(
+                    profile.true_distribution.get(*t) > 0.0,
+                    "tag outside support"
+                );
             }
         }
         assert_eq!(typos, 0);
@@ -437,7 +464,14 @@ mod tests {
         let before = dict.len();
         let mut typos = 0u64;
         for _ in 0..300 {
-            sample_post(&mut rng, &mut dict, &profile.true_distribution, 3, 0.2, &mut typos);
+            sample_post(
+                &mut rng,
+                &mut dict,
+                &profile.true_distribution,
+                3,
+                0.2,
+                &mut typos,
+            );
         }
         assert!(typos > 0);
         assert!(dict.len() > before);

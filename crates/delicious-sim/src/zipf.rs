@@ -66,7 +66,11 @@ impl Zipf {
         }
         let total = *self.cumulative.last().expect("non-empty");
         let upper = self.cumulative[rank - 1];
-        let lower = if rank >= 2 { self.cumulative[rank - 2] } else { 0.0 };
+        let lower = if rank >= 2 {
+            self.cumulative[rank - 2]
+        } else {
+            0.0
+        };
         (upper - lower) / total
     }
 
@@ -195,10 +199,19 @@ mod tests {
             counts[r - 1] += 1;
         }
         // Rank 1 should be sampled far more often than rank 50.
-        assert!(counts[0] > counts[49] * 5, "counts: {} vs {}", counts[0], counts[49]);
+        assert!(
+            counts[0] > counts[49] * 5,
+            "counts: {} vs {}",
+            counts[0],
+            counts[49]
+        );
         // Empirical frequency of rank 1 should be near its pmf.
         let freq = counts[0] as f64 / 20_000.0;
-        assert!((freq - z.pmf(1)).abs() < 0.02, "freq {freq} pmf {}", z.pmf(1));
+        assert!(
+            (freq - z.pmf(1)).abs() < 0.02,
+            "freq {freq} pmf {}",
+            z.pmf(1)
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ pub fn run_dp(scenario: &Scenario, config: &RunConfig) -> RunMetrics {
 }
 
 /// [`run_dp`] with an explicit per-resource cap on the quality table width.
-pub fn run_dp_capped(scenario: &Scenario, config: &RunConfig, max_per_resource: usize) -> RunMetrics {
+pub fn run_dp_capped(
+    scenario: &Scenario,
+    config: &RunConfig,
+    max_per_resource: usize,
+) -> RunMetrics {
     let start = Instant::now();
     let cap = max_per_resource.min(config.budget);
     let table = QualityTable::from_posts(
@@ -161,7 +165,14 @@ mod tests {
             let metrics = run_strategy(&s, kind, &config);
             assert_eq!(metrics.strategy, kind.name());
             assert_eq!(metrics.budget, 100);
-            assert_eq!(metrics.allocation.iter().map(|&x| x as usize).sum::<usize>(), 100);
+            assert_eq!(
+                metrics
+                    .allocation
+                    .iter()
+                    .map(|&x| x as usize)
+                    .sum::<usize>(),
+                100
+            );
             assert!((0.0..=1.0).contains(&metrics.mean_quality));
             assert!((0.0..=1.0).contains(&metrics.under_tagged_fraction));
             assert!(metrics.over_tagged <= s.len());

@@ -134,7 +134,10 @@ mod tests {
         }
         assert!(source.generated_posts() >= 500);
         let sim = cosine(&tracker.rfd(), corpus.true_distribution(id));
-        assert!(sim > 0.85, "generated posts drift from the true distribution: {sim}");
+        assert!(
+            sim > 0.85,
+            "generated posts drift from the true distribution: {sim}"
+        );
     }
 
     #[test]
@@ -159,7 +162,10 @@ mod tests {
             2_000,
         );
         assert_eq!(outcome.undelivered, 0);
-        assert_eq!(outcome.allocated.iter().map(|&x| x as usize).sum::<usize>(), 2_000);
+        assert_eq!(
+            outcome.allocated.iter().map(|&x| x as usize).sum::<usize>(),
+            2_000
+        );
     }
 
     #[test]
@@ -172,7 +178,9 @@ mod tests {
             for _ in 0..corpus.future_sequence(id).len() {
                 source.next_post(id);
             }
-            (0..20).map(|_| source.next_post(id).unwrap()).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| source.next_post(id).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(7), draw(7));
         assert_ne!(draw(7), draw(8));

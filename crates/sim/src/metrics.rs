@@ -138,7 +138,10 @@ mod tests {
         let allocation = vec![0u32; s.len()];
         let delivered: Vec<Vec<Post>> = vec![Vec::new(); s.len()];
         assert!((mean_quality(&s, &delivered) - s.initial_quality()).abs() < 1e-12);
-        assert_eq!(over_tagged_count(&s, &allocation), s.initially_over_tagged());
+        assert_eq!(
+            over_tagged_count(&s, &allocation),
+            s.initially_over_tagged()
+        );
         assert_eq!(wasted_posts(&s, &allocation), 0);
         let expected_fraction = s.initially_under_tagged() as f64 / s.len() as f64;
         assert!((under_tagged_fraction(&s, &allocation) - expected_fraction).abs() < 1e-12);
@@ -169,9 +172,8 @@ mod tests {
     fn wasted_posts_counts_only_tasks_past_the_stable_point() {
         let s = scenario();
         // Find a resource that is already over-tagged initially.
-        let over = (0..s.len()).find(|&i| {
-            matches!(s.stable_points[i], Some(sp) if s.initial[i].len() >= sp)
-        });
+        let over = (0..s.len())
+            .find(|&i| matches!(s.stable_points[i], Some(sp) if s.initial[i].len() >= sp));
         if let Some(i) = over {
             let mut allocation = vec![0u32; s.len()];
             allocation[i] = 5;
@@ -185,7 +187,10 @@ mod tests {
             allocation[i] = 3;
             assert_eq!(wasted_posts(&s, &allocation), 0);
         }
-        assert!(over.is_some() || under.is_some(), "test corpus too degenerate");
+        assert!(
+            over.is_some() || under.is_some(),
+            "test corpus too degenerate"
+        );
     }
 
     #[test]
@@ -213,10 +218,10 @@ mod tests {
         let delivered = delivered_posts(&s, &outcome);
         let total_delivered: usize = delivered.iter().map(Vec::len).sum();
         assert_eq!(total_delivered + outcome.undelivered, 50);
-        for i in 0..s.len() {
-            assert!(delivered[i].len() <= outcome.allocated[i] as usize);
+        for (i, posts) in delivered.iter().enumerate() {
+            assert!(posts.len() <= outcome.allocated[i] as usize);
             // Delivered posts are exactly the prefix of the recorded future posts.
-            for (j, post) in delivered[i].iter().enumerate() {
+            for (j, post) in posts.iter().enumerate() {
                 assert_eq!(post, &s.future[i][j]);
             }
         }

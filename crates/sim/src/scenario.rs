@@ -159,7 +159,13 @@ fn renormalise(weights: &[f64]) -> Vec<f64> {
     }
     weights
         .iter()
-        .map(|&w| if w.is_finite() && w > 0.0 { w / total } else { 0.0 })
+        .map(|&w| {
+            if w.is_finite() && w > 0.0 {
+                w / total
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 

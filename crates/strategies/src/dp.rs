@@ -57,8 +57,16 @@ impl QualityTable {
         budget: usize,
         metric: &M,
     ) -> Self {
-        assert_eq!(initial.len(), future.len(), "initial/future length mismatch");
-        assert_eq!(initial.len(), references.len(), "initial/references length mismatch");
+        assert_eq!(
+            initial.len(),
+            future.len(),
+            "initial/future length mismatch"
+        );
+        assert_eq!(
+            initial.len(),
+            references.len(),
+            "initial/references length mismatch"
+        );
         let n = initial.len();
         let mut values = Vec::with_capacity(n);
         for i in 0..n {
@@ -268,7 +276,10 @@ mod tests {
         ];
         // The paper's Example 3 writes "{google, picture}"; in context this is the
         // "pictures" tag of Table II, so we use the shared tag here.
-        let r2_future = vec![p(&["google", "pictures"], &mut dict), p(&["google"], &mut dict)];
+        let r2_future = vec![
+            p(&["google", "pictures"], &mut dict),
+            p(&["google"], &mut dict),
+        ];
         let google = dict.get("google").unwrap();
         let earth = dict.get("earth").unwrap();
         let geographic = dict.get("geographic").unwrap();
@@ -283,11 +294,27 @@ mod tests {
             2,
         );
         // Table IV, row (1,1): q1(4) = 0.990 and q2(3) = 0.990.
-        assert!((table.quality(0, 1) - 0.990).abs() < 5e-3, "q1(4) = {}", table.quality(0, 1));
-        assert!((table.quality(1, 1) - 0.990).abs() < 5e-3, "q2(3) = {}", table.quality(1, 1));
+        assert!(
+            (table.quality(0, 1) - 0.990).abs() < 5e-3,
+            "q1(4) = {}",
+            table.quality(0, 1)
+        );
+        assert!(
+            (table.quality(1, 1) - 0.990).abs() < 5e-3,
+            "q2(3) = {}",
+            table.quality(1, 1)
+        );
         // Row (0,2): q2(4) = 0.992;   row (2,0): q1(5) = 0.943.
-        assert!((table.quality(1, 2) - 0.992).abs() < 5e-3, "q2(4) = {}", table.quality(1, 2));
-        assert!((table.quality(0, 2) - 0.943).abs() < 5e-3, "q1(5) = {}", table.quality(0, 2));
+        assert!(
+            (table.quality(1, 2) - 0.992).abs() < 5e-3,
+            "q2(4) = {}",
+            table.quality(1, 2)
+        );
+        assert!(
+            (table.quality(0, 2) - 0.943).abs() < 5e-3,
+            "q1(5) = {}",
+            table.quality(0, 2)
+        );
 
         // The DP must therefore pick the (1, 1) assignment, as the paper states.
         let result = optimal_allocation(&table, 2);
@@ -356,14 +383,13 @@ mod tests {
         let initial = vec![vec![post(0), post(0)]];
         let future = vec![vec![post(1), post(1), post(1)]];
         let reference = Rfd::from_counts([(TagId(0), 1), (TagId(1), 1)]);
-        let table = QualityTable::from_posts(&initial, &future, std::slice::from_ref(&reference), 3);
+        let table =
+            QualityTable::from_posts(&initial, &future, std::slice::from_ref(&reference), 3);
         for x in 0..=3 {
             let mut posts = initial[0].clone();
             posts.extend_from_slice(&future[0][..x]);
-            let expected = tagging_core::similarity::cosine(
-                &rfd_of_prefix(&posts, posts.len()),
-                &reference,
-            );
+            let expected =
+                tagging_core::similarity::cosine(&rfd_of_prefix(&posts, posts.len()), &reference);
             assert!((table.quality(0, x) - expected).abs() < 1e-12, "x = {x}");
         }
     }

@@ -48,9 +48,9 @@ impl AllocationStrategy for FreeChoice {
             .iter()
             .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
             .collect();
-        self.sampler = WeightedIndex::new(weights.clone()).ok().or_else(|| {
-            WeightedIndex::new(vec![1.0; view.len()]).ok()
-        });
+        self.sampler = WeightedIndex::new(weights.clone())
+            .ok()
+            .or_else(|| WeightedIndex::new(vec![1.0; view.len()]).ok());
     }
 
     fn choose(&mut self, view: &AllocationView<'_>) -> ResourceId {

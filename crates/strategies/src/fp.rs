@@ -102,7 +102,10 @@ mod tests {
         // Total = 18 + 12 = 30. FP water-fills the smallest counts first, so no
         // resource that received tasks should end above the untouched maximum.
         assert_eq!(outcome.allocated.iter().sum::<u32>(), 12);
-        assert_eq!(outcome.allocated[0], 0, "the most-tagged resource gets nothing");
+        assert_eq!(
+            outcome.allocated[0], 0,
+            "the most-tagged resource gets nothing"
+        );
         // The three under-tagged resources are levelled to within one post.
         let levelled = &totals[1..];
         assert!(levelled.iter().max().unwrap() - levelled.iter().min().unwrap() <= 1);

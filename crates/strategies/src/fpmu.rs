@@ -66,7 +66,10 @@ impl FpMu {
     /// `Σ_i max(0, ω − (c_i + x_i))` at the current state.
     pub fn remaining_warm_up_budget(&self, view: &AllocationView<'_>) -> usize {
         (0..view.len())
-            .map(|i| self.omega.saturating_sub(view.total_count(ResourceId(i as u32))))
+            .map(|i| {
+                self.omega
+                    .saturating_sub(view.total_count(ResourceId(i as u32)))
+            })
             .sum()
     }
 }
@@ -155,8 +158,8 @@ mod tests {
         ]);
         let outcome = run_allocation(&mut fpmu, &mut source, &initial, &popularity, 7);
         // After exactly the warm-up budget, all resources have ≥ ω posts.
-        for i in 0..3 {
-            let total = initial[i].len() + outcome.allocated[i] as usize;
+        for (i, init) in initial.iter().enumerate() {
+            let total = init.len() + outcome.allocated[i] as usize;
             assert!(total >= omega, "resource {i} has only {total} posts");
         }
         assert!(!fpmu.in_warm_up());
@@ -220,8 +223,7 @@ mod tests {
             stable_sequence(1, 200),
             unstable_sequence(10, 200),
         ]);
-        let fpmu_outcome =
-            run_allocation(&mut fpmu, &mut source_a, &initial, &popularity, budget);
+        let fpmu_outcome = run_allocation(&mut fpmu, &mut source_a, &initial, &popularity, budget);
 
         let mut fp = crate::fp::FewestPostsFirst::new();
         let mut source_b = ReplaySource::new(vec![
@@ -238,7 +240,11 @@ mod tests {
     #[test]
     fn remaining_warm_up_budget_matches_algorithm_5() {
         let omega = 5;
-        let initial = vec![stable_sequence(0, 1), stable_sequence(1, 2), stable_sequence(2, 9)];
+        let initial = vec![
+            stable_sequence(0, 1),
+            stable_sequence(1, 2),
+            stable_sequence(2, 9),
+        ];
         let allocated = vec![0u32, 1, 0];
         let popularity = vec![1.0 / 3.0; 3];
         let view = AllocationView {

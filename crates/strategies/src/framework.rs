@@ -242,7 +242,12 @@ mod tests {
         fn choose(&mut self, _view: &AllocationView<'_>) -> ResourceId {
             ResourceId(0)
         }
-        fn update(&mut self, view: &AllocationView<'_>, resource: ResourceId, _post: Option<&Post>) {
+        fn update(
+            &mut self,
+            view: &AllocationView<'_>,
+            resource: ResourceId,
+            _post: Option<&Post>,
+        ) {
             assert_eq!(resource, ResourceId(0));
             assert_eq!(view.allocated[0] as usize, self.updates + 1);
             self.updates += 1;

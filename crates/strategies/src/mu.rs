@@ -39,7 +39,10 @@ pub struct MostUnstableFirst {
 impl MostUnstableFirst {
     /// Creates the strategy with MA window size `omega ≥ 2`.
     pub fn new(omega: usize) -> Self {
-        assert!(omega >= 2, "the MA window ω must be at least 2 (got {omega})");
+        assert!(
+            omega >= 2,
+            "the MA window ω must be at least 2 (got {omega})"
+        );
         Self {
             omega,
             trackers: Vec::new(),
@@ -146,9 +149,7 @@ mod tests {
 
     /// An unstable sequence: alternating disjoint tag pairs.
     fn unstable_sequence(base: u32, n: usize) -> Vec<Post> {
-        (0..n)
-            .map(|i| post(base + (i % 4) as u32))
-            .collect()
+        (0..n).map(|i| post(base + (i % 4) as u32)).collect()
     }
 
     #[test]
@@ -163,7 +164,8 @@ mod tests {
         let initial = vec![stable_sequence(0, 12), unstable_sequence(10, 12)];
         let popularity = vec![0.5, 0.5];
         let mut mu = MostUnstableFirst::new(5);
-        let mut source = ReplaySource::new(vec![stable_sequence(0, 100), unstable_sequence(10, 100)]);
+        let mut source =
+            ReplaySource::new(vec![stable_sequence(0, 100), unstable_sequence(10, 100)]);
         let outcome = run_allocation(&mut mu, &mut source, &initial, &popularity, 10);
         assert!(
             outcome.allocated[1] > outcome.allocated[0],
@@ -181,7 +183,10 @@ mod tests {
         let mut mu = MostUnstableFirst::new(5);
         let mut source = ReplaySource::new(vec![stable_sequence(0, 50), unstable_sequence(10, 50)]);
         let outcome = run_allocation(&mut mu, &mut source, &initial, &popularity, 8);
-        assert_eq!(outcome.allocated[0], 0, "below-ω resource must be ignored by MU");
+        assert_eq!(
+            outcome.allocated[0], 0,
+            "below-ω resource must be ignored by MU"
+        );
         assert_eq!(outcome.allocated[1], 8);
     }
 

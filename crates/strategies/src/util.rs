@@ -43,7 +43,7 @@ mod tests {
 
     #[test]
     fn orders_like_f64() {
-        let mut values = vec![OrdF64::new(0.5), OrdF64::new(0.1), OrdF64::new(0.9)];
+        let mut values = [OrdF64::new(0.5), OrdF64::new(0.1), OrdF64::new(0.9)];
         values.sort();
         assert_eq!(values[0].get(), 0.1);
         assert_eq!(values[2].get(), 0.9);

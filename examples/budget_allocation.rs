@@ -28,7 +28,12 @@ fn main() {
     // --- 1. Sweep the budget with the practical strategies -------------------
     let budgets = [0, 200, 400, 800, 1_600];
     let algorithms = SweepAlgorithms {
-        strategies: vec![StrategyKind::Fp, StrategyKind::FpMu, StrategyKind::Rr, StrategyKind::Fc],
+        strategies: vec![
+            StrategyKind::Fp,
+            StrategyKind::FpMu,
+            StrategyKind::Rr,
+            StrategyKind::Fc,
+        ],
         include_dp: false,
         dp_table_cap: 0,
     };

@@ -67,7 +67,10 @@ fn main() {
         );
         let delivered = delivered_posts(&scenario, &outcome);
         let rfds = rfds_after_allocation(&scenario.initial, &delivered);
-        describe(&rfds, &format!("after {budget} tasks allocated by {}", kind.name()));
+        describe(
+            &rfds,
+            &format!("after {budget} tasks allocated by {}", kind.name()),
+        );
     }
 
     // --- 2. Ranking accuracy vs tagging quality ------------------------------

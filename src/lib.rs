@@ -1,0 +1,26 @@
+//! # tagging-repro
+//!
+//! Workspace-root package for the reproduction of *"On Incentive-based
+//! Tagging"* (Yang, Cheng, Mo, Kao, Cheung — ICDE 2013).
+//!
+//! This crate contains no logic of its own: it exists to host the end-to-end
+//! integration tests in `tests/` and the runnable examples in `examples/`,
+//! which exercise the whole workspace through the public APIs of the six
+//! member crates. See those crates for the actual implementation:
+//!
+//! * [`tagging_core`] — data model, rfds, stability and quality metrics;
+//! * [`tagging_strategies`] — the incentive allocation strategies and DP optimum;
+//! * [`delicious_sim`] — the synthetic del.icio.us-style corpus generator;
+//! * [`tagging_sim`] — the experiment engine;
+//! * [`tagging_analysis`] — the §V-C similarity case studies;
+//! * [`tagging_bench`] — figure/table reproduction drivers and benches.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use delicious_sim;
+pub use tagging_analysis;
+pub use tagging_bench;
+pub use tagging_core;
+pub use tagging_sim;
+pub use tagging_strategies;

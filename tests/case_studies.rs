@@ -47,8 +47,9 @@ fn table7_ideal_lists_are_dominated_by_the_subjects_topic() {
             .collect();
         let ideal = top_k_similar(subject, &ideal_rfds, 10);
         let topic = corpus.profiles[subject.index()].primary_topic;
-        let same_topic =
-            category_hits(&ideal, |r| corpus.profiles[r.index()].primary_topic == topic);
+        let same_topic = category_hits(&ideal, |r| {
+            corpus.profiles[r.index()].primary_topic == topic
+        });
         // The subject's topic covers only ~1/20 of all resources, so 4+ hits in
         // the top-10 indicates genuine topical retrieval rather than chance.
         assert!(

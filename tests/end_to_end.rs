@@ -22,7 +22,11 @@ fn all_strategies_spend_the_budget_and_stay_in_bounds() {
     for kind in StrategyKind::ALL {
         let metrics = run_strategy(&scenario, kind, &config);
         assert_eq!(
-            metrics.allocation.iter().map(|&x| x as usize).sum::<usize>(),
+            metrics
+                .allocation
+                .iter()
+                .map(|&x| x as usize)
+                .sum::<usize>(),
             500,
             "{} must spend the whole budget",
             kind.name()
@@ -61,7 +65,10 @@ fn paper_ordering_dp_fp_beat_rr_beat_fc() {
     assert!(fp > rr, "FP ({fp}) should beat RR ({rr})");
     assert!(fpmu > rr, "FP-MU ({fpmu}) should beat RR ({rr})");
     assert!(rr > fc, "RR ({rr}) should beat FC ({fc})");
-    assert!(fp > initial + 0.01, "FP should clearly improve over the initial state");
+    assert!(
+        fp > initial + 0.01,
+        "FP should clearly improve over the initial state"
+    );
     // At smoke scale the budget is large relative to the corpus, so FC improves
     // more than in the paper's full-scale setting; it must still trail FP by a
     // clear margin.
@@ -109,7 +116,10 @@ fn fc_wastes_a_large_share_of_its_budget() {
         "FC should waste a sizeable share of its tasks, wasted only {}",
         fc.wasted_posts
     );
-    assert_eq!(fp.wasted_posts, 0, "FP must not waste tasks on over-tagged resources");
+    assert_eq!(
+        fp.wasted_posts, 0,
+        "FP must not waste tasks on over-tagged resources"
+    );
 }
 
 #[test]
@@ -142,7 +152,12 @@ fn runs_are_deterministic_for_fixed_seeds() {
     for kind in StrategyKind::ALL {
         let a = run_strategy(&scenario, kind, &config);
         let b = run_strategy(&scenario, kind, &config);
-        assert_eq!(a.allocation, b.allocation, "{} not deterministic", kind.name());
+        assert_eq!(
+            a.allocation,
+            b.allocation,
+            "{} not deterministic",
+            kind.name()
+        );
         assert_eq!(a.mean_quality, b.mean_quality);
     }
 }

@@ -51,7 +51,9 @@ fn fig1b_distribution_is_skewed() {
 fn fig3_ma_score_rises_to_stability() {
     let corpus = smoke_corpus();
     let series = fig3_stability_series(corpus, StabilityParams::new(20, 0.99));
-    let stable = series.stable_point.expect("popular resource must stabilise");
+    let stable = series
+        .stable_point
+        .expect("popular resource must stabilise");
     // The MA score at the stable point exceeds the threshold, and the mean MA
     // score before it is lower than after it.
     let before: Vec<f64> = series
@@ -110,7 +112,10 @@ fn fig6_panel_relationships_hold() {
     //     the salvage requirement FP is at least as good as FC.
     let under = |name: &str| last.metrics(name).unwrap().under_tagged_fraction;
     let initial_under = points[0].metrics("FP").unwrap().under_tagged_fraction;
-    assert!(under("FP") < initial_under, "FP should eventually cut under-tagging");
+    assert!(
+        under("FP") < initial_under,
+        "FP should eventually cut under-tagging"
+    );
     assert!(under("FP") <= under("FC") + 1e-9);
     // And the under-tagged fraction never increases with budget for FP.
     let fp_under: Vec<f64> = points
@@ -154,7 +159,10 @@ fn fig6f_large_omega_reduces_fpmu_to_fp_and_hurts_mu() {
         .iter()
         .map(|p| p.metrics("MU").unwrap().mean_quality)
         .collect();
-    assert!(mu[2] <= mu[0] + 1e-6, "MU quality should not rise with ω: {mu:?}");
+    assert!(
+        mu[2] <= mu[0] + 1e-6,
+        "MU quality should not rise with ω: {mu:?}"
+    );
 }
 
 #[test]

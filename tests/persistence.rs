@@ -2,9 +2,9 @@
 //! back must drive every downstream computation (scenario, strategies, quality)
 //! to identical results.
 
-use tagging_bench::setup::scenario_params;
 use delicious_sim::generator::{generate, GeneratorConfig};
 use delicious_sim::io::{load_corpus, save_corpus};
+use tagging_bench::setup::scenario_params;
 use tagging_sim::engine::{run_strategy, RunConfig};
 use tagging_sim::scenario::Scenario;
 use tagging_strategies::StrategyKind;
@@ -32,7 +32,12 @@ fn corpus_roundtrip_preserves_experiment_results() {
     for kind in [StrategyKind::Fp, StrategyKind::FpMu, StrategyKind::Rr] {
         let a = run_strategy(&scenario_a, kind, &config);
         let b = run_strategy(&scenario_b, kind, &config);
-        assert_eq!(a.allocation, b.allocation, "{} diverged after reload", kind.name());
+        assert_eq!(
+            a.allocation,
+            b.allocation,
+            "{} diverged after reload",
+            kind.name()
+        );
         assert!((a.mean_quality - b.mean_quality).abs() < 1e-12);
     }
 }

@@ -1,0 +1,255 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro and builder surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`] and [`Bencher::iter`] — while replacing criterion's
+//! statistical machinery with a simple mean-of-samples wall-clock measurement
+//! printed to stdout.
+
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away
+/// (`criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver (`criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    ///
+    /// The group starts from the driver's default settings; setting
+    /// warm-up/measurement/sample-size on the group affects that group only,
+    /// as in the real criterion.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            settings: Settings {
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+                sample_size: self.sample_size,
+            },
+            _criterion: std::marker::PhantomData,
+            name,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let settings = Settings {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        run_one(name, settings, &mut f);
+    }
+}
+
+/// Settings snapshot passed down to a single measurement.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+/// A group of related benchmarks sharing settings
+/// (`criterion::BenchmarkGroup`).
+///
+/// Holds its own settings snapshot so per-group overrides never leak into
+/// groups opened later from the same [`Criterion`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    settings: Settings,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration for benchmarks in this group.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement duration for benchmarks in this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.measurement_time = duration;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.settings, &mut f);
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Closes the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter
+/// (`criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"name/parameter"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id forms benches pass to `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Renders the id as a display label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Measures a routine's execution time (`criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Times the routine, warming up first and then averaging over the
+    /// configured sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating the cost
+        // of one iteration as we go.
+        let warm_up_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_up_start.elapsed() < self.settings.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Measurement: spread the measurement budget over sample_size samples.
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let iters_per_sample = ((budget / self.settings.sample_size as f64 / per_iter.max(1e-9))
+            as u64)
+            .clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            total_iters += iters_per_sample;
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / total_iters as f64;
+        self.ran = true;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, f: &mut F) {
+    let mut bencher = Bencher {
+        settings,
+        mean_ns: 0.0,
+        ran: false,
+    };
+    f(&mut bencher);
+    if bencher.ran {
+        println!("{label:<60} {:>12.1} ns/iter", bencher.mean_ns);
+    } else {
+        println!("{label:<60}  (no measurement)");
+    }
+}
+
+/// Declares a group of benchmark functions (`criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point
+/// (`criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

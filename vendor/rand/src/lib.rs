@@ -1,0 +1,318 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the surface the workspace uses: [`Rng::gen_range`] /
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`] and
+//! [`distributions::WeightedIndex`] with the [`prelude::Distribution`] trait.
+//!
+//! The generator is deterministic per seed (SplitMix64 core), which is all the
+//! workspace relies on; it makes no cryptographic claims and does not match the
+//! streams of the real `StdRng`.
+
+#![deny(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness, mirroring the subset of `rand::Rng` the workspace
+/// uses.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed value in the given range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        next_f64(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Draws a uniform `f64` in `[0, 1)` from 53 random bits.
+fn next_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A random generator constructible from a seed, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates the generator from a 64-bit seed. Equal seeds give equal
+    /// streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly (the stand-in for
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128 + v) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as u128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (next_f64(rng) as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`.
+    ///
+    /// SplitMix64: passes basic equidistribution checks and is plenty for the
+    /// statistical assertions in this workspace's tests.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed once so that small consecutive seeds still give
+            // visibly unrelated streams.
+            let mut rng = StdRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            let _ = rng.next_u64();
+            StdRng {
+                state: rng.next_u64(),
+            }
+        }
+    }
+}
+
+/// Distribution types, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::Rng;
+    use std::borrow::Borrow;
+
+    /// A value that can be sampled from a distribution
+    /// (`rand::distributions::Distribution`).
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error returned by [`WeightedIndex::new`] on invalid weights.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WeightedError;
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "invalid weights for WeightedIndex")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Samples indices proportionally to a list of weights
+    /// (`rand::distributions::WeightedIndex`).
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex<X> {
+        cumulative: Vec<X>,
+    }
+
+    impl WeightedIndex<f64> {
+        /// Builds the sampler. Fails if the list is empty, any weight is
+        /// negative or non-finite, or all weights are zero.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: Borrow<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = *w.borrow();
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(WeightedError);
+            }
+            Ok(WeightedIndex { cumulative })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex<f64> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let total = *self.cumulative.last().expect("non-empty by construction");
+            let u = super::next_f64(rng) * total;
+            // `<= u` (not `< u`) so a draw landing exactly on a cumulative
+            // boundary resolves to the *next* bucket: zero-weight entries have
+            // zero-width intervals and must never be sampled (matching the
+            // real rand's WeightedIndex guarantee).
+            let i = self.cumulative.partition_point(|&c| c <= u);
+            i.min(self.cumulative.len() - 1)
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(0u32..=5);
+            assert!(w <= 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let w = WeightedIndex::new(vec![1.0, 0.0, 9.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5, "counts = {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_never_samples_zero_weight_on_boundary() {
+        /// Rng whose every draw is the same fixed value.
+        struct FixedRng(u64);
+        impl Rng for FixedRng {
+            fn next_u64(&mut self) -> u64 {
+                self.0
+            }
+        }
+        let w = WeightedIndex::new(vec![1.0, 0.0, 1.0]).unwrap();
+        // next_f64 == 0.5 exactly, so u == 1.0: the shared cumulative boundary
+        // of bucket 0, the zero-width bucket 1, and bucket 2. The draw must
+        // resolve past the zero-weight bucket.
+        let mut rng = FixedRng(1u64 << 63);
+        assert_eq!(w.sample(&mut rng), 2);
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert!(WeightedIndex::new(Vec::<f64>::new()).is_err());
+        assert!(WeightedIndex::new(vec![0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new(vec![-1.0, 2.0]).is_err());
+        assert!(WeightedIndex::new(vec![f64::NAN]).is_err());
+    }
+}

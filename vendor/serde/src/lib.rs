@@ -1,0 +1,411 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! much simpler (de)serialization model than the real serde while keeping the
+//! call sites identical: `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`
+//! and `use serde::{Deserialize, Serialize}` all work unchanged.
+//!
+//! Instead of serde's zero-copy visitor architecture, everything funnels
+//! through an owned JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] converts a value **to** a [`Value`];
+//! * [`Deserialize`] reconstructs a value **from** a [`Value`];
+//! * the companion `serde_json` crate renders a [`Value`] to JSON text and
+//!   parses it back.
+//!
+//! Maps serialize as arrays of `[key, value]` pairs so non-string keys (e.g.
+//! newtype ids) roundtrip exactly.
+
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Owned tree representation of a serialized value (JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer (only used for negative values).
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, with insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the shape a type expects.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion of a value into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction of a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserializes a named field out of an object value. Used by the derive
+/// macro; not part of the public API of the real serde.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v).map_err(|Error(msg)| Error(format!("field `{name}`: {msg}"))),
+        None => Err(Error(format!("missing field `{name}`"))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => return Err(Error(format!("expected unsigned integer, found {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::Int(v) } else { Value::UInt(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n: i64 = match value {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error(format!("integer {n} out of range for i64")))?,
+                    other => return Err(Error(format!("expected integer, found {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    other => Err(Error(format!("expected number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $( + { let _ = $idx; 1 } )+;
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error(format!(
+                        "expected array of length {LEN}, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs so arbitrary key types
+/// roundtrip without a string conversion.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_pairs(value)?.collect::<Result<_, _>>()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // HashMap iteration order is randomized per process; sort the pairs by
+        // serialized key so serializing the same map is byte-deterministic
+        // (corpus save files must not churn run-to-run).
+        let mut pairs: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        pairs.sort_by(|(a, _), (b, _)| value_order(a, b));
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+/// Total order over [`Value`]s used to canonicalize map-key ordering. Compares
+/// by variant rank first, then contents (floats via `total_cmp`).
+fn value_order(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::UInt(_) | Value::Int(_) | Value::Float(_) => 2,
+            Value::String(_) => 3,
+            Value::Array(_) => 4,
+            Value::Object(_) => 5,
+        }
+    }
+    /// Numeric cross-variant comparison; integers up to 2^53 (all ids in this
+    /// workspace) compare exactly.
+    fn as_f64(v: &Value) -> f64 {
+        match v {
+            Value::UInt(n) => *n as f64,
+            Value::Int(n) => *n as f64,
+            Value::Float(f) => *f,
+            _ => unreachable!("only called on numeric variants"),
+        }
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (
+            Value::UInt(_) | Value::Int(_) | Value::Float(_),
+            Value::UInt(_) | Value::Int(_) | Value::Float(_),
+        ) => as_f64(a).total_cmp(&as_f64(b)),
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => x
+            .iter()
+            .zip(y.iter())
+            .map(|(i, j)| value_order(i, j))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or_else(|| x.len().cmp(&y.len())),
+        (Value::Object(x), Value::Object(y)) => x
+            .iter()
+            .zip(y.iter())
+            .map(|((ka, va), (kb, vb))| ka.cmp(kb).then_with(|| value_order(va, vb)))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or_else(|| x.len().cmp(&y.len())),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_pairs(value)?.collect::<Result<_, _>>()
+    }
+}
+
+/// Shared helper: iterates the `[key, value]` pairs of a serialized map.
+fn map_pairs<'a, K: Deserialize, V: Deserialize>(
+    value: &'a Value,
+) -> Result<impl Iterator<Item = Result<(K, V), Error>> + 'a, Error> {
+    match value {
+        Value::Array(items) => Ok(items.iter().map(|item| match item {
+            Value::Array(pair) if pair.len() == 2 => {
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            }
+            other => Err(Error(format!(
+                "expected [key, value] pair, found {other:?}"
+            ))),
+        })),
+        other => Err(Error(format!("expected array of pairs, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_serializes_in_key_order() {
+        let mut map = HashMap::new();
+        for i in (0..100u32).rev() {
+            map.insert(i, i * 2);
+        }
+        let Value::Array(pairs) = map.to_value() else {
+            panic!("expected array of pairs");
+        };
+        let keys: Vec<u64> = pairs
+            .iter()
+            .map(|pair| match pair {
+                Value::Array(kv) => match kv[0] {
+                    Value::UInt(k) => k,
+                    ref other => panic!("unexpected key {other:?}"),
+                },
+                other => panic!("unexpected pair {other:?}"),
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "pairs must come out key-ordered");
+    }
+}

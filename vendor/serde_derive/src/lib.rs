@@ -1,0 +1,301 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace serializes — non-generic structs
+//! with named fields (honouring `#[serde(skip)]`), tuple structs and unit
+//! structs — and parses the token stream by hand so no external parser crates
+//! (syn/quote) are needed. Anything else fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct with named fields.
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+/// Parsed shape of the type the derive is attached to.
+enum Shape {
+    Named {
+        name: String,
+        fields: Vec<NamedField>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Unit {
+        name: String,
+    },
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Named { fields, .. } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit { .. } => "::serde::Value::Null".to_string(),
+    };
+    let name = shape.name();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Named { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::__field(value, \"{0}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::Error::custom(\"tuple struct too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected array for tuple struct {name}, found {{other:?}}\"))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!("::std::result::Result::Ok({name})"),
+    };
+    let name = shape.name();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+             {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive generated invalid Deserialize impl")
+}
+
+impl Shape {
+    fn name(&self) -> &str {
+        match self {
+            Shape::Named { name, .. } | Shape::Tuple { name, .. } | Shape::Unit { name } => name,
+        }
+    }
+}
+
+/// Parses the derive input down to the [`Shape`] the generators need.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` and friends carry a parenthesised restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => panic!(
+            "vendored serde_derive only supports structs, found {other:?} \
+             (enums/unions need the real serde)"
+        ),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic struct `{name}`");
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+            name,
+            fields: parse_named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+            name,
+            arity: count_tuple_fields(g.stream()),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit { name },
+        other => panic!("unsupported struct body for `{name}`: {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` fields, noting `#[serde(skip)]` markers.
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+
+    'fields: loop {
+        let mut skip = false;
+        // Leading attributes of this field.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(attr)) = tokens.next() {
+                        if attr_is_serde_skip(attr.stream()) {
+                            skip = true;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break 'fields,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: everything up to a top-level comma. Generic argument
+        // lists can contain commas, so track `<`/`>` depth.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(NamedField { name, skip });
+    }
+
+    fields
+}
+
+/// Counts the fields of a tuple struct body (top-level commas, tolerating a
+/// trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut commas = 0;
+    let mut angle_depth = 0i32;
+    let mut saw_any = false;
+    let mut trailing_comma = false;
+    for token in stream {
+        saw_any = true;
+        trailing_comma = false;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_any, "empty tuple struct is not supported");
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+/// Recognises `serde(skip)` inside an attribute's bracket group.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
