@@ -1,0 +1,188 @@
+//! Machine-readable wall-clock benchmark of the Figure 6 budget sweep — the
+//! workspace's perf-trajectory anchor.
+//!
+//! Runs one untimed warm-up sweep, then the budget sweep once on a single
+//! thread and once on the configured thread count, records per-sweep-point
+//! and total wall-clock timings plus a cross-thread-count determinism verdict
+//! (`null` when only one thread ran, so nothing was compared), and writes
+//! everything to `BENCH_sweep.json` (override with `--out PATH`).
+//!
+//! Usage:
+//! `cargo run --release -p tagging-bench --bin repro_bench -- [--scale S] [--threads N] [--out PATH]`
+
+use std::time::Instant;
+
+use serde::Value;
+use tagging_bench::experiments::{fig6_include_dp, fig6_sweep_setup};
+use tagging_bench::{init_runtime, scale_from_args, setup};
+use tagging_runtime::Runtime;
+use tagging_sim::sweep::{budget_sweep_with, sweep_fingerprint, SweepAlgorithms, SweepPoint};
+
+/// One timed sweep execution.
+struct TimedRun {
+    threads: usize,
+    total_seconds: f64,
+    points: Vec<SweepPoint>,
+}
+
+fn run_once(
+    threads: usize,
+    scenario: &tagging_sim::scenario::Scenario,
+    budgets: &[usize],
+    algorithms: &SweepAlgorithms,
+    config: &tagging_sim::engine::RunConfig,
+) -> TimedRun {
+    let start = Instant::now();
+    let points = budget_sweep_with(
+        &Runtime::new(threads),
+        scenario,
+        budgets,
+        algorithms,
+        config,
+    );
+    TimedRun {
+        threads,
+        total_seconds: start.elapsed().as_secs_f64(),
+        points,
+    }
+}
+
+fn run_to_json(run: &TimedRun) -> Value {
+    Value::Object(vec![
+        ("threads".to_string(), Value::UInt(run.threads as u64)),
+        ("total_seconds".to_string(), Value::Float(run.total_seconds)),
+        (
+            "points".to_string(),
+            Value::Array(
+                run.points
+                    .iter()
+                    .map(|p| {
+                        let algo_seconds: f64 = p.results.iter().map(|m| m.runtime_seconds).sum();
+                        Value::Object(vec![
+                            ("x".to_string(), Value::UInt(p.x as u64)),
+                            ("algorithm_seconds".to_string(), Value::Float(algo_seconds)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args.clone());
+    let runtime = init_runtime(&args);
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => path.clone(),
+            None => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_sweep.json".to_string(),
+    };
+
+    // Exactly the Figure 6 workload — shared with repro_fig6 via experiments,
+    // so the timings anchor the figure the paper actually plots.
+    let include_dp = fig6_include_dp(scale);
+    let (algorithms, config) = fig6_sweep_setup(include_dp, scale.dp_table_cap(), 5);
+    let budgets = scale.budgets();
+    let scenario = setup::build_scenario(scale);
+
+    eprintln!(
+        "benchmarking budget sweep at scale {scale:?} ({} resources, {} budget points) \
+         on 1 vs {} thread(s)",
+        scenario.len(),
+        budgets.len(),
+        runtime.threads()
+    );
+
+    // Warm-up: one untimed sweep so neither timed run pays first-touch costs
+    // (allocator growth, page faults) — otherwise the cold 1-thread baseline
+    // would overstate the parallel speedup.
+    let _ = run_once(runtime.threads(), &scenario, &budgets, &algorithms, &config);
+
+    let baseline = run_once(1, &scenario, &budgets, &algorithms, &config);
+    let parallel = if runtime.threads() > 1 {
+        Some(run_once(
+            runtime.threads(),
+            &scenario,
+            &budgets,
+            &algorithms,
+            &config,
+        ))
+    } else {
+        None
+    };
+
+    // `None` = nothing to compare (single-threaded run), reported as JSON null
+    // so a missing check is never mistaken for a passed one.
+    let deterministic: Option<bool> = parallel
+        .as_ref()
+        .map(|p| sweep_fingerprint(&p.points) == sweep_fingerprint(&baseline.points));
+    let speedup = parallel
+        .as_ref()
+        .map(|p| baseline.total_seconds / p.total_seconds.max(f64::MIN_POSITIVE));
+
+    let mut runs = vec![run_to_json(&baseline)];
+    if let Some(p) = &parallel {
+        runs.push(run_to_json(p));
+    }
+    let report = Value::Object(vec![
+        (
+            "report".to_string(),
+            Value::String("bench_sweep".to_string()),
+        ),
+        (
+            "scale".to_string(),
+            Value::String(format!("{scale:?}").to_lowercase()),
+        ),
+        // The host's core count makes the artifact self-describing: a ~1.0x
+        // speedup recorded on a single-core machine is expected, not a
+        // regression (the tracked copy was taken on a 1-core dev container).
+        (
+            "available_cores".to_string(),
+            Value::UInt(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            ),
+        ),
+        (
+            "budgets".to_string(),
+            Value::Array(budgets.iter().map(|&b| Value::UInt(b as u64)).collect()),
+        ),
+        ("include_dp".to_string(), Value::Bool(include_dp)),
+        ("runs".to_string(), Value::Array(runs)),
+        (
+            "speedup".to_string(),
+            speedup.map(Value::Float).unwrap_or(Value::Null),
+        ),
+        (
+            "deterministic".to_string(),
+            deterministic.map(Value::Bool).unwrap_or(Value::Null),
+        ),
+    ]);
+
+    let json = serde_json::to_string_pretty(&report).expect("Value serialization is total");
+    std::fs::write(&out_path, format!("{json}\n")).expect("writing the benchmark report");
+
+    println!(
+        "wrote {out_path}: 1 thread: {:.3}s{}{}",
+        baseline.total_seconds,
+        parallel
+            .as_ref()
+            .map(|p| format!(", {} threads: {:.3}s", p.threads, p.total_seconds))
+            .unwrap_or_default(),
+        speedup
+            .zip(deterministic)
+            .map(|(s, d)| format!(" (speedup {s:.2}x, deterministic: {d})"))
+            .unwrap_or_default()
+    );
+    if deterministic == Some(false) {
+        eprintln!("error: parallel sweep diverged from the single-threaded sweep");
+        std::process::exit(1);
+    }
+}

@@ -2,7 +2,7 @@
 //! the Google Earth / Picasa resources, their rfds, tagging qualities, and the
 //! optimal assignment of a budget of 2 post tasks.
 //!
-//! Usage: `cargo run -p tagging-bench --bin repro_examples`
+//! Usage: `cargo run -p tagging-bench --bin repro_examples -- [--threads N]`
 
 use tagging_bench::reporting::{fmt_f64, TextTable};
 use tagging_core::model::{Post, ResourceId, TagDictionary};
@@ -11,6 +11,8 @@ use tagging_core::similarity::cosine;
 use tagging_strategies::dp::{optimal_allocation, QualityTable};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    tagging_bench::init_runtime(&args);
     let mut dict = TagDictionary::new();
     let post = |names: &[&str], dict: &mut TagDictionary| {
         Post::from_names(dict, names.iter().copied()).unwrap()

@@ -2,7 +2,7 @@
 //! (a) relative frequencies of a popular resource's top tags vs its post count;
 //! (b) the log-binned posts-per-resource distribution of a whole-crawl corpus.
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig1 -- [--scale S] [a|b]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig1 -- [--scale S] [--threads N] [a|b]`
 
 use tagging_bench::experiments::{fig1a_tag_frequencies, fig1b_posts_distribution};
 use tagging_bench::reporting::{render_series, TextTable};
@@ -11,6 +11,7 @@ use tagging_bench::{scale_from_args, setup};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
+    tagging_bench::init_runtime(&args);
     let panel = args
         .iter()
         .find(|a| *a == "a" || *a == "b")

@@ -1,14 +1,16 @@
 //! Reproduces Figure 3 of the paper: adjacent similarity and MA score of one
 //! resource as it accumulates posts (ω = 20), plus the resulting stable point.
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig3 -- [--scale S]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig3 -- [--scale S] [--threads N]`
 
 use tagging_bench::reporting::TextTable;
 use tagging_bench::{experiments::fig3_stability_series, scale_from_args, setup};
 use tagging_core::stability::StabilityParams;
 
 fn main() {
-    let scale = scale_from_args(std::env::args().skip(1));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args.clone());
+    tagging_bench::init_runtime(&args);
     let corpus = setup::build_corpus(scale);
     // The paper's illustration uses ω = 20 and a threshold near 0.99.
     let params = StabilityParams::new(20, 0.99);

@@ -3,13 +3,15 @@
 //! resource (rich content, needs far more posts), illustrating why Fewest Posts
 //! First buys large quality improvements on sparsely-tagged resources.
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig5 -- [--scale S]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig5 -- [--scale S] [--threads N]`
 
 use tagging_bench::reporting::TextTable;
 use tagging_bench::{experiments::fig5_quality_curves, scale_from_args, setup};
 
 fn main() {
-    let scale = scale_from_args(std::env::args().skip(1));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args.clone());
+    tagging_bench::init_runtime(&args);
     let corpus = setup::build_corpus(scale);
     let pair = fig5_quality_curves(&corpus);
 

@@ -11,14 +11,21 @@
 //! * (h) runtime vs number of resources.
 //!
 //! Usage:
-//! `cargo run --release -p tagging-bench --bin repro_fig6 -- [--scale S] [panels]`
+//! `cargo run --release -p tagging-bench --bin repro_fig6 -- [--scale S] [--threads N] [--json] [panels]`
 //! where `panels` is any subset of the letters `abcdefgh` (default: all).
+//!
+//! Sweep points run in parallel on the tagging-runtime executor (`--threads`,
+//! `TAGGING_THREADS`, or all available cores); every series except the
+//! wall-clock runtime panels (g)/(h) is bit-identical at any thread count.
+//! `--json` emits one machine-readable report instead of the text tables.
 
+use serde::Value;
 use tagging_bench::experiments::{
-    fig6_budget_sweep, fig6e_resource_sweep, fig6f_omega_sweep, sweep_strategy_names,
+    fig6_budget_sweep, fig6_include_dp, fig6e_resource_sweep, fig6f_omega_sweep,
+    sweep_strategy_names,
 };
-use tagging_bench::reporting::render_series;
-use tagging_bench::{scale_from_args, setup, Scale};
+use tagging_bench::reporting::{json_report, json_series, render_series};
+use tagging_bench::{has_flag, init_runtime, scale_from_args, setup};
 use tagging_sim::sweep::SweepPoint;
 
 fn series_rows<F>(points: &[SweepPoint], names: &[&str], f: F) -> Vec<(usize, Vec<f64>)>
@@ -39,9 +46,20 @@ where
         .collect()
 }
 
+/// One `(x, series values…)` data block.
+type Rows = Vec<(usize, Vec<f64>)>;
+
+/// A rendered-panel record: letter, x label, title, series names, rows.
+type Block = (char, &'static str, String, Vec<&'static str>, Rows);
+
+/// Metric extractor for one panel.
+type MetricFn = fn(&tagging_sim::metrics::RunMetrics) -> f64;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
+    let runtime = init_runtime(&args);
+    let json = has_flag(&args, "--json");
     let panels: String = args
         .iter()
         .find(|a| a.chars().all(|c| "abcdefgh".contains(c)) && !a.starts_with("--"))
@@ -50,77 +68,61 @@ fn main() {
 
     // DP is included except at paper scale for the very largest budgets, where
     // it dominates the wall-clock time (as the paper itself observes).
-    let include_dp = scale != Scale::Paper;
+    let include_dp = fig6_include_dp(scale);
     let names_owned = sweep_strategy_names(include_dp);
     let names: Vec<&str> = names_owned.clone();
 
     let scenario = setup::build_scenario(scale);
-    println!(
-        "corpus: {} resources, initial quality {:.4}, initially under-tagged {:.1}%, over-tagged {}",
-        scenario.len(),
-        scenario.initial_quality(),
-        100.0 * scenario.initially_under_tagged() as f64 / scenario.len() as f64,
-        scenario.initially_over_tagged()
-    );
+    // The thread count goes to stderr so the deterministic panels' stdout
+    // stays byte-identical across `--threads` values — the contract the CI
+    // matrix checks by diffing `abcdef` output. The runtime panels (g)/(h)
+    // report measured wall-clock time and legitimately vary run to run.
+    eprintln!("runtime threads: {}", runtime.threads());
+    if !json {
+        println!(
+            "corpus: {} resources, initial quality {:.4}, initially under-tagged {:.1}%, over-tagged {}",
+            scenario.len(),
+            scenario.initial_quality(),
+            100.0 * scenario.initially_under_tagged() as f64 / scenario.len() as f64,
+            scenario.initially_over_tagged()
+        );
+    }
+
+    // Collected (panel letter, x label, title, rows) blocks, rendered at the
+    // end as either text tables or one JSON report.
+    let mut blocks: Vec<Block> = Vec::new();
 
     if panels.chars().any(|c| "abcdg".contains(c)) {
         let budgets = scale.budgets();
         let points = fig6_budget_sweep(&scenario, &budgets, include_dp, scale.dp_table_cap(), 5);
 
-        if panels.contains('a') {
-            println!("\n=== Figure 6(a): Quality vs Budget ===");
-            println!(
-                "{}",
-                render_series(
+        let budget_panels: [(char, &'static str, MetricFn); 5] = [
+            ('a', "Figure 6(a): Quality vs Budget", |m| m.mean_quality),
+            ('b', "Figure 6(b): Over-tagged resources vs Budget", |m| {
+                m.over_tagged as f64
+            }),
+            ('c', "Figure 6(c): Wasted posts vs Budget", |m| {
+                m.wasted_posts as f64
+            }),
+            (
+                'd',
+                "Figure 6(d): Percentage of under-tagged resources vs Budget",
+                |m| m.under_tagged_fraction,
+            ),
+            ('g', "Figure 6(g): Runtime (s) vs Budget", |m| {
+                m.runtime_seconds
+            }),
+        ];
+        for (letter, title, metric) in budget_panels {
+            if panels.contains(letter) {
+                blocks.push((
+                    letter,
                     "budget",
-                    &names,
-                    &series_rows(&points, &names, |m| m.mean_quality)
-                )
-            );
-        }
-        if panels.contains('b') {
-            println!("\n=== Figure 6(b): Over-tagged resources vs Budget ===");
-            println!(
-                "{}",
-                render_series(
-                    "budget",
-                    &names,
-                    &series_rows(&points, &names, |m| m.over_tagged as f64)
-                )
-            );
-        }
-        if panels.contains('c') {
-            println!("\n=== Figure 6(c): Wasted posts vs Budget ===");
-            println!(
-                "{}",
-                render_series(
-                    "budget",
-                    &names,
-                    &series_rows(&points, &names, |m| m.wasted_posts as f64)
-                )
-            );
-        }
-        if panels.contains('d') {
-            println!("\n=== Figure 6(d): Percentage of under-tagged resources vs Budget ===");
-            println!(
-                "{}",
-                render_series(
-                    "budget",
-                    &names,
-                    &series_rows(&points, &names, |m| m.under_tagged_fraction)
-                )
-            );
-        }
-        if panels.contains('g') {
-            println!("\n=== Figure 6(g): Runtime (s) vs Budget ===");
-            println!(
-                "{}",
-                render_series(
-                    "budget",
-                    &names,
-                    &series_rows(&points, &names, |m| m.runtime_seconds)
-                )
-            );
+                    title.to_string(),
+                    names.clone(),
+                    series_rows(&points, &names, metric),
+                ));
+            }
         }
     }
 
@@ -134,47 +136,66 @@ fn main() {
             scale.dp_table_cap(),
         );
         if panels.contains('e') {
-            println!(
-                "\n=== Figure 6(e): Quality vs Number of Resources (B = {}) ===",
-                scale.default_budget()
-            );
-            println!(
-                "{}",
-                render_series(
-                    "resources",
-                    &names,
-                    &series_rows(&points, &names, |m| m.mean_quality)
-                )
-            );
+            blocks.push((
+                'e',
+                "resources",
+                format!(
+                    "Figure 6(e): Quality vs Number of Resources (B = {})",
+                    scale.default_budget()
+                ),
+                names.clone(),
+                series_rows(&points, &names, |m| m.mean_quality),
+            ));
         }
         if panels.contains('h') {
-            println!("\n=== Figure 6(h): Runtime (s) vs Number of Resources ===");
-            println!(
-                "{}",
-                render_series(
-                    "resources",
-                    &names,
-                    &series_rows(&points, &names, |m| m.runtime_seconds)
-                )
-            );
+            blocks.push((
+                'h',
+                "resources",
+                "Figure 6(h): Runtime (s) vs Number of Resources".to_string(),
+                names.clone(),
+                series_rows(&points, &names, |m| m.runtime_seconds),
+            ));
         }
     }
 
     if panels.contains('f') {
         let omegas = scale.omegas();
         let points = fig6f_omega_sweep(&scenario, &omegas, scale.default_budget());
-        let omega_names = ["FP-MU", "FP", "MU"];
-        println!(
-            "\n=== Figure 6(f): Effect of ω (B = {}) ===",
-            scale.default_budget()
-        );
+        let omega_names = vec!["FP-MU", "FP", "MU"];
+        blocks.push((
+            'f',
+            "omega",
+            format!("Figure 6(f): Effect of ω (B = {})", scale.default_budget()),
+            omega_names.clone(),
+            series_rows(&points, &omega_names, |m| m.mean_quality),
+        ));
+    }
+
+    blocks.sort_by_key(|(letter, ..)| *letter);
+
+    if json {
+        let panel_values: Vec<(String, Value)> = blocks
+            .iter()
+            .map(|(letter, x_label, _, block_names, rows)| {
+                (letter.to_string(), json_series(x_label, block_names, rows))
+            })
+            .collect();
         println!(
             "{}",
-            render_series(
-                "omega",
-                &omega_names,
-                &series_rows(&points, &omega_names, |m| m.mean_quality)
+            json_report(
+                "fig6",
+                &[
+                    ("scale", Value::String(format!("{scale:?}").to_lowercase())),
+                    ("threads", Value::UInt(runtime.threads() as u64)),
+                    ("include_dp", Value::Bool(include_dp)),
+                ],
+                &panel_values,
             )
         );
+    } else {
+        for (_, x_label, title, block_names, rows) in &blocks {
+            println!("\n=== {title} ===");
+            println!("{}", render_series(x_label, block_names, rows));
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! (b) the correlation between tagging quality and ranking accuracy across all
 //!     runs (the paper reports > 98%).
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig7 -- [--scale S] [a|b]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig7 -- [--scale S] [--threads N] [a|b]`
 
 use tagging_bench::casestudy::{fig7_accuracy_sweep, quality_accuracy_correlation};
 use tagging_bench::reporting::{fmt_f64, TextTable};
@@ -14,6 +14,7 @@ use tagging_sim::scenario::Scenario;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
+    tagging_bench::init_runtime(&args);
     let panel = args
         .iter()
         .find(|a| *a == "a" || *a == "b")

@@ -3,7 +3,7 @@
 //! the initial posts ("Jan 31"), FC with a budget, FP with the same budget, and
 //! the full data ("Dec 31", the ideal list).
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_table6 -- [--scale S]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_table6 -- [--scale S] [--threads N]`
 
 use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison};
 use tagging_bench::reporting::{fmt_percent, TextTable};
@@ -11,7 +11,9 @@ use tagging_bench::{scale_from_args, setup};
 use tagging_sim::scenario::Scenario;
 
 fn main() {
-    let scale = scale_from_args(std::env::args().skip(1));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args.clone());
+    tagging_bench::init_runtime(&args);
     let corpus = setup::build_corpus(scale);
     let scenario =
         Scenario::from_corpus(&corpus, &setup::scenario_params()).take(scale.accuracy_resources());

@@ -2,17 +2,23 @@
 //! composition of the top-10 similar-resources lists (how many hits fall in the
 //! subject's own category) under the initial rfds, FC, FP and the full data.
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_table7 -- [--scale S]`
+//! Usage:
+//! `cargo run --release -p tagging-bench --bin repro_table7 -- [--scale S] [--threads N] [--json]`
 
+use serde::Value;
 use tagging_analysis::topk::category_hits;
 use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison};
-use tagging_bench::reporting::TextTable;
-use tagging_bench::{scale_from_args, setup};
+use tagging_bench::reporting::{json_report, TextTable};
+use tagging_bench::{has_flag, init_runtime, scale_from_args, setup};
 use tagging_core::model::ResourceId;
 use tagging_sim::scenario::Scenario;
 
 fn main() {
-    let scale = scale_from_args(std::env::args().skip(1));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args.clone());
+    let runtime = init_runtime(&args);
+    let json = has_flag(&args, "--json");
+
     let corpus = setup::build_corpus(scale);
     let scenario =
         Scenario::from_corpus(&corpus, &setup::scenario_params()).take(scale.accuracy_resources());
@@ -22,9 +28,6 @@ fn main() {
 
     let subjects = pick_case_study_subjects(&scenario, 4);
 
-    println!(
-        "=== Table VII: top-10 composition for several subject resources (budget {budget}) ==="
-    );
     let mut table = TextTable::new([
         "subject",
         "description",
@@ -33,29 +36,68 @@ fn main() {
         "FP",
         "Dec 31",
     ]);
+    let mut json_rows: Vec<Value> = Vec::new();
 
     for subject in subjects {
         let comparison = top_k_comparison(&corpus, &scenario, subject, 10, budget);
         let subject_topic = corpus.profiles[subject.index()].primary_topic;
         let same_topic =
             |id: ResourceId| corpus.profiles[id.index()].primary_topic == subject_topic;
+        let description = corpus
+            .corpus
+            .resource(subject)
+            .map(|r| r.description.clone())
+            .unwrap_or_default();
+        let initial = category_hits(&comparison.initial, same_topic);
+        let fc = category_hits(&comparison.fc, same_topic);
+        let fp = category_hits(&comparison.fp, same_topic);
+        let ideal = category_hits(&comparison.ideal, same_topic);
+        json_rows.push(Value::Object(vec![
+            (
+                "subject".to_string(),
+                Value::String(comparison.subject_name.clone()),
+            ),
+            (
+                "description".to_string(),
+                Value::String(description.clone()),
+            ),
+            ("initial".to_string(), Value::UInt(initial as u64)),
+            ("fc".to_string(), Value::UInt(fc as u64)),
+            ("fp".to_string(), Value::UInt(fp as u64)),
+            ("ideal".to_string(), Value::UInt(ideal as u64)),
+        ]));
         table.add_row([
             comparison.subject_name.clone(),
-            corpus
-                .corpus
-                .resource(subject)
-                .map(|r| r.description.clone())
-                .unwrap_or_default(),
-            category_hits(&comparison.initial, same_topic).to_string(),
-            category_hits(&comparison.fc, same_topic).to_string(),
-            category_hits(&comparison.fp, same_topic).to_string(),
-            category_hits(&comparison.ideal, same_topic).to_string(),
+            description,
+            initial.to_string(),
+            fc.to_string(),
+            fp.to_string(),
+            ideal.to_string(),
         ]);
     }
-    println!("{}", table.render());
-    println!(
-        "Each cell counts how many of the subject's top-10 most similar resources\n\
-         share its primary topic. The paper's Table VII shows the same pattern:\n\
-         FP's composition closely matches the ideal (Dec 31) one, FC's does not."
-    );
+
+    if json {
+        println!(
+            "{}",
+            json_report(
+                "table7",
+                &[
+                    ("scale", Value::String(format!("{scale:?}").to_lowercase())),
+                    ("threads", Value::UInt(runtime.threads() as u64)),
+                    ("budget", Value::UInt(budget as u64)),
+                ],
+                &[("top10_composition", Value::Array(json_rows))],
+            )
+        );
+    } else {
+        println!(
+            "=== Table VII: top-10 composition for several subject resources (budget {budget}) ==="
+        );
+        println!("{}", table.render());
+        println!(
+            "Each cell counts how many of the subject's top-10 most similar resources\n\
+             share its primary topic. The paper's Table VII shows the same pattern:\n\
+             FP's composition closely matches the ideal (Dec 31) one, FC's does not."
+        );
+    }
 }

@@ -166,6 +166,36 @@ pub fn fig5_quality_curves(corpus: &SyntheticCorpus) -> QualityCurvePair {
     }
 }
 
+/// Whether the Figure 6 experiments include the DP optimum at a given scale:
+/// everywhere except paper scale, where it dominates the wall-clock time
+/// (exactly as in the paper's Figure 6(g)). `repro_fig6` and `repro_bench`
+/// must agree on this rule — `repro_bench` times the Figure 6 workload.
+pub fn fig6_include_dp(scale: crate::Scale) -> bool {
+    scale != crate::Scale::Paper
+}
+
+/// The canonical Figure 6 sweep configuration — every strategy, DP per
+/// `include_dp`, `seed = 1` — shared by [`fig6_budget_sweep`] and
+/// `repro_bench` so the benchmark always times exactly the Figure 6 workload.
+pub fn fig6_sweep_setup(
+    include_dp: bool,
+    dp_table_cap: usize,
+    omega: usize,
+) -> (SweepAlgorithms, RunConfig) {
+    (
+        SweepAlgorithms {
+            strategies: StrategyKind::ALL.to_vec(),
+            include_dp,
+            dp_table_cap,
+        },
+        RunConfig {
+            budget: 0,
+            omega,
+            seed: 1,
+        },
+    )
+}
+
 /// Runs the Figure 6(a)–(d)/(g) budget sweep on a scenario.
 ///
 /// DP is included only when `include_dp` is set (at paper scale it dominates
@@ -177,16 +207,7 @@ pub fn fig6_budget_sweep(
     dp_table_cap: usize,
     omega: usize,
 ) -> Vec<SweepPoint> {
-    let algorithms = SweepAlgorithms {
-        strategies: StrategyKind::ALL.to_vec(),
-        include_dp,
-        dp_table_cap,
-    };
-    let config = RunConfig {
-        budget: 0,
-        omega,
-        seed: 1,
-    };
+    let (algorithms, config) = fig6_sweep_setup(include_dp, dp_table_cap, omega);
     budget_sweep(scenario, budgets, &algorithms, &config)
 }
 

@@ -55,6 +55,40 @@ pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
     Scale::Default
 }
 
+/// Parses the common `--threads <N>` argument shared by all `repro_*`
+/// binaries. Returns `None` when the flag is absent or malformed.
+pub fn threads_from_args(args: &[String]) -> Option<usize> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => return Some(n),
+                _ => {
+                    eprintln!("--threads expects a positive integer, ignoring");
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True when the boolean flag `name` (e.g. `--json`) appears in `args`.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Applies a `--threads N` argument (if present) as the process-default
+/// thread count and returns the resulting [`tagging_runtime::Runtime`].
+/// Without the flag the runtime follows `TAGGING_THREADS` /
+/// `available_parallelism` as usual.
+pub fn init_runtime(args: &[String]) -> tagging_runtime::Runtime {
+    if let Some(threads) = threads_from_args(args) {
+        tagging_runtime::set_default_threads(threads);
+    }
+    tagging_runtime::Runtime::from_env()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +101,22 @@ mod tests {
         assert_eq!(scale_from_args(args(&["--scale", "bogus"])), Scale::Default);
         assert_eq!(scale_from_args(args(&[])), Scale::Default);
         assert_eq!(scale_from_args(args(&["--other", "x"])), Scale::Default);
+        // The CI smoke step spells it `--scale small`.
+        assert_eq!(scale_from_args(args(&["--scale", "small"])), Scale::Smoke);
+    }
+
+    #[test]
+    fn threads_and_flags_parse() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_from_args(&args(&["--threads", "8"])), Some(8));
+        assert_eq!(
+            threads_from_args(&args(&["--scale", "smoke", "--threads", "2"])),
+            Some(2)
+        );
+        assert_eq!(threads_from_args(&args(&["--threads", "zero"])), None);
+        assert_eq!(threads_from_args(&args(&["--threads", "0"])), None);
+        assert_eq!(threads_from_args(&args(&[])), None);
+        assert!(has_flag(&args(&["--json"]), "--json"));
+        assert!(!has_flag(&args(&["--jsonish"]), "--json"));
     }
 }

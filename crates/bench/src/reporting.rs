@@ -1,8 +1,11 @@
-//! Plain-text reporting helpers: aligned tables and x/y series, so every
-//! `repro_*` binary prints output that can be compared line-by-line with the
-//! corresponding table or figure in the paper.
+//! Reporting helpers for the `repro_*` binaries: aligned plain-text tables and
+//! x/y series that can be compared line-by-line with the corresponding table
+//! or figure in the paper, plus machine-readable JSON reports ([`json_report`])
+//! for the `--json` flag and the perf-tracking `repro_bench` harness.
 
 use std::fmt::Write as _;
+
+use serde::Value;
 
 /// A simple column-aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -98,6 +101,71 @@ pub fn render_series(x_label: &str, series_labels: &[&str], rows: &[(usize, Vec<
     table.render()
 }
 
+/// Builds the JSON tree of one `(x, series…)` data block — the
+/// machine-readable counterpart of [`render_series`]. `NaN` values (a series
+/// missing at a point) become JSON `null`.
+pub fn json_series(x_label: &str, series_labels: &[&str], rows: &[(usize, Vec<f64>)]) -> Value {
+    Value::Object(vec![
+        ("x_label".to_string(), Value::String(x_label.to_string())),
+        (
+            "series".to_string(),
+            Value::Array(
+                series_labels
+                    .iter()
+                    .map(|s| Value::String(s.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "rows".to_string(),
+            Value::Array(
+                rows.iter()
+                    .map(|(x, values)| {
+                        Value::Object(vec![
+                            ("x".to_string(), Value::UInt(*x as u64)),
+                            (
+                                "values".to_string(),
+                                Value::Array(values.iter().map(|&v| Value::Float(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Renders a named report — metadata plus a list of named panels — as
+/// pretty-printed JSON. This is the common shape behind every `--json` flag:
+///
+/// ```json
+/// {
+///   "report": "fig6",
+///   "scale": "small",
+///   "panels": { "a": { "x_label": "budget", "series": [...], "rows": [...] } }
+/// }
+/// ```
+pub fn json_report<K: AsRef<str>>(
+    name: &str,
+    meta: &[(&str, Value)],
+    panels: &[(K, Value)],
+) -> String {
+    let mut fields = vec![("report".to_string(), Value::String(name.to_string()))];
+    for (key, value) in meta {
+        fields.push((key.to_string(), value.clone()));
+    }
+    fields.push((
+        "panels".to_string(),
+        Value::Object(
+            panels
+                .iter()
+                .map(|(key, value)| (key.as_ref().to_string(), value.clone()))
+                .collect(),
+        ),
+    ));
+    serde_json::to_string_pretty(&Value::Object(fields)).expect("Value serialization is total")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +211,27 @@ mod tests {
         assert!(out.contains("DP"));
         assert!(out.contains("1000"));
         assert!(out.contains("0.9200"));
+    }
+
+    #[test]
+    fn json_report_is_valid_json_with_expected_shape() {
+        let rows = vec![(0, vec![0.86, f64::NAN]), (1000, vec![0.92, 0.88])];
+        let panel = json_series("budget", &["DP", "FC"], &rows);
+        let out = json_report(
+            "fig6",
+            &[("scale", Value::String("small".to_string()))],
+            &[("a", panel)],
+        );
+        let value: Value = serde_json::from_str(&out).expect("report must be valid JSON");
+        assert_eq!(value.get("report"), Some(&Value::String("fig6".into())));
+        assert_eq!(value.get("scale"), Some(&Value::String("small".into())));
+        let panel = value
+            .get("panels")
+            .and_then(|p| p.get("a"))
+            .expect("panel a present");
+        assert_eq!(panel.get("x_label"), Some(&Value::String("budget".into())));
+        // NaN series entries become null.
+        assert!(out.contains("null"));
+        assert!(out.contains("1000"));
     }
 }

@@ -32,10 +32,10 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses a scale name.
+    /// Parses a scale name (`small` is accepted as an alias for `smoke`).
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
-            "smoke" => Some(Scale::Smoke),
+            "smoke" | "small" => Some(Scale::Smoke),
             "default" => Some(Scale::Default),
             "paper" => Some(Scale::Paper),
             _ => None,
@@ -158,6 +158,7 @@ mod tests {
     #[test]
     fn scale_parsing() {
         assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("small"), Some(Scale::Smoke));
         assert_eq!(Scale::parse("DEFAULT"), Some(Scale::Default));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("huge"), None);

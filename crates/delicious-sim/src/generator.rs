@@ -23,10 +23,11 @@ use serde::{Deserialize, Serialize};
 
 use tagging_core::model::{Corpus, Post, PostSequence, Resource, ResourceId};
 use tagging_core::rfd::Rfd;
+use tagging_runtime::{Runtime, SeedSequence};
 
 use crate::taxonomy::{CategoryId, Taxonomy};
 use crate::topics::{
-    build_profile, sample_post, ProfileParams, ResourceProfile, TopicId, TopicModel,
+    build_profile, PostDraft, PostSampler, ProfileParams, ResourceProfile, TopicId, TopicModel,
 };
 use crate::zipf::Zipf;
 
@@ -222,8 +223,40 @@ impl SyntheticCorpus {
     }
 }
 
-/// Generates a synthetic corpus from the given configuration.
+/// Per-resource output of the parallel sampling phase of [`generate_with`]:
+/// everything about one resource except the ids of its typo tags, which are
+/// assigned in a deterministic sequential pass afterwards.
+struct ResourceDraft {
+    profile: ResourceProfile,
+    posts: Vec<PostDraft>,
+    initial: usize,
+    leaf: CategoryId,
+    name: String,
+    description: String,
+}
+
+/// Generates a synthetic corpus from the given configuration, using the
+/// process-default [`Runtime`] (see `TAGGING_THREADS`) to sample resources in
+/// parallel. Output is bit-identical at every thread count — see
+/// [`generate_with`].
 pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
+    generate_with(config, &Runtime::from_env())
+}
+
+/// Generates a synthetic corpus on an explicit [`Runtime`].
+///
+/// Randomness is organised so the corpus is a pure function of the
+/// configuration, independent of the thread count:
+///
+/// 1. a cheap sequential prologue builds the topic model, taxonomy and the
+///    popularity permutation from the root RNG, and pre-interns every
+///    resource's self tag;
+/// 2. the expensive per-resource work (profile construction and post-sequence
+///    sampling) runs in parallel, each resource on its own RNG seeded by
+///    [`SeedSequence::derive`]`(resource index)`;
+/// 3. a sequential epilogue interns typo tags in (resource, post, draw) order
+///    and assembles the corpus.
+pub fn generate_with(config: &GeneratorConfig, runtime: &Runtime) -> SyntheticCorpus {
     assert!(config.num_resources >= 1, "need at least one resource");
     assert!(
         (0.0..=1.0).contains(&config.initial_fraction),
@@ -290,112 +323,52 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
         .collect();
 
     // ---- Profiles, posts, initial counts ------------------------------------
+    // Pre-intern the per-resource self tags so the parallel phase never has to
+    // touch the shared tag dictionary.
+    let self_tags: Vec<tagging_core::model::TagId> = (0..n)
+        .map(|i| corpus.tags.intern(&format!("site-{i}")))
+        .collect();
+
+    // Parallel phase: one independent RNG per resource, derived from the root
+    // seed, so the draft of resource `i` depends only on (config, i) — never on
+    // scheduling. The shared model/taxonomy data is read-only here.
+    let seeds = SeedSequence::new(config.seed);
+    let drafts: Vec<ResourceDraft> = runtime.par_map_indexed(n, |i| {
+        draft_resource(
+            i,
+            lengths[i],
+            self_tags[i],
+            StdRng::seed_from_u64(seeds.derive(i as u64)),
+            &topic_model,
+            &leaves,
+            &subcat_tags,
+            config,
+        )
+    });
+
+    // Sequential epilogue: assign typo-tag ids in (resource, post, draw) order
+    // and assemble the corpus.
     let mut profiles = Vec::with_capacity(n);
     let mut initial_posts = Vec::with_capacity(n);
     let mut typo_counter = 0u64;
-
-    for (i, &seq_len) in lengths.iter().enumerate() {
+    for (i, draft) in drafts.into_iter().enumerate() {
         let id = ResourceId(i as u32);
-        let primary = TopicId((rng.gen_range(0..topic_model.num_topics())) as u32);
-        let name = format!(
-            "www.resource-{i}.example/{}",
-            topic_model.topics[primary.index()].name
-        );
-        let self_tag = corpus.tags.intern(&format!("site-{i}"));
-        let mut profile = build_profile(&mut rng, &topic_model, &config.profile, primary, self_tag);
-
-        // Sub-category: a leaf of the primary topic, plus its distinguishing tag
-        // mixed into the true distribution (15% of the mass).
-        let subcat_index = rng.gen_range(0..leaves[primary.index()].len());
-        let (leaf, _) = leaves[primary.index()][subcat_index];
-        let subcat_tag = subcat_tags[primary.index()][subcat_index];
-        profile.true_distribution = Rfd::from_weights(
-            profile
-                .true_distribution
-                .iter()
-                .map(|(t, w)| (t, w * 0.85))
-                .chain(std::iter::once((subcat_tag, 0.15))),
-        );
-
-        // Early-phase distractor distribution: the first posts of a resource tend
-        // to describe tangential aspects (generic tags, a neighbouring topic, the
-        // site itself) before the community converges on the real content — the
-        // paper's www.myphysicslab.com example, whose early posts were all about
-        // Java rather than physics. Early posts are drawn from a 50/50 mixture of
-        // the true distribution and this distractor.
-        let distractor_topic = profile.secondary_topic.unwrap_or(TopicId(
-            ((primary.index() + 1) % topic_model.num_topics()) as u32,
-        ));
-        let distractor = {
-            let other = &topic_model.topics[distractor_topic.index()];
-            let other_len = 4.min(other.vocabulary.len());
-            let other_total: f64 = other.vocabulary[..other_len].iter().map(|(_, w)| w).sum();
-            let global_total: f64 = topic_model.global_tags.iter().map(|(_, w)| w).sum();
-            Rfd::from_weights(
-                other.vocabulary[..other_len]
-                    .iter()
-                    .map(|&(t, w)| (t, 0.4 * w / other_total))
-                    .chain(
-                        topic_model
-                            .global_tags
-                            .iter()
-                            .map(|&(t, w)| (t, 0.4 * w / global_total)),
-                    )
-                    .chain(std::iter::once((self_tag, 0.2))),
-            )
-        };
-        let early_distribution = Rfd::from_weights(
-            profile
-                .true_distribution
-                .iter()
-                .map(|(t, w)| (t, 0.5 * w))
-                .chain(distractor.iter().map(|(t, w)| (t, 0.5 * w))),
-        );
-        let early_len = (seq_len / 4).clamp(5, 15);
-
-        // Posts of the full sequence.
         let mut posts = PostSequence::new();
-        for j in 0..seq_len {
-            let distribution = if j < early_len {
-                &early_distribution
-            } else {
-                &profile.true_distribution
-            };
-            let tags = sample_post(
-                &mut rng,
-                &mut corpus.tags,
-                distribution,
-                config.max_tags_per_post,
-                config.noise_rate,
-                &mut typo_counter,
-            );
+        for post_draft in draft.posts {
+            let mut tags = post_draft.known;
+            for _ in 0..post_draft.typos {
+                typo_counter += 1;
+                tags.push(corpus.tags.intern(&format!("typo-{typo_counter}")));
+            }
             posts.push(Post::new(tags).expect("sampled posts are non-empty"));
         }
-
-        // Initial ("January") count: on average `initial_fraction` of the
-        // sequence, but with a squared-uniform multiplier so that a sizeable
-        // share of resources start heavily under-tagged, as in the paper.
-        let u: f64 = rng.gen_range(0.0..1.0);
-        let multiplier = 3.0 * u * u; // mean 1, mass concentrated near 0
-        let c = ((seq_len as f64) * config.initial_fraction * multiplier).round() as usize;
-        let c = c.clamp(1, seq_len.saturating_sub(1).max(1));
-        initial_posts.push(c);
-
-        taxonomy.assign(id, leaf);
-
-        let description = match profile.secondary_topic {
-            Some(sec) => format!(
-                "{} / {}",
-                topic_model.topics[primary.index()].name,
-                topic_model.topics[sec.index()].name
-            ),
-            None => topic_model.topics[primary.index()].name.clone(),
-        };
-        let resource = Resource::new(id, name)
-            .with_description(description)
+        initial_posts.push(draft.initial);
+        taxonomy.assign(id, draft.leaf);
+        let resource = Resource::new(id, draft.name)
+            .with_description(draft.description)
             .with_posts(posts);
         corpus.resources.push(resource);
-        profiles.push(profile);
+        profiles.push(draft.profile);
     }
 
     SyntheticCorpus {
@@ -405,6 +378,118 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticCorpus {
         initial_posts,
         taxonomy,
         config: config.clone(),
+    }
+}
+
+/// Builds the draft of one resource from its own RNG. Runs on a worker thread;
+/// reads the shared model data, writes nothing shared.
+#[allow(clippy::too_many_arguments)]
+fn draft_resource(
+    i: usize,
+    seq_len: usize,
+    self_tag: tagging_core::model::TagId,
+    mut rng: StdRng,
+    topic_model: &TopicModel,
+    leaves: &[Vec<(CategoryId, TopicId)>],
+    subcat_tags: &[Vec<tagging_core::model::TagId>],
+    config: &GeneratorConfig,
+) -> ResourceDraft {
+    let primary = TopicId((rng.gen_range(0..topic_model.num_topics())) as u32);
+    let name = format!(
+        "www.resource-{i}.example/{}",
+        topic_model.topics[primary.index()].name
+    );
+    let mut profile = build_profile(&mut rng, topic_model, &config.profile, primary, self_tag);
+
+    // Sub-category: a leaf of the primary topic, plus its distinguishing tag
+    // mixed into the true distribution (15% of the mass).
+    let subcat_index = rng.gen_range(0..leaves[primary.index()].len());
+    let (leaf, _) = leaves[primary.index()][subcat_index];
+    let subcat_tag = subcat_tags[primary.index()][subcat_index];
+    profile.true_distribution = Rfd::from_weights(
+        profile
+            .true_distribution
+            .iter()
+            .map(|(t, w)| (t, w * 0.85))
+            .chain(std::iter::once((subcat_tag, 0.15))),
+    );
+
+    // Early-phase distractor distribution: the first posts of a resource tend
+    // to describe tangential aspects (generic tags, a neighbouring topic, the
+    // site itself) before the community converges on the real content — the
+    // paper's www.myphysicslab.com example, whose early posts were all about
+    // Java rather than physics. Early posts are drawn from a 50/50 mixture of
+    // the true distribution and this distractor.
+    let distractor_topic = profile.secondary_topic.unwrap_or(TopicId(
+        ((primary.index() + 1) % topic_model.num_topics()) as u32,
+    ));
+    let distractor = {
+        let other = &topic_model.topics[distractor_topic.index()];
+        let other_len = 4.min(other.vocabulary.len());
+        let other_total: f64 = other.vocabulary[..other_len].iter().map(|(_, w)| w).sum();
+        let global_total: f64 = topic_model.global_tags.iter().map(|(_, w)| w).sum();
+        Rfd::from_weights(
+            other.vocabulary[..other_len]
+                .iter()
+                .map(|&(t, w)| (t, 0.4 * w / other_total))
+                .chain(
+                    topic_model
+                        .global_tags
+                        .iter()
+                        .map(|&(t, w)| (t, 0.4 * w / global_total)),
+                )
+                .chain(std::iter::once((self_tag, 0.2))),
+        )
+    };
+    let early_distribution = Rfd::from_weights(
+        profile
+            .true_distribution
+            .iter()
+            .map(|(t, w)| (t, 0.5 * w))
+            .chain(distractor.iter().map(|(t, w)| (t, 0.5 * w))),
+    );
+    let early_len = (seq_len / 4).clamp(5, 15);
+
+    // Posts of the full sequence (typo-tag ids deferred, see [`PostDraft`]).
+    // Both samplers are built once up front: every post re-uses one of the two
+    // prepared weighted-index tables instead of rebuilding it per draw.
+    let early_sampler = PostSampler::new(&early_distribution);
+    let true_sampler = PostSampler::new(&profile.true_distribution);
+    let posts: Vec<PostDraft> = (0..seq_len)
+        .map(|j| {
+            let sampler = if j < early_len {
+                &early_sampler
+            } else {
+                &true_sampler
+            };
+            sampler.sample_draft(&mut rng, config.max_tags_per_post, config.noise_rate)
+        })
+        .collect();
+
+    // Initial ("January") count: on average `initial_fraction` of the
+    // sequence, but with a squared-uniform multiplier so that a sizeable
+    // share of resources start heavily under-tagged, as in the paper.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let multiplier = 3.0 * u * u; // mean 1, mass concentrated near 0
+    let c = ((seq_len as f64) * config.initial_fraction * multiplier).round() as usize;
+    let initial = c.clamp(1, seq_len.saturating_sub(1).max(1));
+
+    let description = match profile.secondary_topic {
+        Some(sec) => format!(
+            "{} / {}",
+            topic_model.topics[primary.index()].name,
+            topic_model.topics[sec.index()].name
+        ),
+        None => topic_model.topics[primary.index()].name.clone(),
+    };
+
+    ResourceDraft {
+        profile,
+        posts,
+        initial,
+        leaf,
+        name,
+        description,
     }
 }
 

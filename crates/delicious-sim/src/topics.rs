@@ -271,9 +271,76 @@ pub fn build_profile<R: Rng + ?Sized>(
     }
 }
 
+/// One sampled post before typo tags have been assigned their ids: the known
+/// tags drawn from the distribution plus the number of fresh "typo" tags.
+///
+/// Typo tags get globally-unique names (`typo-1`, `typo-2`, …), so their ids
+/// depend on how many typos *other* resources produced before them. Deferring
+/// the interning lets the corpus generator sample all resources in parallel
+/// and assign typo ids in one deterministic sequential pass afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostDraft {
+    /// Tags drawn from the distribution (unsorted; may contain duplicates —
+    /// [`tagging_core::model::Post::new`] normalises).
+    pub known: Vec<TagId>,
+    /// Number of fresh typo tags to append, in draw order.
+    pub typos: usize,
+}
+
+/// A tag distribution prepared for repeated post sampling: the weighted-index
+/// table is built once, then reused for every post drawn from the same
+/// distribution (a resource draws ~100 posts from just two distributions, so
+/// the per-post rebuild was the generator's main avoidable cost).
+#[derive(Debug, Clone)]
+pub struct PostSampler {
+    entries: Vec<(TagId, f64)>,
+    sampler: WeightedIndex,
+}
+
+impl PostSampler {
+    /// Prepares a distribution for sampling. Consumes no randomness.
+    pub fn new(distribution: &Rfd) -> Self {
+        let entries: Vec<(TagId, f64)> = distribution.iter().collect();
+        let weights: Vec<f64> = entries.iter().map(|(_, w)| *w).collect();
+        let sampler = WeightedIndex::new(&weights).expect("true distribution is non-empty");
+        Self { entries, sampler }
+    }
+
+    /// Samples one post draft (see [`PostDraft`]): 1–`max_tags` draws, each
+    /// replaced by a fresh typo tag with probability `noise_rate`. Pure in
+    /// `rng` — it never touches a tag dictionary, so it can run on any thread.
+    pub fn sample_draft<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        max_tags: usize,
+        noise_rate: f64,
+    ) -> PostDraft {
+        // Real del.icio.us posts contain a handful of tags; 1..=max_tags with
+        // a bias towards 2-3 tags.
+        let num_tags = 1 + rng.gen_range(0..max_tags.max(1));
+        let mut known = Vec::with_capacity(num_tags);
+        let mut typos = 0;
+        for _ in 0..num_tags {
+            if noise_rate > 0.0 && rng.gen_bool(noise_rate) {
+                // A typo: a brand-new tag that will (practically) never repeat.
+                typos += 1;
+            } else {
+                let idx = self.sampler.sample(rng);
+                known.push(self.entries[idx].0);
+            }
+        }
+        PostDraft { known, typos }
+    }
+}
+
 /// Samples one post (a set of 1–`max_tags` distinct tags) from a true tag
 /// distribution, with a per-tag probability `noise_rate` of replacing a sampled
 /// tag with a fresh "typo" tag interned on the fly.
+///
+/// Sequential convenience over [`PostSampler`]; the corpus generator uses the
+/// draft form directly so sampling can run in parallel. Call sites that draw
+/// many posts from one distribution should hold a [`PostSampler`] instead of
+/// paying the table build on every call.
 pub fn sample_post<R: Rng + ?Sized>(
     rng: &mut R,
     dict: &mut TagDictionary,
@@ -282,23 +349,11 @@ pub fn sample_post<R: Rng + ?Sized>(
     noise_rate: f64,
     typo_counter: &mut u64,
 ) -> Vec<TagId> {
-    let entries: Vec<(TagId, f64)> = distribution.iter().collect();
-    let weights: Vec<f64> = entries.iter().map(|(_, w)| *w).collect();
-    let sampler = WeightedIndex::new(&weights).expect("true distribution is non-empty");
-    // Real del.icio.us posts contain a handful of tags; 1..=max_tags with a bias
-    // towards 2-3 tags.
-    let num_tags = 1 + rng.gen_range(0..max_tags.max(1));
-    let mut tags = Vec::with_capacity(num_tags);
-    for _ in 0..num_tags {
-        if noise_rate > 0.0 && rng.gen_bool(noise_rate) {
-            // A typo: a brand-new tag that will (practically) never repeat.
-            *typo_counter += 1;
-            let typo = dict.intern(&format!("typo-{typo_counter}"));
-            tags.push(typo);
-        } else {
-            let idx = sampler.sample(rng);
-            tags.push(entries[idx].0);
-        }
+    let draft = PostSampler::new(distribution).sample_draft(rng, max_tags, noise_rate);
+    let mut tags = draft.known;
+    for _ in 0..draft.typos {
+        *typo_counter += 1;
+        tags.push(dict.intern(&format!("typo-{typo_counter}")));
     }
     tags.sort_unstable();
     tags.dedup();

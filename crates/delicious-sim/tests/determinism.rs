@@ -11,7 +11,8 @@
 //! 3. golden summary stats — post count, tag-vocabulary size and Zipf head
 //!    mass for a fixed config match recorded values exactly.
 
-use delicious_sim::generator::{generate, GeneratorConfig, SyntheticCorpus};
+use delicious_sim::generator::{generate, generate_with, GeneratorConfig, SyntheticCorpus};
+use tagging_runtime::Runtime;
 
 /// Summary fingerprint of a corpus: total posts, distinct-tag vocabulary size
 /// and Zipf head mass (the fraction of all posts landing on the top 10% of
@@ -54,6 +55,35 @@ fn same_config_and_seed_give_identical_corpora() {
 }
 
 #[test]
+fn thread_count_does_not_change_the_corpus() {
+    // The tagging-runtime determinism contract: per-resource derived seeds make
+    // the parallel generator bit-identical to the sequential one.
+    let config = GeneratorConfig::small(40, 9);
+    let sequential = generate_with(&config, &Runtime::sequential());
+    for threads in [2, 8] {
+        let parallel = generate_with(&config, &Runtime::new(threads));
+        assert_eq!(summary(&sequential), summary(&parallel));
+        assert_eq!(sequential.popularity, parallel.popularity);
+        assert_eq!(sequential.initial_posts, parallel.initial_posts);
+        for id in sequential.resource_ids() {
+            assert_eq!(
+                sequential.full_sequence(id),
+                parallel.full_sequence(id),
+                "threads = {threads}, resource {id:?}"
+            );
+            assert_eq!(
+                sequential.true_distribution(id),
+                parallel.true_distribution(id)
+            );
+            assert_eq!(
+                sequential.taxonomy.assignment(id),
+                parallel.taxonomy.assignment(id)
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_give_different_corpora() {
     let a = generate(&GeneratorConfig::small(60, 42));
     let b = generate(&GeneratorConfig::small(60, 43));
@@ -91,6 +121,10 @@ fn golden_summary_stats_for_pinned_seed() {
     );
 }
 
+// Re-recorded when the generator moved to per-resource derived RNG streams
+// (the tagging-runtime parallelisation): sequence lengths and popularity are
+// decided in the sequential prologue and did not move, but the sampled tag
+// content (and with it the typo vocabulary) legitimately changed.
 const GOLDEN_TOTAL_POSTS: usize = 3989;
-const GOLDEN_VOCAB_SIZE: usize = 338;
+const GOLDEN_VOCAB_SIZE: usize = 344;
 const GOLDEN_HEAD_MASS: f64 = 0.274_003_509_651_541_74;

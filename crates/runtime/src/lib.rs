@@ -1,0 +1,312 @@
+//! # tagging-runtime
+//!
+//! A small, std-only parallel execution runtime shared by the whole workspace.
+//! Every heavy loop in the reproduction — the Figure 6 sweeps, the synthetic
+//! corpus generator, the DP quality-table construction — is an *indexed* list
+//! of independent work items whose results must come back in input order. This
+//! crate provides exactly that and nothing more:
+//!
+//! * [`Runtime`] — a handle carrying a thread count, resolved from the
+//!   `TAGGING_THREADS` environment variable (or a process-wide override set by
+//!   the `repro_*` binaries' `--threads` flag) with
+//!   [`std::thread::available_parallelism`] as the fallback;
+//! * [`Runtime::par_map`] / [`Runtime::par_map_indexed`] — chunked
+//!   scoped-thread fan-out over an indexed work list, reassembling results in
+//!   input order;
+//! * [`SeedSequence`] — derivation of statistically independent per-task RNG
+//!   seeds from one root seed, so randomized work (corpus generation) produces
+//!   **bit-identical** output at any thread count.
+//!
+//! ## Determinism contract
+//!
+//! `par_map*` guarantees that the returned vector equals the one a plain
+//! sequential `map` over the same items would produce, for any thread count,
+//! **provided** the mapped closure is a pure function of its item (and, for
+//! randomized work, of a seed derived from the item index via
+//! [`SeedSequence`]). Work distribution (which thread runs which chunk) is
+//! intentionally unobservable in the output.
+//!
+//! ## Why not rayon?
+//!
+//! The build environment is offline (`vendor/` holds only minimal stand-ins),
+//! so the workspace cannot add rayon/tokio. Scoped threads
+//! ([`std::thread::scope`]) plus an atomic chunk cursor cover the workspace's
+//! coarse-grained, CPU-bound loops with ~100 lines of safe code.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tagging_runtime::{Runtime, SeedSequence};
+//!
+//! let rt = Runtime::new(4);
+//! // Results always come back in input order, whatever the thread count.
+//! let squares = rt.par_map_indexed(5, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+//!
+//! // Independent per-task seeds from one root seed.
+//! let seq = SeedSequence::new(42);
+//! assert_ne!(seq.derive(0), seq.derive(1));
+//! assert_eq!(seq.derive(3), SeedSequence::new(42).derive(3));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+mod seed;
+
+pub use seed::SeedSequence;
+
+/// Name of the environment variable that fixes the default thread count.
+pub const THREADS_ENV_VAR: &str = "TAGGING_THREADS";
+
+/// Process-wide thread-count override (0 = unset). Set by
+/// [`set_default_threads`], read by [`Runtime::from_env`]; lets command-line
+/// flags (`--threads N`) take effect everywhere without threading a [`Runtime`]
+/// through every call site.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the default thread count used by [`Runtime::from_env`] for the
+/// rest of the process. `0` clears the override. Takes precedence over the
+/// `TAGGING_THREADS` environment variable.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Resolves the default thread count: the [`set_default_threads`] override if
+/// set, else `TAGGING_THREADS` if set to a positive integer, else
+/// [`std::thread::available_parallelism`] (1 when unavailable).
+///
+/// The environment is consulted once per process — `Runtime::from_env` is
+/// called from every parallel entry point, so the parse (and any
+/// invalid-value warning) must not repeat on each call.
+pub fn default_threads() -> usize {
+    let overridden = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if overridden > 0 {
+        return overridden;
+    }
+    static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        if let Ok(value) = std::env::var(THREADS_ENV_VAR) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+            eprintln!("ignoring invalid {THREADS_ENV_VAR}={value:?} (want a positive integer)");
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Handle to the parallel execution runtime: a thread count plus the chunked
+/// `par_map` executor.
+///
+/// Cheap to copy; construction does not spawn anything. Worker threads are
+/// scoped to each `par_map*` call, so a `Runtime` held across the whole
+/// program costs nothing while no parallel region is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runtime {
+    threads: usize,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime with an explicit thread count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a runtime with the process default thread count (see
+    /// [`default_threads`]).
+    pub fn from_env() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// A single-threaded runtime: `par_map*` degenerate to plain maps on the
+    /// calling thread. Used inside already-parallel regions to avoid
+    /// oversubscription.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// The number of worker threads `par_map*` will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this runtime runs everything on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Maps `f` over `0..len` on the runtime's threads and returns the results
+    /// in index order.
+    ///
+    /// The work list is split into chunks of roughly `len / (threads * 4)`
+    /// items which worker threads claim from an atomic cursor, so uneven item
+    /// costs (e.g. DP runs at growing budgets) still balance. A panic in `f`
+    /// propagates to the caller once all workers have stopped.
+    pub fn par_map_indexed<U, F>(&self, len: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.threads == 1 || len <= 1 {
+            return (0..len).map(f).collect();
+        }
+
+        let chunk_size = len.div_ceil(self.threads * CHUNKS_PER_THREAD).max(1);
+        let num_chunks = len.div_ceil(chunk_size);
+        let workers = self.threads.min(num_chunks);
+
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(num_chunks));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let start = cursor.fetch_add(chunk_size, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk_size).min(len);
+                    // Compute the whole chunk before taking the lock so the
+                    // mutex only serializes cheap bookkeeping.
+                    let results: Vec<U> = (start..end).map(&f).collect();
+                    done.lock()
+                        .expect("no worker panicked")
+                        .push((start, results));
+                });
+            }
+        });
+
+        let mut chunks = done.into_inner().expect("no worker panicked");
+        chunks.sort_unstable_by_key(|(start, _)| *start);
+        let out: Vec<U> = chunks.into_iter().flat_map(|(_, c)| c).collect();
+        assert_eq!(
+            out.len(),
+            len,
+            "every index must produce exactly one result"
+        );
+        out
+    }
+
+    /// Maps `f` over a slice on the runtime's threads; results come back in
+    /// input order. See [`Runtime::par_map_indexed`] for the execution model.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_indexed(items.len(), |i| f(&items[i]))
+    }
+}
+
+/// Chunk-granularity factor: each thread's share of the work list is split
+/// into this many chunks so stragglers can be stolen from the shared cursor.
+const CHUNKS_PER_THREAD: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_indexed_matches_sequential_map_at_any_thread_count() {
+        let expected: Vec<usize> = (0..103).map(|i| i * 7 + 1).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let rt = Runtime::new(threads);
+            assert_eq!(rt.par_map_indexed(103, |i| i * 7 + 1), expected);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
+        let rt = Runtime::new(8);
+        let lengths = rt.par_map(&items, |s| s.len());
+        let expected: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        assert_eq!(lengths, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let rt = Runtime::new(4);
+        assert_eq!(rt.par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(rt.par_map_indexed(1, |i| i + 10), vec![10]);
+        assert_eq!(rt.par_map(&Vec::<u32>::new(), |&x| x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let rt = Runtime::new(64);
+        assert_eq!(rt.par_map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_one() {
+        assert_eq!(Runtime::new(0).threads(), 1);
+        assert!(Runtime::new(0).is_sequential());
+        assert!(Runtime::sequential().is_sequential());
+        assert!(!Runtime::new(2).is_sequential());
+    }
+
+    #[test]
+    fn override_takes_precedence() {
+        // The only test in this crate that touches the process-global
+        // override — keep it that way, or add a mutex: unit tests run
+        // concurrently in one process, so a second test reading
+        // `default_threads()` would observe the mid-test values.
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        assert_eq!(Runtime::from_env().threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let rt = Runtime::new(4);
+        let result = std::panic::catch_unwind(|| {
+            rt.par_map_indexed(100, |i| {
+                if i == 57 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_and_ordered() {
+        // Items with wildly different costs still come back in order.
+        let rt = Runtime::new(4);
+        let out = rt.par_map_indexed(40, |i| {
+            if i % 7 == 0 {
+                // A "slow" item.
+                let mut acc = 0u64;
+                for k in 0..50_000u64 {
+                    acc = acc.wrapping_add(k ^ i as u64);
+                }
+                (i, acc & 1)
+            } else {
+                (i, 0)
+            }
+        });
+        let indices: Vec<usize> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, (0..40).collect::<Vec<_>>());
+    }
+}

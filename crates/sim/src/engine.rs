@@ -3,6 +3,7 @@
 
 use std::time::Instant;
 
+use tagging_runtime::Runtime;
 use tagging_strategies::dp::{optimal_allocation, QualityTable};
 use tagging_strategies::framework::{run_allocation, AllocationStrategy, ReplaySource};
 use tagging_strategies::StrategyKind;
@@ -93,14 +94,32 @@ pub fn run_dp(scenario: &Scenario, config: &RunConfig) -> RunMetrics {
 }
 
 /// [`run_dp`] with an explicit per-resource cap on the quality table width.
+///
+/// The quality table is built on the process-default [`Runtime`], so a
+/// standalone DP run uses all configured threads. Sweeps instead pass an
+/// explicit inner runtime via [`run_dp_capped_with`] — sequential when there
+/// are at least as many sweep points as threads, wider when spare threads
+/// would otherwise idle (see `inner_runtime` in `tagging-sim::sweep`).
 pub fn run_dp_capped(
     scenario: &Scenario,
     config: &RunConfig,
     max_per_resource: usize,
 ) -> RunMetrics {
+    run_dp_capped_with(scenario, config, max_per_resource, &Runtime::from_env())
+}
+
+/// [`run_dp_capped`] with an explicit [`Runtime`] for the quality-table
+/// construction. Output is bit-identical at any thread count.
+pub fn run_dp_capped_with(
+    scenario: &Scenario,
+    config: &RunConfig,
+    max_per_resource: usize,
+    runtime: &Runtime,
+) -> RunMetrics {
     let start = Instant::now();
     let cap = max_per_resource.min(config.budget);
-    let table = QualityTable::from_posts(
+    let table = QualityTable::par_from_posts(
+        runtime,
         &scenario.initial,
         &scenario.future,
         &scenario.references,

@@ -39,6 +39,30 @@ pub struct RunMetrics {
     pub allocation: Vec<u32>,
 }
 
+/// The deterministic fingerprint of one run: every metric except the
+/// wall-clock `runtime_seconds`, with floats taken bitwise. See
+/// [`RunMetrics::fingerprint`].
+pub type MetricsFingerprint = (String, usize, u64, usize, usize, u64, usize, Vec<u32>);
+
+impl RunMetrics {
+    /// Collapses the run into its deterministic fingerprint — the fields the
+    /// `tagging-runtime` contract requires to be bit-identical at any thread
+    /// count (everything except the wall-clock `runtime_seconds`). Both the
+    /// determinism test suites and `repro_bench`'s verdict compare these.
+    pub fn fingerprint(&self) -> MetricsFingerprint {
+        (
+            self.strategy.clone(),
+            self.budget,
+            self.mean_quality.to_bits(),
+            self.over_tagged,
+            self.wasted_posts,
+            self.under_tagged_fraction.to_bits(),
+            self.undelivered,
+            self.allocation.clone(),
+        )
+    }
+}
+
 /// Computes the delivered posts per resource from an allocation outcome.
 pub fn delivered_posts(scenario: &Scenario, outcome: &AllocationOutcome) -> Vec<Vec<Post>> {
     let mut delivered: Vec<Vec<Post>> = vec![Vec::new(); scenario.len()];

@@ -7,10 +7,11 @@
 //! * [`omega_sweep`] — effect of the MA window ω on MU / FP-MU / FP
 //!   (Figure 6(f)).
 
+use tagging_runtime::Runtime;
 use tagging_strategies::StrategyKind;
 
-use crate::engine::{run_dp_capped, run_strategy, RunConfig};
-use crate::metrics::RunMetrics;
+use crate::engine::{run_dp_capped_with, run_strategy, RunConfig};
+use crate::metrics::{MetricsFingerprint, RunMetrics};
 use crate::scenario::Scenario;
 
 /// Which algorithms a sweep should include.
@@ -20,11 +21,19 @@ pub struct SweepAlgorithms {
     pub strategies: Vec<StrategyKind>,
     /// Whether to run the DP optimum as well.
     pub include_dp: bool,
-    /// Per-resource cap on the DP quality table (bounds memory / time).
+    /// Per-resource cap on the width of the DP quality table, i.e. on the
+    /// largest per-resource allocation the table covers (see
+    /// [`SweepAlgorithms::with_dp_table_cap`] for the trade-off).
     pub dp_table_cap: usize,
 }
 
 impl Default for SweepAlgorithms {
+    /// All practical strategies plus the DP optimum, with `dp_table_cap`
+    /// defaulting to `2_000` — wide enough that the cap is invisible for the
+    /// paper's sweeps (at budget 10,000 over 5,000 resources no single
+    /// resource is ever allocated anywhere near 2,000 posts) while bounding
+    /// the table at `5_000 × 2_001` `f64`s ≈ 80 MB instead of the ~400 MB an
+    /// uncapped budget-10,000 table would take.
     fn default() -> Self {
         Self {
             strategies: StrategyKind::ALL.to_vec(),
@@ -42,6 +51,52 @@ impl SweepAlgorithms {
             include_dp: false,
             ..Self::default()
         }
+    }
+
+    /// Replaces the set of practical strategies to run (builder style).
+    ///
+    /// ```
+    /// use tagging_sim::sweep::SweepAlgorithms;
+    /// use tagging_strategies::StrategyKind;
+    ///
+    /// let algorithms = SweepAlgorithms::default()
+    ///     .with_strategies([StrategyKind::Fp, StrategyKind::FpMu])
+    ///     .without_dp();
+    /// assert_eq!(algorithms.strategies.len(), 2);
+    /// assert!(!algorithms.include_dp);
+    /// ```
+    pub fn with_strategies<I: IntoIterator<Item = StrategyKind>>(mut self, strategies: I) -> Self {
+        self.strategies = strategies.into_iter().collect();
+        self
+    }
+
+    /// Includes or excludes the DP optimum (builder style).
+    pub fn with_dp(mut self, include_dp: bool) -> Self {
+        self.include_dp = include_dp;
+        self
+    }
+
+    /// Excludes the DP optimum (builder style shorthand).
+    pub fn without_dp(self) -> Self {
+        self.with_dp(false)
+    }
+
+    /// Sets the per-resource cap on the DP quality-table width (builder
+    /// style).
+    ///
+    /// The table stores `n · (cap + 1)` `f64` qualities and costs
+    /// `O(n · |T| · cap)` time to build, so the cap is the lever between DP
+    /// memory/time and fidelity: it must only exceed the largest allocation
+    /// the optimum would give any single resource — beyond a resource's
+    /// remaining future posts its quality row is constant anyway, so a
+    /// generous cap loses nothing. The default of `2_000` (see
+    /// [`SweepAlgorithms::default`]) is safe for every paper-scale
+    /// experiment; lower it (as the smoke/default scales do) to keep small
+    /// sweeps snappy, raise it only if a single resource could legitimately
+    /// absorb more than `cap` tasks.
+    pub fn with_dp_table_cap(mut self, dp_table_cap: usize) -> Self {
+        self.dp_table_cap = dp_table_cap;
+        self
     }
 }
 
@@ -61,72 +116,149 @@ impl SweepPoint {
     }
 }
 
+/// The deterministic fingerprint of a sweep: every non-timing metric of every
+/// point, bitwise (see [`RunMetrics::fingerprint`]). Two sweeps over the same
+/// inputs must compare equal at any thread count; the determinism test suites
+/// and `repro_bench`'s verdict both use this.
+pub fn sweep_fingerprint(points: &[SweepPoint]) -> Vec<(usize, MetricsFingerprint)> {
+    points
+        .iter()
+        .flat_map(|p| p.results.iter().map(|m| (p.x, m.fingerprint())))
+        .collect()
+}
+
+/// Splits a sweep's thread budget between the outer per-point fan-out and the
+/// inner DP table build: with fewer points than threads the spare threads go
+/// to each point's [`QualityTable`](tagging_strategies::dp::QualityTable)
+/// construction instead of idling. Ceiling division so non-divisible counts
+/// round towards using threads rather than idling them (8 threads over 5
+/// points gives each point 2 — brief oversubscription beats 3 idle cores).
+/// The DP table is bit-identical at any inner thread count, so the split
+/// never affects results.
+fn inner_runtime(outer: &Runtime, points: usize) -> Runtime {
+    Runtime::new(outer.threads().div_ceil(points.max(1)))
+}
+
+/// Runs one sweep point: DP (if requested, its quality table built on the
+/// given inner [`Runtime`]) then every practical strategy.
+fn run_point(
+    scenario: &Scenario,
+    x: usize,
+    algorithms: &SweepAlgorithms,
+    config: &RunConfig,
+    inner: &Runtime,
+) -> SweepPoint {
+    let mut results = Vec::new();
+    if algorithms.include_dp {
+        results.push(run_dp_capped_with(
+            scenario,
+            config,
+            algorithms.dp_table_cap,
+            inner,
+        ));
+    }
+    for &kind in &algorithms.strategies {
+        results.push(run_strategy(scenario, kind, config));
+    }
+    SweepPoint { x, results }
+}
+
 /// Runs every algorithm at every budget (Figures 6(a)–(d) and, via the recorded
-/// runtimes, 6(g)).
+/// runtimes, 6(g)) on the process-default [`Runtime`].
 pub fn budget_sweep(
     scenario: &Scenario,
     budgets: &[usize],
     algorithms: &SweepAlgorithms,
     base_config: &RunConfig,
 ) -> Vec<SweepPoint> {
-    budgets
-        .iter()
-        .map(|&budget| {
-            let config = RunConfig {
-                budget,
-                ..*base_config
-            };
-            let mut results = Vec::new();
-            if algorithms.include_dp {
-                results.push(run_dp_capped(scenario, &config, algorithms.dp_table_cap));
-            }
-            for &kind in &algorithms.strategies {
-                results.push(run_strategy(scenario, kind, &config));
-            }
-            SweepPoint { x: budget, results }
-        })
-        .collect()
+    budget_sweep_with(
+        &Runtime::from_env(),
+        scenario,
+        budgets,
+        algorithms,
+        base_config,
+    )
+}
+
+/// [`budget_sweep`] on an explicit [`Runtime`]: every budget point is an
+/// independent task. Each run seeds its own strategy from `base_config.seed`,
+/// so the metrics (everything except the wall-clock `runtime_seconds`) are
+/// bit-identical at any thread count.
+pub fn budget_sweep_with(
+    runtime: &Runtime,
+    scenario: &Scenario,
+    budgets: &[usize],
+    algorithms: &SweepAlgorithms,
+    base_config: &RunConfig,
+) -> Vec<SweepPoint> {
+    let inner = inner_runtime(runtime, budgets.len());
+    runtime.par_map(budgets, |&budget| {
+        let config = RunConfig {
+            budget,
+            ..*base_config
+        };
+        run_point(scenario, budget, algorithms, &config, &inner)
+    })
 }
 
 /// Runs every algorithm on prefixes of the scenario with increasing resource
-/// counts at a fixed budget (Figures 6(e) and 6(h)).
+/// counts at a fixed budget (Figures 6(e) and 6(h)) on the process-default
+/// [`Runtime`].
 pub fn resource_sweep(
     scenario: &Scenario,
     resource_counts: &[usize],
     algorithms: &SweepAlgorithms,
     config: &RunConfig,
 ) -> Vec<SweepPoint> {
-    resource_counts
-        .iter()
-        .map(|&n| {
-            let sub = scenario.take(n);
-            let mut results = Vec::new();
-            if algorithms.include_dp {
-                results.push(run_dp_capped(&sub, config, algorithms.dp_table_cap));
-            }
-            for &kind in &algorithms.strategies {
-                results.push(run_strategy(&sub, kind, config));
-            }
-            SweepPoint { x: n, results }
-        })
-        .collect()
+    resource_sweep_with(
+        &Runtime::from_env(),
+        scenario,
+        resource_counts,
+        algorithms,
+        config,
+    )
+}
+
+/// [`resource_sweep`] on an explicit [`Runtime`]; see [`budget_sweep_with`]
+/// for the determinism contract.
+pub fn resource_sweep_with(
+    runtime: &Runtime,
+    scenario: &Scenario,
+    resource_counts: &[usize],
+    algorithms: &SweepAlgorithms,
+    config: &RunConfig,
+) -> Vec<SweepPoint> {
+    let inner = inner_runtime(runtime, resource_counts.len());
+    runtime.par_map(resource_counts, |&n| {
+        let sub = scenario.take(n);
+        run_point(&sub, n, algorithms, config, &inner)
+    })
 }
 
 /// Runs MU, FP-MU and FP for every ω (Figure 6(f)); FP does not use ω but is
-/// included as the reference line the paper plots.
+/// included as the reference line the paper plots. Uses the process-default
+/// [`Runtime`].
 pub fn omega_sweep(scenario: &Scenario, omegas: &[usize], config: &RunConfig) -> Vec<SweepPoint> {
-    omegas
-        .iter()
-        .map(|&omega| {
-            let cfg = RunConfig { omega, ..*config };
-            let results = vec![
-                run_strategy(scenario, StrategyKind::FpMu, &cfg),
-                run_strategy(scenario, StrategyKind::Fp, &cfg),
-                run_strategy(scenario, StrategyKind::Mu, &cfg),
-            ];
-            SweepPoint { x: omega, results }
-        })
-        .collect()
+    omega_sweep_with(&Runtime::from_env(), scenario, omegas, config)
+}
+
+/// [`omega_sweep`] on an explicit [`Runtime`]; see [`budget_sweep_with`] for
+/// the determinism contract.
+pub fn omega_sweep_with(
+    runtime: &Runtime,
+    scenario: &Scenario,
+    omegas: &[usize],
+    config: &RunConfig,
+) -> Vec<SweepPoint> {
+    runtime.par_map(omegas, |&omega| {
+        let cfg = RunConfig { omega, ..*config };
+        let results = vec![
+            run_strategy(scenario, StrategyKind::FpMu, &cfg),
+            run_strategy(scenario, StrategyKind::Fp, &cfg),
+            run_strategy(scenario, StrategyKind::Mu, &cfg),
+        ];
+        SweepPoint { x: omega, results }
+    })
 }
 
 #[cfg(test)]
@@ -196,6 +328,28 @@ mod tests {
             q_large <= q_small + 0.02,
             "quality should not improve with more resources: {q_small} -> {q_large}"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let s = scenario(25);
+        let algorithms = SweepAlgorithms::default()
+            .with_strategies([StrategyKind::Fp, StrategyKind::Fc])
+            .with_dp_table_cap(50);
+        let config = RunConfig::default();
+        let budgets = [0, 30, 60, 90, 120];
+        let sequential =
+            budget_sweep_with(&Runtime::sequential(), &s, &budgets, &algorithms, &config);
+        for threads in [2, 8] {
+            let parallel =
+                budget_sweep_with(&Runtime::new(threads), &s, &budgets, &algorithms, &config);
+            // Everything except the wall-clock runtime must match bit for bit.
+            assert_eq!(
+                sweep_fingerprint(&sequential),
+                sweep_fingerprint(&parallel),
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use tagging_core::model::Post;
 use tagging_core::rfd::{FrequencyTracker, Rfd};
 use tagging_core::similarity::{CosineSimilarity, SimilarityMetric};
+use tagging_runtime::Runtime;
 
 /// Precomputed per-resource quality values `q_i(c_i + x)` for `x = 0..=budget`.
 #[derive(Debug, Clone)]
@@ -46,11 +47,53 @@ impl QualityTable {
         references: &[Rfd],
         budget: usize,
     ) -> Self {
-        Self::from_posts_with_metric(initial, future, references, budget, &CosineSimilarity)
+        Self::par_from_posts(&Runtime::from_env(), initial, future, references, budget)
     }
 
     /// [`QualityTable::from_posts`] with a custom similarity metric.
-    pub fn from_posts_with_metric<M: SimilarityMetric>(
+    pub fn from_posts_with_metric<M: SimilarityMetric + Sync>(
+        initial: &[Vec<Post>],
+        future: &[Vec<Post>],
+        references: &[Rfd],
+        budget: usize,
+        metric: &M,
+    ) -> Self {
+        Self::par_from_posts_with_metric(
+            &Runtime::from_env(),
+            initial,
+            future,
+            references,
+            budget,
+            metric,
+        )
+    }
+
+    /// [`QualityTable::from_posts`] on an explicit [`Runtime`].
+    ///
+    /// Table construction is `O(n · |T| · B)` — the dominant cost of a DP run
+    /// at paper scale — and each resource's row is independent of every other
+    /// row, so rows are built in parallel and reassembled in resource order.
+    /// The result is bit-identical at any thread count.
+    pub fn par_from_posts(
+        runtime: &Runtime,
+        initial: &[Vec<Post>],
+        future: &[Vec<Post>],
+        references: &[Rfd],
+        budget: usize,
+    ) -> Self {
+        Self::par_from_posts_with_metric(
+            runtime,
+            initial,
+            future,
+            references,
+            budget,
+            &CosineSimilarity,
+        )
+    }
+
+    /// [`QualityTable::par_from_posts`] with a custom similarity metric.
+    pub fn par_from_posts_with_metric<M: SimilarityMetric + Sync>(
+        runtime: &Runtime,
         initial: &[Vec<Post>],
         future: &[Vec<Post>],
         references: &[Rfd],
@@ -68,8 +111,7 @@ impl QualityTable {
             "initial/references length mismatch"
         );
         let n = initial.len();
-        let mut values = Vec::with_capacity(n);
-        for i in 0..n {
+        let values = runtime.par_map_indexed(n, |i| {
             let mut tracker = FrequencyTracker::from_posts(initial[i].iter());
             let mut row = Vec::with_capacity(budget + 1);
             row.push(metric.similarity(&tracker.rfd(), &references[i]));
@@ -83,8 +125,8 @@ impl QualityTable {
                     row.push(last);
                 }
             }
-            values.push(row);
-        }
+            row
+        });
         Self { values }
     }
 
@@ -391,6 +433,54 @@ mod tests {
             let expected =
                 tagging_core::similarity::cosine(&rfd_of_prefix(&posts, posts.len()), &reference);
             assert!((table.quality(0, x) - expected).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn par_table_is_bit_identical_across_thread_counts() {
+        let initial = vec![
+            vec![post(0), post(0)],
+            vec![post(1)],
+            vec![post(2), post(0)],
+        ];
+        let future = vec![
+            vec![post(1), post(1), post(0)],
+            vec![post(0), post(1)],
+            vec![post(2); 4],
+        ];
+        let references = vec![
+            Rfd::from_counts([(TagId(0), 1), (TagId(1), 1)]),
+            Rfd::from_counts([(TagId(0), 2), (TagId(1), 3)]),
+            Rfd::from_counts([(TagId(2), 1)]),
+        ];
+        let sequential = QualityTable::par_from_posts(
+            &tagging_runtime::Runtime::sequential(),
+            &initial,
+            &future,
+            &references,
+            6,
+        );
+        for threads in [2, 8] {
+            let parallel = QualityTable::par_from_posts(
+                &tagging_runtime::Runtime::new(threads),
+                &initial,
+                &future,
+                &references,
+                6,
+            );
+            for r in 0..3 {
+                for x in 0..=6 {
+                    assert!(
+                        sequential.quality(r, x).to_bits() == parallel.quality(r, x).to_bits(),
+                        "threads {threads}, resource {r}, x {x}"
+                    );
+                }
+            }
+            // The DP on top of identical tables is identical too.
+            assert_eq!(
+                optimal_allocation(&sequential, 4),
+                optimal_allocation(&parallel, 4)
+            );
         }
     }
 

@@ -74,14 +74,36 @@ fn fig3_ma_score_rises_to_stability() {
 
 #[test]
 fn fig5_simple_resource_stabilises_before_complex_one() {
-    let pair = fig5_quality_curves(smoke_corpus());
-    let first_above = |curve: &[f64], threshold: f64| {
+    // Figure 5's message is that a resource with more significant tags needs
+    // more posts before its description settles. Compare convergence relative
+    // to each curve's *own* final quality (an absolute threshold is noisy:
+    // the two resources converge to different asymptotes), and back it with
+    // the paper's own notion of stability (Definition 8 stable points).
+    let corpus = smoke_corpus();
+    let pair = fig5_quality_curves(corpus);
+    let convergence_point = |curve: &[f64]| {
+        let final_quality = *curve.last().expect("non-empty curve");
+        // Self-normalised convergence must still reach a real quality level —
+        // without an absolute floor a degenerate flat curve (e.g. a broken
+        // similarity metric) would "converge" immediately and pass.
+        assert!(
+            final_quality > 0.9,
+            "fig5 curve must converge to high quality, got {final_quality}"
+        );
         curve
             .iter()
-            .position(|&q| q > threshold)
+            .position(|&q| q >= 0.99 * final_quality)
             .unwrap_or(curve.len())
     };
-    assert!(first_above(&pair.simple.1, 0.9) <= first_above(&pair.complex.1, 0.9));
+    assert!(convergence_point(&pair.simple.1) <= convergence_point(&pair.complex.1));
+
+    let analyzer = tagging_core::stability::StabilityAnalyzer::new(scenario_params().stability);
+    let stable = |id: tagging_core::model::ResourceId| {
+        analyzer
+            .stable_point(corpus.full_sequence(id))
+            .unwrap_or(usize::MAX)
+    };
+    assert!(stable(pair.simple.0) <= stable(pair.complex.0));
 }
 
 #[test]

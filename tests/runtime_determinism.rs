@@ -1,0 +1,122 @@
+//! End-to-end determinism goldens for the `tagging-runtime` subsystem: the
+//! three parallelised hot paths — corpus generation, the Figure 6 budget
+//! sweep, and the DP optimum — must produce identical results at 1, 2 and 8
+//! runtime threads, and identical to the explicitly sequential path.
+//!
+//! The CI thread-count matrix additionally runs this suite under
+//! `TAGGING_THREADS=1,2,8`, which exercises the *implicit* (process-default)
+//! runtime used by `generate`/`budget_sweep`/`QualityTable::from_posts`.
+
+use delicious_sim::generator::{generate, generate_with, GeneratorConfig};
+use tagging_core::stability::StabilityParams;
+use tagging_runtime::Runtime;
+use tagging_sim::engine::RunConfig;
+use tagging_sim::scenario::{Scenario, ScenarioParams};
+use tagging_sim::sweep::{budget_sweep_with, sweep_fingerprint, SweepAlgorithms};
+use tagging_strategies::dp::{optimal_allocation, QualityTable};
+use tagging_strategies::StrategyKind;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn scenario(n: usize, seed: u64) -> Scenario {
+    let corpus = generate(&GeneratorConfig::small(n, seed));
+    Scenario::from_corpus(
+        &corpus,
+        &ScenarioParams {
+            stability: StabilityParams::new(10, 0.995),
+            under_tagged_threshold: 10,
+        },
+    )
+}
+
+#[test]
+fn generate_is_identical_at_1_2_and_8_threads() {
+    let config = GeneratorConfig::small(60, 20130408);
+    let reference = generate_with(&config, &Runtime::sequential());
+    for threads in THREAD_COUNTS {
+        let corpus = generate_with(&config, &Runtime::new(threads));
+        assert_eq!(corpus.popularity, reference.popularity, "threads {threads}");
+        assert_eq!(corpus.initial_posts, reference.initial_posts);
+        assert_eq!(corpus.corpus.tags.len(), reference.corpus.tags.len());
+        for id in reference.resource_ids() {
+            assert_eq!(
+                corpus.full_sequence(id),
+                reference.full_sequence(id),
+                "threads {threads}, resource {id:?}"
+            );
+            assert_eq!(
+                corpus.true_distribution(id),
+                reference.true_distribution(id)
+            );
+            assert_eq!(
+                corpus.taxonomy.assignment(id),
+                reference.taxonomy.assignment(id)
+            );
+        }
+    }
+    // The implicit-runtime entry point agrees with the explicit one.
+    let implicit = generate(&config);
+    assert_eq!(implicit.initial_posts, reference.initial_posts);
+    for id in reference.resource_ids() {
+        assert_eq!(implicit.full_sequence(id), reference.full_sequence(id));
+    }
+}
+
+#[test]
+fn budget_sweep_is_identical_at_1_2_and_8_threads() {
+    let s = scenario(30, 7);
+    let algorithms = SweepAlgorithms::default()
+        .with_strategies(StrategyKind::ALL)
+        .with_dp_table_cap(60);
+    let config = RunConfig {
+        budget: 0,
+        omega: 5,
+        seed: 1,
+    };
+    let budgets = [0, 40, 80, 120, 160];
+    let reference = sweep_fingerprint(&budget_sweep_with(
+        &Runtime::sequential(),
+        &s,
+        &budgets,
+        &algorithms,
+        &config,
+    ));
+    for threads in THREAD_COUNTS {
+        let points = budget_sweep_with(&Runtime::new(threads), &s, &budgets, &algorithms, &config);
+        assert_eq!(
+            sweep_fingerprint(&points),
+            reference,
+            "threads {threads}: sweep metrics diverged"
+        );
+    }
+}
+
+#[test]
+fn optimal_allocation_is_identical_at_1_2_and_8_threads() {
+    let s = scenario(20, 13);
+    let budget = 50;
+    let reference_table = QualityTable::par_from_posts(
+        &Runtime::sequential(),
+        &s.initial,
+        &s.future,
+        &s.references,
+        budget,
+    );
+    let reference = optimal_allocation(&reference_table, budget);
+    for threads in THREAD_COUNTS {
+        let table = QualityTable::par_from_posts(
+            &Runtime::new(threads),
+            &s.initial,
+            &s.future,
+            &s.references,
+            budget,
+        );
+        let result = optimal_allocation(&table, budget);
+        assert_eq!(result.allocation, reference.allocation, "threads {threads}");
+        assert_eq!(
+            result.total_quality.to_bits(),
+            reference.total_quality.to_bits(),
+            "threads {threads}: DP value diverged bitwise"
+        );
+    }
+}

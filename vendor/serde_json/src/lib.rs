@@ -70,6 +70,50 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes `value` to a pretty-printed JSON string (2-space indent),
+/// mirroring the real serde_json's `to_string_pretty`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+fn write_value_pretty(out: &mut String, value: &Value, indent: usize) {
+    const STEP: &str = "  ";
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_string(out, key);
+                out.push_str(": ");
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        // Scalars, empty arrays and empty objects render as in compact mode.
+        other => write_value(out, other),
+    }
+}
+
 /// Deserializes a `T` from the JSON in `reader`.
 pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
     let mut text = String::new();
@@ -411,5 +455,24 @@ mod tests {
         let mut out = String::new();
         write_value(&mut out, &Value::Float(2.0));
         assert_eq!(out, "2.0");
+    }
+
+    #[test]
+    fn pretty_printing_round_trips_and_indents() {
+        let value = Value::Object(vec![
+            ("name".to_string(), Value::String("sweep".to_string())),
+            (
+                "points".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+            ("empty".to_string(), Value::Array(Vec::new())),
+        ]);
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains("{\n  \"name\": \"sweep\""));
+        assert!(pretty.contains("\"points\": [\n    1,\n    2\n  ]"));
+        assert!(pretty.contains("\"empty\": []"));
+        // Pretty output parses back to the same tree as compact output.
+        let reparsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(reparsed, value);
     }
 }
