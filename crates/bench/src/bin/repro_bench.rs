@@ -8,13 +8,13 @@
 //! everything to `BENCH_sweep.json` (override with `--out PATH`).
 //!
 //! Usage:
-//! `cargo run --release -p tagging-bench --bin repro_bench -- [--scale S] [--threads N] [--out PATH]`
+//! `cargo run --release -p tagging-bench --bin repro_bench -- [--scale S] [--threads N] [--corpus PATH] [--out PATH]`
 
 use std::time::Instant;
 
 use serde::Value;
 use tagging_bench::experiments::{fig6_include_dp, fig6_sweep_setup};
-use tagging_bench::{init_runtime, scale_from_args, setup};
+use tagging_bench::{corpus_path_from_args, init_runtime, scale_from_args, setup};
 use tagging_runtime::Runtime;
 use tagging_sim::sweep::{budget_sweep_with, sweep_fingerprint, SweepAlgorithms, SweepPoint};
 
@@ -89,7 +89,8 @@ fn main() {
     let include_dp = fig6_include_dp(scale);
     let (algorithms, config) = fig6_sweep_setup(include_dp, scale.dp_table_cap(), 5);
     let budgets = scale.budgets();
-    let scenario = setup::build_scenario(scale);
+    let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
+    let scenario = setup::build_scenario_from(&corpus);
 
     eprintln!(
         "benchmarking budget sweep at scale {scale:?} ({} resources, {} budget points) \

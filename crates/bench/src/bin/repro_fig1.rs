@@ -2,11 +2,11 @@
 //! (a) relative frequencies of a popular resource's top tags vs its post count;
 //! (b) the log-binned posts-per-resource distribution of a whole-crawl corpus.
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig1 -- [--scale S] [--threads N] [a|b]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig1 -- [--scale S] [--threads N] [--corpus PATH] [a|b]`
 
 use tagging_bench::experiments::{fig1a_tag_frequencies, fig1b_posts_distribution};
 use tagging_bench::reporting::{render_series, TextTable};
-use tagging_bench::{scale_from_args, setup};
+use tagging_bench::{corpus_path_from_args, scale_from_args, setup};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,7 +20,7 @@ fn main() {
 
     if panel.contains('a') {
         println!("=== Figure 1(a): tags' relative frequencies vs number of posts ===");
-        let corpus = setup::build_corpus(scale);
+        let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
         let series = fig1a_tag_frequencies(&corpus, 5, 10);
         println!(
             "resource {} ({} posts), tracked tags: {}",

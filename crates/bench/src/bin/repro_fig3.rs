@@ -1,17 +1,19 @@
 //! Reproduces Figure 3 of the paper: adjacent similarity and MA score of one
 //! resource as it accumulates posts (ω = 20), plus the resulting stable point.
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig3 -- [--scale S] [--threads N]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig3 -- [--scale S] [--threads N] [--corpus PATH]`
 
 use tagging_bench::reporting::TextTable;
-use tagging_bench::{experiments::fig3_stability_series, scale_from_args, setup};
+use tagging_bench::{
+    corpus_path_from_args, experiments::fig3_stability_series, scale_from_args, setup,
+};
 use tagging_core::stability::StabilityParams;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
     tagging_bench::init_runtime(&args);
-    let corpus = setup::build_corpus(scale);
+    let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
     // The paper's illustration uses ω = 20 and a threshold near 0.99.
     let params = StabilityParams::new(20, 0.99);
     let series = fig3_stability_series(&corpus, params);

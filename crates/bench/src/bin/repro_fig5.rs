@@ -3,16 +3,18 @@
 //! resource (rich content, needs far more posts), illustrating why Fewest Posts
 //! First buys large quality improvements on sparsely-tagged resources.
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig5 -- [--scale S] [--threads N]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig5 -- [--scale S] [--threads N] [--corpus PATH]`
 
 use tagging_bench::reporting::TextTable;
-use tagging_bench::{experiments::fig5_quality_curves, scale_from_args, setup};
+use tagging_bench::{
+    corpus_path_from_args, experiments::fig5_quality_curves, scale_from_args, setup,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
     tagging_bench::init_runtime(&args);
-    let corpus = setup::build_corpus(scale);
+    let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
     let pair = fig5_quality_curves(&corpus);
 
     println!("=== Figure 5: quality vs number of posts ===");

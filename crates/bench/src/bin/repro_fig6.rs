@@ -11,7 +11,7 @@
 //! * (h) runtime vs number of resources.
 //!
 //! Usage:
-//! `cargo run --release -p tagging-bench --bin repro_fig6 -- [--scale S] [--threads N] [--json] [panels]`
+//! `cargo run --release -p tagging-bench --bin repro_fig6 -- [--scale S] [--threads N] [--corpus PATH] [--json] [panels]`
 //! where `panels` is any subset of the letters `abcdefgh` (default: all).
 //!
 //! Sweep points run in parallel on the tagging-runtime executor (`--threads`,
@@ -25,7 +25,7 @@ use tagging_bench::experiments::{
     sweep_strategy_names,
 };
 use tagging_bench::reporting::{json_report, json_series, render_series};
-use tagging_bench::{has_flag, init_runtime, scale_from_args, setup};
+use tagging_bench::{corpus_path_from_args, has_flag, init_runtime, scale_from_args, setup};
 use tagging_sim::sweep::SweepPoint;
 
 fn series_rows<F>(points: &[SweepPoint], names: &[&str], f: F) -> Vec<(usize, Vec<f64>)>
@@ -72,7 +72,8 @@ fn main() {
     let names_owned = sweep_strategy_names(include_dp);
     let names: Vec<&str> = names_owned.clone();
 
-    let scenario = setup::build_scenario(scale);
+    let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
+    let scenario = setup::build_scenario_from(&corpus);
     // The thread count goes to stderr so the deterministic panels' stdout
     // stays byte-identical across `--threads` values — the contract the CI
     // matrix checks by diffing `abcdef` output. The runtime panels (g)/(h)

@@ -4,11 +4,11 @@
 //! (b) the correlation between tagging quality and ranking accuracy across all
 //!     runs (the paper reports > 98%).
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig7 -- [--scale S] [--threads N] [a|b]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig7 -- [--scale S] [--threads N] [--corpus PATH] [a|b]`
 
 use tagging_bench::casestudy::{fig7_accuracy_sweep, quality_accuracy_correlation};
 use tagging_bench::reporting::{fmt_f64, TextTable};
-use tagging_bench::{scale_from_args, setup, Scale};
+use tagging_bench::{corpus_path_from_args, scale_from_args, setup, Scale};
 use tagging_sim::scenario::Scenario;
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "ab".to_string());
 
-    let corpus = setup::build_corpus(scale);
+    let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
     // The pairwise ranking is quadratic in the number of resources, so the
     // accuracy experiment runs on a prefix of the corpus (like the paper, which
     // uses the subset of resources categorised in the ODP).

@@ -3,17 +3,17 @@
 //! and wasted posts, the share of under-tagged resources, and how few posts
 //! would be needed to salvage them.
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_intro_stats -- [--scale S] [--threads N]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_intro_stats -- [--scale S] [--threads N] [--corpus PATH]`
 
 use tagging_bench::experiments::intro_statistics;
 use tagging_bench::reporting::{fmt_f64, fmt_percent, TextTable};
-use tagging_bench::{scale_from_args, setup};
+use tagging_bench::{corpus_path_from_args, scale_from_args, setup};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
     tagging_bench::init_runtime(&args);
-    let corpus = setup::build_corpus(scale);
+    let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
     let stats = intro_statistics(&corpus);
 
     println!("=== Introduction / §V-A dataset statistics ===");

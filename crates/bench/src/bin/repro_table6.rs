@@ -3,18 +3,18 @@
 //! the initial posts ("Jan 31"), FC with a budget, FP with the same budget, and
 //! the full data ("Dec 31", the ideal list).
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_table6 -- [--scale S] [--threads N]`
+//! Usage: `cargo run --release -p tagging-bench --bin repro_table6 -- [--scale S] [--threads N] [--corpus PATH]`
 
 use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison};
 use tagging_bench::reporting::{fmt_percent, TextTable};
-use tagging_bench::{scale_from_args, setup};
+use tagging_bench::{corpus_path_from_args, scale_from_args, setup};
 use tagging_sim::scenario::Scenario;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
     tagging_bench::init_runtime(&args);
-    let corpus = setup::build_corpus(scale);
+    let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
     let scenario =
         Scenario::from_corpus(&corpus, &setup::scenario_params()).take(scale.accuracy_resources());
     let budget = (scale.default_budget() as f64 * scenario.len() as f64

@@ -3,15 +3,24 @@
 //! subject's own category) under the initial rfds, FC, FP and the full data.
 //!
 //! Usage:
-//! `cargo run --release -p tagging-bench --bin repro_table7 -- [--scale S] [--threads N] [--json]`
+//! `cargo run --release -p tagging-bench --bin repro_table7 -- [--scale S] [--threads N] [--corpus PATH] [--json]`
 
 use serde::Value;
 use tagging_analysis::topk::category_hits;
 use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison};
 use tagging_bench::reporting::{json_report, TextTable};
-use tagging_bench::{has_flag, init_runtime, scale_from_args, setup};
+use tagging_bench::{corpus_path_from_args, has_flag, init_runtime, scale_from_args, setup};
 use tagging_core::model::ResourceId;
 use tagging_sim::scenario::Scenario;
+
+/// One data row of the table, computed once and rendered as text or JSON at
+/// the end (the blocks-then-render pattern of `repro_fig6`).
+struct Row {
+    subject: String,
+    description: String,
+    /// Same-topic hits under the initial rfds, FC, FP and the full data.
+    hits: [usize; 4],
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,7 +28,7 @@ fn main() {
     let runtime = init_runtime(&args);
     let json = has_flag(&args, "--json");
 
-    let corpus = setup::build_corpus(scale);
+    let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
     let scenario =
         Scenario::from_corpus(&corpus, &setup::scenario_params()).take(scale.accuracy_resources());
     let budget = (scale.default_budget() as f64 * scenario.len() as f64
@@ -27,56 +36,47 @@ fn main() {
         .round() as usize;
 
     let subjects = pick_case_study_subjects(&scenario, 4);
-
-    let mut table = TextTable::new([
-        "subject",
-        "description",
-        "same-topic hits: Jan 31",
-        "FC",
-        "FP",
-        "Dec 31",
-    ]);
-    let mut json_rows: Vec<Value> = Vec::new();
-
-    for subject in subjects {
-        let comparison = top_k_comparison(&corpus, &scenario, subject, 10, budget);
-        let subject_topic = corpus.profiles[subject.index()].primary_topic;
-        let same_topic =
-            |id: ResourceId| corpus.profiles[id.index()].primary_topic == subject_topic;
-        let description = corpus
-            .corpus
-            .resource(subject)
-            .map(|r| r.description.clone())
-            .unwrap_or_default();
-        let initial = category_hits(&comparison.initial, same_topic);
-        let fc = category_hits(&comparison.fc, same_topic);
-        let fp = category_hits(&comparison.fp, same_topic);
-        let ideal = category_hits(&comparison.ideal, same_topic);
-        json_rows.push(Value::Object(vec![
-            (
-                "subject".to_string(),
-                Value::String(comparison.subject_name.clone()),
-            ),
-            (
-                "description".to_string(),
-                Value::String(description.clone()),
-            ),
-            ("initial".to_string(), Value::UInt(initial as u64)),
-            ("fc".to_string(), Value::UInt(fc as u64)),
-            ("fp".to_string(), Value::UInt(fp as u64)),
-            ("ideal".to_string(), Value::UInt(ideal as u64)),
-        ]));
-        table.add_row([
-            comparison.subject_name.clone(),
-            description,
-            initial.to_string(),
-            fc.to_string(),
-            fp.to_string(),
-            ideal.to_string(),
-        ]);
-    }
+    let rows: Vec<Row> = subjects
+        .into_iter()
+        .map(|subject| {
+            let comparison = top_k_comparison(&corpus, &scenario, subject, 10, budget);
+            let subject_topic = corpus.profiles[subject.index()].primary_topic;
+            let same_topic =
+                |id: ResourceId| corpus.profiles[id.index()].primary_topic == subject_topic;
+            Row {
+                subject: comparison.subject_name.clone(),
+                description: corpus
+                    .corpus
+                    .resource(subject)
+                    .map(|r| r.description.clone())
+                    .unwrap_or_default(),
+                hits: [
+                    category_hits(&comparison.initial, same_topic),
+                    category_hits(&comparison.fc, same_topic),
+                    category_hits(&comparison.fp, same_topic),
+                    category_hits(&comparison.ideal, same_topic),
+                ],
+            }
+        })
+        .collect();
 
     if json {
+        let json_rows: Vec<Value> = rows
+            .iter()
+            .map(|row| {
+                Value::Object(vec![
+                    ("subject".to_string(), Value::String(row.subject.clone())),
+                    (
+                        "description".to_string(),
+                        Value::String(row.description.clone()),
+                    ),
+                    ("initial".to_string(), Value::UInt(row.hits[0] as u64)),
+                    ("fc".to_string(), Value::UInt(row.hits[1] as u64)),
+                    ("fp".to_string(), Value::UInt(row.hits[2] as u64)),
+                    ("ideal".to_string(), Value::UInt(row.hits[3] as u64)),
+                ])
+            })
+            .collect();
         println!(
             "{}",
             json_report(
@@ -90,6 +90,24 @@ fn main() {
             )
         );
     } else {
+        let mut table = TextTable::new([
+            "subject",
+            "description",
+            "same-topic hits: Jan 31",
+            "FC",
+            "FP",
+            "Dec 31",
+        ]);
+        for row in &rows {
+            table.add_row([
+                row.subject.clone(),
+                row.description.clone(),
+                row.hits[0].to_string(),
+                row.hits[1].to_string(),
+                row.hits[2].to_string(),
+                row.hits[3].to_string(),
+            ]);
+        }
         println!(
             "=== Table VII: top-10 composition for several subject resources (budget {budget}) ==="
         );

@@ -78,6 +78,27 @@ pub fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// Parses the common `--corpus <path>` argument shared by the `repro_*`
+/// binaries: the fixed corpus is loaded from that file when it exists and
+/// generated-then-saved there when it does not (see
+/// [`setup::load_or_generate_corpus`]), so one corpus file can be shared
+/// across every binary and the `tagging-server`'s scenario registration.
+pub fn corpus_path_from_args(args: &[String]) -> Option<std::path::PathBuf> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--corpus" {
+            match iter.next() {
+                Some(path) => return Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("--corpus expects a file path, ignoring");
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Applies a `--threads N` argument (if present) as the process-default
 /// thread count and returns the resulting [`tagging_runtime::Runtime`].
 /// Without the flag the runtime follows `TAGGING_THREADS` /

@@ -14,9 +14,11 @@
 //! Scale is selected on the command line of the `repro_*` binaries
 //! (`--scale smoke|default|paper`).
 
+use std::path::Path;
 use std::sync::OnceLock;
 
 use delicious_sim::generator::{generate, GeneratorConfig, SyntheticCorpus};
+use delicious_sim::io::{load_corpus, save_corpus};
 use tagging_core::stability::StabilityParams;
 use tagging_sim::scenario::{Scenario, ScenarioParams};
 
@@ -136,6 +138,47 @@ pub fn build_corpus(scale: Scale) -> SyntheticCorpus {
 /// Builds the scenario for a scale.
 pub fn build_scenario(scale: Scale) -> Scenario {
     Scenario::from_corpus(&build_corpus(scale), &scenario_params())
+}
+
+/// Builds the standard scenario over an already-obtained corpus.
+pub fn build_scenario_from(corpus: &SyntheticCorpus) -> Scenario {
+    Scenario::from_corpus(corpus, &scenario_params())
+}
+
+/// The corpus behind a `--corpus <path>` run: loaded from `path` when the
+/// file exists, generated (at `scale`) and saved there when it does not, and
+/// plain generation when no path was given. This is how the fixed corpus is
+/// produced once and reused across every repro binary and the server.
+pub fn load_or_generate_corpus(scale: Scale, path: Option<&Path>) -> SyntheticCorpus {
+    let Some(path) = path else {
+        return build_corpus(scale);
+    };
+    if path.exists() {
+        match load_corpus(path) {
+            Ok(corpus) => {
+                eprintln!("loaded corpus from {}", path.display());
+                if corpus.len() != scale.num_resources() {
+                    eprintln!(
+                        "note: corpus has {} resources but --scale expects {}",
+                        corpus.len(),
+                        scale.num_resources()
+                    );
+                }
+                corpus
+            }
+            Err(e) => {
+                eprintln!("cannot load corpus {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let corpus = build_corpus(scale);
+        match save_corpus(&corpus, path) {
+            Ok(()) => eprintln!("saved generated corpus to {}", path.display()),
+            Err(e) => eprintln!("cannot save corpus to {}: {e}", path.display()),
+        }
+        corpus
+    }
 }
 
 /// Cached smoke-scale corpus and scenario, shared by tests and benches to avoid

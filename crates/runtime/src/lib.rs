@@ -15,7 +15,10 @@
 //!   input order;
 //! * [`SeedSequence`] — derivation of statistically independent per-task RNG
 //!   seeds from one root seed, so randomized work (corpus generation) produces
-//!   **bit-identical** output at any thread count.
+//!   **bit-identical** output at any thread count;
+//! * [`WorkerPool`] — a long-lived worker pool for request/response workloads
+//!   (the `tagging-server` crate's connection handling), complementing the
+//!   per-call scoped threads of `par_map`.
 //!
 //! ## Determinism contract
 //!
@@ -55,8 +58,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+mod pool;
 mod seed;
 
+pub use pool::WorkerPool;
 pub use seed::SeedSequence;
 
 /// Name of the environment variable that fixes the default thread count.

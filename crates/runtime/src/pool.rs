@@ -1,0 +1,147 @@
+//! A long-lived worker pool for request/response workloads.
+//!
+//! [`Runtime::par_map`](crate::Runtime::par_map) spawns scoped threads per
+//! call, which fits batch computations but not a server that must hand each
+//! accepted connection to a worker and keep going. [`WorkerPool`] is the
+//! complementary primitive: `threads` workers started once, consuming boxed
+//! jobs from a shared queue until the pool is dropped.
+//!
+//! Still std-only: an [`std::sync::mpsc`] channel behind a mutex-guarded
+//! receiver is the entire scheduler. Dropping the pool closes the channel and
+//! joins every worker, so already-queued jobs finish before shutdown
+//! completes.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing queued jobs in FIFO order.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Starts a pool with `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("tagging-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while popping, not while running
+                        // the job, so workers drain the queue concurrently.
+                        let job = {
+                            let guard = receiver.lock().expect("pool receiver poisoned");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            // All senders dropped: the pool is shutting down.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a job; some idle worker will run it. Panics if called after the
+    /// pool started shutting down (impossible through the public API, since
+    /// shutdown happens in `drop`).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("all workers exited early");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv() fail once the queue
+        // is drained; joining then waits for in-flight jobs to finish.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already took its job down with it; there
+            // is nothing further to unwind here.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel as result_channel;
+
+    #[test]
+    fn executes_every_queued_job() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins: all queued jobs must have run
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_run_concurrently_across_workers() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = result_channel();
+        // Two jobs that can only both finish if they run on distinct workers:
+        // each waits for the other's first message.
+        let (a_tx, a_rx) = result_channel();
+        let (b_tx, b_rx) = result_channel();
+        let done = tx.clone();
+        pool.execute(move || {
+            b_tx.send(()).unwrap();
+            a_rx.recv().unwrap();
+            done.send("a").unwrap();
+        });
+        pool.execute(move || {
+            a_tx.send(()).unwrap();
+            b_rx.recv().unwrap();
+            tx.send("b").unwrap();
+        });
+        let mut finished: Vec<&str> = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        finished.sort_unstable();
+        assert_eq!(finished, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

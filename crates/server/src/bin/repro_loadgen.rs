@@ -1,0 +1,394 @@
+//! Load generator for the tagging server: N concurrent deterministic clients
+//! lease task batches, report completions and poll metrics over real TCP,
+//! recording throughput and latency percentiles.
+//!
+//! Usage:
+//! `cargo run --release -p tagging-server --bin repro_loadgen -- [options]`
+//!
+//! * `--addr HOST:PORT` — target an already-running server (default: spawn an
+//!   in-process server on an ephemeral port and verify its clean shutdown);
+//! * `--clients N` — concurrent clients (default 4);
+//! * `--requests N` — total HTTP requests to drive (default 12000);
+//! * `--batch K` — tasks leased per batch request (default 8);
+//! * `--resources N` / `--budget B` / `--strategy S` / `--seed X` — the
+//!   scenario registered for the run (defaults 120 / 50000 / FP / 1);
+//! * `--corpus PATH` — register the scenario from a saved corpus instead of
+//!   generating one;
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_loadgen.json`, next to `BENCH_sweep.json`);
+//! * `--shutdown` — send `POST /shutdown` when done (implied in-process).
+//!
+//! Every client runs the same fixed request pattern (batch → report → every
+//! 8th iteration a metrics poll), so a run is reproducible up to thread
+//! interleaving; the server-side session stays consistent under any
+//! interleaving, which the final metrics check verifies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::Value;
+use tagging_server::http::HttpClient;
+use tagging_server::TaggingServer;
+
+#[derive(Debug, Clone)]
+struct Options {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    resources: usize,
+    budget: usize,
+    strategy: String,
+    seed: u64,
+    corpus: Option<String>,
+    out: String,
+    shutdown: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Self {
+        let value = |name: &str| -> Option<String> {
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                if arg == name {
+                    return iter.next().cloned();
+                }
+            }
+            None
+        };
+        let number = |name: &str, default: usize| -> usize {
+            value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        Self {
+            addr: value("--addr"),
+            clients: number("--clients", 4).max(1),
+            requests: number("--requests", 12_000),
+            batch: number("--batch", 8).max(1),
+            resources: number("--resources", 120).max(1),
+            budget: number("--budget", 50_000),
+            strategy: value("--strategy").unwrap_or_else(|| "FP".to_string()),
+            seed: value("--seed").and_then(|v| v.parse().ok()).unwrap_or(1),
+            corpus: value("--corpus"),
+            out: value("--out").unwrap_or_else(|| "BENCH_loadgen.json".to_string()),
+            shutdown: args.iter().any(|a| a == "--shutdown"),
+        }
+    }
+}
+
+/// Per-client tallies, merged after the join.
+#[derive(Debug, Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    batch_requests: usize,
+    report_requests: usize,
+    metrics_requests: usize,
+    tasks_leased: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = Options::parse(&args);
+    if let Err(message) = run(&options) {
+        eprintln!("repro_loadgen failed: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    // Either target the given server or spawn one in-process; in-process runs
+    // always verify clean shutdown at the end.
+    let (addr, server_handle) = match &options.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let workers = (options.clients + 1).min(8);
+            let server = TaggingServer::bind("127.0.0.1:0", workers)
+                .map_err(|e| format!("cannot bind in-process server: {e}"))?;
+            let (addr, handle) = server
+                .spawn()
+                .map_err(|e| format!("cannot start in-process server: {e}"))?;
+            eprintln!("spawned in-process server on {addr}");
+            (addr.to_string(), Some(handle))
+        }
+    };
+
+    // Register the scenario for the whole run.
+    let mut admin = HttpClient::connect(&addr).map_err(|e| format!("cannot connect: {e}"))?;
+    let source = match &options.corpus {
+        Some(path) => Value::Object(vec![(
+            "corpus_path".to_string(),
+            Value::String(path.clone()),
+        )]),
+        None => Value::Object(vec![(
+            "generate".to_string(),
+            Value::Object(vec![
+                (
+                    "resources".to_string(),
+                    Value::UInt(options.resources as u64),
+                ),
+                ("seed".to_string(), Value::UInt(options.seed)),
+            ]),
+        )]),
+    };
+    let register = Value::Object(vec![
+        (
+            "strategy".to_string(),
+            Value::String(options.strategy.clone()),
+        ),
+        ("budget".to_string(), Value::UInt(options.budget as u64)),
+        ("seed".to_string(), Value::UInt(options.seed)),
+        ("source".to_string(), source),
+    ]);
+    let (status, registered) = admin
+        .request("POST", "/scenarios", Some(&register))
+        .map_err(|e| format!("registration failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("registration rejected ({status}): {registered:?}"));
+    }
+    let Some(&Value::UInt(scenario_id)) = registered.get("scenario_id") else {
+        return Err(format!(
+            "registration returned no scenario_id: {registered:?}"
+        ));
+    };
+    eprintln!(
+        "registered scenario {scenario_id}: {} resources, budget {}, strategy {}",
+        options.resources, options.budget, options.strategy
+    );
+
+    // Fire the clients.
+    let issued = Arc::new(AtomicUsize::new(0));
+    let tallies: Arc<Mutex<Vec<Tally>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for client_index in 0..options.clients {
+        let addr = addr.clone();
+        let issued = Arc::clone(&issued);
+        let tallies = Arc::clone(&tallies);
+        let target = options.requests;
+        let batch = options.batch;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-client-{client_index}"))
+                .spawn(move || -> Result<(), String> {
+                    let mut client = HttpClient::connect(&addr)
+                        .map_err(|e| format!("client {client_index}: connect: {e}"))?;
+                    let mut tally = Tally::default();
+                    let mut iteration = 0usize;
+                    while issued.load(Ordering::Relaxed) < target {
+                        let tasks = timed_request(
+                            &mut client,
+                            "POST",
+                            &format!("/scenarios/{scenario_id}/batch"),
+                            Some(&Value::Object(vec![(
+                                "k".to_string(),
+                                Value::UInt(batch as u64),
+                            )])),
+                            &issued,
+                            &mut tally,
+                        )?;
+                        tally.batch_requests += 1;
+                        let leased = match tasks.get("tasks") {
+                            Some(Value::Array(items)) => items.clone(),
+                            _ => Vec::new(),
+                        };
+                        tally.tasks_leased += leased.len();
+                        if !leased.is_empty() {
+                            let completions: Vec<Value> = leased
+                                .iter()
+                                .filter_map(|t| t.get("task_id").cloned())
+                                .map(|id| Value::Object(vec![("task_id".to_string(), id)]))
+                                .collect();
+                            let body = Value::Object(vec![(
+                                "completions".to_string(),
+                                Value::Array(completions),
+                            )]);
+                            let response = timed_request(
+                                &mut client,
+                                "POST",
+                                &format!("/scenarios/{scenario_id}/report"),
+                                Some(&body),
+                                &issued,
+                                &mut tally,
+                            )?;
+                            tally.report_requests += 1;
+                            if response.get("accepted").is_none() {
+                                return Err(format!(
+                                    "client {client_index}: report rejected: {response:?}"
+                                ));
+                            }
+                        }
+                        if iteration % 8 == 7 {
+                            timed_request(
+                                &mut client,
+                                "GET",
+                                &format!("/scenarios/{scenario_id}/metrics"),
+                                None,
+                                &issued,
+                                &mut tally,
+                            )?;
+                            tally.metrics_requests += 1;
+                        }
+                        iteration += 1;
+                    }
+                    tallies.lock().expect("tally lock").push(tally);
+                    Ok(())
+                })
+                .expect("spawn client thread"),
+        );
+    }
+    for worker in workers {
+        worker
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+    }
+    let elapsed = start.elapsed();
+
+    // Merge tallies.
+    let tallies = Arc::try_unwrap(tallies)
+        .expect("clients joined")
+        .into_inner()
+        .expect("tally lock");
+    let mut latencies: Vec<u64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_us.clone())
+        .collect();
+    latencies.sort_unstable();
+    let total_requests: usize = latencies.len();
+    let batch_requests: usize = tallies.iter().map(|t| t.batch_requests).sum();
+    let report_requests: usize = tallies.iter().map(|t| t.report_requests).sum();
+    let metrics_requests: usize = tallies.iter().map(|t| t.metrics_requests).sum();
+    let tasks_leased: usize = tallies.iter().map(|t| t.tasks_leased).sum();
+
+    // Final metrics: the non-empty response the smoke job asserts on.
+    let (status, final_metrics) = admin
+        .request("GET", &format!("/scenarios/{scenario_id}/metrics"), None)
+        .map_err(|e| format!("final metrics request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!(
+            "final metrics rejected ({status}): {final_metrics:?}"
+        ));
+    }
+    let spent = match final_metrics.get("budget_spent") {
+        Some(&Value::UInt(n)) => n as usize,
+        other => return Err(format!("final metrics missing budget_spent: {other:?}")),
+    };
+    if spent == 0 || spent != tasks_leased {
+        return Err(format!(
+            "server accounted {spent} tasks but clients leased {tasks_leased}"
+        ));
+    }
+    match final_metrics.get("mean_quality") {
+        Some(Value::Float(q)) if (0.0..=1.0).contains(q) => {}
+        other => return Err(format!("final metrics missing mean_quality: {other:?}")),
+    }
+
+    if options.shutdown || server_handle.is_some() {
+        let (status, _) = admin
+            .request("POST", "/shutdown", None)
+            .map_err(|e| format!("shutdown request failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("shutdown rejected ({status})"));
+        }
+    }
+    if let Some(handle) = server_handle {
+        handle
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| format!("server exited with error: {e}"))?;
+        eprintln!("in-process server shut down cleanly");
+    }
+
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx]
+    };
+    let throughput = total_requests as f64 / elapsed.as_secs_f64();
+    let report = Value::Object(vec![
+        ("report".to_string(), Value::String("loadgen".to_string())),
+        ("addr".to_string(), Value::String(addr.clone())),
+        ("clients".to_string(), Value::UInt(options.clients as u64)),
+        ("batch".to_string(), Value::UInt(options.batch as u64)),
+        (
+            "strategy".to_string(),
+            Value::String(options.strategy.clone()),
+        ),
+        ("requests".to_string(), Value::UInt(total_requests as u64)),
+        (
+            "requests_by_kind".to_string(),
+            Value::Object(vec![
+                ("batch".to_string(), Value::UInt(batch_requests as u64)),
+                ("report".to_string(), Value::UInt(report_requests as u64)),
+                ("metrics".to_string(), Value::UInt(metrics_requests as u64)),
+            ]),
+        ),
+        ("tasks_leased".to_string(), Value::UInt(tasks_leased as u64)),
+        (
+            "elapsed_seconds".to_string(),
+            Value::Float(elapsed.as_secs_f64()),
+        ),
+        ("throughput_rps".to_string(), Value::Float(throughput)),
+        (
+            "latency_us".to_string(),
+            Value::Object(vec![
+                ("p50".to_string(), Value::UInt(percentile(0.50))),
+                ("p90".to_string(), Value::UInt(percentile(0.90))),
+                ("p99".to_string(), Value::UInt(percentile(0.99))),
+                (
+                    "max".to_string(),
+                    Value::UInt(latencies.last().copied().unwrap_or(0)),
+                ),
+            ]),
+        ),
+        ("final_metrics".to_string(), final_metrics),
+    ]);
+    let text = serde_json::to_string_pretty(&report).expect("Value serialization is total");
+    std::fs::write(&options.out, text.as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", options.out))?;
+
+    println!(
+        "drove {total_requests} requests ({batch_requests} batch / {report_requests} report / {metrics_requests} metrics) with {} clients in {:.2}s",
+        options.clients,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "throughput {throughput:.0} req/s, latency p50 {}us p90 {}us p99 {}us; report written to {}",
+        percentile(0.50),
+        percentile(0.90),
+        percentile(0.99),
+        options.out
+    );
+    if total_requests < options.requests {
+        return Err(format!(
+            "only {total_requests} of the requested {} requests were driven",
+            options.requests
+        ));
+    }
+    Ok(())
+}
+
+/// Performs one HTTP request, recording its latency and bumping the global
+/// request counter.
+fn timed_request(
+    client: &mut HttpClient,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+    issued: &AtomicUsize,
+    tally: &mut Tally,
+) -> Result<Value, String> {
+    let start = Instant::now();
+    let (status, value) = client
+        .request(method, path, body)
+        .map_err(|e| format!("{method} {path}: {e}"))?;
+    tally
+        .latencies_us
+        .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    issued.fetch_add(1, Ordering::Relaxed);
+    if status != 200 {
+        return Err(format!("{method} {path} returned {status}: {value:?}"));
+    }
+    Ok(value)
+}

@@ -1,0 +1,65 @@
+//! The tagging-server daemon.
+//!
+//! Usage:
+//! `cargo run --release -p tagging-server --bin tagging_server -- [--port P] [--workers N] [--threads N]`
+//!
+//! * `--port P` — TCP port to bind on 127.0.0.1 (default 0 = ephemeral; the
+//!   chosen address is printed as `listening on 127.0.0.1:PORT`);
+//! * `--workers N` — connection-handling worker threads (default 4);
+//! * `--threads N` — compute threads for corpus generation / scenario
+//!   preparation (defaults to `TAGGING_THREADS` / available cores).
+//!
+//! The process exits cleanly after a `POST /shutdown`.
+
+use std::io::Write;
+
+use tagging_server::TaggingServer;
+
+fn arg_value(args: &[String], name: &str) -> Option<usize> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == name {
+            match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => return Some(n),
+                None => {
+                    eprintln!("{name} expects a non-negative integer, ignoring");
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(threads) = arg_value(&args, "--threads") {
+        if threads > 0 {
+            tagging_runtime::set_default_threads(threads);
+        }
+    }
+    let port = arg_value(&args, "--port").unwrap_or(0);
+    let workers = arg_value(&args, "--workers").unwrap_or(4).max(1);
+
+    let server = match TaggingServer::bind(&format!("127.0.0.1:{port}"), workers) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    // The startup line scripts (CI's smoke job) parse to find the port.
+    println!("listening on {addr}");
+    std::io::stdout().flush().expect("stdout");
+
+    match server.run() {
+        Ok(()) => {
+            println!("shutdown complete");
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

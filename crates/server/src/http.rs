@@ -1,0 +1,381 @@
+//! Minimal std-only HTTP/1.1, just enough for a JSON service on loopback:
+//! request parsing with `Content-Length` bodies and keep-alive, response
+//! writing, and a tiny persistent-connection client used by `repro_loadgen`
+//! and the protocol tests.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use serde::Value;
+
+/// Largest accepted request body; protects the server from hostile or buggy
+/// `Content-Length` values.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Largest accepted header section (request line + headers).
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method ("GET", "POST", …).
+    pub method: String,
+    /// The path component of the request target (query strings are kept
+    /// verbatim; the service does not use them).
+    pub path: String,
+    /// Raw request body.
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Value, serde_json::Error> {
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|_| serde_json::Error::Syntax("body is not valid UTF-8".to_string()))?;
+        serde_json::from_str(text)
+    }
+}
+
+/// A response: status code plus a JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: Value,
+}
+
+impl Response {
+    /// A 200 response.
+    pub fn ok(body: Value) -> Self {
+        Self { status: 200, body }
+    }
+
+    /// An error response with the conventional `{"error": message}` body.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: Value::Object(vec![("error".to_string(), Value::String(message.into()))]),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request off the connection. Returns `Ok(None)` on a clean EOF
+/// between requests (the client closed a keep-alive connection) and an
+/// `InvalidData` error on malformed input.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if read_header_line(reader, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_ascii_uppercase(), p.to_string(), v.to_string()),
+        _ => return Err(bad_input("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad_input("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut header_bytes = line.len();
+    loop {
+        line.clear();
+        read_header_line(reader, &mut line)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(bad_input("header section too large"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad_input("malformed header line"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| bad_input("invalid Content-Length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(bad_input("request body too large"));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads one CRLF-terminated line, stripping the terminator. Returns the
+/// number of raw bytes read (0 at EOF). Bounded: a line longer than
+/// [`MAX_HEADER_BYTES`] is rejected *while* reading, so a newline-free stream
+/// cannot buffer unboundedly the way `read_line` would.
+fn read_header_line<R: BufRead>(reader: &mut R, line: &mut String) -> io::Result<usize> {
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut raw_read = 0usize;
+    loop {
+        let (done, used) = {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                (true, 0) // EOF (at line start when nothing was read yet)
+            } else if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                bytes.extend_from_slice(&buf[..pos]);
+                (true, pos + 1)
+            } else {
+                bytes.extend_from_slice(buf);
+                (false, buf.len())
+            }
+        };
+        reader.consume(used);
+        raw_read += used;
+        if bytes.len() > MAX_HEADER_BYTES {
+            return Err(bad_input("header line too long"));
+        }
+        if done {
+            break;
+        }
+    }
+    while bytes.last() == Some(&b'\r') {
+        bytes.pop();
+    }
+    let text =
+        std::str::from_utf8(&bytes).map_err(|_| bad_input("header line is not valid UTF-8"))?;
+    line.push_str(text);
+    Ok(raw_read)
+}
+
+fn bad_input(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Writes a response, honoring the request's keep-alive decision.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let body = serde_json::to_string(&response.body)
+        .expect("Value serialization is total")
+        .into_bytes();
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(&body)?;
+    writer.flush()
+}
+
+/// A blocking HTTP/1.1 client that keeps one connection open across requests.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:8080"`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the JSON response. `body: None` sends an
+    /// empty body.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> io::Result<(u16, Value)> {
+        let payload = match body {
+            Some(value) => serde_json::to_string(value)
+                .expect("Value serialization is total")
+                .into_bytes(),
+            None => Vec::new(),
+        };
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            payload.len()
+        )?;
+        self.writer.write_all(&payload)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a raw (possibly malformed) body — used by the protocol tests.
+    pub fn request_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<(u16, Value)> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Value)> {
+        let mut line = String::new();
+        if read_header_line(&mut self.reader, &mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_input("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            read_header_line(&mut self.reader, &mut line)?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad_input("invalid Content-Length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body).map_err(|_| bad_input("non-UTF-8 response body"))?;
+        let value = if text.is_empty() {
+            Value::Null
+        } else {
+            serde_json::from_str(&text)
+                .map_err(|e| bad_input(&format!("invalid JSON response: {e}")))?
+        };
+        Ok((status, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Cursor, Seek};
+
+    #[test]
+    fn parses_a_request_with_body() {
+        let raw = b"POST /scenarios HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"k\":1}";
+        let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/scenarios");
+        assert_eq!(req.body, b"{\"k\":1}");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.json().unwrap().get("k"), Some(&Value::UInt(1)));
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+        assert!(!read_request(&mut reader).unwrap().unwrap().keep_alive);
+
+        let raw = b"GET /healthz HTTP/1.0\r\n\r\n";
+        let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+        assert!(!read_request(&mut reader).unwrap().unwrap().keep_alive);
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        let mut reader = BufReader::new(Cursor::new(Vec::<u8>::new()));
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for raw in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+        ] {
+            let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+            assert!(read_request(&mut reader).is_err(), "accepted {raw:?}");
+        }
+    }
+
+    #[test]
+    fn newline_free_floods_are_cut_off_at_the_header_cap() {
+        // A "request" that never sends a newline must be rejected after at
+        // most MAX_HEADER_BYTES, not buffered until memory runs out.
+        let raw = vec![b'A'; MAX_HEADER_BYTES * 4];
+        let mut reader = BufReader::new(Cursor::new(raw));
+        assert!(read_request(&mut reader).is_err());
+        // The reader stopped within the cap (plus at most one buffer fill).
+        assert!(reader.stream_position().unwrap() <= (MAX_HEADER_BYTES + 16 * 1024) as u64);
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_reading() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut reader = BufReader::new(Cursor::new(raw.into_bytes()));
+        assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn responses_serialize_with_content_length() {
+        let mut out = Vec::new();
+        let response = Response::ok(Value::Object(vec![("ok".to_string(), Value::Bool(true))]));
+        write_response(&mut out, &response, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,455 @@
+//! The JSON protocol of the tagging server: request parsing and response
+//! building over the vendored [`serde::Value`] tree.
+//!
+//! Parsing is deliberately tolerant about *absent* fields (every knob has a
+//! documented default) and strict about *present-but-wrong* ones: a field of
+//! the wrong type is a [`ProtocolError`], which the service maps to a 400
+//! response rather than a panic.
+
+use std::path::PathBuf;
+
+use serde::Value;
+
+use delicious_sim::generator::GeneratorConfig;
+use tagging_core::stability::StabilityParams;
+use tagging_sim::engine::RunConfig;
+use tagging_sim::metrics::RunMetrics;
+use tagging_sim::scenario::ScenarioParams;
+use tagging_sim::session::{CompletionReport, LiveSession, TaskAssignment};
+use tagging_strategies::StrategyKind;
+
+/// A malformed request body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err(message: impl Into<String>) -> ProtocolError {
+    ProtocolError(message.into())
+}
+
+/// Where the corpus behind a scenario comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusSource {
+    /// Generate a synthetic corpus with the given resource count and seed.
+    Generate {
+        /// Number of resources.
+        resources: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Load a corpus previously saved with `delicious_sim::io::save_corpus`.
+    Load(PathBuf),
+}
+
+/// A parsed scenario-registration request.
+#[derive(Debug, Clone)]
+pub struct RegisterRequest {
+    /// Strategy to allocate with.
+    pub strategy: StrategyKind,
+    /// Budget / ω / FC seed of the session.
+    pub config: RunConfig,
+    /// Corpus source.
+    pub source: CorpusSource,
+    /// Stability parameters used to derive reference rfds.
+    pub scenario_params: ScenarioParams,
+}
+
+/// Default resource count of a generated corpus.
+pub const DEFAULT_RESOURCES: usize = 200;
+/// Default generator seed.
+pub const DEFAULT_CORPUS_SEED: u64 = 42;
+
+/// Upper bound on a session budget. Keeps one registration from committing
+/// the server to an allocation vector (and task-id space) it cannot afford —
+/// the paper-scale experiments use 10,000.
+pub const MAX_BUDGET: usize = 10_000_000;
+/// Upper bound on a single batch lease; larger leases must be split.
+pub const MAX_BATCH: usize = 100_000;
+/// Upper bound on the resources of a generated corpus (20× the paper's
+/// 5,000-URL sample); generation cost is linear in this.
+pub const MAX_RESOURCES: usize = 100_000;
+
+/// The scenario parameters the server applies unless the registration
+/// overrides them — the same values the `repro_*` harness uses
+/// (`tagging-bench`'s `reference_stability_params`), so a corpus saved with
+/// `--corpus` yields the identical scenario when registered here.
+pub fn default_scenario_params() -> ScenarioParams {
+    ScenarioParams {
+        stability: StabilityParams::new(15, 0.999),
+        under_tagged_threshold: 10,
+    }
+}
+
+/// The generator configuration behind [`CorpusSource::Generate`]: the paper
+/// sample shape at the requested size and seed.
+pub fn generator_config(resources: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig::paper_sample()
+        .with_resources(resources)
+        .with_seed(seed)
+}
+
+fn get_u64(value: &Value, field: &str, default: u64) -> Result<u64, ProtocolError> {
+    match value.get(field) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::UInt(n)) => Ok(*n),
+        Some(other) => Err(err(format!(
+            "field `{field}` must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+fn get_f64(value: &Value, field: &str, default: f64) -> Result<f64, ProtocolError> {
+    match value.get(field) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::Float(f)) => Ok(*f),
+        Some(Value::UInt(n)) => Ok(*n as f64),
+        Some(other) => Err(err(format!(
+            "field `{field}` must be a number, got {other:?}"
+        ))),
+    }
+}
+
+fn get_str<'a>(value: &'a Value, field: &str) -> Result<Option<&'a str>, ProtocolError> {
+    match value.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s)),
+        Some(other) => Err(err(format!(
+            "field `{field}` must be a string, got {other:?}"
+        ))),
+    }
+}
+
+/// Parses a `POST /scenarios` body.
+pub fn parse_register(body: &Value) -> Result<RegisterRequest, ProtocolError> {
+    if !matches!(body, Value::Object(_)) {
+        return Err(err("request body must be a JSON object"));
+    }
+    let strategy = match get_str(body, "strategy")? {
+        None => StrategyKind::Fp,
+        Some(name) => StrategyKind::parse(name).ok_or_else(|| {
+            err(format!(
+                "unknown strategy `{name}` (want FC/RR/FP/MU/FP-MU)"
+            ))
+        })?,
+    };
+    let budget = get_u64(body, "budget", 5_000)?;
+    if budget > MAX_BUDGET as u64 {
+        return Err(err(format!(
+            "field `budget` must be at most {MAX_BUDGET}, got {budget}"
+        )));
+    }
+    let config = RunConfig {
+        budget: budget as usize,
+        omega: get_u64(body, "omega", 5)?.clamp(2, 1_000_000) as usize,
+        seed: get_u64(body, "seed", 1)?,
+    };
+    let source = match body.get("source") {
+        None | Some(Value::Null) => CorpusSource::Generate {
+            resources: DEFAULT_RESOURCES,
+            seed: DEFAULT_CORPUS_SEED,
+        },
+        Some(source @ Value::Object(_)) => {
+            if let Some(path) = get_str(source, "corpus_path")? {
+                CorpusSource::Load(PathBuf::from(path))
+            } else {
+                match source.get("generate") {
+                    Some(generate @ Value::Object(_)) => {
+                        let resources = get_u64(generate, "resources", DEFAULT_RESOURCES as u64)?;
+                        if resources > MAX_RESOURCES as u64 {
+                            return Err(err(format!(
+                                "field `source.generate.resources` must be at most \
+                                 {MAX_RESOURCES}, got {resources}"
+                            )));
+                        }
+                        CorpusSource::Generate {
+                            resources: (resources as usize).max(1),
+                            seed: get_u64(generate, "seed", DEFAULT_CORPUS_SEED)?,
+                        }
+                    }
+                    None => CorpusSource::Generate {
+                        resources: DEFAULT_RESOURCES,
+                        seed: DEFAULT_CORPUS_SEED,
+                    },
+                    Some(other) => {
+                        return Err(err(format!(
+                            "field `source.generate` must be an object, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Some(other) => {
+            return Err(err(format!(
+                "field `source` must be an object, got {other:?}"
+            )))
+        }
+    };
+    let defaults = default_scenario_params();
+    let scenario_params = ScenarioParams {
+        stability: StabilityParams::new(
+            get_u64(body, "stability_window", defaults.stability.omega as u64)? as usize,
+            get_f64(body, "stability_threshold", defaults.stability.tau)?,
+        ),
+        under_tagged_threshold: get_u64(
+            body,
+            "under_tagged_threshold",
+            defaults.under_tagged_threshold as u64,
+        )? as usize,
+    };
+    Ok(RegisterRequest {
+        strategy,
+        config,
+        source,
+        scenario_params,
+    })
+}
+
+/// Parses a `POST /scenarios/{id}/batch` body: `{"k": n}` with a default of 1
+/// and an upper bound of [`MAX_BATCH`].
+pub fn parse_batch(body: &Value) -> Result<usize, ProtocolError> {
+    if !matches!(body, Value::Object(_)) {
+        return Err(err("request body must be a JSON object"));
+    }
+    let k = get_u64(body, "k", 1)?;
+    if k == 0 {
+        return Err(err("field `k` must be at least 1"));
+    }
+    if k > MAX_BATCH as u64 {
+        return Err(err(format!(
+            "field `k` must be at most {MAX_BATCH}, got {k}"
+        )));
+    }
+    Ok(k as usize)
+}
+
+/// Parses a `POST /scenarios/{id}/report` body.
+pub fn parse_report(body: &Value) -> Result<Vec<CompletionReport>, ProtocolError> {
+    let completions = match body.get("completions") {
+        Some(Value::Array(items)) => items,
+        Some(other) => {
+            return Err(err(format!(
+                "field `completions` must be an array, got {other:?}"
+            )))
+        }
+        None => return Err(err("missing field `completions`")),
+    };
+    completions
+        .iter()
+        .map(|item| {
+            if !matches!(item, Value::Object(_)) {
+                return Err(err("each completion must be a JSON object"));
+            }
+            let task_id = match item.get("task_id") {
+                Some(Value::UInt(n)) => *n,
+                Some(other) => {
+                    return Err(err(format!(
+                        "field `task_id` must be a non-negative integer, got {other:?}"
+                    )))
+                }
+                None => return Err(err("completion missing field `task_id`")),
+            };
+            let tags = match item.get("tags") {
+                None | Some(Value::Null) => None,
+                Some(Value::Array(tags)) => Some(
+                    tags.iter()
+                        .map(|t| match t {
+                            Value::String(s) => Ok(s.clone()),
+                            other => Err(err(format!("tags must be strings, got {other:?}"))),
+                        })
+                        .collect::<Result<Vec<String>, _>>()?,
+                ),
+                Some(other) => {
+                    return Err(err(format!(
+                        "field `tags` must be an array of strings, got {other:?}"
+                    )))
+                }
+            };
+            Ok(CompletionReport { task_id, tags })
+        })
+        .collect()
+}
+
+/// Renders a leased batch as JSON.
+pub fn batch_to_value(tasks: &[TaskAssignment], session: &LiveSession<'_>) -> Value {
+    Value::Object(vec![
+        (
+            "tasks".to_string(),
+            Value::Array(
+                tasks
+                    .iter()
+                    .map(|t| {
+                        Value::Object(vec![
+                            ("task_id".to_string(), Value::UInt(t.task_id)),
+                            ("resource".to_string(), Value::UInt(t.resource.0 as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "budget_spent".to_string(),
+            Value::UInt(session.budget_spent() as u64),
+        ),
+        (
+            "remaining_budget".to_string(),
+            Value::UInt(session.remaining_budget() as u64),
+        ),
+    ])
+}
+
+/// Renders [`RunMetrics`] (plus live-session counters) as JSON.
+pub fn metrics_to_value(metrics: &RunMetrics, pending_tasks: usize) -> Value {
+    Value::Object(vec![
+        (
+            "strategy".to_string(),
+            Value::String(metrics.strategy.clone()),
+        ),
+        ("budget".to_string(), Value::UInt(metrics.budget as u64)),
+        (
+            "budget_spent".to_string(),
+            Value::UInt(metrics.allocation.iter().map(|&x| x as u64).sum()),
+        ),
+        (
+            "pending_tasks".to_string(),
+            Value::UInt(pending_tasks as u64),
+        ),
+        (
+            "mean_quality".to_string(),
+            Value::Float(metrics.mean_quality),
+        ),
+        (
+            "over_tagged".to_string(),
+            Value::UInt(metrics.over_tagged as u64),
+        ),
+        (
+            "wasted_posts".to_string(),
+            Value::UInt(metrics.wasted_posts as u64),
+        ),
+        (
+            "under_tagged_fraction".to_string(),
+            Value::Float(metrics.under_tagged_fraction),
+        ),
+        (
+            "undelivered".to_string(),
+            Value::UInt(metrics.undelivered as u64),
+        ),
+        (
+            "runtime_seconds".to_string(),
+            Value::Float(metrics.runtime_seconds),
+        ),
+        (
+            "allocation".to_string(),
+            Value::Array(
+                metrics
+                    .allocation
+                    .iter()
+                    .map(|&x| Value::UInt(x as u64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Value {
+        serde_json::from_str(text).unwrap()
+    }
+
+    #[test]
+    fn register_defaults_are_applied() {
+        let req = parse_register(&parse("{}")).unwrap();
+        assert_eq!(req.strategy, StrategyKind::Fp);
+        assert_eq!(req.config.budget, 5_000);
+        assert_eq!(req.config.omega, 5);
+        assert_eq!(
+            req.source,
+            CorpusSource::Generate {
+                resources: DEFAULT_RESOURCES,
+                seed: DEFAULT_CORPUS_SEED
+            }
+        );
+    }
+
+    #[test]
+    fn register_parses_every_field() {
+        let req = parse_register(&parse(
+            r#"{"strategy":"fp-mu","budget":100,"omega":7,"seed":9,
+                "source":{"generate":{"resources":30,"seed":5}},
+                "stability_window":10,"stability_threshold":0.995,
+                "under_tagged_threshold":8}"#,
+        ))
+        .unwrap();
+        assert_eq!(req.strategy, StrategyKind::FpMu);
+        assert_eq!(req.config.budget, 100);
+        assert_eq!(req.config.omega, 7);
+        assert_eq!(req.config.seed, 9);
+        assert_eq!(
+            req.source,
+            CorpusSource::Generate {
+                resources: 30,
+                seed: 5
+            }
+        );
+        assert_eq!(req.scenario_params.under_tagged_threshold, 8);
+    }
+
+    #[test]
+    fn register_rejects_bad_fields() {
+        assert!(parse_register(&parse("[1,2]")).is_err());
+        assert!(parse_register(&parse(r#"{"strategy":"nope"}"#)).is_err());
+        assert!(parse_register(&parse(r#"{"budget":"lots"}"#)).is_err());
+        assert!(parse_register(&parse(r#"{"source":7}"#)).is_err());
+        assert!(parse_register(&parse(r#"{"source":{"generate":3}}"#)).is_err());
+    }
+
+    #[test]
+    fn resource_and_budget_bounds_are_enforced() {
+        assert!(parse_register(&parse(r#"{"budget":1000000000000}"#)).is_err());
+        assert!(parse_register(&parse(
+            r#"{"source":{"generate":{"resources":1000000000000}}}"#
+        ))
+        .is_err());
+        assert!(parse_batch(&parse(r#"{"k":1000000000000}"#)).is_err());
+        assert!(parse_batch(&parse(&format!("{{\"k\":{MAX_BATCH}}}"))).is_ok());
+    }
+
+    #[test]
+    fn corpus_path_takes_precedence() {
+        let req = parse_register(&parse(r#"{"source":{"corpus_path":"/tmp/c.json"}}"#)).unwrap();
+        assert_eq!(req.source, CorpusSource::Load(PathBuf::from("/tmp/c.json")));
+    }
+
+    #[test]
+    fn batch_and_report_parse() {
+        assert_eq!(parse_batch(&parse("{}")).unwrap(), 1);
+        assert_eq!(parse_batch(&parse(r#"{"k":64}"#)).unwrap(), 64);
+        assert!(parse_batch(&parse(r#"{"k":0}"#)).is_err());
+        assert!(parse_batch(&parse("3")).is_err());
+
+        let reports = parse_report(&parse(
+            r#"{"completions":[{"task_id":1,"tags":["a","b"]},{"task_id":2}]}"#,
+        ))
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].task_id, 1);
+        assert_eq!(
+            reports[0].tags.as_deref(),
+            Some(&["a".to_string(), "b".to_string()][..])
+        );
+        assert_eq!(reports[1].tags, None);
+
+        assert!(parse_report(&parse("{}")).is_err());
+        assert!(parse_report(&parse(r#"{"completions":[{"tags":[]}]}"#)).is_err());
+        assert!(parse_report(&parse(r#"{"completions":[{"task_id":1,"tags":[3]}]}"#)).is_err());
+    }
+}

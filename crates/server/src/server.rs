@@ -1,0 +1,177 @@
+//! The TCP front of the service: accept loop, keep-alive connection handling
+//! on a [`WorkerPool`], and graceful shutdown.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tagging_runtime::{Runtime, WorkerPool};
+
+use crate::http::{read_request, write_response, Response};
+use crate::service::TaggingService;
+
+/// Tracks the open connections so shutdown can unblock workers parked in a
+/// read on an idle keep-alive connection: without this, one idle client would
+/// keep the worker join (and therefore process exit) waiting forever.
+#[derive(Debug, Default)]
+struct ConnectionRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_token: AtomicU64,
+}
+
+impl ConnectionRegistry {
+    /// Registers a connection; the returned token deregisters it.
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.streams
+                .lock()
+                .expect("registry poisoned")
+                .insert(token, clone);
+        }
+        token
+    }
+
+    fn deregister(&self, token: u64) {
+        self.streams
+            .lock()
+            .expect("registry poisoned")
+            .remove(&token);
+    }
+
+    /// Closes the *read* half of every open connection: parked `read_request`
+    /// calls observe EOF and wind down cleanly, while any response still
+    /// being written goes out on the intact write half.
+    fn shutdown_reads(&self) {
+        for stream in self.streams.lock().expect("registry poisoned").values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// A bound-but-not-yet-running tagging server.
+#[derive(Debug)]
+pub struct TaggingServer {
+    listener: TcpListener,
+    service: Arc<TaggingService>,
+    pool: WorkerPool,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<ConnectionRegistry>,
+}
+
+impl TaggingServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) with `threads`
+    /// connection-handling workers.
+    pub fn bind(addr: &str, threads: usize) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            service: Arc::new(TaggingService::new(Runtime::from_env())),
+            pool: WorkerPool::new(threads),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            connections: Arc::new(ConnectionRegistry::default()),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `POST /shutdown` arrives, then joins the workers so
+    /// every in-flight request finishes before returning.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                // Transient per-connection failures (client reset before the
+                // accept, interrupted syscall) must not take the server down.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            };
+            if self.shutdown.load(Ordering::Acquire) {
+                // The wake-up connection (or a late client); stop accepting.
+                break;
+            }
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            let connections = Arc::clone(&self.connections);
+            self.pool.execute(move || {
+                let token = connections.register(&stream);
+                // A broken connection only affects that client.
+                let _ = handle_connection(stream, &service, &shutdown, addr);
+                connections.deregister(token);
+            });
+        }
+        // Unpark workers blocked reading idle keep-alive connections, then
+        // join: dropping the pool waits for in-flight requests to drain.
+        self.connections.shutdown_reads();
+        drop(self.pool);
+        Ok(())
+    }
+
+    /// Starts the server on a background thread; returns its address and the
+    /// join handle (which yields once the server shuts down cleanly).
+    pub fn spawn(self) -> io::Result<(SocketAddr, JoinHandle<io::Result<()>>)> {
+        let addr = self.local_addr()?;
+        let handle = std::thread::Builder::new()
+            .name("tagging-server-accept".to_string())
+            .spawn(move || self.run())?;
+        Ok((addr, handle))
+    }
+}
+
+/// Serves one keep-alive connection until EOF, a `Connection: close`, a
+/// protocol error, or a shutdown request.
+fn handle_connection(
+    stream: TcpStream,
+    service: &TaggingService,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()), // client closed between requests
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed HTTP: answer politely, then drop the connection.
+                write_response(&mut writer, &Response::error(400, e.to_string()), false)?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let keep_alive = request.keep_alive;
+        let handled = service.handle(&request);
+        write_response(
+            &mut writer,
+            &handled.response,
+            keep_alive && !handled.shutdown,
+        )?;
+        writer.flush()?;
+        if handled.shutdown {
+            shutdown.store(true, Ordering::Release);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(addr);
+            return Ok(());
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}

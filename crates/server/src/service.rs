@@ -1,0 +1,226 @@
+//! The allocation service behind the HTTP layer: a registry of live sessions
+//! plus pure request → response routing (no sockets here, so the whole
+//! protocol is testable without TCP).
+//!
+//! | Method | Path                       | Effect                                   |
+//! |--------|----------------------------|------------------------------------------|
+//! | GET    | `/healthz`                 | liveness probe + session count           |
+//! | POST   | `/scenarios`               | register a scenario, open a session      |
+//! | POST   | `/scenarios/{id}/batch`    | lease the next batch of post tasks       |
+//! | POST   | `/scenarios/{id}/report`   | report completed tasks                   |
+//! | GET    | `/scenarios/{id}/metrics`  | incremental run metrics                  |
+//! | POST   | `/shutdown`                | finish in-flight requests, then exit     |
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Value;
+
+use delicious_sim::generator::generate_with;
+use delicious_sim::io::load_corpus;
+use tagging_runtime::Runtime;
+use tagging_sim::scenario::Scenario;
+use tagging_sim::session::{LiveSession, SessionError};
+
+use crate::http::{Request, Response};
+use crate::protocol::{
+    batch_to_value, generator_config, metrics_to_value, parse_batch, parse_register, parse_report,
+    CorpusSource,
+};
+
+/// The outcome of handling one request.
+#[derive(Debug)]
+pub struct Handled {
+    /// The response to send.
+    pub response: Response,
+    /// True when the request asked the server to shut down.
+    pub shutdown: bool,
+}
+
+impl Handled {
+    fn respond(response: Response) -> Self {
+        Self {
+            response,
+            shutdown: false,
+        }
+    }
+}
+
+/// The session registry and router.
+#[derive(Debug)]
+pub struct TaggingService {
+    sessions: Mutex<HashMap<u64, Arc<Mutex<LiveSession<'static>>>>>,
+    next_id: AtomicU64,
+    runtime: Runtime,
+}
+
+impl Default for TaggingService {
+    fn default() -> Self {
+        Self::new(Runtime::from_env())
+    }
+}
+
+impl TaggingService {
+    /// Creates an empty registry; `runtime` drives corpus generation and
+    /// scenario preparation for registrations.
+    pub fn new(runtime: Runtime) -> Self {
+        Self {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            runtime,
+        }
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("registry poisoned").len()
+    }
+
+    /// Routes one request. Never panics on malformed input: JSON and protocol
+    /// errors become 4xx responses.
+    pub fn handle(&self, request: &Request) -> Handled {
+        let segments: Vec<&str> = request
+            .path
+            .split('?')
+            .next()
+            .unwrap_or("")
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Handled::respond(Response::ok(Value::Object(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                (
+                    "sessions".to_string(),
+                    Value::UInt(self.session_count() as u64),
+                ),
+            ]))),
+            ("POST", ["shutdown"]) => Handled {
+                response: Response::ok(Value::Object(vec![("ok".to_string(), Value::Bool(true))])),
+                shutdown: true,
+            },
+            ("POST", ["scenarios"]) => Handled::respond(self.register(request)),
+            ("POST", ["scenarios", id, "batch"]) => {
+                Handled::respond(self.with_session(id, |session| {
+                    let k =
+                        parse_batch(&json_body(request)?).map_err(|e| Response::error(400, e.0))?;
+                    let tasks = session.next_batch(k);
+                    Ok(Response::ok(batch_to_value(&tasks, session)))
+                }))
+            }
+            ("POST", ["scenarios", id, "report"]) => {
+                Handled::respond(self.with_session(id, |session| {
+                    let reports = parse_report(&json_body(request)?)
+                        .map_err(|e| Response::error(400, e.0))?;
+                    match session.report(&reports) {
+                        Ok(outcome) => Ok(Response::ok(Value::Object(vec![
+                            ("accepted".to_string(), Value::UInt(outcome.accepted as u64)),
+                            (
+                                "delivered".to_string(),
+                                Value::UInt(outcome.delivered as u64),
+                            ),
+                            (
+                                "undelivered".to_string(),
+                                Value::UInt(outcome.undelivered as u64),
+                            ),
+                        ]))),
+                        Err(
+                            e @ (SessionError::UnknownTask(_) | SessionError::DuplicateTask(_)),
+                        ) => Err(Response::error(409, e.to_string())),
+                        Err(e) => Err(Response::error(400, e.to_string())),
+                    }
+                }))
+            }
+            ("GET", ["scenarios", id, "metrics"]) => {
+                Handled::respond(self.with_session(id, |session| {
+                    let pending = session.pending_tasks();
+                    Ok(Response::ok(metrics_to_value(&session.metrics(), pending)))
+                }))
+            }
+            // Right path, wrong method.
+            (_, ["healthz"] | ["shutdown"] | ["scenarios"])
+            | (_, ["scenarios", _, "batch" | "report" | "metrics"]) => {
+                Handled::respond(Response::error(405, "method not allowed"))
+            }
+            _ => Handled::respond(Response::error(404, "no such route")),
+        }
+    }
+
+    /// Registers a scenario and opens its live session.
+    fn register(&self, request: &Request) -> Response {
+        let body = match json_body(request) {
+            Ok(body) => body,
+            Err(response) => return response,
+        };
+        let register = match parse_register(&body) {
+            Ok(register) => register,
+            Err(e) => return Response::error(400, e.0),
+        };
+        let corpus = match &register.source {
+            CorpusSource::Generate { resources, seed } => {
+                generate_with(&generator_config(*resources, *seed), &self.runtime)
+            }
+            CorpusSource::Load(path) => match load_corpus(path) {
+                Ok(corpus) => corpus,
+                Err(e) => return Response::error(400, format!("cannot load corpus: {e}")),
+            },
+        };
+        let dictionary = corpus.corpus.tags.clone();
+        let scenario =
+            Scenario::from_corpus_with(&corpus, &register.scenario_params, &self.runtime);
+        let session = LiveSession::new(scenario, register.strategy, &register.config)
+            .with_dictionary(dictionary);
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut info = vec![
+            ("scenario_id".to_string(), Value::UInt(id)),
+            (
+                "strategy".to_string(),
+                Value::String(session.strategy_name().to_string()),
+            ),
+            (
+                "resources".to_string(),
+                Value::UInt(session.scenario().len() as u64),
+            ),
+            ("budget".to_string(), Value::UInt(session.budget() as u64)),
+        ];
+        info.push((
+            "initial_quality".to_string(),
+            Value::Float(session.scenario().initial_quality()),
+        ));
+        self.sessions
+            .lock()
+            .expect("registry poisoned")
+            .insert(id, Arc::new(Mutex::new(session)));
+        Response::ok(Value::Object(info))
+    }
+
+    /// Looks up a session by path segment and runs `f` on it under its lock.
+    fn with_session<F>(&self, id: &str, f: F) -> Response
+    where
+        F: FnOnce(&mut LiveSession<'static>) -> Result<Response, Response>,
+    {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(404, format!("scenario id `{id}` is not a number"));
+        };
+        let session = {
+            let sessions = self.sessions.lock().expect("registry poisoned");
+            sessions.get(&id).cloned()
+        };
+        let Some(session) = session else {
+            return Response::error(404, format!("no scenario {id}"));
+        };
+        let mut session = session.lock().expect("session poisoned");
+        match f(&mut session) {
+            Ok(response) | Err(response) => response,
+        }
+    }
+}
+
+/// Parses the request body as JSON, mapping failures to a 400 response.
+fn json_body(request: &Request) -> Result<Value, Response> {
+    request
+        .json()
+        .map_err(|e| Response::error(400, format!("invalid JSON body: {e}")))
+}

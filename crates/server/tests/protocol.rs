@@ -1,0 +1,439 @@
+//! End-to-end protocol tests: a real server on an ephemeral port, a real TCP
+//! client, every endpooint round-tripped, malformed input answered with error
+//! responses (never a panic), and the online path checked bit-for-bit against
+//! the offline engine.
+
+use serde::Value;
+
+use tagging_server::http::HttpClient;
+use tagging_server::protocol::{default_scenario_params, generator_config};
+use tagging_server::TaggingServer;
+
+use delicious_sim::generator::generate;
+use tagging_sim::engine::{run_strategy, RunConfig};
+use tagging_sim::scenario::Scenario;
+use tagging_strategies::StrategyKind;
+
+fn spawn_server() -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = TaggingServer::bind("127.0.0.1:0", 2).expect("bind ephemeral port");
+    let (addr, handle) = server.spawn().expect("spawn server");
+    (addr.to_string(), handle)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn register_small(client: &mut HttpClient, strategy: &str, budget: u64) -> u64 {
+    let body = obj(vec![
+        ("strategy", Value::String(strategy.to_string())),
+        ("budget", Value::UInt(budget)),
+        (
+            "source",
+            obj(vec![(
+                "generate",
+                obj(vec![
+                    ("resources", Value::UInt(30)),
+                    ("seed", Value::UInt(7)),
+                ]),
+            )]),
+        ),
+    ]);
+    let (status, response) = client
+        .request("POST", "/scenarios", Some(&body))
+        .expect("register");
+    assert_eq!(status, 200, "{response:?}");
+    match response.get("scenario_id") {
+        Some(&Value::UInt(id)) => id,
+        other => panic!("no scenario_id: {other:?}"),
+    }
+}
+
+#[test]
+fn full_session_round_trip() {
+    let (addr, handle) = spawn_server();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+
+    // Health first.
+    let (status, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(health.get("sessions"), Some(&Value::UInt(0)));
+
+    let id = register_small(&mut client, "FP-MU", 40);
+
+    // Lease a batch of 10.
+    let (status, batch) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/batch"),
+            Some(&obj(vec![("k", Value::UInt(10))])),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let tasks = match batch.get("tasks") {
+        Some(Value::Array(tasks)) => tasks.clone(),
+        other => panic!("no tasks: {other:?}"),
+    };
+    assert_eq!(tasks.len(), 10);
+    assert_eq!(batch.get("budget_spent"), Some(&Value::UInt(10)));
+    assert_eq!(batch.get("remaining_budget"), Some(&Value::UInt(30)));
+
+    // Report half by replay, half with explicit tags.
+    let completions: Vec<Value> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| {
+            let task_id = task.get("task_id").cloned().expect("task_id");
+            if i % 2 == 0 {
+                obj(vec![("task_id", task_id)])
+            } else {
+                obj(vec![
+                    ("task_id", task_id),
+                    (
+                        "tags",
+                        Value::Array(vec![
+                            Value::String("rust".to_string()),
+                            Value::String("tagging".to_string()),
+                        ]),
+                    ),
+                ])
+            }
+        })
+        .collect();
+    let (status, reported) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/report"),
+            Some(&obj(vec![("completions", Value::Array(completions))])),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{reported:?}");
+    assert_eq!(reported.get("accepted"), Some(&Value::UInt(10)));
+
+    // Metrics reflect the 10 spent tasks.
+    let (status, metrics) = client
+        .request("GET", &format!("/scenarios/{id}/metrics"), None)
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(metrics.get("budget_spent"), Some(&Value::UInt(10)));
+    assert_eq!(metrics.get("pending_tasks"), Some(&Value::UInt(0)));
+    assert_eq!(
+        metrics.get("strategy"),
+        Some(&Value::String("FP-MU".to_string()))
+    );
+    match metrics.get("mean_quality") {
+        Some(Value::Float(q)) => assert!((0.0..=1.0).contains(q)),
+        other => panic!("no mean_quality: {other:?}"),
+    }
+    match metrics.get("allocation") {
+        Some(Value::Array(allocation)) => assert_eq!(allocation.len(), 30),
+        other => panic!("no allocation: {other:?}"),
+    }
+
+    // Draining the whole budget clamps the final batch and then goes empty.
+    let (_, batch) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/batch"),
+            Some(&obj(vec![("k", Value::UInt(1000))])),
+        )
+        .unwrap();
+    match batch.get("tasks") {
+        Some(Value::Array(tasks)) => assert_eq!(tasks.len(), 30, "clamped to remaining"),
+        other => panic!("no tasks: {other:?}"),
+    }
+    let (_, batch) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/batch"),
+            Some(&obj(vec![("k", Value::UInt(1))])),
+        )
+        .unwrap();
+    match batch.get("tasks") {
+        Some(Value::Array(tasks)) => assert!(tasks.is_empty(), "budget exhausted"),
+        other => panic!("no tasks: {other:?}"),
+    }
+
+    let (status, _) = client.request("POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn online_batch_one_matches_the_offline_engine() {
+    // The same scenario the server builds for {resources: 30, seed: 7} with
+    // default parameters, run offline...
+    let corpus = generate(&generator_config(30, 7));
+    let scenario = Scenario::from_corpus(&corpus, &default_scenario_params());
+    let config = RunConfig {
+        budget: 60,
+        omega: 5,
+        seed: 1,
+    };
+    let offline = run_strategy(&scenario, StrategyKind::Fp, &config);
+
+    // ...must match the server-driven run at batch size 1 with replay reports.
+    let (addr, handle) = spawn_server();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+    let id = register_small(&mut client, "FP", 60);
+    loop {
+        let (_, batch) = client
+            .request(
+                "POST",
+                &format!("/scenarios/{id}/batch"),
+                Some(&obj(vec![("k", Value::UInt(1))])),
+            )
+            .unwrap();
+        let tasks = match batch.get("tasks") {
+            Some(Value::Array(tasks)) => tasks.clone(),
+            other => panic!("no tasks: {other:?}"),
+        };
+        if tasks.is_empty() {
+            break;
+        }
+        let completions: Vec<Value> = tasks
+            .iter()
+            .map(|t| obj(vec![("task_id", t.get("task_id").cloned().unwrap())]))
+            .collect();
+        let (status, _) = client
+            .request(
+                "POST",
+                &format!("/scenarios/{id}/report"),
+                Some(&obj(vec![("completions", Value::Array(completions))])),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+    let (_, metrics) = client
+        .request("GET", &format!("/scenarios/{id}/metrics"), None)
+        .unwrap();
+
+    assert_eq!(
+        metrics.get("mean_quality"),
+        Some(&Value::Float(offline.mean_quality)),
+        "online mean quality must equal the offline engine bit for bit"
+    );
+    assert_eq!(
+        metrics.get("wasted_posts"),
+        Some(&Value::UInt(offline.wasted_posts as u64))
+    );
+    assert_eq!(
+        metrics.get("under_tagged_fraction"),
+        Some(&Value::Float(offline.under_tagged_fraction))
+    );
+    let expected: Vec<Value> = offline
+        .allocation
+        .iter()
+        .map(|&x| Value::UInt(x as u64))
+        .collect();
+    assert_eq!(metrics.get("allocation"), Some(&Value::Array(expected)));
+
+    client.request("POST", "/shutdown", None).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn corpus_file_registration_round_trips() {
+    let corpus = generate(&generator_config(25, 3));
+    let dir = std::env::temp_dir().join("tagging-server-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus_25_3.json");
+    delicious_sim::io::save_corpus(&corpus, &path).expect("save corpus");
+
+    let (addr, handle) = spawn_server();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+    let body = obj(vec![
+        ("budget", Value::UInt(10)),
+        (
+            "source",
+            obj(vec![(
+                "corpus_path",
+                Value::String(path.display().to_string()),
+            )]),
+        ),
+    ]);
+    let (status, response) = client.request("POST", "/scenarios", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{response:?}");
+    assert_eq!(response.get("resources"), Some(&Value::UInt(25)));
+
+    // A missing file is a clean 400, not a crash.
+    let body = obj(vec![(
+        "source",
+        obj(vec![(
+            "corpus_path",
+            Value::String("/nonexistent/corpus.json".to_string()),
+        )]),
+    )]);
+    let (status, response) = client.request("POST", "/scenarios", Some(&body)).unwrap();
+    assert_eq!(status, 400);
+    assert!(response.get("error").is_some());
+
+    client.request("POST", "/shutdown", None).unwrap();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn malformed_input_gets_error_responses_not_panics() {
+    let (addr, handle) = spawn_server();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+
+    // Broken JSON on every POST endpoint.
+    let id = register_small(&mut client, "RR", 20);
+    for path in [
+        "/scenarios".to_string(),
+        format!("/scenarios/{id}/batch"),
+        format!("/scenarios/{id}/report"),
+    ] {
+        let (status, response) = client
+            .request_raw("POST", &path, b"{ not json at all")
+            .unwrap();
+        assert_eq!(status, 400, "{path}: {response:?}");
+        match response.get("error") {
+            Some(Value::String(message)) => assert!(!message.is_empty()),
+            other => panic!("{path}: no error message: {other:?}"),
+        }
+        // The keep-alive connection survives the error.
+        let (status, _) = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    // Type errors inside valid JSON.
+    let (status, _) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/batch"),
+            Some(&obj(vec![("k", Value::String("many".to_string()))])),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client
+        .request(
+            "POST",
+            "/scenarios",
+            Some(&obj(vec![(
+                "strategy",
+                Value::String("gradient-descent".to_string()),
+            )])),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+
+    // Unknown routes, methods, sessions and tasks.
+    let (status, _) = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("DELETE", "/healthz", None).unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client
+        .request("GET", "/scenarios/9999/metrics", None)
+        .unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client
+        .request("GET", "/scenarios/banana/metrics", None)
+        .unwrap();
+    assert_eq!(status, 404);
+    let (status, response) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/report"),
+            Some(&obj(vec![(
+                "completions",
+                Value::Array(vec![obj(vec![("task_id", Value::UInt(424242))])]),
+            )])),
+        )
+        .unwrap();
+    assert_eq!(status, 409, "{response:?}");
+
+    // The server is still healthy after all of that.
+    let (status, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("sessions"), Some(&Value::UInt(1)));
+
+    client.request("POST", "/shutdown", None).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_completes_while_an_idle_keep_alive_connection_is_open() {
+    let (addr, handle) = spawn_server();
+    // An idle client that connects and then never sends a byte: its worker
+    // sits parked in a read. Shutdown must still complete promptly.
+    let idle = HttpClient::connect(&addr).expect("connect idle");
+    let mut admin = HttpClient::connect(&addr).expect("connect admin");
+    let (status, _) = admin.request("POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+
+    // Join with a watchdog so a regression fails fast instead of hanging CI.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        tx.send(handle.join().expect("server thread")).ok();
+    });
+    let result = rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("server did not shut down while an idle connection was open");
+    result.expect("server exited with an error");
+    drop(idle);
+}
+
+#[test]
+fn concurrent_clients_share_one_session_consistently() {
+    let (addr, handle) = spawn_server();
+    let mut admin = HttpClient::connect(&addr).expect("connect");
+    let id = register_small(&mut admin, "FP", 200);
+
+    let mut clients = Vec::new();
+    for _ in 0..4 {
+        let addr = addr.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(&addr).expect("connect");
+            let mut leased = 0usize;
+            loop {
+                let (status, batch) = client
+                    .request(
+                        "POST",
+                        &format!("/scenarios/{id}/batch"),
+                        Some(&obj(vec![("k", Value::UInt(7))])),
+                    )
+                    .unwrap();
+                assert_eq!(status, 200);
+                let tasks = match batch.get("tasks") {
+                    Some(Value::Array(tasks)) => tasks.clone(),
+                    other => panic!("no tasks: {other:?}"),
+                };
+                if tasks.is_empty() {
+                    return leased;
+                }
+                leased += tasks.len();
+                let completions: Vec<Value> = tasks
+                    .iter()
+                    .map(|t| obj(vec![("task_id", t.get("task_id").cloned().unwrap())]))
+                    .collect();
+                let (status, _) = client
+                    .request(
+                        "POST",
+                        &format!("/scenarios/{id}/report"),
+                        Some(&obj(vec![("completions", Value::Array(completions))])),
+                    )
+                    .unwrap();
+                assert_eq!(status, 200);
+            }
+        }));
+    }
+    let total: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    assert_eq!(total, 200, "every budget unit leased exactly once");
+
+    let (_, metrics) = admin
+        .request("GET", &format!("/scenarios/{id}/metrics"), None)
+        .unwrap();
+    assert_eq!(metrics.get("budget_spent"), Some(&Value::UInt(200)));
+    assert_eq!(metrics.get("pending_tasks"), Some(&Value::UInt(0)));
+
+    admin.request("POST", "/shutdown", None).unwrap();
+    handle.join().unwrap().unwrap();
+}

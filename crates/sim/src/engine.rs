@@ -45,10 +45,15 @@ impl RunConfig {
     }
 }
 
-/// Runs one of the built-in practical strategies.
+/// Runs one of the built-in practical strategies: a thin replay driver over a
+/// [`LiveSession`](crate::session::LiveSession) at batch size 1, which the
+/// batched-semantics contract guarantees is bit-identical to the classic
+/// sequential loop (see `tagging-strategies`' `batch_equivalence` suite and
+/// this crate's session tests).
 pub fn run_strategy(scenario: &Scenario, kind: StrategyKind, config: &RunConfig) -> RunMetrics {
-    let mut strategy = kind.build(config.omega, config.seed);
-    run_custom(scenario, strategy.as_mut(), config)
+    let mut session = crate::session::LiveSession::borrowed(scenario, kind, config);
+    session.run_replay(1);
+    session.metrics()
 }
 
 /// Runs an arbitrary [`AllocationStrategy`] implementation.

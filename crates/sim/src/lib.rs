@@ -13,6 +13,9 @@
 //!   workers (replay first, then generate from the latent distributions);
 //! * [`metrics`] — the metric definitions themselves (quality, over-tagging,
 //!   wasted posts, under-tagging);
+//! * [`session`] — a [`session::LiveSession`]: the online form of a run, which
+//!   leases task batches and accepts completion reports (the type behind the
+//!   `tagging-server` crate; the offline engine replays through it too);
 //! * [`sweep`] — budget / resource-count / ω sweeps, i.e. the loops behind the
 //!   individual panels of Figure 6.
 //!
@@ -37,10 +40,12 @@ pub mod engine;
 pub mod market;
 pub mod metrics;
 pub mod scenario;
+pub mod session;
 pub mod sweep;
 
 pub use engine::{run_custom, run_dp, run_dp_capped, run_strategy, RunConfig};
 pub use market::MarketSource;
 pub use metrics::RunMetrics;
 pub use scenario::{Scenario, ScenarioParams};
+pub use session::{CompletionReport, LiveSession, ReportOutcome, SessionError, TaskAssignment};
 pub use sweep::{budget_sweep, omega_sweep, resource_sweep, SweepAlgorithms, SweepPoint};

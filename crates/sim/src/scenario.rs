@@ -13,6 +13,7 @@ use tagging_core::rfd::{rfd_of_prefix, Rfd};
 use tagging_core::stability::{StabilityAnalyzer, StabilityParams};
 
 use delicious_sim::generator::SyntheticCorpus;
+use tagging_runtime::Runtime;
 
 /// Frozen experiment input derived from a synthetic corpus.
 #[derive(Debug, Clone)]
@@ -51,32 +52,53 @@ impl Default for ScenarioParams {
 }
 
 impl Scenario {
-    /// Derives a scenario from a synthetic corpus.
+    /// Derives a scenario from a synthetic corpus on the process-default
+    /// [`Runtime`].
     ///
     /// Resources that never reach a stable point keep the rfd of their full
     /// sequence as the reference — the closest available estimate of their
     /// stable description (the paper sidesteps this by filtering such resources
     /// out of its sample; we keep them and note the substitution in DESIGN.md).
     pub fn from_corpus(corpus: &SyntheticCorpus, params: &ScenarioParams) -> Self {
+        Self::from_corpus_with(corpus, params, &Runtime::from_env())
+    }
+
+    /// [`Scenario::from_corpus`] on an explicit [`Runtime`]: the per-resource
+    /// stability analysis is a pure function of each resource's full post
+    /// sequence, so it fans out over the runtime's threads and the result is
+    /// bit-identical at any thread count.
+    pub fn from_corpus_with(
+        corpus: &SyntheticCorpus,
+        params: &ScenarioParams,
+        runtime: &Runtime,
+    ) -> Self {
         let analyzer = StabilityAnalyzer::new(params.stability);
         let n = corpus.len();
+        let per_resource = runtime.par_map_indexed(n, |i| {
+            let id = ResourceId(i as u32);
+            let full = corpus.full_sequence(id);
+            let c = corpus.initial_posts[i];
+            let profile = analyzer.analyze(full);
+            let reference = profile
+                .stable_rfd
+                .unwrap_or_else(|| rfd_of_prefix(full, full.len()));
+            (
+                full[..c].to_vec(),
+                full[c..].to_vec(),
+                reference,
+                profile.stable_point,
+            )
+        });
+
         let mut initial = Vec::with_capacity(n);
         let mut future = Vec::with_capacity(n);
         let mut references = Vec::with_capacity(n);
         let mut stable_points = Vec::with_capacity(n);
-
-        for id in corpus.resource_ids() {
-            let full = corpus.full_sequence(id);
-            let c = corpus.initial_posts[id.index()];
-            initial.push(full[..c].to_vec());
-            future.push(full[c..].to_vec());
-            let profile = analyzer.analyze(full);
-            stable_points.push(profile.stable_point);
-            references.push(
-                profile
-                    .stable_rfd
-                    .unwrap_or_else(|| rfd_of_prefix(full, full.len())),
-            );
+        for (init, fut, reference, stable_point) in per_resource {
+            initial.push(init);
+            future.push(fut);
+            references.push(reference);
+            stable_points.push(stable_point);
         }
 
         Self {
@@ -244,6 +266,30 @@ mod tests {
         // Taking more than available returns everything.
         let all = s.take(10_000);
         assert_eq!(all.len(), s.len());
+    }
+
+    #[test]
+    fn from_corpus_is_bit_identical_at_any_thread_count() {
+        let corpus = generate(&GeneratorConfig::small(40, 9));
+        let params = ScenarioParams::default();
+        let sequential = Scenario::from_corpus_with(&corpus, &params, &Runtime::sequential());
+        for threads in [2, 8] {
+            let parallel = Scenario::from_corpus_with(&corpus, &params, &Runtime::new(threads));
+            assert_eq!(parallel.initial, sequential.initial, "threads {threads}");
+            assert_eq!(parallel.future, sequential.future, "threads {threads}");
+            assert_eq!(
+                parallel.references, sequential.references,
+                "threads {threads}"
+            );
+            assert_eq!(
+                parallel.stable_points, sequential.stable_points,
+                "threads {threads}"
+            );
+            assert_eq!(
+                parallel.popularity, sequential.popularity,
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

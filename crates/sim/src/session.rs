@@ -1,0 +1,563 @@
+//! A live allocation session — the online counterpart of the engine's replay
+//! loop.
+//!
+//! A [`LiveSession`] owns a frozen [`Scenario`] and a batched strategy and
+//! exposes the three operations an allocation *service* needs:
+//!
+//! * [`LiveSession::next_batch`] — lease the next batch of post tasks
+//!   (resource assignments with task ids), clamped to the remaining budget;
+//! * [`LiveSession::report`] — accept completed tasks, either with the tags
+//!   the tagger actually posted or, when no tags are given, by replaying the
+//!   scenario's recorded future post for that resource (the offline-evaluation
+//!   semantics of the paper);
+//! * [`LiveSession::metrics`] — the incremental [`RunMetrics`] of the run so
+//!   far, maintained per report instead of recomputed from scratch.
+//!
+//! The offline engine (`engine::run_strategy`) is a thin replay driver over
+//! this same type: batch size 1 with every completion reported immediately,
+//! which the batched-semantics contract guarantees is bit-identical to the
+//! classic sequential loop of Algorithm 1.
+
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use tagging_core::model::{Post, ResourceId, TagDictionary};
+use tagging_core::rfd::FrequencyTracker;
+use tagging_core::similarity::cosine;
+
+use tagging_strategies::batch::{BatchAllocator, BatchState};
+use tagging_strategies::framework::AllocationView;
+use tagging_strategies::StrategyKind;
+
+use crate::engine::RunConfig;
+use crate::metrics::{over_tagged_count, under_tagged_fraction, wasted_posts, RunMetrics};
+use crate::scenario::Scenario;
+
+/// One leased post task: which resource to tag, referenced by task id when the
+/// completion is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskAssignment {
+    /// Session-unique id of the task.
+    pub task_id: u64,
+    /// The resource the post task is for.
+    pub resource: ResourceId,
+}
+
+/// A reported completion: the tags the tagger posted, or `None` to let the
+/// session replay the resource's next recorded future post.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionReport {
+    /// The task id from the [`TaskAssignment`] being completed.
+    pub task_id: u64,
+    /// Posted tag names; `None` requests replay of the recorded future.
+    pub tags: Option<Vec<String>>,
+}
+
+/// Summary of one accepted report batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportOutcome {
+    /// Number of completions accepted.
+    pub accepted: usize,
+    /// How many produced an actual post.
+    pub delivered: usize,
+    /// How many produced no post (replay requested but the recorded future of
+    /// the resource was exhausted).
+    pub undelivered: usize,
+}
+
+/// Errors a session can return; every one leaves the session state unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The reported task id is not an outstanding lease.
+    UnknownTask(u64),
+    /// The same task id appears twice in one report.
+    DuplicateTask(u64),
+    /// A completion carried an empty tag list (posts are non-empty by
+    /// Definition 1).
+    EmptyPost(u64),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownTask(id) => write!(f, "unknown or already-completed task {id}"),
+            SessionError::DuplicateTask(id) => write!(f, "task {id} reported twice in one batch"),
+            SessionError::EmptyPost(id) => write!(f, "task {id} reported an empty tag list"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A live allocation session over one scenario, budget and strategy.
+///
+/// The scenario is held as a [`Cow`]: a server session owns its scenario
+/// (`'static`), while the offline engine's replay driver borrows the caller's
+/// — sweeps run thousands of sessions over one scenario and must not clone
+/// the post sequences per run.
+pub struct LiveSession<'a> {
+    scenario: Cow<'a, Scenario>,
+    strategy: Box<dyn BatchAllocator + Send>,
+    strategy_name: String,
+    dictionary: TagDictionary,
+    budget: usize,
+    spent: usize,
+    allocated: Vec<u32>,
+    replay_cursor: Vec<usize>,
+    pending: HashMap<u64, ResourceId>,
+    next_task_id: u64,
+    // Incremental quality state: one tracker per resource, with the cosine
+    // against the reference rfd cached and recomputed lazily per touched
+    // resource instead of for all n on every metrics() call.
+    trackers: Vec<FrequencyTracker>,
+    quality: Vec<f64>,
+    dirty: Vec<bool>,
+    undelivered: usize,
+    delivered: usize,
+    elapsed: Duration,
+}
+
+impl std::fmt::Debug for LiveSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveSession")
+            .field("strategy", &self.strategy_name)
+            .field("resources", &self.scenario.len())
+            .field("budget", &self.budget)
+            .field("spent", &self.spent)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<'a> LiveSession<'a> {
+    /// Opens a session owning its scenario (the server path). The scenario
+    /// must be non-empty; `config` supplies the budget, ω and the FC tagger
+    /// seed.
+    pub fn new(scenario: Scenario, kind: StrategyKind, config: &RunConfig) -> LiveSession<'static> {
+        LiveSession::from_cow(
+            Cow::Owned(scenario),
+            kind.build_batch(config.omega, config.seed),
+            config,
+        )
+    }
+
+    /// Opens a session borrowing the caller's scenario — the offline replay
+    /// path, which avoids cloning the post sequences per run.
+    pub fn borrowed(
+        scenario: &'a Scenario,
+        kind: StrategyKind,
+        config: &RunConfig,
+    ) -> LiveSession<'a> {
+        LiveSession::from_cow(
+            Cow::Borrowed(scenario),
+            kind.build_batch(config.omega, config.seed),
+            config,
+        )
+    }
+
+    /// Opens a session for an arbitrary batched strategy over an owned
+    /// scenario.
+    pub fn with_strategy(
+        scenario: Scenario,
+        strategy: Box<dyn BatchAllocator + Send>,
+        config: &RunConfig,
+    ) -> LiveSession<'static> {
+        LiveSession::from_cow(Cow::Owned(scenario), strategy, config)
+    }
+
+    fn from_cow(
+        scenario: Cow<'a, Scenario>,
+        mut strategy: Box<dyn BatchAllocator + Send>,
+        config: &RunConfig,
+    ) -> LiveSession<'a> {
+        assert!(
+            !scenario.is_empty(),
+            "cannot open a session over zero resources"
+        );
+        let n = scenario.len();
+        let allocated = vec![0u32; n];
+        {
+            let view = AllocationView {
+                initial_sequences: &scenario.initial,
+                allocated: &allocated,
+                popularity: &scenario.popularity,
+            };
+            strategy.init(&view);
+        }
+        let trackers: Vec<FrequencyTracker> = scenario
+            .initial
+            .iter()
+            .map(|posts| FrequencyTracker::from_posts(posts.iter()))
+            .collect();
+        let quality: Vec<f64> = trackers
+            .iter()
+            .zip(&scenario.references)
+            .map(|(tracker, reference)| cosine(&tracker.rfd(), reference))
+            .collect();
+        let strategy_name = strategy.name().to_string();
+        Self {
+            replay_cursor: vec![0; n],
+            dirty: vec![false; n],
+            scenario,
+            strategy,
+            strategy_name,
+            dictionary: TagDictionary::new(),
+            budget: config.budget,
+            spent: 0,
+            allocated,
+            pending: HashMap::new(),
+            next_task_id: 1,
+            trackers,
+            quality,
+            undelivered: 0,
+            delivered: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Installs the tag dictionary used to intern tag names arriving in
+    /// reports (typically the corpus dictionary, so existing tags keep their
+    /// ids). Without one, reported names are interned into a fresh dictionary.
+    pub fn with_dictionary(mut self, dictionary: TagDictionary) -> Self {
+        self.dictionary = dictionary;
+        self
+    }
+
+    /// The scenario the session runs over.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The strategy's display name ("FP", "FP-MU", …).
+    pub fn strategy_name(&self) -> &str {
+        &self.strategy_name
+    }
+
+    /// Total budget of the session.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Tasks allocated so far.
+    pub fn budget_spent(&self) -> usize {
+        self.spent
+    }
+
+    /// Budget not yet allocated.
+    pub fn remaining_budget(&self) -> usize {
+        self.budget - self.spent
+    }
+
+    /// Number of leased tasks whose completion has not been reported yet.
+    pub fn pending_tasks(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Leases the next batch of up to `k` post tasks; the batch is clamped to
+    /// the remaining budget, so an exhausted session returns an empty batch.
+    pub fn next_batch(&mut self, k: usize) -> Vec<TaskAssignment> {
+        let k = k.min(self.remaining_budget());
+        if k == 0 {
+            return Vec::new();
+        }
+        let start = Instant::now();
+        let ids = {
+            let mut state = BatchState::new(
+                &self.scenario.initial,
+                &self.scenario.popularity,
+                &mut self.allocated,
+            );
+            self.strategy.allocate_batch(&mut state, k)
+        };
+        debug_assert_eq!(ids.len(), k);
+        self.spent += k;
+        let assignments: Vec<TaskAssignment> = ids
+            .into_iter()
+            .map(|resource| {
+                let task_id = self.next_task_id;
+                self.next_task_id += 1;
+                self.pending.insert(task_id, resource);
+                TaskAssignment { task_id, resource }
+            })
+            .collect();
+        self.elapsed += start.elapsed();
+        assignments
+    }
+
+    /// Accepts a batch of completion reports. Either the whole batch is
+    /// applied or none of it: invalid task ids and empty tag lists are
+    /// rejected up front with the session unchanged.
+    pub fn report(&mut self, reports: &[CompletionReport]) -> Result<ReportOutcome, SessionError> {
+        // Validate before mutating anything.
+        let mut seen: HashSet<u64> = HashSet::with_capacity(reports.len());
+        for report in reports {
+            if !self.pending.contains_key(&report.task_id) {
+                return Err(SessionError::UnknownTask(report.task_id));
+            }
+            if !seen.insert(report.task_id) {
+                return Err(SessionError::DuplicateTask(report.task_id));
+            }
+            if matches!(&report.tags, Some(tags) if tags.is_empty()) {
+                return Err(SessionError::EmptyPost(report.task_id));
+            }
+        }
+
+        let start = Instant::now();
+        let mut completions: Vec<(ResourceId, Option<Post>)> = Vec::with_capacity(reports.len());
+        for report in reports {
+            let resource = self
+                .pending
+                .remove(&report.task_id)
+                .expect("validated above");
+            let post = match &report.tags {
+                Some(tags) => Some(
+                    Post::from_names(&mut self.dictionary, tags.iter())
+                        .expect("validated non-empty above"),
+                ),
+                None => {
+                    let i = resource.index();
+                    let next = self.scenario.future[i].get(self.replay_cursor[i]).cloned();
+                    if next.is_some() {
+                        self.replay_cursor[i] += 1;
+                    }
+                    next
+                }
+            };
+            match &post {
+                Some(post) => {
+                    let i = resource.index();
+                    self.trackers[i].push(post);
+                    self.dirty[i] = true;
+                    self.delivered += 1;
+                }
+                None => self.undelivered += 1,
+            }
+            completions.push((resource, post));
+        }
+        {
+            let view = AllocationView {
+                initial_sequences: &self.scenario.initial,
+                allocated: &self.allocated,
+                popularity: &self.scenario.popularity,
+            };
+            self.strategy.observe_batch(&view, &completions);
+        }
+        let outcome = ReportOutcome {
+            accepted: reports.len(),
+            delivered: completions.iter().filter(|(_, p)| p.is_some()).count(),
+            undelivered: completions.iter().filter(|(_, p)| p.is_none()).count(),
+        };
+        self.elapsed += start.elapsed();
+        Ok(outcome)
+    }
+
+    /// The metrics of the run so far. Identical to what the offline engine
+    /// reports for the same allocation and delivered posts: only the
+    /// resources touched since the last call have their quality recomputed.
+    pub fn metrics(&mut self) -> RunMetrics {
+        for i in 0..self.scenario.len() {
+            if self.dirty[i] {
+                self.quality[i] = cosine(&self.trackers[i].rfd(), &self.scenario.references[i]);
+                self.dirty[i] = false;
+            }
+        }
+        let total: f64 = self.quality.iter().sum();
+        RunMetrics {
+            strategy: self.strategy_name.clone(),
+            budget: self.budget,
+            mean_quality: total / self.scenario.len() as f64,
+            over_tagged: over_tagged_count(&self.scenario, &self.allocated),
+            wasted_posts: wasted_posts(&self.scenario, &self.allocated),
+            under_tagged_fraction: under_tagged_fraction(&self.scenario, &self.allocated),
+            undelivered: self.undelivered,
+            runtime_seconds: self.elapsed.as_secs_f64(),
+            allocation: self.allocated.clone(),
+        }
+    }
+
+    /// Drains the whole budget offline: repeatedly leases a batch of
+    /// `batch_size` tasks and immediately reports every one for replay. With
+    /// `batch_size == 1` this reproduces the classic sequential loop of
+    /// Algorithm 1 bit for bit.
+    pub fn run_replay(&mut self, batch_size: usize) {
+        assert!(batch_size > 0, "batch size must be positive");
+        loop {
+            let tasks = self.next_batch(batch_size);
+            if tasks.is_empty() {
+                return;
+            }
+            let reports: Vec<CompletionReport> = tasks
+                .iter()
+                .map(|t| CompletionReport {
+                    task_id: t.task_id,
+                    tags: None,
+                })
+                .collect();
+            self.report(&reports)
+                .expect("replay reports reference freshly leased tasks");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_custom;
+    use crate::scenario::ScenarioParams;
+    use delicious_sim::generator::{generate, GeneratorConfig};
+    use tagging_core::stability::StabilityParams;
+
+    fn scenario(n: usize, seed: u64) -> Scenario {
+        let corpus = generate(&GeneratorConfig::small(n, seed));
+        Scenario::from_corpus(
+            &corpus,
+            &ScenarioParams {
+                stability: StabilityParams::new(10, 0.995),
+                under_tagged_threshold: 10,
+            },
+        )
+    }
+
+    fn config(budget: usize) -> RunConfig {
+        RunConfig {
+            budget,
+            omega: 5,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn replay_session_matches_the_classic_engine_loop() {
+        let s = scenario(30, 41);
+        let cfg = config(120);
+        for kind in StrategyKind::ALL {
+            let mut classic_strategy = kind.build(cfg.omega, cfg.seed);
+            let classic = run_custom(&s, classic_strategy.as_mut(), &cfg);
+
+            let mut session = LiveSession::new(s.clone(), kind, &cfg);
+            session.run_replay(1);
+            let live = session.metrics();
+
+            assert_eq!(
+                live.fingerprint(),
+                classic.fingerprint(),
+                "{} live session diverged from the classic loop",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_replay_conserves_budget_at_every_batch_size() {
+        let s = scenario(25, 42);
+        let cfg = config(103); // not divisible by any batch size below
+        for kind in StrategyKind::ALL {
+            for batch in [1, 7, 64] {
+                let mut session = LiveSession::new(s.clone(), kind, &cfg);
+                session.run_replay(batch);
+                let m = session.metrics();
+                assert_eq!(
+                    m.allocation.iter().map(|&x| x as usize).sum::<usize>(),
+                    103,
+                    "{} batch {batch}",
+                    kind.name()
+                );
+                assert!((0.0..=1.0).contains(&m.mean_quality));
+                assert_eq!(session.remaining_budget(), 0);
+                assert_eq!(session.pending_tasks(), 0);
+                assert!(session.next_batch(5).is_empty(), "budget exhausted");
+            }
+        }
+    }
+
+    #[test]
+    fn reported_tags_flow_into_quality() {
+        let s = scenario(20, 43);
+        let mut session = LiveSession::new(s, StrategyKind::Fp, &config(10));
+        let before = session.metrics().mean_quality;
+        let tasks = session.next_batch(4);
+        assert_eq!(tasks.len(), 4);
+        let reports: Vec<CompletionReport> = tasks
+            .iter()
+            .map(|t| CompletionReport {
+                task_id: t.task_id,
+                tags: Some(vec!["alpha".into(), "beta".into()]),
+            })
+            .collect();
+        let outcome = session.report(&reports).unwrap();
+        assert_eq!(outcome.accepted, 4);
+        assert_eq!(outcome.delivered, 4);
+        assert_eq!(outcome.undelivered, 0);
+        let after = session.metrics().mean_quality;
+        // Foreign tags are nothing like the references: quality must move.
+        assert_ne!(before, after);
+        assert_eq!(session.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn invalid_reports_leave_the_session_unchanged() {
+        let s = scenario(20, 44);
+        let mut session = LiveSession::new(s, StrategyKind::Rr, &config(10));
+        let tasks = session.next_batch(2);
+        let good = CompletionReport {
+            task_id: tasks[0].task_id,
+            tags: None,
+        };
+
+        // Unknown task id.
+        let err = session
+            .report(&[
+                good.clone(),
+                CompletionReport {
+                    task_id: 999,
+                    tags: None,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err, SessionError::UnknownTask(999));
+        assert_eq!(session.pending_tasks(), 2, "nothing was applied");
+
+        // Duplicate task id within one report.
+        let err = session.report(&[good.clone(), good.clone()]).unwrap_err();
+        assert_eq!(err, SessionError::DuplicateTask(tasks[0].task_id));
+        assert_eq!(session.pending_tasks(), 2);
+
+        // Empty tag list.
+        let err = session
+            .report(&[CompletionReport {
+                task_id: tasks[1].task_id,
+                tags: Some(vec![]),
+            }])
+            .unwrap_err();
+        assert_eq!(err, SessionError::EmptyPost(tasks[1].task_id));
+        assert_eq!(session.pending_tasks(), 2);
+
+        // The good report still goes through afterwards.
+        assert!(session.report(&[good]).is_ok());
+        assert_eq!(session.pending_tasks(), 1);
+    }
+
+    #[test]
+    fn out_of_order_reports_are_accepted() {
+        let s = scenario(20, 45);
+        let mut session = LiveSession::new(s, StrategyKind::FpMu, &config(20));
+        let first = session.next_batch(3);
+        let second = session.next_batch(3);
+        // Report the second batch before the first, in reverse order.
+        let reports: Vec<CompletionReport> = second
+            .iter()
+            .rev()
+            .chain(first.iter().rev())
+            .map(|t| CompletionReport {
+                task_id: t.task_id,
+                tags: None,
+            })
+            .collect();
+        let outcome = session.report(&reports).unwrap();
+        assert_eq!(outcome.accepted, 6);
+        assert_eq!(session.pending_tasks(), 0);
+        let m = session.metrics();
+        assert_eq!(m.allocation.iter().map(|&x| x as usize).sum::<usize>(), 6);
+    }
+}

@@ -1,0 +1,372 @@
+//! Batched allocation semantics — the online-service extension of Algorithm 1.
+//!
+//! The classic framework loop ([`run_allocation`](crate::framework::run_allocation))
+//! interleaves CHOOSE and UPDATE one post task at a time: the post produced by
+//! task *j* is visible before task *j + 1* is chosen. An online allocation
+//! service cannot work that way — a client asks for a *batch* of `k` tasks up
+//! front and reports the completed posts later, possibly much later and out of
+//! order. This module defines the semantics of that split:
+//!
+//! * **allocation time** — a strategy commits `k` resources using only the
+//!   information that exists when the batch is requested: the per-resource
+//!   *counts* (which the allocation itself advances) and any state that does
+//!   not depend on post contents;
+//! * **observation time** — completed (or undelivered) posts arrive and the
+//!   post-dependent state (e.g. MU's MA trackers) is updated.
+//!
+//! The unit of allocation is [`BatchAllocator::allocate_one`]; the provided
+//! [`BatchAllocator::allocate_batch`] is *defined* as `k` sequential
+//! `allocate_one` calls, so a native batched override (which amortizes the
+//! per-task work) is correct exactly when it is indistinguishable from that
+//! default — the property the `batch_equivalence` test suite checks for every
+//! strategy, every ω and batch sizes {1, 7, 64}.
+//!
+//! With batch size 1 and completions reported immediately (the
+//! [`run_allocation_batched`] driver), the protocol degenerates to the classic
+//! sequential loop: for every built-in strategy,
+//! `run_allocation_batched(…, 1)` is bit-identical to `run_allocation(…)`.
+
+use tagging_core::model::{Post, ResourceId};
+
+use crate::framework::{
+    AllocationOutcome, AllocationStep, AllocationStrategy, AllocationView, PostSource,
+};
+
+/// Mutable allocation-time state of a batch: the shared read-only scenario
+/// data plus the allocated counts, which advance as choices are committed so
+/// later choices in the same batch see earlier ones.
+#[derive(Debug)]
+pub struct BatchState<'a> {
+    initial_sequences: &'a [Vec<Post>],
+    popularity: &'a [f64],
+    allocated: &'a mut [u32],
+}
+
+impl<'a> BatchState<'a> {
+    /// Creates the allocation-time state over the framework's arrays.
+    pub fn new(
+        initial_sequences: &'a [Vec<Post>],
+        popularity: &'a [f64],
+        allocated: &'a mut [u32],
+    ) -> Self {
+        assert_eq!(initial_sequences.len(), allocated.len());
+        assert_eq!(popularity.len(), allocated.len());
+        Self {
+            initial_sequences,
+            popularity,
+            allocated,
+        }
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// True when there are no resources.
+    pub fn is_empty(&self) -> bool {
+        self.allocated.is_empty()
+    }
+
+    /// A read-only [`AllocationView`] of the current state.
+    pub fn view(&self) -> AllocationView<'_> {
+        AllocationView {
+            initial_sequences: self.initial_sequences,
+            allocated: self.allocated,
+            popularity: self.popularity,
+        }
+    }
+
+    /// `c_i + x_i` at the current point of the batch.
+    pub fn total_count(&self, id: ResourceId) -> usize {
+        self.initial_sequences[id.index()].len() + self.allocated[id.index()] as usize
+    }
+
+    /// Commits one task on `id`: bumps its allocated count so subsequent
+    /// choices in the same batch observe it. Every resource returned from
+    /// [`BatchAllocator::allocate_one`] / [`BatchAllocator::allocate_batch`]
+    /// must have been committed exactly once.
+    pub fn commit(&mut self, id: ResourceId) {
+        self.allocated[id.index()] += 1;
+    }
+}
+
+/// A strategy that supports batched allocation: choices are committed using
+/// allocation-time information only, and post contents are incorporated later
+/// via the `observe_*` methods.
+///
+/// The provided `allocate_batch` / `observe_batch` are the *semantics*: `k`
+/// sequential single allocations, then per-completion observations. Native
+/// overrides (FP's water-fill, MU's drained-queue fallback fill, RR's
+/// arithmetic cycle, FP-MU's warm-up split) must be indistinguishable from
+/// them.
+pub trait BatchAllocator: AllocationStrategy {
+    /// One single-task allocation under batched semantics: chooses a resource
+    /// exactly like the classic CHOOSE would, commits it on `state`, and
+    /// applies any state update that depends only on allocation-time
+    /// information (counts). Post-dependent updates are deferred to
+    /// [`BatchAllocator::observe_one`].
+    fn allocate_one(&mut self, state: &mut BatchState<'_>) -> ResourceId;
+
+    /// Incorporates one completed post task: `post` is the post the tagger
+    /// submitted, or `None` when the task produced no post. Together with the
+    /// allocation-time part of [`BatchAllocator::allocate_one`], this must
+    /// leave the strategy in the same state the classic UPDATE would.
+    fn observe_one(&mut self, view: &AllocationView<'_>, resource: ResourceId, post: Option<&Post>);
+
+    /// Allocates a batch of `k` tasks. The default is the definition: `k`
+    /// sequential [`BatchAllocator::allocate_one`] calls. Returns exactly `k`
+    /// resources, each committed on `state`.
+    fn allocate_batch(&mut self, state: &mut BatchState<'_>, k: usize) -> Vec<ResourceId> {
+        (0..k).map(|_| self.allocate_one(state)).collect()
+    }
+
+    /// Observes a batch of completions, in report order. The default applies
+    /// [`BatchAllocator::observe_one`] per completion.
+    fn observe_batch(
+        &mut self,
+        view: &AllocationView<'_>,
+        completions: &[(ResourceId, Option<Post>)],
+    ) {
+        for (resource, post) in completions {
+            self.observe_one(view, *resource, post.as_ref());
+        }
+    }
+}
+
+/// Runs the batched protocol against a [`PostSource`]: repeatedly allocates a
+/// batch of up to `batch_size` tasks, draws the completed posts and reports
+/// them back, until `budget` tasks have been spent.
+///
+/// With `batch_size == 1` this is bit-identical to
+/// [`run_allocation`](crate::framework::run_allocation) for every built-in
+/// strategy: each allocation is immediately followed by its observation, which
+/// is exactly the classic CHOOSE → receive → UPDATE step.
+pub fn run_allocation_batched<S: BatchAllocator + ?Sized, P: PostSource + ?Sized>(
+    strategy: &mut S,
+    source: &mut P,
+    initial_sequences: &[Vec<Post>],
+    popularity: &[f64],
+    budget: usize,
+    batch_size: usize,
+) -> AllocationOutcome {
+    assert_eq!(
+        initial_sequences.len(),
+        popularity.len(),
+        "initial sequences and popularity weights must cover the same resources"
+    );
+    let n = initial_sequences.len();
+    assert!(n > 0, "cannot allocate a budget over zero resources");
+    assert!(batch_size > 0, "batch size must be positive");
+
+    let mut allocated = vec![0u32; n];
+    let mut trace = Vec::with_capacity(budget);
+    let mut undelivered = 0usize;
+
+    {
+        let view = AllocationView {
+            initial_sequences,
+            allocated: &allocated,
+            popularity,
+        };
+        strategy.init(&view);
+    }
+
+    let mut spent = 0usize;
+    while spent < budget {
+        let k = batch_size.min(budget - spent);
+        let ids = {
+            let mut state = BatchState::new(initial_sequences, popularity, &mut allocated);
+            strategy.allocate_batch(&mut state, k)
+        };
+        assert_eq!(
+            ids.len(),
+            k,
+            "strategy {} returned a batch of the wrong size",
+            strategy.name()
+        );
+        let completions: Vec<(ResourceId, Option<Post>)> = ids
+            .into_iter()
+            .map(|id| {
+                assert!(
+                    id.index() < n,
+                    "strategy {} chose an unknown resource {id}",
+                    strategy.name()
+                );
+                (id, source.next_post(id))
+            })
+            .collect();
+        {
+            let view = AllocationView {
+                initial_sequences,
+                allocated: &allocated,
+                popularity,
+            };
+            strategy.observe_batch(&view, &completions);
+        }
+        for (resource, post) in completions {
+            if post.is_none() {
+                undelivered += 1;
+            }
+            trace.push(AllocationStep { resource, post });
+        }
+        spent += k;
+    }
+
+    AllocationOutcome {
+        allocated,
+        trace,
+        undelivered,
+    }
+}
+
+/// Water-fills `k` tasks over `(count, id)` entries: repeatedly assigns the
+/// next task to the entry with the smallest `(count, id)`, exactly as `k`
+/// sequential min-picks with count bumps would — but in `O(m log m + k)` for
+/// `m` touched entries instead of `k` scans or heap round-trips.
+///
+/// `entries` is a min-heap-ordering-agnostic list of unique `(count, id)`
+/// pairs; `emit` receives each chosen id in allocation order. Returns the
+/// final `(count, id)` of every touched entry (untouched entries are returned
+/// unchanged), so callers can reinstall them in their own structures.
+///
+/// Shared by FP's native batch, MU's drained-queue fallback and (through FP)
+/// FP-MU's warm-up phase.
+pub(crate) fn water_fill(
+    mut entries: Vec<(u64, u32)>,
+    k: usize,
+    mut emit: impl FnMut(ResourceId),
+) -> Vec<(u64, u32)> {
+    if k == 0 || entries.is_empty() {
+        return entries;
+    }
+    // Lexicographic (count, id) order is exactly the sequential pick order.
+    entries.sort_unstable();
+
+    // `frontier` holds the entries at the current water level in id order;
+    // `entries[next..]` are the untouched ones above the level.
+    let mut level = entries[0].0;
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next = 0usize;
+    while next < entries.len() && entries[next].0 == level {
+        frontier.push(entries[next].1);
+        next += 1;
+    }
+
+    let mut remaining = k;
+    let filled; // how many frontier entries ended at `level + 1`
+    loop {
+        if remaining >= frontier.len() {
+            // A full round: every frontier entry gets one task, in id order.
+            for &id in &frontier {
+                emit(ResourceId(id));
+            }
+            remaining -= frontier.len();
+            level += 1;
+            // Entries whose original count equals the new level join the
+            // frontier; merge the two id-sorted lists.
+            let mut joining: Vec<u32> = Vec::new();
+            while next < entries.len() && entries[next].0 == level {
+                joining.push(entries[next].1);
+                next += 1;
+            }
+            if !joining.is_empty() {
+                let old = std::mem::take(&mut frontier);
+                frontier = merge_sorted(old, joining);
+            }
+            if remaining == 0 {
+                filled = 0;
+                break;
+            }
+        } else {
+            // Partial round: the first `remaining` frontier ids (id order) get
+            // one final task each.
+            for &id in frontier.iter().take(remaining) {
+                emit(ResourceId(id));
+            }
+            filled = remaining;
+            break;
+        }
+    }
+
+    // Reassemble the final counts: the first `filled` frontier entries sit at
+    // level + 1, the rest of the frontier at `level`, untouched entries keep
+    // their original counts.
+    let mut out: Vec<(u64, u32)> = Vec::with_capacity(entries.len());
+    for (i, &id) in frontier.iter().enumerate() {
+        out.push((if i < filled { level + 1 } else { level }, id));
+    }
+    out.extend_from_slice(&entries[next..]);
+    out
+}
+
+/// Merges two id-sorted lists into one.
+fn merge_sorted(a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: k sequential min-picks with bumps.
+    fn water_fill_reference(mut entries: Vec<(u64, u32)>, k: usize) -> (Vec<u32>, Vec<(u64, u32)>) {
+        let mut order = Vec::new();
+        for _ in 0..k {
+            let (pos, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(c, id))| (c, id))
+                .expect("non-empty");
+            entries[pos].0 += 1;
+            order.push(entries[pos].1);
+        }
+        (order, entries)
+    }
+
+    #[test]
+    fn water_fill_matches_sequential_min_picks() {
+        let cases: Vec<(Vec<(u64, u32)>, usize)> = vec![
+            (vec![(3, 0), (1, 1), (2, 2)], 4),
+            (vec![(0, 5), (0, 1), (0, 3)], 7),
+            (vec![(10, 0)], 3),
+            (vec![(2, 0), (2, 1), (5, 2), (9, 3)], 11),
+            (vec![(7, 4), (3, 2), (3, 9), (4, 1), (8, 0)], 23),
+            (vec![(1, 0), (4, 1)], 0),
+        ];
+        for (entries, k) in cases {
+            let (expected_order, expected_final) = water_fill_reference(entries.clone(), k);
+            let mut order = Vec::new();
+            let mut final_counts = water_fill(entries.clone(), k, |id| order.push(id.0));
+            order.truncate(k);
+            assert_eq!(order, expected_order, "entries {entries:?} k {k}");
+            let mut expected_sorted = expected_final.clone();
+            expected_sorted.sort_unstable();
+            final_counts.sort_unstable();
+            assert_eq!(final_counts, expected_sorted, "entries {entries:?} k {k}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_interleaves() {
+        assert_eq!(
+            merge_sorted(vec![1, 4, 6], vec![2, 3, 7]),
+            vec![1, 2, 3, 4, 6, 7]
+        );
+        assert_eq!(merge_sorted(vec![], vec![5]), vec![5]);
+        assert_eq!(merge_sorted(vec![5], vec![]), vec![5]);
+    }
+}

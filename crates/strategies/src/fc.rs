@@ -16,6 +16,7 @@ use rand::SeedableRng;
 
 use tagging_core::model::{Post, ResourceId};
 
+use crate::batch::{BatchAllocator, BatchState};
 use crate::framework::{AllocationStrategy, AllocationView};
 
 /// Free Choice: taggers pick resources proportionally to popularity.
@@ -65,6 +66,25 @@ impl AllocationStrategy for FreeChoice {
 
     fn update(&mut self, _view: &AllocationView<'_>, _resource: ResourceId, _post: Option<&Post>) {
         // FC keeps no state beyond the fixed popularity sampler.
+    }
+}
+
+impl BatchAllocator for FreeChoice {
+    fn allocate_one(&mut self, state: &mut BatchState<'_>) -> ResourceId {
+        // Taggers pick independently of post contents, so a batched choice is
+        // the classic CHOOSE; the RNG stream advances identically either way.
+        let id = self.choose(&state.view());
+        state.commit(id);
+        id
+    }
+
+    fn observe_one(
+        &mut self,
+        _view: &AllocationView<'_>,
+        _resource: ResourceId,
+        _post: Option<&Post>,
+    ) {
+        // Nothing to observe: FC ignores the posts it receives.
     }
 }
 

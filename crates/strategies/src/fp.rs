@@ -18,6 +18,7 @@ use std::collections::BinaryHeap;
 
 use tagging_core::model::{Post, ResourceId};
 
+use crate::batch::{water_fill, BatchAllocator, BatchState};
 use crate::framework::{AllocationStrategy, AllocationView};
 
 /// Fewest Posts First: allocate to the resource with the fewest posts so far.
@@ -66,6 +67,74 @@ impl AllocationStrategy for FewestPostsFirst {
         // completed task because the framework increments x before UPDATE).
         self.queue
             .push(Reverse((view.total_count(resource) as u64, resource.0)));
+    }
+}
+
+impl BatchAllocator for FewestPostsFirst {
+    fn allocate_one(&mut self, state: &mut BatchState<'_>) -> ResourceId {
+        // FP only looks at counts, which are fully known at allocation time:
+        // pop the minimum and reinsert it with its bumped count, exactly as the
+        // classic CHOOSE + UPDATE pair does (FP's UPDATE ignores the post).
+        let Reverse((_count, id)) = self
+            .queue
+            .pop()
+            .expect("FP queue is empty: init() not called or no resources");
+        let id = ResourceId(id);
+        state.commit(id);
+        self.queue
+            .push(Reverse((state.total_count(id) as u64, id.0)));
+        id
+    }
+
+    fn observe_one(
+        &mut self,
+        _view: &AllocationView<'_>,
+        _resource: ResourceId,
+        _post: Option<&Post>,
+    ) {
+        // Nothing to observe: counts were already advanced at allocation time.
+    }
+
+    /// Native batch: a water-fill. `k` sequential FP allocations repeatedly
+    /// bump the `(count, id)`-minimum, i.e. they fill post-count levels from
+    /// the bottom in id order. Instead of `k` heap round-trips, pop only the
+    /// resources the fill can touch, replay the fill arithmetically and push
+    /// each touched resource back once — `O(m log n + k)` for `m` touched
+    /// resources.
+    fn allocate_batch(&mut self, state: &mut BatchState<'_>, k: usize) -> Vec<ResourceId> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Pop only the entries the fill can reach. An entry at count `c` is
+        // touchable only if raising every entry below it up to level `c` takes
+        // fewer than `k` tasks (the heap pops in (count, id) order, so "below"
+        // is exactly what was already popped); once that lift alone covers the
+        // batch, deeper entries cannot receive a task or affect the order.
+        let mut entries: Vec<(u64, u32)> = Vec::new();
+        let mut popped_sum = 0u64;
+        while let Some(&Reverse((count, id))) = self.queue.peek() {
+            let lift = count * entries.len() as u64 - popped_sum;
+            if !entries.is_empty() && lift >= k as u64 {
+                break;
+            }
+            self.queue.pop();
+            entries.push((count, id));
+            popped_sum += count;
+        }
+        assert!(
+            !entries.is_empty(),
+            "FP queue is empty: init() not called or no resources"
+        );
+
+        let mut out = Vec::with_capacity(k);
+        let finals = water_fill(entries, k, |id| {
+            state.commit(id);
+            out.push(id);
+        });
+        for (count, id) in finals {
+            self.queue.push(Reverse((count, id)));
+        }
+        out
     }
 }
 

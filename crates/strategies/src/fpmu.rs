@@ -17,6 +17,7 @@
 
 use tagging_core::model::{Post, ResourceId};
 
+use crate::batch::{BatchAllocator, BatchState};
 use crate::fp::FewestPostsFirst;
 use crate::framework::{AllocationStrategy, AllocationView};
 use crate::mu::MostUnstableFirst;
@@ -119,6 +120,60 @@ impl AllocationStrategy for FpMu {
                 self.mu.update(view, resource, post);
             }
         }
+    }
+}
+
+impl BatchAllocator for FpMu {
+    fn allocate_one(&mut self, state: &mut BatchState<'_>) -> ResourceId {
+        if self.below_omega > 0 {
+            let id = self.fp.allocate_one(state);
+            // Counts advance one task at a time, so a resource crosses ω with
+            // an exact `== ω` — the same check the classic UPDATE performs.
+            if state.total_count(id) == self.omega {
+                self.below_omega -= 1;
+            }
+            id
+        } else {
+            self.mu.allocate_one(state)
+        }
+    }
+
+    fn observe_one(
+        &mut self,
+        _view: &AllocationView<'_>,
+        resource: ResourceId,
+        post: Option<&Post>,
+    ) {
+        // The FP half of a warm-up step already ran at allocation time; the
+        // only post-dependent state is MU's tracker, which must see every
+        // completion whichever phase allocated it — exactly what the classic
+        // UPDATE feeds it in both phases.
+        self.mu.observe(resource, post);
+    }
+
+    /// Native batch: Algorithm 5's up-front warm-up budget makes the phase
+    /// split computable without stepping. While any resource is below ω, FP
+    /// always picks a below-ω resource (the global minimum count is below ω),
+    /// so sequential allocation stays in warm-up for exactly
+    /// `w = Σ_i max(0, ω − (c_i + x_i))` tasks — the first `min(k, w)` tasks
+    /// are one native FP batch, the rest one native MU batch.
+    fn allocate_batch(&mut self, state: &mut BatchState<'_>, k: usize) -> Vec<ResourceId> {
+        let mut out = Vec::with_capacity(k);
+        if self.below_omega > 0 {
+            let warm_up = self.remaining_warm_up_budget(&state.view());
+            let take = warm_up.min(k);
+            out.extend(self.fp.allocate_batch(state, take));
+            // Counts advance +1 per task, so recounting after the sub-batch
+            // equals the per-task `== ω` decrements of the sequential path.
+            self.below_omega = (0..state.len() as u32)
+                .filter(|&i| state.total_count(ResourceId(i)) < self.omega)
+                .count();
+        }
+        if out.len() < k {
+            let rest = k - out.len();
+            out.extend(self.mu.allocate_batch(state, rest));
+        }
+        out
     }
 }
 

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod batch;
 pub mod dp;
 pub mod fc;
 pub mod fp;
@@ -48,6 +49,7 @@ pub mod mu;
 pub mod rr;
 pub mod util;
 
+pub use batch::{run_allocation_batched, BatchAllocator, BatchState};
 pub use dp::{brute_force_allocation, optimal_allocation, DpAllocation, QualityTable};
 pub use fc::FreeChoice;
 pub use fp::FewestPostsFirst;
@@ -112,6 +114,18 @@ impl StrategyKind {
     /// Instantiates the strategy. `omega` configures MU / FP-MU; `seed` drives
     /// the Free-Choice tagger model.
     pub fn build(self, omega: usize, seed: u64) -> Box<dyn AllocationStrategy> {
+        match self {
+            StrategyKind::Fc => Box::new(FreeChoice::new(seed)),
+            StrategyKind::Rr => Box::new(RoundRobin::new()),
+            StrategyKind::Fp => Box::new(FewestPostsFirst::new()),
+            StrategyKind::Mu => Box::new(MostUnstableFirst::new(omega)),
+            StrategyKind::FpMu => Box::new(FpMu::new(omega)),
+        }
+    }
+
+    /// Instantiates the strategy behind its batched interface, `Send` so a
+    /// live session can be served from a worker-pool thread.
+    pub fn build_batch(self, omega: usize, seed: u64) -> Box<dyn BatchAllocator + Send> {
         match self {
             StrategyKind::Fc => Box::new(FreeChoice::new(seed)),
             StrategyKind::Rr => Box::new(RoundRobin::new()),

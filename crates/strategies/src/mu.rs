@@ -23,6 +23,7 @@ use std::collections::BinaryHeap;
 use tagging_core::model::{Post, ResourceId};
 use tagging_core::stability::MaTracker;
 
+use crate::batch::{water_fill, BatchAllocator, BatchState};
 use crate::framework::{AllocationStrategy, AllocationView};
 use crate::util::OrdF64;
 
@@ -129,6 +130,62 @@ impl AllocationStrategy for MostUnstableFirst {
         // Identical to observe(): push the new post (if any) into the tracker and
         // reinsert the resource with its refreshed MA score.
         self.observe(resource, post);
+    }
+}
+
+impl BatchAllocator for MostUnstableFirst {
+    fn allocate_one(&mut self, state: &mut BatchState<'_>) -> ResourceId {
+        // A popped resource stays out of the queue until its completion is
+        // observed (a lease: its MA score is about to change, so it cannot be
+        // meaningfully re-ranked yet). A batch therefore spreads over the k
+        // most unstable resources instead of piling onto one stale minimum.
+        let id = match self.pop_most_unstable() {
+            Some(id) => id,
+            None => self.fallback(&state.view()),
+        };
+        state.commit(id);
+        id
+    }
+
+    fn observe_one(
+        &mut self,
+        _view: &AllocationView<'_>,
+        resource: ResourceId,
+        post: Option<&Post>,
+    ) {
+        // The deferred half of the classic UPDATE: fold the post into the
+        // tracker and re-enqueue the resource with its refreshed MA score.
+        self.observe(resource, post);
+    }
+
+    /// Native batch: drain the queue first (identical pops to the default),
+    /// then satisfy any remainder with one water-fill over `(total posts, id)`
+    /// — the sequential fallback re-scans all n resources per task, the fill
+    /// replays those picks in `O(n log n + k)` total.
+    fn allocate_batch(&mut self, state: &mut BatchState<'_>, k: usize) -> Vec<ResourceId> {
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match self.pop_most_unstable() {
+                Some(id) => {
+                    state.commit(id);
+                    out.push(id);
+                }
+                // Nothing re-enters the queue during allocation, so once the
+                // queue is empty every remaining task goes to the fallback.
+                None => break,
+            }
+        }
+        let remaining = k - out.len();
+        if remaining > 0 {
+            let entries: Vec<(u64, u32)> = (0..state.len() as u32)
+                .map(|i| (state.total_count(ResourceId(i)) as u64, i))
+                .collect();
+            water_fill(entries, remaining, |id| {
+                state.commit(id);
+                out.push(id);
+            });
+        }
+        out
     }
 }
 

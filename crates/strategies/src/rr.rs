@@ -8,6 +8,7 @@
 
 use tagging_core::model::{Post, ResourceId};
 
+use crate::batch::{BatchAllocator, BatchState};
 use crate::framework::{AllocationStrategy, AllocationView};
 
 /// Round Robin: allocate post tasks to resources in cyclic id order.
@@ -45,6 +46,43 @@ impl AllocationStrategy for RoundRobin {
 
     fn update(&mut self, _view: &AllocationView<'_>, _resource: ResourceId, _post: Option<&Post>) {
         self.last += 1;
+    }
+}
+
+impl BatchAllocator for RoundRobin {
+    fn allocate_one(&mut self, state: &mut BatchState<'_>) -> ResourceId {
+        // Advancing the cycle needs no post, so the whole classic step happens
+        // at allocation time.
+        assert!(self.initialised, "init() must be called before allocation");
+        let id = ResourceId((self.last % state.len()) as u32);
+        self.last += 1;
+        state.commit(id);
+        id
+    }
+
+    fn observe_one(
+        &mut self,
+        _view: &AllocationView<'_>,
+        _resource: ResourceId,
+        _post: Option<&Post>,
+    ) {
+        // Nothing to observe: RR ignores the posts it receives.
+    }
+
+    /// Native batch: the whole batch is one arithmetic stretch of the cycle —
+    /// no per-task dispatch at all.
+    fn allocate_batch(&mut self, state: &mut BatchState<'_>, k: usize) -> Vec<ResourceId> {
+        assert!(self.initialised, "init() must be called before allocation");
+        let n = state.len();
+        let start = self.last;
+        self.last += k;
+        (start..start + k)
+            .map(|l| {
+                let id = ResourceId((l % n) as u32);
+                state.commit(id);
+                id
+            })
+            .collect()
     }
 }
 
