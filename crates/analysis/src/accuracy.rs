@@ -13,10 +13,12 @@
 use tagging_core::model::{Post, ResourceId};
 use tagging_core::rfd::{FrequencyTracker, Rfd};
 use tagging_core::similarity::cosine;
+use tagging_runtime::Runtime;
 
 use delicious_sim::taxonomy::Taxonomy;
 
-use crate::correlation::kendall_tau_a;
+use crate::correlation::kendall_tau_a_with;
+use crate::tiles::{pair_row_tiles, pairs_in_rows};
 
 /// Computes the rfd of every resource from its initial posts plus any delivered
 /// posts (the state after an allocation run).
@@ -40,27 +42,81 @@ pub fn rfds_after_allocation(initial: &[Vec<Post>], delivered: &[Vec<Post>]) -> 
 }
 
 /// Cosine similarity of every unordered resource pair `(i, j)`, `i < j`, in a
-/// fixed row-major pair order.
+/// fixed row-major pair order, on the process-default [`Runtime`].
+///
+/// Returns an empty vector when there are fewer than two resources.
 pub fn pairwise_similarities(rfds: &[Rfd]) -> Vec<f64> {
+    pairwise_similarities_with(&Runtime::from_env(), rfds)
+}
+
+/// [`pairwise_similarities`] on an explicit [`Runtime`].
+///
+/// The `O(n²)` pair loop — the analysis crate's hot path behind the Figure 7
+/// ranking-accuracy experiment — is split into blocked row-range tiles (see
+/// [`crate::tiles`]), each tile computed independently and reassembled in the
+/// fixed row-major pair order, so the result is bit-identical at any thread
+/// count.
+pub fn pairwise_similarities_with(runtime: &Runtime, rfds: &[Rfd]) -> Vec<f64> {
     let n = rfds.len();
-    let mut similarities = Vec::with_capacity(n * (n - 1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            similarities.push(cosine(&rfds[i], &rfds[j]));
+    // Guard n < 2 explicitly: `n * (n - 1) / 2` underflows `usize` for n = 0
+    // (a panic in debug builds before this guard existed) and there are no
+    // pairs to report anyway.
+    if n < 2 {
+        return Vec::new();
+    }
+    let tiles = pair_row_tiles(n, runtime.recommended_tiles());
+    let blocks = runtime.par_map(&tiles, |rows| {
+        let mut block = Vec::with_capacity(pairs_in_rows(n, rows));
+        for i in rows.clone() {
+            for j in (i + 1)..n {
+                block.push(cosine(&rfds[i], &rfds[j]));
+            }
         }
+        block
+    });
+    let mut similarities = Vec::with_capacity(n * (n - 1) / 2);
+    for block in blocks {
+        similarities.extend(block);
     }
     similarities
 }
 
 /// Ground-truth similarity of every unordered resource pair in the same pair
-/// order as [`pairwise_similarities`], derived from taxonomy distance.
+/// order as [`pairwise_similarities`], derived from taxonomy distance, on the
+/// process-default [`Runtime`].
+///
+/// Returns an empty vector when there are fewer than two resources.
 pub fn ground_truth_similarities(taxonomy: &Taxonomy, num_resources: usize) -> Vec<f64> {
-    let mut similarities = Vec::with_capacity(num_resources * (num_resources - 1) / 2);
-    for i in 0..num_resources {
-        for j in (i + 1)..num_resources {
-            similarities
-                .push(taxonomy.ground_truth_similarity(ResourceId(i as u32), ResourceId(j as u32)));
+    ground_truth_similarities_with(&Runtime::from_env(), taxonomy, num_resources)
+}
+
+/// [`ground_truth_similarities`] on an explicit [`Runtime`]; tiled exactly
+/// like [`pairwise_similarities_with`] and bit-identical at any thread count.
+pub fn ground_truth_similarities_with(
+    runtime: &Runtime,
+    taxonomy: &Taxonomy,
+    num_resources: usize,
+) -> Vec<f64> {
+    let n = num_resources;
+    // Same `n * (n - 1) / 2` underflow guard as pairwise_similarities_with.
+    if n < 2 {
+        return Vec::new();
+    }
+    let tiles = pair_row_tiles(n, runtime.recommended_tiles());
+    let blocks = runtime.par_map(&tiles, |rows| {
+        let mut block = Vec::with_capacity(pairs_in_rows(n, rows));
+        for i in rows.clone() {
+            for j in (i + 1)..n {
+                block.push(
+                    taxonomy.ground_truth_similarity(ResourceId(i as u32), ResourceId(j as u32)),
+                );
+            }
         }
+        block
+    });
+    let mut similarities = Vec::with_capacity(n * (n - 1) / 2);
+    for block in blocks {
+        similarities.extend(block);
     }
     similarities
 }
@@ -73,12 +129,19 @@ pub fn ground_truth_similarities(taxonomy: &Taxonomy, num_resources: usize) -> V
 /// denominator would otherwise reward impoverished rfds for producing many
 /// tied (zero) similarities.
 pub fn ranking_accuracy(rfds: &[Rfd], taxonomy: &Taxonomy) -> f64 {
+    ranking_accuracy_with(&Runtime::from_env(), rfds, taxonomy)
+}
+
+/// [`ranking_accuracy`] on an explicit [`Runtime`]: the tiled pairwise /
+/// ground-truth kernels plus [`kendall_tau_a_with`], end to end bit-identical
+/// at any thread count.
+pub fn ranking_accuracy_with(runtime: &Runtime, rfds: &[Rfd], taxonomy: &Taxonomy) -> f64 {
     if rfds.len() < 2 {
         return 0.0;
     }
-    let observed = pairwise_similarities(rfds);
-    let truth = ground_truth_similarities(taxonomy, rfds.len());
-    kendall_tau_a(&observed, &truth)
+    let observed = pairwise_similarities_with(runtime, rfds);
+    let truth = ground_truth_similarities_with(runtime, taxonomy, rfds.len());
+    kendall_tau_a_with(runtime, &observed, &truth)
 }
 
 #[cfg(test)]
@@ -154,5 +217,52 @@ mod tests {
         let taxonomy = Taxonomy::new();
         assert_eq!(ranking_accuracy(&[], &taxonomy), 0.0);
         assert_eq!(ranking_accuracy(&[rfd(&[(0, 1)])], &taxonomy), 0.0);
+    }
+
+    #[test]
+    fn pairwise_similarities_handle_zero_and_one_resource() {
+        // Regression: `n * (n - 1) / 2` underflowed usize for n = 0 and
+        // panicked in debug builds before the empty guard.
+        assert!(pairwise_similarities(&[]).is_empty());
+        assert!(pairwise_similarities(&[rfd(&[(0, 1)])]).is_empty());
+    }
+
+    #[test]
+    fn ground_truth_similarities_handle_zero_and_one_resource() {
+        let taxonomy = Taxonomy::new();
+        assert!(ground_truth_similarities(&taxonomy, 0).is_empty());
+        assert!(ground_truth_similarities(&taxonomy, 1).is_empty());
+    }
+
+    #[test]
+    fn tiled_pairwise_kernels_are_bit_identical_across_thread_counts() {
+        let corpus = generate(&GeneratorConfig::small(40, 91));
+        let rfds: Vec<Rfd> = corpus
+            .resource_ids()
+            .map(|id| corpus.true_distribution(id).clone())
+            .collect();
+        let runtime = tagging_runtime::Runtime::sequential();
+        let reference_pairs = pairwise_similarities_with(&runtime, &rfds);
+        let reference_truth =
+            ground_truth_similarities_with(&runtime, &corpus.taxonomy, rfds.len());
+        let reference_accuracy = ranking_accuracy_with(&runtime, &rfds, &corpus.taxonomy);
+        assert_eq!(reference_pairs.len(), rfds.len() * (rfds.len() - 1) / 2);
+        for threads in [2, 8] {
+            let runtime = tagging_runtime::Runtime::new(threads);
+            let pairs = pairwise_similarities_with(&runtime, &rfds);
+            assert_eq!(pairs.len(), reference_pairs.len(), "threads {threads}");
+            for (k, (a, b)) in pairs.iter().zip(&reference_pairs).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}, pair {k}");
+            }
+            let truth = ground_truth_similarities_with(&runtime, &corpus.taxonomy, rfds.len());
+            for (k, (a, b)) in truth.iter().zip(&reference_truth).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}, pair {k}");
+            }
+            assert_eq!(
+                ranking_accuracy_with(&runtime, &rfds, &corpus.taxonomy).to_bits(),
+                reference_accuracy.to_bits(),
+                "threads {threads}: ranking accuracy diverged bitwise"
+            );
+        }
     }
 }

@@ -28,12 +28,15 @@
 
 pub mod accuracy;
 pub mod correlation;
+mod tiles;
 pub mod topk;
 
 pub use accuracy::{
-    ground_truth_similarities, pairwise_similarities, ranking_accuracy, rfds_after_allocation,
+    ground_truth_similarities, ground_truth_similarities_with, pairwise_similarities,
+    pairwise_similarities_with, ranking_accuracy, ranking_accuracy_with, rfds_after_allocation,
 };
 pub use correlation::{
-    kendall_tau, kendall_tau_a, kendall_tau_a_naive, kendall_tau_naive, mean, pearson, std_dev,
+    kendall_tau, kendall_tau_a, kendall_tau_a_naive, kendall_tau_a_with, kendall_tau_naive,
+    kendall_tau_with, mean, pearson, std_dev,
 };
 pub use topk::{category_hits, overlap_fraction, top_k_similar, RankedResource};

@@ -4,12 +4,15 @@
 
 use proptest::prelude::*;
 
+use tagging_analysis::accuracy::{pairwise_similarities, pairwise_similarities_with};
 use tagging_analysis::correlation::{
-    kendall_tau, kendall_tau_a, kendall_tau_a_naive, kendall_tau_naive, pearson,
+    kendall_tau, kendall_tau_a, kendall_tau_a_naive, kendall_tau_a_with, kendall_tau_naive,
+    kendall_tau_with, pearson,
 };
 use tagging_analysis::topk::{overlap_fraction, top_k_similar};
 use tagging_core::model::TagId;
 use tagging_core::rfd::Rfd;
+use tagging_runtime::Runtime;
 
 /// Strategy: a sample of 2–60 values drawn from a small discrete set (to force
 /// plenty of ties, the hard case for Kendall implementations).
@@ -44,6 +47,45 @@ proptest! {
         let n = x.len().min(y.len());
         let (x, y) = (&x[..n], &y[..n]);
         prop_assert!((kendall_tau_a(x, y) - kendall_tau_a_naive(x, y)).abs() < 1e-9);
+    }
+
+    /// The tiled τ-a/τ-b kernels equal their naive oracles **bitwise** at any
+    /// thread count. At 1 thread this also pins the Knight's fallback against
+    /// the naive definition bit-for-bit — the equality the adaptive kernel
+    /// selection in `kendall_tau_*_with` relies on.
+    #[test]
+    fn tiled_kendall_matches_naive_bitwise(x in arb_sample(), y in arb_sample()) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        for threads in [1usize, 2, 3, 8] {
+            let rt = Runtime::new(threads);
+            prop_assert_eq!(
+                kendall_tau_a_with(&rt, x, y).to_bits(),
+                kendall_tau_a_naive(x, y).to_bits(),
+                "τ-a diverged at {} threads", threads
+            );
+            prop_assert_eq!(
+                kendall_tau_with(&rt, x, y).to_bits(),
+                kendall_tau_naive(x, y).to_bits(),
+                "τ-b diverged at {} threads", threads
+            );
+        }
+    }
+
+    /// The tiled pairwise-similarity kernel equals the sequential row-major
+    /// loop bitwise at any thread count.
+    #[test]
+    fn tiled_pairwise_matches_sequential_bitwise(rfds in arb_rfds()) {
+        let reference = pairwise_similarities_with(&Runtime::sequential(), &rfds);
+        prop_assert_eq!(reference.len(), rfds.len() * (rfds.len() - 1) / 2);
+        prop_assert_eq!(&reference, &pairwise_similarities(&rfds));
+        for threads in [2usize, 8] {
+            let tiled = pairwise_similarities_with(&Runtime::new(threads), &rfds);
+            prop_assert_eq!(tiled.len(), reference.len());
+            for (k, (a, b)) in tiled.iter().zip(&reference).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "pair {} diverged at {} threads", k, threads);
+            }
+        }
     }
 
     /// Both τ variants and Pearson are bounded, symmetric in their arguments'

@@ -1,11 +1,18 @@
-//! Machine-readable wall-clock benchmark of the Figure 6 budget sweep — the
+//! Machine-readable wall-clock benchmark of the parallelised hot paths — the
 //! workspace's perf-trajectory anchor.
 //!
-//! Runs one untimed warm-up sweep, then the budget sweep once on a single
-//! thread and once on the configured thread count, records per-sweep-point
-//! and total wall-clock timings plus a cross-thread-count determinism verdict
-//! (`null` when only one thread ran, so nothing was compared), and writes
-//! everything to `BENCH_sweep.json` (override with `--out PATH`).
+//! Three timed stages, each run once on a single thread and once on the
+//! configured thread count (after an untimed warm-up), with a
+//! cross-thread-count determinism verdict (`null` when only one thread ran,
+//! so nothing was compared):
+//!
+//! 1. the Figure 6 budget sweep (the workload `repro_fig6` plots),
+//! 2. a DP layer-fill — `par_optimal_allocation` over a prebuilt quality
+//!    table at the scale's default budget,
+//! 3. a pairwise-ranking pass — `ranking_accuracy_with` over the Figure 7
+//!    resource subset.
+//!
+//! Everything is written to `BENCH_sweep.json` (override with `--out PATH`).
 //!
 //! Usage:
 //! `cargo run --release -p tagging-bench --bin repro_bench -- [--scale S] [--threads N] [--corpus PATH] [--out PATH]`
@@ -13,10 +20,13 @@
 use std::time::Instant;
 
 use serde::Value;
+use tagging_analysis::accuracy::ranking_accuracy_with;
 use tagging_bench::experiments::{fig6_include_dp, fig6_sweep_setup};
 use tagging_bench::{corpus_path_from_args, init_runtime, scale_from_args, setup};
+use tagging_core::rfd::{rfd_of_prefix, Rfd};
 use tagging_runtime::Runtime;
 use tagging_sim::sweep::{budget_sweep_with, sweep_fingerprint, SweepAlgorithms, SweepPoint};
+use tagging_strategies::dp::{par_optimal_allocation, QualityTable};
 
 /// One timed sweep execution.
 struct TimedRun {
@@ -44,6 +54,91 @@ fn run_once(
         threads,
         total_seconds: start.elapsed().as_secs_f64(),
         points,
+    }
+}
+
+/// One 1-vs-N-threads timing of a single parallel kernel, plus whether the
+/// two runs produced bit-identical results (`None` when only one thread ran).
+struct KernelBench {
+    baseline_seconds: f64,
+    parallel_seconds: Option<f64>,
+    deterministic: Option<bool>,
+}
+
+impl KernelBench {
+    /// Times `run` at 1 thread and (when `threads > 1`) at `threads`,
+    /// comparing the two results with `identical`. `run` is invoked once
+    /// untimed at `threads` first so neither timed run pays first-touch
+    /// costs.
+    fn measure<T>(
+        threads: usize,
+        run: impl Fn(&Runtime) -> T,
+        identical: impl Fn(&T, &T) -> bool,
+    ) -> Self {
+        let _ = run(&Runtime::new(threads)); // warm-up
+        let start = Instant::now();
+        let baseline = run(&Runtime::new(1));
+        let baseline_seconds = start.elapsed().as_secs_f64();
+        let (parallel_seconds, deterministic) = if threads > 1 {
+            let start = Instant::now();
+            let parallel = run(&Runtime::new(threads));
+            let seconds = start.elapsed().as_secs_f64();
+            (Some(seconds), Some(identical(&baseline, &parallel)))
+        } else {
+            (None, None)
+        };
+        Self {
+            baseline_seconds,
+            parallel_seconds,
+            deterministic,
+        }
+    }
+
+    fn speedup(&self) -> Option<f64> {
+        self.parallel_seconds
+            .map(|p| self.baseline_seconds / p.max(f64::MIN_POSITIVE))
+    }
+
+    /// JSON object: `extra` fields first, then the timings and the verdict
+    /// (`null` where nothing was compared).
+    fn to_json(&self, extra: &[(&str, Value)]) -> Value {
+        let mut fields: Vec<(String, Value)> = extra
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        fields.push((
+            "baseline_seconds".to_string(),
+            Value::Float(self.baseline_seconds),
+        ));
+        fields.push((
+            "parallel_seconds".to_string(),
+            self.parallel_seconds
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+        ));
+        fields.push((
+            "speedup".to_string(),
+            self.speedup().map(Value::Float).unwrap_or(Value::Null),
+        ));
+        fields.push((
+            "deterministic".to_string(),
+            self.deterministic.map(Value::Bool).unwrap_or(Value::Null),
+        ));
+        Value::Object(fields)
+    }
+
+    fn summary(&self, name: &str) -> String {
+        format!(
+            "{name}: 1 thread: {:.3}s{}",
+            self.baseline_seconds,
+            self.parallel_seconds
+                .zip(self.speedup())
+                .zip(self.deterministic)
+                .map(|((p, s), d)| format!(
+                    ", parallel: {p:.3}s (speedup {s:.2}x, deterministic: {d})"
+                ))
+                .unwrap_or_default()
+        )
     }
 }
 
@@ -127,6 +222,46 @@ fn main() {
         .as_ref()
         .map(|p| baseline.total_seconds / p.total_seconds.max(f64::MIN_POSITIVE));
 
+    // --- DP layer-fill: the chunked recurrence over a prebuilt table --------
+    let dp_budget = scale.default_budget();
+    let dp_cap = scale.dp_table_cap().min(dp_budget);
+    eprintln!(
+        "benchmarking DP layer-fill at budget {dp_budget} ({} resources)",
+        scenario.len()
+    );
+    let table = QualityTable::par_from_posts(
+        &Runtime::new(runtime.threads()),
+        &scenario.initial,
+        &scenario.future,
+        &scenario.references,
+        dp_cap,
+    );
+    let dp = KernelBench::measure(
+        runtime.threads(),
+        |rt| par_optimal_allocation(rt, &table, dp_budget),
+        |a, b| {
+            a.allocation == b.allocation && a.total_quality.to_bits() == b.total_quality.to_bits()
+        },
+    );
+
+    // --- Pairwise ranking: the tiled Figure 7 accuracy pass -----------------
+    let accuracy_scenario = scenario.take(scale.accuracy_resources());
+    let rfds: Vec<Rfd> = accuracy_scenario
+        .initial
+        .iter()
+        .map(|posts| rfd_of_prefix(posts, posts.len()))
+        .collect();
+    eprintln!(
+        "benchmarking pairwise ranking pass over {} resources ({} pairs)",
+        rfds.len(),
+        rfds.len() * rfds.len().saturating_sub(1) / 2
+    );
+    let pairwise = KernelBench::measure(
+        runtime.threads(),
+        |rt| ranking_accuracy_with(rt, &rfds, &corpus.taxonomy),
+        |a, b| a.to_bits() == b.to_bits(),
+    );
+
     let mut runs = vec![run_to_json(&baseline)];
     if let Some(p) = &parallel {
         runs.push(run_to_json(p));
@@ -165,13 +300,31 @@ fn main() {
             "deterministic".to_string(),
             deterministic.map(Value::Bool).unwrap_or(Value::Null),
         ),
+        (
+            "dp".to_string(),
+            dp.to_json(&[
+                ("budget", Value::UInt(dp_budget as u64)),
+                ("table_cap", Value::UInt(dp_cap as u64)),
+                ("resources", Value::UInt(scenario.len() as u64)),
+            ]),
+        ),
+        (
+            "pairwise".to_string(),
+            pairwise.to_json(&[
+                ("resources", Value::UInt(rfds.len() as u64)),
+                (
+                    "pairs",
+                    Value::UInt((rfds.len() * rfds.len().saturating_sub(1) / 2) as u64),
+                ),
+            ]),
+        ),
     ]);
 
     let json = serde_json::to_string_pretty(&report).expect("Value serialization is total");
     std::fs::write(&out_path, format!("{json}\n")).expect("writing the benchmark report");
 
     println!(
-        "wrote {out_path}: 1 thread: {:.3}s{}{}",
+        "wrote {out_path}: sweep 1 thread: {:.3}s{}{}",
         baseline.total_seconds,
         parallel
             .as_ref()
@@ -182,8 +335,22 @@ fn main() {
             .map(|(s, d)| format!(" (speedup {s:.2}x, deterministic: {d})"))
             .unwrap_or_default()
     );
+    println!("{}", dp.summary("dp layer-fill"));
+    println!("{}", pairwise.summary("pairwise ranking"));
+    let mut failed = false;
     if deterministic == Some(false) {
         eprintln!("error: parallel sweep diverged from the single-threaded sweep");
+        failed = true;
+    }
+    if dp.deterministic == Some(false) {
+        eprintln!("error: parallel DP layer-fill diverged from the single-threaded run");
+        failed = true;
+    }
+    if pairwise.deterministic == Some(false) {
+        eprintln!("error: parallel pairwise ranking diverged from the single-threaded run");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -4,17 +4,26 @@
 //! (b) the correlation between tagging quality and ranking accuracy across all
 //!     runs (the paper reports > 98%).
 //!
-//! Usage: `cargo run --release -p tagging-bench --bin repro_fig7 -- [--scale S] [--threads N] [--corpus PATH] [a|b]`
+//! The quadratic pairwise-ranking pass and the DP runs execute on the
+//! tagging-runtime executor (`--threads`, `TAGGING_THREADS`, or all available
+//! cores); all output is bit-identical at any thread count. `--json` emits one
+//! machine-readable report instead of the text tables — it carries no thread
+//! count or timings (those go to stderr), so the CI matrix can diff it
+//! byte-for-byte across thread counts.
+//!
+//! Usage: `cargo run --release -p tagging-bench --bin repro_fig7 -- [--scale S] [--threads N] [--corpus PATH] [--json] [a|b]`
 
-use tagging_bench::casestudy::{fig7_accuracy_sweep, quality_accuracy_correlation};
-use tagging_bench::reporting::{fmt_f64, TextTable};
-use tagging_bench::{corpus_path_from_args, scale_from_args, setup, Scale};
+use serde::Value;
+use tagging_bench::casestudy::{fig7_accuracy_sweep_with, quality_accuracy_correlation};
+use tagging_bench::reporting::{fmt_f64, json_report, TextTable};
+use tagging_bench::{corpus_path_from_args, has_flag, init_runtime, scale_from_args, setup, Scale};
 use tagging_sim::scenario::Scenario;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
-    tagging_bench::init_runtime(&args);
+    let runtime = init_runtime(&args);
+    let json = has_flag(&args, "--json");
     let panel = args
         .iter()
         .find(|a| *a == "a" || *a == "b")
@@ -36,18 +45,69 @@ fn main() {
         .collect();
     let include_dp = scale != Scale::Paper;
 
-    println!(
-        "accuracy experiment on {} resources, budgets {:?}",
+    // Thread count on stderr only: stdout (text and JSON alike) must stay
+    // byte-identical across `--threads` values — the contract the CI matrix
+    // checks by diffing the fig7 JSON.
+    eprintln!(
+        "accuracy experiment on {} resources, budgets {budgets:?}, {} runtime thread(s)",
         scenario.len(),
-        budgets
+        runtime.threads()
     );
-    let points = fig7_accuracy_sweep(
+    let points = fig7_accuracy_sweep_with(
+        &runtime,
         &corpus,
         &scenario,
         &budgets,
         5,
         include_dp,
         scale.dp_table_cap(),
+    );
+    let corr = quality_accuracy_correlation(&points);
+
+    if json {
+        let json_points: Vec<Value> = points
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("strategy".to_string(), Value::String(p.strategy.clone())),
+                    ("budget".to_string(), Value::UInt(p.budget as u64)),
+                    ("quality".to_string(), Value::Float(p.quality)),
+                    ("accuracy".to_string(), Value::Float(p.accuracy)),
+                ])
+            })
+            .collect();
+        println!(
+            "{}",
+            json_report(
+                "fig7",
+                &[
+                    ("scale", Value::String(format!("{scale:?}").to_lowercase())),
+                    ("resources", Value::UInt(scenario.len() as u64)),
+                    (
+                        "budgets",
+                        Value::Array(budgets.iter().map(|&b| Value::UInt(b as u64)).collect()),
+                    ),
+                    ("include_dp", Value::Bool(include_dp)),
+                ],
+                &[
+                    ("a", Value::Array(json_points)),
+                    (
+                        "b",
+                        Value::Object(vec![(
+                            "quality_accuracy_correlation".to_string(),
+                            Value::Float(corr),
+                        )]),
+                    ),
+                ],
+            )
+        );
+        return;
+    }
+
+    println!(
+        "accuracy experiment on {} resources, budgets {:?}",
+        scenario.len(),
+        budgets
     );
 
     if panel.contains('a') {
@@ -73,7 +133,6 @@ fn main() {
             table.add_row([fmt_f64(p.quality, 4), fmt_f64(p.accuracy, 4)]);
         }
         println!("{}", table.render());
-        let corr = quality_accuracy_correlation(&points);
         println!(
             "Pearson correlation between tagging quality and ranking accuracy: {corr:.3} \
              (paper reports > 0.98)"

@@ -5,15 +5,15 @@
 //!
 //! Usage: `cargo run --release -p tagging-bench --bin repro_table6 -- [--scale S] [--threads N] [--corpus PATH]`
 
-use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison};
+use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison_with};
 use tagging_bench::reporting::{fmt_percent, TextTable};
-use tagging_bench::{corpus_path_from_args, scale_from_args, setup};
+use tagging_bench::{corpus_path_from_args, init_runtime, scale_from_args, setup};
 use tagging_sim::scenario::Scenario;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.clone());
-    tagging_bench::init_runtime(&args);
+    let runtime = init_runtime(&args);
     let corpus = setup::load_or_generate_corpus(scale, corpus_path_from_args(&args).as_deref());
     let scenario =
         Scenario::from_corpus(&corpus, &setup::scenario_params()).take(scale.accuracy_resources());
@@ -22,7 +22,9 @@ fn main() {
         .round() as usize;
 
     let subject = pick_case_study_subjects(&scenario, 1)[0];
-    let comparison = top_k_comparison(&corpus, &scenario, subject, 10, budget);
+    // The rfd snapshots behind the comparison run on the runtime's threads;
+    // the table itself is bit-identical at any thread count.
+    let comparison = top_k_comparison_with(&runtime, &corpus, &scenario, subject, 10, budget);
 
     println!("=== Table VI: top-10 similar resources ===");
     println!(

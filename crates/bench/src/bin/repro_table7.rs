@@ -7,7 +7,7 @@
 
 use serde::Value;
 use tagging_analysis::topk::category_hits;
-use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison};
+use tagging_bench::casestudy::{pick_case_study_subjects, top_k_comparison_with};
 use tagging_bench::reporting::{json_report, TextTable};
 use tagging_bench::{corpus_path_from_args, has_flag, init_runtime, scale_from_args, setup};
 use tagging_core::model::ResourceId;
@@ -39,7 +39,9 @@ fn main() {
     let rows: Vec<Row> = subjects
         .into_iter()
         .map(|subject| {
-            let comparison = top_k_comparison(&corpus, &scenario, subject, 10, budget);
+            // Each comparison's rfd snapshots run on the runtime's threads.
+            let comparison =
+                top_k_comparison_with(&runtime, &corpus, &scenario, subject, 10, budget);
             let subject_topic = corpus.profiles[subject.index()].primary_topic;
             let same_topic =
                 |id: ResourceId| corpus.profiles[id.index()].primary_topic == subject_topic;

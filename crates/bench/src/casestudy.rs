@@ -2,12 +2,13 @@
 //! resources tables (Tables VI and VII) and the ranking-accuracy experiment
 //! (Figure 7).
 
-use tagging_analysis::accuracy::{ranking_accuracy, rfds_after_allocation};
+use tagging_analysis::accuracy::{ranking_accuracy_with, rfds_after_allocation};
 use tagging_analysis::correlation::pearson;
 use tagging_analysis::topk::{overlap_fraction, top_k_similar, RankedResource};
 use tagging_core::model::{Post, ResourceId};
 use tagging_core::rfd::{rfd_of_prefix, Rfd};
-use tagging_sim::engine::{run_strategy, RunConfig};
+use tagging_runtime::Runtime;
+use tagging_sim::engine::{run_dp_capped_with, run_strategy, RunConfig};
 use tagging_sim::metrics::{delivered_posts, mean_quality};
 use tagging_sim::scenario::Scenario;
 use tagging_strategies::framework::{run_allocation, ReplaySource};
@@ -91,23 +92,36 @@ pub fn top_k_comparison(
     k: usize,
     budget: usize,
 ) -> TopKComparison {
+    top_k_comparison_with(&Runtime::from_env(), corpus, scenario, subject, k, budget)
+}
+
+/// [`top_k_comparison`] on an explicit [`Runtime`]: the per-resource rfd
+/// snapshots (initial and ideal) and the two independent allocation replays
+/// (FC, FP) run in parallel. Every piece is a pure function of its inputs, so
+/// the comparison is bit-identical at any thread count.
+pub fn top_k_comparison_with(
+    runtime: &Runtime,
+    corpus: &SyntheticCorpus,
+    scenario: &Scenario,
+    subject: ResourceId,
+    k: usize,
+    budget: usize,
+) -> TopKComparison {
     assert!(
         subject.index() < scenario.len(),
         "subject {subject} outside the scenario"
     );
-    let initial_rfds: Vec<Rfd> = scenario
-        .initial
-        .iter()
-        .map(|posts| rfd_of_prefix(posts, posts.len()))
-        .collect();
-    let ideal_rfds: Vec<Rfd> = (0..scenario.len())
-        .map(|i| {
-            let full = corpus.full_sequence(ResourceId(i as u32));
-            rfd_of_prefix(full, full.len())
-        })
-        .collect();
-    let fc_rfds = rfds_under_strategy(scenario, StrategyKind::Fc, budget, 5, 17);
-    let fp_rfds = rfds_under_strategy(scenario, StrategyKind::Fp, budget, 5, 17);
+    let initial_rfds: Vec<Rfd> =
+        runtime.par_map(&scenario.initial, |posts| rfd_of_prefix(posts, posts.len()));
+    let ideal_rfds: Vec<Rfd> = runtime.par_map_indexed(scenario.len(), |i| {
+        let full = corpus.full_sequence(ResourceId(i as u32));
+        rfd_of_prefix(full, full.len())
+    });
+    let mut strategy_rfds = runtime.par_map(&[StrategyKind::Fc, StrategyKind::Fp], |&kind| {
+        rfds_under_strategy(scenario, kind, budget, 5, 17)
+    });
+    let fp_rfds = strategy_rfds.pop().expect("FP snapshot present");
+    let fc_rfds = strategy_rfds.pop().expect("FC snapshot present");
 
     let subject_name = corpus
         .corpus
@@ -167,6 +181,32 @@ pub fn fig7_accuracy_sweep(
     include_dp: bool,
     dp_table_cap: usize,
 ) -> Vec<AccuracyPoint> {
+    fig7_accuracy_sweep_with(
+        &Runtime::from_env(),
+        corpus,
+        scenario,
+        budgets,
+        omega,
+        include_dp,
+        dp_table_cap,
+    )
+}
+
+/// [`fig7_accuracy_sweep`] on an explicit [`Runtime`]: the DP run (quality
+/// table + chunked recurrence) and the quadratic pairwise-ranking pass of
+/// every point run on the runtime's threads, bit-identical at any thread
+/// count. The points themselves are produced in the fixed
+/// budget-major/strategy-minor order whatever the thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn fig7_accuracy_sweep_with(
+    runtime: &Runtime,
+    corpus: &SyntheticCorpus,
+    scenario: &Scenario,
+    budgets: &[usize],
+    omega: usize,
+    include_dp: bool,
+    dp_table_cap: usize,
+) -> Vec<AccuracyPoint> {
     let mut points = Vec::new();
     for &budget in budgets {
         let config = RunConfig {
@@ -175,7 +215,7 @@ pub fn fig7_accuracy_sweep(
             seed: 1,
         };
         if include_dp {
-            let metrics = tagging_sim::engine::run_dp_capped(scenario, &config, dp_table_cap);
+            let metrics = run_dp_capped_with(scenario, &config, dp_table_cap, runtime);
             let delivered: Vec<Vec<Post>> = (0..scenario.len())
                 .map(|i| {
                     let take = (metrics.allocation[i] as usize).min(scenario.future[i].len());
@@ -187,7 +227,7 @@ pub fn fig7_accuracy_sweep(
                 strategy: "DP".to_string(),
                 budget,
                 quality: metrics.mean_quality,
-                accuracy: ranking_accuracy(&rfds, &corpus.taxonomy),
+                accuracy: ranking_accuracy_with(runtime, &rfds, &corpus.taxonomy),
             });
         }
         for kind in StrategyKind::ALL {
@@ -206,7 +246,7 @@ pub fn fig7_accuracy_sweep(
                 strategy: kind.name().to_string(),
                 budget,
                 quality: mean_quality(scenario, &delivered),
-                accuracy: ranking_accuracy(&rfds, &corpus.taxonomy),
+                accuracy: ranking_accuracy_with(runtime, &rfds, &corpus.taxonomy),
             });
         }
     }
@@ -293,6 +333,66 @@ mod tests {
             corr > 0.3,
             "quality and ranking accuracy should be positively correlated, got {corr}"
         );
+    }
+
+    #[test]
+    fn top_k_comparison_is_bit_identical_across_thread_counts() {
+        let (corpus, scenario) = small_setup();
+        let subject = pick_case_study_subjects(&scenario, 1)[0];
+        let reference =
+            top_k_comparison_with(&Runtime::sequential(), corpus, &scenario, subject, 10, 200);
+        for threads in [2, 8] {
+            let parallel =
+                top_k_comparison_with(&Runtime::new(threads), corpus, &scenario, subject, 10, 200);
+            assert_eq!(parallel.initial, reference.initial, "threads {threads}");
+            assert_eq!(parallel.fc, reference.fc, "threads {threads}");
+            assert_eq!(parallel.fp, reference.fp, "threads {threads}");
+            assert_eq!(parallel.ideal, reference.ideal, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fig7_sweep_is_bit_identical_across_thread_counts() {
+        let (corpus, _) = small_setup();
+        let scenario = Scenario::from_corpus(corpus, &scenario_params()).take(30);
+        let budgets = [0, 60];
+        let reference = fig7_accuracy_sweep_with(
+            &Runtime::sequential(),
+            corpus,
+            &scenario,
+            &budgets,
+            5,
+            true,
+            60,
+        );
+        for threads in [2, 8] {
+            let parallel = fig7_accuracy_sweep_with(
+                &Runtime::new(threads),
+                corpus,
+                &scenario,
+                &budgets,
+                5,
+                true,
+                60,
+            );
+            assert_eq!(parallel.len(), reference.len(), "threads {threads}");
+            for (p, r) in parallel.iter().zip(&reference) {
+                assert_eq!(p.strategy, r.strategy, "threads {threads}");
+                assert_eq!(p.budget, r.budget, "threads {threads}");
+                assert_eq!(
+                    p.quality.to_bits(),
+                    r.quality.to_bits(),
+                    "threads {threads}: {} quality diverged",
+                    p.strategy
+                );
+                assert_eq!(
+                    p.accuracy.to_bits(),
+                    r.accuracy.to_bits(),
+                    "threads {threads}: {} accuracy diverged",
+                    p.strategy
+                );
+            }
+        }
     }
 
     #[test]

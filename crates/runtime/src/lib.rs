@@ -218,6 +218,16 @@ impl Runtime {
     {
         self.par_map_indexed(items.len(), |i| f(&items[i]))
     }
+
+    /// How many work tiles a blocked kernel should split its input into on
+    /// this runtime: `threads × 4`, the same chunks-per-thread factor
+    /// `par_map*` uses internally, so uneven tile costs (e.g. the shrinking
+    /// rows of a triangular pair loop) can still be rebalanced from the
+    /// shared cursor. More tiles means better balance but more per-tile
+    /// bookkeeping; the output never depends on the tile count.
+    pub fn recommended_tiles(&self) -> usize {
+        self.threads * CHUNKS_PER_THREAD
+    }
 }
 
 /// Chunk-granularity factor: each thread's share of the work list is split
@@ -258,6 +268,12 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let rt = Runtime::new(64);
         assert_eq!(rt.par_map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn recommended_tiles_scale_with_threads() {
+        assert_eq!(Runtime::sequential().recommended_tiles(), CHUNKS_PER_THREAD);
+        assert_eq!(Runtime::new(8).recommended_tiles(), 8 * CHUNKS_PER_THREAD);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use tagging_runtime::Runtime;
-use tagging_strategies::dp::{optimal_allocation, QualityTable};
+use tagging_strategies::dp::{par_optimal_allocation, QualityTable};
 use tagging_strategies::framework::{run_allocation, AllocationStrategy, ReplaySource};
 use tagging_strategies::StrategyKind;
 
@@ -100,8 +100,8 @@ pub fn run_dp(scenario: &Scenario, config: &RunConfig) -> RunMetrics {
 
 /// [`run_dp`] with an explicit per-resource cap on the quality table width.
 ///
-/// The quality table is built on the process-default [`Runtime`], so a
-/// standalone DP run uses all configured threads. Sweeps instead pass an
+/// The quality table and the DP recurrence run on the process-default
+/// [`Runtime`], so a standalone DP run uses all configured threads. Sweeps instead pass an
 /// explicit inner runtime via [`run_dp_capped_with`] — sequential when there
 /// are at least as many sweep points as threads, wider when spare threads
 /// would otherwise idle (see `inner_runtime` in `tagging-sim::sweep`).
@@ -113,8 +113,9 @@ pub fn run_dp_capped(
     run_dp_capped_with(scenario, config, max_per_resource, &Runtime::from_env())
 }
 
-/// [`run_dp_capped`] with an explicit [`Runtime`] for the quality-table
-/// construction. Output is bit-identical at any thread count.
+/// [`run_dp_capped`] with an explicit [`Runtime`] for both the quality-table
+/// construction and the DP recurrence itself (`par_optimal_allocation`'s
+/// chunked layer fill). Output is bit-identical at any thread count.
 pub fn run_dp_capped_with(
     scenario: &Scenario,
     config: &RunConfig,
@@ -130,7 +131,7 @@ pub fn run_dp_capped_with(
         &scenario.references,
         cap,
     );
-    let result = optimal_allocation(&table, config.budget);
+    let result = par_optimal_allocation(runtime, &table, config.budget);
     let runtime_seconds = start.elapsed().as_secs_f64();
 
     // Deliver the allocated posts (up to what the recorded future provides) so

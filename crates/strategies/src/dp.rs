@@ -100,6 +100,10 @@ impl QualityTable {
         budget: usize,
         metric: &M,
     ) -> Self {
+        assert!(
+            !initial.is_empty(),
+            "cannot allocate over zero resources (the quality table needs at least one resource)"
+        );
         assert_eq!(
             initial.len(),
             future.len(),
@@ -133,7 +137,10 @@ impl QualityTable {
     /// Builds a table directly from explicit quality rows (used in tests and by
     /// ablation benches).
     pub fn from_rows(values: Vec<Vec<f64>>) -> Self {
-        assert!(!values.is_empty(), "the table needs at least one resource");
+        assert!(
+            !values.is_empty(),
+            "cannot allocate over zero resources (the table needs at least one resource)"
+        );
         let width = values[0].len();
         assert!(width >= 1, "each row needs at least the x = 0 entry");
         assert!(
@@ -149,6 +156,10 @@ impl QualityTable {
     }
 
     /// Largest per-resource allocation the table covers.
+    ///
+    /// Every constructor rejects zero-resource tables with a
+    /// "cannot allocate over zero resources" panic, so `values[0]` always
+    /// exists here.
     pub fn max_allocation(&self) -> usize {
         self.values[0].len() - 1
     }
@@ -176,14 +187,48 @@ impl DpAllocation {
     }
 }
 
-/// Algorithm 6: exact DP over (budget, resource prefix).
+/// Algorithm 6: exact DP over (budget, resource prefix), on the
+/// process-default [`Runtime`] (see [`par_optimal_allocation`]).
 ///
 /// Panics when the table is empty. `budget` may exceed
 /// [`QualityTable::max_allocation`]; per-resource allocations beyond the table
 /// simply stop improving quality (consistent with [`QualityTable::quality`]).
 pub fn optimal_allocation(table: &QualityTable, budget: usize) -> DpAllocation {
+    par_optimal_allocation(&Runtime::from_env(), table, budget)
+}
+
+/// Rows narrower than this many cells run the layer fill on the calling
+/// thread: every layer pays a fresh scoped-thread fan-out (tens of
+/// microseconds of spawn/join), while a layer holds only `O(budget²/2)`
+/// additions — measured on 2 cores the fan-out breaks even around 500–1,000
+/// cells, so below this cutoff parallelism is a net loss. The cutoff is
+/// invisible in the output — every cell is a pure function of the previous
+/// layer's row — and is `pub` so tests can straddle it.
+pub const PAR_DP_MIN_CELLS: usize = 512;
+
+/// [`optimal_allocation`] on an explicit [`Runtime`] — the parallel DP core.
+///
+/// Within each layer `l` the `budget + 1` cells of the recurrence only read
+/// the previous layer's row `prev`, so they are computed in parallel chunks
+/// over `b` and reassembled in budget order (the paper's Table V `O(n·B²)`
+/// bound divides by the thread count). The argmax tie-break is "smallest `x`
+/// wins" (strict `>`), decided independently inside each cell's own `x` loop,
+/// so chunked evaluation preserves it exactly: the result is bit-identical at
+/// any thread count. This mirrors the [`QualityTable::par_from_posts`]
+/// pattern for the table build that precedes the recurrence.
+pub fn par_optimal_allocation(
+    runtime: &Runtime,
+    table: &QualityTable,
+    budget: usize,
+) -> DpAllocation {
     let n = table.num_resources();
     assert!(n >= 1, "cannot allocate over zero resources");
+
+    let layer_runtime = if budget + 1 < PAR_DP_MIN_CELLS {
+        Runtime::sequential()
+    } else {
+        *runtime
+    };
 
     // q[b] for the current prefix; y[l][b] records the optimal x_l at (b, l).
     let mut prev: Vec<f64> = (0..=budget).map(|b| table.quality(0, b)).collect();
@@ -191,35 +236,47 @@ pub fn optimal_allocation(table: &QualityTable, budget: usize) -> DpAllocation {
     choice.push((0..=budget).map(|b| b as u32).collect());
 
     for l in 1..n {
-        let mut cur = vec![f64::NEG_INFINITY; budget + 1];
-        let mut cur_choice = vec![0u32; budget + 1];
-        for b in 0..=budget {
+        let cells: Vec<(f64, u32)> = layer_runtime.par_map_indexed(budget + 1, |b| {
             let mut best = f64::NEG_INFINITY;
             let mut best_x = 0u32;
             for x in 0..=b {
                 let candidate = prev[b - x] + table.quality(l, x);
+                // Strict `>`: on ties the smallest x wins, whatever chunk
+                // this cell happens to run in.
                 if candidate > best {
                     best = candidate;
                     best_x = x as u32;
                 }
             }
-            cur[b] = best;
-            cur_choice[b] = best_x;
+            (best, best_x)
+        });
+        let mut cur = Vec::with_capacity(budget + 1);
+        let mut cur_choice = Vec::with_capacity(budget + 1);
+        for (quality, x) in cells {
+            cur.push(quality);
+            cur_choice.push(x);
         }
         prev = cur;
         choice.push(cur_choice);
     }
 
-    // Backtrack the optimal assignment.
+    // Backtrack the optimal assignment. A table/choice inconsistency must
+    // fail loudly here instead of silently returning a partial allocation:
+    // these checks are O(n) next to the O(n·B²) fill, so they stay on in
+    // release builds (they used to be debug-only).
     let total_quality = prev[budget];
     let mut allocation = vec![0u32; n];
     let mut b = budget;
     for l in (0..n).rev() {
         let x = choice[l][b] as usize;
+        assert!(
+            x <= b,
+            "choice table inconsistent at layer {l}: x = {x} exceeds the remaining budget {b}"
+        );
         allocation[l] = x as u32;
         b -= x;
     }
-    debug_assert_eq!(b, 0, "backtracking must consume the whole budget");
+    assert_eq!(b, 0, "backtracking must consume the whole budget");
 
     DpAllocation {
         allocation,
@@ -485,7 +542,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one resource")]
+    fn par_dp_recurrence_is_bit_identical_across_thread_counts() {
+        // A budget wide enough to clear PAR_DP_MIN_CELLS, so the chunked
+        // layer fill actually runs; quality clamps beyond each row's width.
+        let table = QualityTable::from_rows(vec![
+            vec![0.10, 0.40, 0.55, 0.60, 0.62],
+            vec![0.50, 0.52, 0.90, 0.91, 0.92],
+            vec![0.80, 0.81, 0.82, 0.83, 0.84],
+            vec![0.05, 0.06, 0.07, 0.70, 0.71],
+        ]);
+        for budget in [0, 3, 400, PAR_DP_MIN_CELLS + 37] {
+            let reference = par_optimal_allocation(&Runtime::sequential(), &table, budget);
+            assert_eq!(
+                reference.allocation.iter().sum::<u32>() as usize,
+                budget,
+                "budget {budget} not fully spent"
+            );
+            for threads in [2, 8] {
+                let parallel = par_optimal_allocation(&Runtime::new(threads), &table, budget);
+                assert_eq!(
+                    parallel.allocation, reference.allocation,
+                    "threads {threads}, budget {budget}"
+                );
+                assert_eq!(
+                    parallel.total_quality.to_bits(),
+                    reference.total_quality.to_bits(),
+                    "threads {threads}, budget {budget}: DP value diverged bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot allocate over zero resources")]
+    fn from_posts_rejects_zero_resources() {
+        QualityTable::from_posts(&[], &[], &[], 3);
+    }
+
+    #[test]
+    // The construction panic matches optimal_allocation's message, so a
+    // zero-resource table fails the same way wherever it is caught.
+    #[should_panic(expected = "cannot allocate over zero resources")]
     fn from_rows_rejects_empty() {
         QualityTable::from_rows(vec![]);
     }

@@ -11,7 +11,10 @@
 use proptest::prelude::*;
 
 use tagging_core::model::{Post, TagId};
-use tagging_strategies::dp::{brute_force_allocation, optimal_allocation, QualityTable};
+use tagging_runtime::Runtime;
+use tagging_strategies::dp::{
+    brute_force_allocation, optimal_allocation, par_optimal_allocation, QualityTable,
+};
 use tagging_strategies::framework::{run_allocation, ReplaySource};
 use tagging_strategies::StrategyKind;
 
@@ -165,5 +168,42 @@ proptest! {
         let bf = brute_force_allocation(&table, budget);
         prop_assert!((dp.total_quality - bf.total_quality).abs() < 1e-9);
         prop_assert_eq!(dp.allocation.iter().map(|&x| x as usize).sum::<usize>(), budget);
+    }
+
+    /// The chunked parallel DP is bit-identical to the sequential recurrence
+    /// and its backtracked allocation always spends exactly the budget —
+    /// the invariant the release-mode backtracking asserts now guard.
+    /// Budgets straddle the `PAR_DP_MIN_CELLS` cutoff so both the sequential
+    /// fallback and the genuinely chunked layer fill are exercised.
+    #[test]
+    fn par_dp_matches_sequential_and_spends_the_budget(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 5),
+            1..5,
+        ),
+        budget in 0usize..160,
+    ) {
+        let table = QualityTable::from_rows(rows);
+        // The drawn budget stays below the cutoff (sequential layer fill);
+        // its shifted twin lands above it and exercises the chunked fill.
+        let wide = tagging_strategies::dp::PAR_DP_MIN_CELLS + budget % 60;
+        for budget in [budget, wide] {
+            let reference = par_optimal_allocation(&Runtime::sequential(), &table, budget);
+            prop_assert_eq!(
+                reference.allocation.iter().map(|&x| x as usize).sum::<usize>(),
+                budget,
+                "sequential DP did not spend the budget"
+            );
+            for threads in [2, 8] {
+                let parallel = par_optimal_allocation(&Runtime::new(threads), &table, budget);
+                prop_assert_eq!(&parallel.allocation, &reference.allocation, "threads {}", threads);
+                prop_assert_eq!(
+                    parallel.total_quality.to_bits(),
+                    reference.total_quality.to_bits(),
+                    "threads {}: DP value diverged bitwise",
+                    threads
+                );
+            }
+        }
     }
 }

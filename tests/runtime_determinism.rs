@@ -1,19 +1,28 @@
 //! End-to-end determinism goldens for the `tagging-runtime` subsystem: the
-//! three parallelised hot paths — corpus generation, the Figure 6 budget
-//! sweep, and the DP optimum — must produce identical results at 1, 2 and 8
-//! runtime threads, and identical to the explicitly sequential path.
+//! parallelised hot paths — corpus generation, the Figure 6 budget sweep,
+//! the DP optimum (quality table *and* the chunked recurrence), and the
+//! tiled pairwise/Kendall ranking kernels — must produce identical results
+//! at 1, 2 and 8 runtime threads, and identical to the explicitly sequential
+//! path.
 //!
 //! The CI thread-count matrix additionally runs this suite under
 //! `TAGGING_THREADS=1,2,8`, which exercises the *implicit* (process-default)
 //! runtime used by `generate`/`budget_sweep`/`QualityTable::from_posts`.
 
 use delicious_sim::generator::{generate, generate_with, GeneratorConfig};
+use tagging_analysis::accuracy::{
+    ground_truth_similarities_with, pairwise_similarities_with, ranking_accuracy_with,
+};
+use tagging_analysis::correlation::{
+    kendall_tau_a_naive, kendall_tau_a_with, kendall_tau_naive, kendall_tau_with,
+};
+use tagging_core::rfd::Rfd;
 use tagging_core::stability::StabilityParams;
 use tagging_runtime::Runtime;
 use tagging_sim::engine::RunConfig;
 use tagging_sim::scenario::{Scenario, ScenarioParams};
 use tagging_sim::sweep::{budget_sweep_with, sweep_fingerprint, SweepAlgorithms};
-use tagging_strategies::dp::{optimal_allocation, QualityTable};
+use tagging_strategies::dp::{optimal_allocation, par_optimal_allocation, QualityTable};
 use tagging_strategies::StrategyKind;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -87,6 +96,109 @@ fn budget_sweep_is_identical_at_1_2_and_8_threads() {
             sweep_fingerprint(&points),
             reference,
             "threads {threads}: sweep metrics diverged"
+        );
+    }
+}
+
+#[test]
+fn par_dp_recurrence_is_identical_at_1_2_and_8_threads() {
+    // A budget wide enough to clear the chunked layer fill's sequential
+    // cutoff (PAR_DP_MIN_CELLS), so the parallel recurrence itself is
+    // exercised (not just the parallel table build).
+    let s = scenario(10, 17);
+    let budget = tagging_strategies::dp::PAR_DP_MIN_CELLS + 88;
+    let table = QualityTable::par_from_posts(
+        &Runtime::sequential(),
+        &s.initial,
+        &s.future,
+        &s.references,
+        budget,
+    );
+    let reference = par_optimal_allocation(&Runtime::sequential(), &table, budget);
+    assert_eq!(
+        reference.allocation.iter().sum::<u32>() as usize,
+        budget,
+        "DP must spend the whole budget"
+    );
+    for threads in THREAD_COUNTS {
+        let result = par_optimal_allocation(&Runtime::new(threads), &table, budget);
+        assert_eq!(result.allocation, reference.allocation, "threads {threads}");
+        assert_eq!(
+            result.total_quality.to_bits(),
+            reference.total_quality.to_bits(),
+            "threads {threads}: DP value diverged bitwise"
+        );
+    }
+}
+
+#[test]
+fn pairwise_ranking_kernels_are_identical_at_1_2_and_8_threads() {
+    let corpus = generate(&GeneratorConfig::small(50, 99));
+    let rfds: Vec<Rfd> = corpus
+        .resource_ids()
+        .map(|id| corpus.true_distribution(id).clone())
+        .collect();
+    let sequential = Runtime::sequential();
+    let ref_pairs = pairwise_similarities_with(&sequential, &rfds);
+    let ref_truth = ground_truth_similarities_with(&sequential, &corpus.taxonomy, rfds.len());
+    let ref_accuracy = ranking_accuracy_with(&sequential, &rfds, &corpus.taxonomy);
+    assert_eq!(ref_pairs.len(), rfds.len() * (rfds.len() - 1) / 2);
+    for threads in THREAD_COUNTS {
+        let rt = Runtime::new(threads);
+        let pairs = pairwise_similarities_with(&rt, &rfds);
+        let truth = ground_truth_similarities_with(&rt, &corpus.taxonomy, rfds.len());
+        assert_eq!(pairs.len(), ref_pairs.len(), "threads {threads}");
+        for (k, ((a, ra), (b, rb))) in pairs
+            .iter()
+            .zip(&ref_pairs)
+            .zip(truth.iter().zip(&ref_truth))
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), ra.to_bits(), "threads {threads}, pair {k}");
+            assert_eq!(
+                b.to_bits(),
+                rb.to_bits(),
+                "threads {threads}, truth pair {k}"
+            );
+        }
+        assert_eq!(
+            ranking_accuracy_with(&rt, &rfds, &corpus.taxonomy).to_bits(),
+            ref_accuracy.to_bits(),
+            "threads {threads}: ranking accuracy diverged bitwise"
+        );
+    }
+}
+
+#[test]
+fn tiled_kendall_kernels_are_identical_at_1_2_and_8_threads() {
+    // Deterministic pseudo-random data with plenty of ties — the hard case
+    // for rank correlation; the naive O(m²) oracles are the reference.
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let mut state = 20130408u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 13) as f64
+    };
+    for _ in 0..500 {
+        x.push(next());
+        y.push(next());
+    }
+    let ref_tau_a = kendall_tau_a_naive(&x, &y);
+    let ref_tau_b = kendall_tau_naive(&x, &y);
+    for threads in THREAD_COUNTS {
+        let rt = Runtime::new(threads);
+        assert_eq!(
+            kendall_tau_a_with(&rt, &x, &y).to_bits(),
+            ref_tau_a.to_bits(),
+            "threads {threads}: τ-a diverged bitwise from the naive oracle"
+        );
+        assert_eq!(
+            kendall_tau_with(&rt, &x, &y).to_bits(),
+            ref_tau_b.to_bits(),
+            "threads {threads}: τ-b diverged bitwise from the naive oracle"
         );
     }
 }
