@@ -18,7 +18,12 @@
 //!   **bit-identical** output at any thread count;
 //! * [`WorkerPool`] — a long-lived worker pool for request/response workloads
 //!   (the `tagging-server` crate's connection handling), complementing the
-//!   per-call scoped threads of `par_map`.
+//!   per-call scoped threads of `par_map`;
+//! * [`poll`] — readiness plumbing for nonblocking sockets (drain-available
+//!   reads, polling writes, adaptive idle backoff) behind the server's
+//!   sweep-based accept/read loop;
+//! * [`lock_unpoisoned`] — poison-recovering mutex lock, so one panicked
+//!   handler cannot brick a shared registry for every later request.
 //!
 //! ## Determinism contract
 //!
@@ -58,11 +63,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+pub mod poll;
 mod pool;
 mod seed;
+mod sync;
 
 pub use pool::WorkerPool;
 pub use seed::SeedSequence;
+pub use sync::lock_unpoisoned;
 
 /// Name of the environment variable that fixes the default thread count.
 pub const THREADS_ENV_VAR: &str = "TAGGING_THREADS";

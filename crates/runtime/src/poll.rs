@@ -1,0 +1,291 @@
+//! Readiness plumbing for nonblocking sockets, std-only.
+//!
+//! The build environment has no `epoll`/`kqueue` binding (no `libc`, and the
+//! workspace forbids `unsafe`), so readiness is discovered the only way plain
+//! std allows: put every socket in nonblocking mode and *sweep* — attempt a
+//! read, treat [`io::ErrorKind::WouldBlock`] as "not ready", and back off when
+//! a whole sweep made no progress. The primitives here are the building
+//! blocks of that loop; the loop itself (connection bookkeeping, request
+//! parsing, dispatch) lives with its protocol in `tagging-server`.
+//!
+//! * [`read_available`] — drain whatever bytes a nonblocking reader has
+//!   buffered right now into a growable buffer, without ever blocking;
+//! * [`write_all_polling`] — write a full buffer through a nonblocking
+//!   writer, yielding between `WouldBlock`s instead of spinning;
+//! * [`IdleBackoff`] — the sweep's adaptive sleep: spin-yield while traffic
+//!   is hot, decay to a bounded sleep when everything is idle, so thousands
+//!   of idle keep-alive connections cost bounded CPU and *zero* threads.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Bytes asked of the reader per `read` call inside [`read_available`].
+const READ_CHUNK: usize = 16 * 1024;
+
+/// What one nonblocking read sweep over a socket observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n > 0` fresh bytes were appended to the buffer.
+    Read(usize),
+    /// The socket is open but has nothing buffered right now.
+    WouldBlock,
+    /// The peer closed its write half (EOF) — no bytes were appended.
+    Closed,
+}
+
+/// Drains every byte `reader` can produce *without blocking* into `buf`.
+///
+/// On a nonblocking socket this loops until the kernel buffer is empty
+/// (`WouldBlock`), EOF, or `limit` total buffered bytes — whichever comes
+/// first. `Interrupted` reads are retried. Returns how the sweep ended; bytes
+/// read before an EOF are kept and reported as [`ReadOutcome::Read`] (the
+/// next sweep reports [`ReadOutcome::Closed`]).
+///
+/// `limit` bounds `buf.len()`: a peer flooding faster than requests are
+/// consumed cannot grow the buffer unboundedly. Hitting the limit reports the
+/// bytes read so far; the caller decides whether a full buffer without a
+/// parseable request is a protocol error.
+pub fn read_available<R: Read>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    limit: usize,
+) -> io::Result<ReadOutcome> {
+    let mut total = 0usize;
+    loop {
+        if buf.len() >= limit {
+            return Ok(if total > 0 {
+                ReadOutcome::Read(total)
+            } else {
+                ReadOutcome::WouldBlock
+            });
+        }
+        let start = buf.len();
+        let want = READ_CHUNK.min(limit - start);
+        buf.resize(start + want, 0);
+        match reader.read(&mut buf[start..]) {
+            Ok(0) => {
+                buf.truncate(start);
+                return Ok(if total > 0 {
+                    ReadOutcome::Read(total)
+                } else {
+                    ReadOutcome::Closed
+                });
+            }
+            Ok(n) => {
+                buf.truncate(start + n);
+                total += n;
+            }
+            Err(e) => {
+                buf.truncate(start);
+                return match e.kind() {
+                    io::ErrorKind::WouldBlock => Ok(if total > 0 {
+                        ReadOutcome::Read(total)
+                    } else {
+                        ReadOutcome::WouldBlock
+                    }),
+                    io::ErrorKind::Interrupted => continue,
+                    _ => Err(e),
+                };
+            }
+        }
+    }
+}
+
+/// Writes all of `bytes` through a possibly-nonblocking writer.
+///
+/// `WouldBlock` waits out a backoff step and retries (responses here are
+/// small JSON bodies, so on loopback this path is almost never taken);
+/// `Interrupted` retries immediately; `WriteZero` is surfaced as an error.
+pub fn write_all_polling<W: Write>(
+    writer: &mut W,
+    bytes: &[u8],
+    backoff: &mut IdleBackoff,
+) -> io::Result<()> {
+    let mut written = 0usize;
+    while written < bytes.len() {
+        match writer.write(&bytes[written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes",
+                ))
+            }
+            Ok(n) => {
+                written += n;
+                backoff.reset();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => backoff.wait(),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Maximum sleep one idle wait takes; also the worst-case extra latency a
+/// request arriving on a fully idle server observes.
+const MAX_IDLE_SLEEP: Duration = Duration::from_millis(2);
+
+/// Sweeps of pure yielding before [`IdleBackoff::wait`] starts sleeping.
+const YIELD_SWEEPS: u32 = 16;
+
+/// Adaptive pacing for a readiness sweep loop.
+///
+/// While work keeps arriving the caller calls [`IdleBackoff::reset`] and the
+/// loop runs hot; once sweeps come up empty, [`IdleBackoff::wait`] yields the
+/// CPU for the first few calls (cheap reaction to a momentary lull), then
+/// sleeps with exponentially growing duration up to [`MAX_IDLE_SLEEP`].
+#[derive(Debug, Default)]
+pub struct IdleBackoff {
+    empty_sweeps: u32,
+}
+
+impl IdleBackoff {
+    /// A fresh (hot) backoff.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records progress: the next [`IdleBackoff::wait`] reacts instantly.
+    pub fn reset(&mut self) {
+        self.empty_sweeps = 0;
+    }
+
+    /// Waits one step: yield while recently hot, sleep (bounded) when idle.
+    pub fn wait(&mut self) {
+        self.empty_sweeps = self.empty_sweeps.saturating_add(1);
+        if self.empty_sweeps <= YIELD_SWEEPS {
+            std::thread::yield_now();
+        } else {
+            let exponent = (self.empty_sweeps - YIELD_SWEEPS).min(8);
+            let step = Duration::from_micros(8 << exponent);
+            std::thread::sleep(step.min(MAX_IDLE_SLEEP));
+        }
+    }
+
+    /// True once waits have decayed to actual sleeps (used by tests and the
+    /// cold-connection stagger in the server's sweep loop).
+    pub fn is_cold(&self) -> bool {
+        self.empty_sweeps > YIELD_SWEEPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that yields its scripted chunks, then `WouldBlock` forever.
+    struct Scripted {
+        chunks: Vec<Vec<u8>>,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            match self.chunks.first_mut() {
+                None => Err(io::Error::new(io::ErrorKind::WouldBlock, "empty")),
+                Some(chunk) => {
+                    let n = chunk.len().min(out.len());
+                    out[..n].copy_from_slice(&chunk[..n]);
+                    chunk.drain(..n);
+                    if chunk.is_empty() {
+                        self.chunks.remove(0);
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_available_drains_until_wouldblock() {
+        let mut reader = Scripted {
+            chunks: vec![b"hello ".to_vec(), b"world".to_vec()],
+        };
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_available(&mut reader, &mut buf, 1 << 20).unwrap(),
+            ReadOutcome::Read(11)
+        );
+        assert_eq!(buf, b"hello world");
+        assert_eq!(
+            read_available(&mut reader, &mut buf, 1 << 20).unwrap(),
+            ReadOutcome::WouldBlock
+        );
+        assert_eq!(buf, b"hello world", "an empty sweep appends nothing");
+    }
+
+    #[test]
+    fn read_available_reports_eof_once_drained() {
+        let mut reader = Cursor::new(b"bye".to_vec());
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_available(&mut reader, &mut buf, 1 << 20).unwrap(),
+            ReadOutcome::Read(3)
+        );
+        assert_eq!(
+            read_available(&mut reader, &mut buf, 1 << 20).unwrap(),
+            ReadOutcome::Closed
+        );
+        assert_eq!(buf, b"bye");
+    }
+
+    #[test]
+    fn read_available_respects_the_buffer_limit() {
+        let mut reader = Cursor::new(vec![7u8; 100]);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_available(&mut reader, &mut buf, 32).unwrap(),
+            ReadOutcome::Read(32)
+        );
+        assert_eq!(buf.len(), 32);
+        // A full buffer reads nothing further even though bytes remain.
+        assert_eq!(
+            read_available(&mut reader, &mut buf, 32).unwrap(),
+            ReadOutcome::WouldBlock
+        );
+        assert_eq!(buf.len(), 32);
+    }
+
+    #[test]
+    fn write_all_polling_writes_through_partial_writers() {
+        /// Accepts at most 3 bytes per call, `WouldBlock`ing every other call.
+        struct Choppy {
+            out: Vec<u8>,
+            calls: usize,
+        }
+        impl Write for Choppy {
+            fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+                self.calls += 1;
+                if self.calls.is_multiple_of(2) {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+                }
+                let n = bytes.len().min(3);
+                self.out.extend_from_slice(&bytes[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut writer = Choppy {
+            out: Vec::new(),
+            calls: 0,
+        };
+        let mut backoff = IdleBackoff::new();
+        write_all_polling(&mut writer, b"0123456789", &mut backoff).unwrap();
+        assert_eq!(writer.out, b"0123456789");
+    }
+
+    #[test]
+    fn backoff_goes_cold_and_resets_hot() {
+        let mut backoff = IdleBackoff::new();
+        assert!(!backoff.is_cold());
+        for _ in 0..=YIELD_SWEEPS {
+            backoff.wait();
+        }
+        assert!(backoff.is_cold());
+        backoff.reset();
+        assert!(!backoff.is_cold());
+    }
+}

@@ -15,6 +15,8 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::sync::lock_unpoisoned;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed-size pool of worker threads executing queued jobs in FIFO order.
@@ -39,7 +41,10 @@ impl WorkerPool {
                         // Hold the lock only while popping, not while running
                         // the job, so workers drain the queue concurrently.
                         let job = {
-                            let guard = receiver.lock().expect("pool receiver poisoned");
+                            // Poison-recovering: jobs run outside the lock, but
+                            // a panic between recv() and the guard drop must
+                            // not take the whole pool's queue down.
+                            let guard = lock_unpoisoned(&receiver);
                             guard.recv()
                         };
                         match job {

@@ -1,0 +1,61 @@
+//! Poison-recovering lock helpers.
+//!
+//! A [`std::sync::Mutex`] is *poisoned* when a thread panics while holding
+//! it. The default `.lock().unwrap()` / `.expect(..)` idiom turns that one
+//! panic into a permanent denial of service: every later lock attempt panics
+//! too, so a single crashed request handler bricks whatever the mutex guards
+//! (the server's session registry, a live session, a tally vector) for the
+//! rest of the process.
+//!
+//! For the data in this workspace that is the wrong trade-off. Handlers
+//! validate before they mutate (see `LiveSession::report`), so at every panic
+//! boundary the guarded state is either untouched or fully applied; the panic
+//! itself is reported through the worker that caught it. [`lock_unpoisoned`]
+//! therefore recovers the guard from a poisoned lock instead of propagating
+//! the poison, keeping every other session — and the panicked session itself —
+//! servable.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Equivalent to `mutex.lock().unwrap()` on the happy path; on a poisoned
+/// mutex it returns the inner guard instead of panicking, so one panicked
+/// handler cannot brick the lock for every later request.
+pub fn lock_unpoisoned<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let shared = Arc::new(Mutex::new(7usize));
+        let clone = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(
+            shared.is_poisoned(),
+            "the panic must have poisoned the lock"
+        );
+        // A plain lock() would now Err forever; the helper recovers.
+        assert_eq!(*lock_unpoisoned(&shared), 7);
+        *lock_unpoisoned(&shared) = 8;
+        assert_eq!(*lock_unpoisoned(&shared), 8);
+    }
+
+    #[test]
+    fn behaves_like_lock_on_a_healthy_mutex() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        lock_unpoisoned(&m).push(4);
+        assert_eq!(*lock_unpoisoned(&m), vec![1, 2, 3, 4]);
+    }
+}

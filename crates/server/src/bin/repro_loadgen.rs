@@ -1,47 +1,77 @@
 //! Load generator for the tagging server: N concurrent deterministic clients
 //! lease task batches, report completions and poll metrics over real TCP,
-//! recording throughput and latency percentiles.
+//! recording throughput and latency percentiles into a growing benchmark
+//! history.
 //!
 //! Usage:
 //! `cargo run --release -p tagging-server --bin repro_loadgen -- [options]`
 //!
+//! * `--workload single|mixed` — `single` (default) drives one scenario, the
+//!   original PR-4 workload; `mixed` registers many small sessions plus a few
+//!   giant ones and spreads clients over them with a skewed session choice
+//!   (the giants soak up most of the traffic);
 //! * `--addr HOST:PORT` — target an already-running server (default: spawn an
 //!   in-process server on an ephemeral port and verify its clean shutdown);
 //! * `--clients N` — concurrent clients (default 4);
+//! * `--idle N` — additionally open N keep-alive connections that stay
+//!   *silent* for the whole run and must still answer a final probe (default
+//!   0; exercises the nonblocking accept path's cold sweep);
 //! * `--requests N` — total HTTP requests to drive (default 12000);
 //! * `--batch K` — tasks leased per batch request (default 8);
 //! * `--resources N` / `--budget B` / `--strategy S` / `--seed X` — the
-//!   scenario registered for the run (defaults 120 / 50000 / FP / 1);
-//! * `--corpus PATH` — register the scenario from a saved corpus instead of
-//!   generating one;
-//! * `--out PATH` — where to write the JSON report (default
-//!   `BENCH_loadgen.json`, next to `BENCH_sweep.json`);
+//!   scenario registered for a `single` run (defaults 120 / 50000 / FP / 1);
+//!   `mixed` derives its scenario fleet from `--seed`;
+//! * `--small N` / `--large N` — mixed-workload scenario counts (defaults
+//!   6 small / 2 giant);
+//! * `--shards S` — registry shard count for the in-process server (default
+//!   16); recorded in the report entry;
+//! * `--corpus PATH` — register the single scenario from a saved corpus;
+//! * `--check PATH` — after draining every scenario, write a canonical JSON
+//!   digest of the final per-scenario state; two runs with the same options
+//!   against servers with *different shard counts* must produce byte-equal
+//!   digests (CI diffs them);
+//! * `--out PATH` — the JSON report history (default `BENCH_loadgen.json`);
+//!   each run appends an entry instead of overwriting, so the file tracks
+//!   performance over time;
 //! * `--shutdown` — send `POST /shutdown` when done (implied in-process).
 //!
-//! Every client runs the same fixed request pattern (batch → report → every
-//! 8th iteration a metrics poll), so a run is reproducible up to thread
-//! interleaving; the server-side session stays consistent under any
-//! interleaving, which the final metrics check verifies.
+//! Every client runs a fixed request pattern derived from its index, so a run
+//! is reproducible up to thread interleaving; the server-side sessions stay
+//! consistent under any interleaving, which the final metrics checks verify.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::Value;
+use tagging_runtime::lock_unpoisoned;
 use tagging_server::http::HttpClient;
 use tagging_server::TaggingServer;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Single,
+    Mixed,
+}
+
 #[derive(Debug, Clone)]
 struct Options {
+    workload: Workload,
     addr: Option<String>,
     clients: usize,
+    idle: usize,
     requests: usize,
     batch: usize,
     resources: usize,
     budget: usize,
     strategy: String,
     seed: u64,
+    small: usize,
+    large: usize,
+    shards: usize,
     corpus: Option<String>,
+    check: Option<String>,
     out: String,
     shutdown: bool,
 }
@@ -61,19 +91,37 @@ impl Options {
             value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
         };
         Self {
+            workload: match value("--workload").as_deref() {
+                Some("mixed") => Workload::Mixed,
+                _ => Workload::Single,
+            },
             addr: value("--addr"),
             clients: number("--clients", 4).max(1),
+            idle: number("--idle", 0),
             requests: number("--requests", 12_000),
             batch: number("--batch", 8).max(1),
             resources: number("--resources", 120).max(1),
             budget: number("--budget", 50_000),
             strategy: value("--strategy").unwrap_or_else(|| "FP".to_string()),
             seed: value("--seed").and_then(|v| v.parse().ok()).unwrap_or(1),
+            small: number("--small", 6),
+            large: number("--large", 2),
+            shards: number("--shards", 16).max(1),
             corpus: value("--corpus"),
+            check: value("--check"),
             out: value("--out").unwrap_or_else(|| "BENCH_loadgen.json".to_string()),
             shutdown: args.iter().any(|a| a == "--shutdown"),
         }
     }
+}
+
+/// One scenario registered for the run.
+#[derive(Debug, Clone)]
+struct ScenarioHandle {
+    id: u64,
+    strategy: String,
+    resources: usize,
+    budget: usize,
 }
 
 /// Per-client tallies, merged after the join.
@@ -83,7 +131,22 @@ struct Tally {
     batch_requests: usize,
     report_requests: usize,
     metrics_requests: usize,
-    tasks_leased: usize,
+    /// Tasks leased per scenario id.
+    tasks_leased: HashMap<u64, usize>,
+}
+
+impl Tally {
+    fn leased_total(&self) -> usize {
+        self.tasks_leased.values().sum()
+    }
+}
+
+/// SplitMix64 finalizer: drives the deterministic skewed scenario choice.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 fn main() {
@@ -95,6 +158,15 @@ fn main() {
     }
 }
 
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
 fn run(options: &Options) -> Result<(), String> {
     // Either target the given server or spawn one in-process; in-process runs
     // always verify clean shutdown at the end.
@@ -102,58 +174,48 @@ fn run(options: &Options) -> Result<(), String> {
         Some(addr) => (addr.clone(), None),
         None => {
             let workers = (options.clients + 1).min(8);
-            let server = TaggingServer::bind("127.0.0.1:0", workers)
+            let server = TaggingServer::bind_with("127.0.0.1:0", workers, options.shards)
                 .map_err(|e| format!("cannot bind in-process server: {e}"))?;
             let (addr, handle) = server
                 .spawn()
                 .map_err(|e| format!("cannot start in-process server: {e}"))?;
-            eprintln!("spawned in-process server on {addr}");
+            eprintln!(
+                "spawned in-process server on {addr} ({} registry shards)",
+                options.shards
+            );
             (addr.to_string(), Some(handle))
         }
     };
 
-    // Register the scenario for the whole run.
     let mut admin = HttpClient::connect(&addr).map_err(|e| format!("cannot connect: {e}"))?;
-    let source = match &options.corpus {
-        Some(path) => Value::Object(vec![(
-            "corpus_path".to_string(),
-            Value::String(path.clone()),
-        )]),
-        None => Value::Object(vec![(
-            "generate".to_string(),
-            Value::Object(vec![
-                (
-                    "resources".to_string(),
-                    Value::UInt(options.resources as u64),
-                ),
-                ("seed".to_string(), Value::UInt(options.seed)),
-            ]),
-        )]),
+    let scenarios = match options.workload {
+        Workload::Single => vec![register_single(&mut admin, options)?],
+        Workload::Mixed => register_mixed(&mut admin, options)?,
     };
-    let register = Value::Object(vec![
-        (
-            "strategy".to_string(),
-            Value::String(options.strategy.clone()),
-        ),
-        ("budget".to_string(), Value::UInt(options.budget as u64)),
-        ("seed".to_string(), Value::UInt(options.seed)),
-        ("source".to_string(), source),
-    ]);
-    let (status, registered) = admin
-        .request("POST", "/scenarios", Some(&register))
-        .map_err(|e| format!("registration failed: {e}"))?;
-    if status != 200 {
-        return Err(format!("registration rejected ({status}): {registered:?}"));
+    for scenario in &scenarios {
+        eprintln!(
+            "registered scenario {}: {} resources, budget {}, strategy {}",
+            scenario.id, scenario.resources, scenario.budget, scenario.strategy
+        );
     }
-    let Some(&Value::UInt(scenario_id)) = registered.get("scenario_id") else {
-        return Err(format!(
-            "registration returned no scenario_id: {registered:?}"
-        ));
-    };
-    eprintln!(
-        "registered scenario {scenario_id}: {} resources, budget {}, strategy {}",
-        options.resources, options.budget, options.strategy
-    );
+
+    // The silent keep-alive fleet: each connection proves liveness once, then
+    // does not send a single byte until the final probe after the drive.
+    let mut idle_fleet: Vec<HttpClient> = Vec::with_capacity(options.idle);
+    for i in 0..options.idle {
+        let mut client =
+            HttpClient::connect(&addr).map_err(|e| format!("idle connection {i}: connect: {e}"))?;
+        let (status, _) = client
+            .request("GET", "/healthz", None)
+            .map_err(|e| format!("idle connection {i}: probe: {e}"))?;
+        if status != 200 {
+            return Err(format!("idle connection {i}: probe rejected ({status})"));
+        }
+        idle_fleet.push(client);
+    }
+    if options.idle > 0 {
+        eprintln!("opened {} silent keep-alive connections", options.idle);
+    }
 
     // Fire the clients.
     let issued = Arc::new(AtomicUsize::new(0));
@@ -164,8 +226,10 @@ fn run(options: &Options) -> Result<(), String> {
         let addr = addr.clone();
         let issued = Arc::clone(&issued);
         let tallies = Arc::clone(&tallies);
+        let scenarios = scenarios.clone();
         let target = options.requests;
         let batch = options.batch;
+        let seed = options.seed;
         workers.push(
             std::thread::Builder::new()
                 .name(format!("loadgen-client-{client_index}"))
@@ -175,62 +239,19 @@ fn run(options: &Options) -> Result<(), String> {
                     let mut tally = Tally::default();
                     let mut iteration = 0usize;
                     while issued.load(Ordering::Relaxed) < target {
-                        let tasks = timed_request(
+                        let scenario = pick_scenario(&scenarios, seed, client_index, iteration);
+                        drive_iteration(
                             &mut client,
-                            "POST",
-                            &format!("/scenarios/{scenario_id}/batch"),
-                            Some(&Value::Object(vec![(
-                                "k".to_string(),
-                                Value::UInt(batch as u64),
-                            )])),
+                            scenario,
+                            batch,
+                            iteration,
                             &issued,
                             &mut tally,
-                        )?;
-                        tally.batch_requests += 1;
-                        let leased = match tasks.get("tasks") {
-                            Some(Value::Array(items)) => items.clone(),
-                            _ => Vec::new(),
-                        };
-                        tally.tasks_leased += leased.len();
-                        if !leased.is_empty() {
-                            let completions: Vec<Value> = leased
-                                .iter()
-                                .filter_map(|t| t.get("task_id").cloned())
-                                .map(|id| Value::Object(vec![("task_id".to_string(), id)]))
-                                .collect();
-                            let body = Value::Object(vec![(
-                                "completions".to_string(),
-                                Value::Array(completions),
-                            )]);
-                            let response = timed_request(
-                                &mut client,
-                                "POST",
-                                &format!("/scenarios/{scenario_id}/report"),
-                                Some(&body),
-                                &issued,
-                                &mut tally,
-                            )?;
-                            tally.report_requests += 1;
-                            if response.get("accepted").is_none() {
-                                return Err(format!(
-                                    "client {client_index}: report rejected: {response:?}"
-                                ));
-                            }
-                        }
-                        if iteration % 8 == 7 {
-                            timed_request(
-                                &mut client,
-                                "GET",
-                                &format!("/scenarios/{scenario_id}/metrics"),
-                                None,
-                                &issued,
-                                &mut tally,
-                            )?;
-                            tally.metrics_requests += 1;
-                        }
+                        )
+                        .map_err(|e| format!("client {client_index}: {e}"))?;
                         iteration += 1;
                     }
-                    tallies.lock().expect("tally lock").push(tally);
+                    lock_unpoisoned(&tallies).push(tally);
                     Ok(())
                 })
                 .expect("spawn client thread"),
@@ -247,7 +268,7 @@ fn run(options: &Options) -> Result<(), String> {
     let tallies = Arc::try_unwrap(tallies)
         .expect("clients joined")
         .into_inner()
-        .expect("tally lock");
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let mut latencies: Vec<u64> = tallies
         .iter()
         .flat_map(|t| t.latencies_us.clone())
@@ -257,29 +278,74 @@ fn run(options: &Options) -> Result<(), String> {
     let batch_requests: usize = tallies.iter().map(|t| t.batch_requests).sum();
     let report_requests: usize = tallies.iter().map(|t| t.report_requests).sum();
     let metrics_requests: usize = tallies.iter().map(|t| t.metrics_requests).sum();
-    let tasks_leased: usize = tallies.iter().map(|t| t.tasks_leased).sum();
+    let mut tasks_leased: HashMap<u64, usize> = HashMap::new();
+    for tally in &tallies {
+        for (&id, &n) in &tally.tasks_leased {
+            *tasks_leased.entry(id).or_insert(0) += n;
+        }
+    }
+    let driven_leases: usize = tallies.iter().map(|t| t.leased_total()).sum();
 
-    // Final metrics: the non-empty response the smoke job asserts on.
-    let (status, final_metrics) = admin
-        .request("GET", &format!("/scenarios/{scenario_id}/metrics"), None)
-        .map_err(|e| format!("final metrics request failed: {e}"))?;
-    if status != 200 {
-        return Err(format!(
-            "final metrics rejected ({status}): {final_metrics:?}"
-        ));
+    // Drain every scenario to budget exhaustion so the final state is a pure
+    // function of the workload, independent of thread interleaving — the
+    // property the --check digest (and CI's shard-count diff) relies on.
+    for scenario in &scenarios {
+        let drained = drain_scenario(&mut admin, scenario.id)
+            .map_err(|e| format!("draining scenario {}: {e}", scenario.id))?;
+        *tasks_leased.entry(scenario.id).or_insert(0) += drained;
     }
-    let spent = match final_metrics.get("budget_spent") {
-        Some(&Value::UInt(n)) => n as usize,
-        other => return Err(format!("final metrics missing budget_spent: {other:?}")),
-    };
-    if spent == 0 || spent != tasks_leased {
-        return Err(format!(
-            "server accounted {spent} tasks but clients leased {tasks_leased}"
-        ));
+
+    // Final metrics: the non-empty responses the smoke job asserts on.
+    let mut final_metrics: Vec<(ScenarioHandle, Value)> = Vec::new();
+    for scenario in &scenarios {
+        let (status, metrics) = admin
+            .request("GET", &format!("/scenarios/{}/metrics", scenario.id), None)
+            .map_err(|e| format!("final metrics request failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("final metrics rejected ({status}): {metrics:?}"));
+        }
+        let spent = match metrics.get("budget_spent") {
+            Some(&Value::UInt(n)) => n as usize,
+            other => return Err(format!("final metrics missing budget_spent: {other:?}")),
+        };
+        let leased = tasks_leased.get(&scenario.id).copied().unwrap_or(0);
+        if spent == 0 || spent != leased {
+            return Err(format!(
+                "scenario {}: server accounted {spent} tasks but clients leased {leased}",
+                scenario.id
+            ));
+        }
+        if spent != scenario.budget {
+            return Err(format!(
+                "scenario {}: drained {spent} of budget {}",
+                scenario.id, scenario.budget
+            ));
+        }
+        match metrics.get("mean_quality") {
+            Some(Value::Float(q)) if (0.0..=1.0).contains(q) => {}
+            other => return Err(format!("final metrics missing mean_quality: {other:?}")),
+        }
+        final_metrics.push((scenario.clone(), metrics));
     }
-    match final_metrics.get("mean_quality") {
-        Some(Value::Float(q)) if (0.0..=1.0).contains(q) => {}
-        other => return Err(format!("final metrics missing mean_quality: {other:?}")),
+
+    // The silent fleet must still be alive after the whole drive.
+    for (i, client) in idle_fleet.iter_mut().enumerate() {
+        let (status, _) = client
+            .request("GET", "/healthz", None)
+            .map_err(|e| format!("idle connection {i}: final probe: {e}"))?;
+        if status != 200 {
+            return Err(format!(
+                "idle connection {i}: final probe rejected ({status})"
+            ));
+        }
+    }
+    drop(idle_fleet);
+
+    if let Some(path) = &options.check {
+        let digest = check_digest(&final_metrics);
+        let text = serde_json::to_string_pretty(&digest).expect("Value serialization is total");
+        std::fs::write(path, text.as_bytes()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote response digest to {path}");
     }
 
     if options.shutdown || server_handle.is_some() {
@@ -306,55 +372,77 @@ fn run(options: &Options) -> Result<(), String> {
         latencies[idx]
     };
     let throughput = total_requests as f64 / elapsed.as_secs_f64();
-    let report = Value::Object(vec![
-        ("report".to_string(), Value::String("loadgen".to_string())),
-        ("addr".to_string(), Value::String(addr.clone())),
-        ("clients".to_string(), Value::UInt(options.clients as u64)),
-        ("batch".to_string(), Value::UInt(options.batch as u64)),
-        (
-            "strategy".to_string(),
-            Value::String(options.strategy.clone()),
-        ),
-        ("requests".to_string(), Value::UInt(total_requests as u64)),
-        (
-            "requests_by_kind".to_string(),
-            Value::Object(vec![
-                ("batch".to_string(), Value::UInt(batch_requests as u64)),
-                ("report".to_string(), Value::UInt(report_requests as u64)),
-                ("metrics".to_string(), Value::UInt(metrics_requests as u64)),
-            ]),
-        ),
-        ("tasks_leased".to_string(), Value::UInt(tasks_leased as u64)),
-        (
-            "elapsed_seconds".to_string(),
-            Value::Float(elapsed.as_secs_f64()),
-        ),
-        ("throughput_rps".to_string(), Value::Float(throughput)),
-        (
-            "latency_us".to_string(),
-            Value::Object(vec![
-                ("p50".to_string(), Value::UInt(percentile(0.50))),
-                ("p90".to_string(), Value::UInt(percentile(0.90))),
-                ("p99".to_string(), Value::UInt(percentile(0.99))),
+    let scenarios_value: Vec<Value> = final_metrics
+        .iter()
+        .map(|(scenario, metrics)| {
+            obj(vec![
+                ("id", Value::UInt(scenario.id)),
+                ("strategy", Value::String(scenario.strategy.clone())),
+                ("resources", Value::UInt(scenario.resources as u64)),
+                ("budget", Value::UInt(scenario.budget as u64)),
                 (
-                    "max".to_string(),
-                    Value::UInt(latencies.last().copied().unwrap_or(0)),
+                    "budget_spent",
+                    metrics.get("budget_spent").cloned().unwrap_or(Value::Null),
                 ),
+            ])
+        })
+        .collect();
+    let entry = obj(vec![
+        (
+            "workload",
+            Value::String(
+                match options.workload {
+                    Workload::Single => "single",
+                    Workload::Mixed => "mixed",
+                }
+                .to_string(),
+            ),
+        ),
+        ("addr", Value::String(addr.clone())),
+        (
+            "shards",
+            if options.addr.is_some() {
+                Value::String("external".to_string())
+            } else {
+                Value::UInt(options.shards as u64)
+            },
+        ),
+        ("clients", Value::UInt(options.clients as u64)),
+        ("idle_connections", Value::UInt(options.idle as u64)),
+        ("batch", Value::UInt(options.batch as u64)),
+        ("requests", Value::UInt(total_requests as u64)),
+        (
+            "requests_by_kind",
+            obj(vec![
+                ("batch", Value::UInt(batch_requests as u64)),
+                ("report", Value::UInt(report_requests as u64)),
+                ("metrics", Value::UInt(metrics_requests as u64)),
             ]),
         ),
-        ("final_metrics".to_string(), final_metrics),
+        ("tasks_leased", Value::UInt(driven_leases as u64)),
+        ("elapsed_seconds", Value::Float(elapsed.as_secs_f64())),
+        ("throughput_rps", Value::Float(throughput)),
+        (
+            "latency_us",
+            obj(vec![
+                ("p50", Value::UInt(percentile(0.50))),
+                ("p90", Value::UInt(percentile(0.90))),
+                ("p99", Value::UInt(percentile(0.99))),
+                ("max", Value::UInt(latencies.last().copied().unwrap_or(0))),
+            ]),
+        ),
+        ("scenarios", Value::Array(scenarios_value)),
     ]);
-    let text = serde_json::to_string_pretty(&report).expect("Value serialization is total");
-    std::fs::write(&options.out, text.as_bytes())
-        .map_err(|e| format!("cannot write {}: {e}", options.out))?;
+    append_history(&options.out, entry)?;
 
     println!(
-        "drove {total_requests} requests ({batch_requests} batch / {report_requests} report / {metrics_requests} metrics) with {} clients in {:.2}s",
+        "drove {total_requests} requests ({batch_requests} batch / {report_requests} report / {metrics_requests} metrics) with {} clients (+{} idle connections) in {:.2}s",
         options.clients,
+        options.idle,
         elapsed.as_secs_f64()
     );
     println!(
-        "throughput {throughput:.0} req/s, latency p50 {}us p90 {}us p99 {}us; report written to {}",
+        "throughput {throughput:.0} req/s, latency p50 {}us p90 {}us p99 {}us; history appended to {}",
         percentile(0.50),
         percentile(0.90),
         percentile(0.99),
@@ -367,6 +455,308 @@ fn run(options: &Options) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Registers the classic single scenario (`--resources`/`--budget`/
+/// `--strategy`, optionally from a saved corpus).
+fn register_single(admin: &mut HttpClient, options: &Options) -> Result<ScenarioHandle, String> {
+    let source = match &options.corpus {
+        Some(path) => obj(vec![("corpus_path", Value::String(path.clone()))]),
+        None => obj(vec![(
+            "generate",
+            obj(vec![
+                ("resources", Value::UInt(options.resources as u64)),
+                ("seed", Value::UInt(options.seed)),
+            ]),
+        )]),
+    };
+    register(
+        admin,
+        &options.strategy,
+        options.budget,
+        options.seed,
+        source,
+    )
+}
+
+/// Registers the mixed fleet: `--small` small sessions plus `--large` giant
+/// ones, strategies cycled so the fleet exercises every allocator while the
+/// giants (which receive most of the traffic) stay on the two strategies
+/// whose fully-drained state is interleaving-independent (FP, RR) — the
+/// property the `--check` digest relies on.
+fn register_mixed(
+    admin: &mut HttpClient,
+    options: &Options,
+) -> Result<Vec<ScenarioHandle>, String> {
+    const SMALL_STRATEGIES: [&str; 4] = ["FP", "RR", "MU", "FP-MU"];
+    const LARGE_STRATEGIES: [&str; 2] = ["FP", "RR"];
+    let mut scenarios = Vec::new();
+    for i in 0..options.small.max(1) {
+        let source = obj(vec![(
+            "generate",
+            obj(vec![
+                ("resources", Value::UInt(40)),
+                ("seed", Value::UInt(options.seed.wrapping_add(i as u64))),
+            ]),
+        )]);
+        scenarios.push(register(
+            admin,
+            SMALL_STRATEGIES[i % SMALL_STRATEGIES.len()],
+            600,
+            options.seed,
+            source,
+        )?);
+    }
+    for j in 0..options.large.max(1) {
+        let source = obj(vec![(
+            "generate",
+            obj(vec![
+                ("resources", Value::UInt(400)),
+                (
+                    "seed",
+                    Value::UInt(options.seed.wrapping_add(1_000 + j as u64)),
+                ),
+            ]),
+        )]);
+        scenarios.push(register(
+            admin,
+            LARGE_STRATEGIES[j % LARGE_STRATEGIES.len()],
+            12_000,
+            options.seed,
+            source,
+        )?);
+    }
+    Ok(scenarios)
+}
+
+fn register(
+    admin: &mut HttpClient,
+    strategy: &str,
+    budget: usize,
+    seed: u64,
+    source: Value,
+) -> Result<ScenarioHandle, String> {
+    let body = obj(vec![
+        ("strategy", Value::String(strategy.to_string())),
+        ("budget", Value::UInt(budget as u64)),
+        ("seed", Value::UInt(seed)),
+        ("source", source),
+    ]);
+    let (status, registered) = admin
+        .request("POST", "/scenarios", Some(&body))
+        .map_err(|e| format!("registration failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("registration rejected ({status}): {registered:?}"));
+    }
+    let Some(&Value::UInt(id)) = registered.get("scenario_id") else {
+        return Err(format!(
+            "registration returned no scenario_id: {registered:?}"
+        ));
+    };
+    let resources = match registered.get("resources") {
+        Some(&Value::UInt(n)) => n as usize,
+        _ => 0,
+    };
+    Ok(ScenarioHandle {
+        id,
+        strategy: strategy.to_string(),
+        resources,
+        budget,
+    })
+}
+
+/// The deterministic skewed scenario choice: giants (the tail of the list in
+/// mixed mode) receive ~3/4 of the traffic. Single-scenario runs always pick
+/// the only entry.
+fn pick_scenario(
+    scenarios: &[ScenarioHandle],
+    seed: u64,
+    client: usize,
+    iteration: usize,
+) -> &ScenarioHandle {
+    if scenarios.len() == 1 {
+        return &scenarios[0];
+    }
+    // The giants are the scenarios with the largest budgets; partition point:
+    // anything at least 10x the smallest budget counts as giant.
+    let smallest = scenarios.iter().map(|s| s.budget).min().unwrap_or(1);
+    let giants: Vec<usize> = (0..scenarios.len())
+        .filter(|&i| scenarios[i].budget >= smallest.saturating_mul(10))
+        .collect();
+    let r = mix(seed
+        ^ (client as u64).wrapping_mul(0x0100_0000_01b3)
+        ^ (iteration as u64).wrapping_mul(0x9e37_79b9));
+    if !giants.is_empty() && !r.is_multiple_of(4) {
+        &scenarios[giants[(r / 4) as usize % giants.len()]]
+    } else {
+        &scenarios[(r / 4) as usize % scenarios.len()]
+    }
+}
+
+/// One client iteration: lease a batch, report every lease, poll metrics on
+/// every 8th iteration.
+fn drive_iteration(
+    client: &mut HttpClient,
+    scenario: &ScenarioHandle,
+    batch: usize,
+    iteration: usize,
+    issued: &AtomicUsize,
+    tally: &mut Tally,
+) -> Result<(), String> {
+    let tasks = timed_request(
+        client,
+        "POST",
+        &format!("/scenarios/{}/batch", scenario.id),
+        Some(&obj(vec![("k", Value::UInt(batch as u64))])),
+        issued,
+        tally,
+    )?;
+    tally.batch_requests += 1;
+    let leased = match tasks.get("tasks") {
+        Some(Value::Array(items)) => items.clone(),
+        _ => Vec::new(),
+    };
+    *tally.tasks_leased.entry(scenario.id).or_insert(0) += leased.len();
+    if !leased.is_empty() {
+        let completions: Vec<Value> = leased
+            .iter()
+            .filter_map(|t| t.get("task_id").cloned())
+            .map(|id| obj(vec![("task_id", id)]))
+            .collect();
+        let body = obj(vec![("completions", Value::Array(completions))]);
+        let response = timed_request(
+            client,
+            "POST",
+            &format!("/scenarios/{}/report", scenario.id),
+            Some(&body),
+            issued,
+            tally,
+        )?;
+        tally.report_requests += 1;
+        if response.get("accepted").is_none() {
+            return Err(format!("report rejected: {response:?}"));
+        }
+    }
+    if iteration % 8 == 7 {
+        timed_request(
+            client,
+            "GET",
+            &format!("/scenarios/{}/metrics", scenario.id),
+            None,
+            issued,
+            tally,
+        )?;
+        tally.metrics_requests += 1;
+    }
+    Ok(())
+}
+
+/// Leases and immediately reports batches of 64 until the scenario's budget
+/// is exhausted; returns how many tasks were drained.
+fn drain_scenario(admin: &mut HttpClient, id: u64) -> Result<usize, String> {
+    let mut drained = 0usize;
+    loop {
+        let (status, batch) = admin
+            .request(
+                "POST",
+                &format!("/scenarios/{id}/batch"),
+                Some(&obj(vec![("k", Value::UInt(64))])),
+            )
+            .map_err(|e| format!("drain batch: {e}"))?;
+        if status != 200 {
+            return Err(format!("drain batch rejected ({status})"));
+        }
+        let tasks = match batch.get("tasks") {
+            Some(Value::Array(items)) => items.clone(),
+            _ => Vec::new(),
+        };
+        if tasks.is_empty() {
+            return Ok(drained);
+        }
+        drained += tasks.len();
+        let completions: Vec<Value> = tasks
+            .iter()
+            .filter_map(|t| t.get("task_id").cloned())
+            .map(|id| obj(vec![("task_id", id)]))
+            .collect();
+        let (status, _) = admin
+            .request(
+                "POST",
+                &format!("/scenarios/{id}/report"),
+                Some(&obj(vec![("completions", Value::Array(completions))])),
+            )
+            .map_err(|e| format!("drain report: {e}"))?;
+        if status != 200 {
+            return Err(format!("drain report rejected ({status})"));
+        }
+    }
+}
+
+/// Canonical digest of the fully-drained final state, for byte-diffing runs
+/// against servers with different shard counts.
+///
+/// All scenarios contribute their invariant fields; scenarios on FP/RR
+/// additionally contribute the full metric set (quality, undelivered count,
+/// the allocation vector), because for those two strategies the fully-drained
+/// allocation is a pure function of the total spend — independent of how
+/// concurrent clients interleaved. MU/FP-MU state depends on observation
+/// order, so their detailed fields are legitimately interleaving-dependent
+/// and excluded.
+fn check_digest(final_metrics: &[(ScenarioHandle, Value)]) -> Value {
+    let entries: Vec<Value> = final_metrics
+        .iter()
+        .map(|(scenario, metrics)| {
+            let mut fields = vec![
+                ("strategy", Value::String(scenario.strategy.clone())),
+                ("resources", Value::UInt(scenario.resources as u64)),
+                ("budget", Value::UInt(scenario.budget as u64)),
+                (
+                    "budget_spent",
+                    metrics.get("budget_spent").cloned().unwrap_or(Value::Null),
+                ),
+                (
+                    "pending_tasks",
+                    metrics.get("pending_tasks").cloned().unwrap_or(Value::Null),
+                ),
+            ];
+            if matches!(scenario.strategy.as_str(), "FP" | "RR") {
+                for key in ["mean_quality", "undelivered", "allocation"] {
+                    fields.push((key, metrics.get(key).cloned().unwrap_or(Value::Null)));
+                }
+            }
+            obj(fields)
+        })
+        .collect();
+    obj(vec![
+        ("report", Value::String("loadgen-check".to_string())),
+        ("scenarios", Value::Array(entries)),
+    ])
+}
+
+/// Appends `entry` to the report history at `path`. An existing PR-4-era
+/// single-report file becomes the first history entry; a missing or
+/// unreadable file starts a fresh history.
+fn append_history(path: &str, entry: Value) -> Result<(), String> {
+    let mut entries: Vec<Value> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str(&text) {
+            Ok(Value::Object(fields)) => {
+                let mut map: HashMap<String, Value> = fields.iter().cloned().collect();
+                match map.remove("entries") {
+                    Some(Value::Array(entries)) => entries,
+                    _ => vec![Value::Object(fields)],
+                }
+            }
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    entries.push(entry);
+    let history = obj(vec![
+        ("report", Value::String("loadgen-history".to_string())),
+        ("entries", Value::Array(entries)),
+    ]);
+    let text = serde_json::to_string_pretty(&history).expect("Value serialization is total");
+    std::fs::write(path, text.as_bytes()).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// Performs one HTTP request, recording its latency and bumping the global

@@ -1,11 +1,15 @@
 //! The tagging-server daemon.
 //!
 //! Usage:
-//! `cargo run --release -p tagging-server --bin tagging_server -- [--port P] [--workers N] [--threads N]`
+//! `cargo run --release -p tagging-server --bin tagging_server -- [--port P] [--workers N] [--shards S] [--threads N]`
 //!
 //! * `--port P` — TCP port to bind on 127.0.0.1 (default 0 = ephemeral; the
 //!   chosen address is printed as `listening on 127.0.0.1:PORT`);
-//! * `--workers N` — connection-handling worker threads (default 4);
+//! * `--workers N` — request-handling worker threads (default 4; connections
+//!   themselves cost no threads — the accept/read path is nonblocking);
+//! * `--shards S` — session-registry shard count, rounded up to a power of
+//!   two (default 16; 1 = the single-lock baseline used by the CI
+//!   divergence check);
 //! * `--threads N` — compute threads for corpus generation / scenario
 //!   preparation (defaults to `TAGGING_THREADS` / available cores).
 //!
@@ -40,8 +44,11 @@ fn main() {
     }
     let port = arg_value(&args, "--port").unwrap_or(0);
     let workers = arg_value(&args, "--workers").unwrap_or(4).max(1);
+    let shards = arg_value(&args, "--shards")
+        .unwrap_or(tagging_sim::registry::DEFAULT_SHARDS)
+        .max(1);
 
-    let server = match TaggingServer::bind(&format!("127.0.0.1:{port}"), workers) {
+    let server = match TaggingServer::bind_with(&format!("127.0.0.1:{port}"), workers, shards) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind 127.0.0.1:{port}: {e}");

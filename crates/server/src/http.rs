@@ -75,15 +75,32 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Reads one request off the connection. Returns `Ok(None)` on a clean EOF
-/// between requests (the client closed a keep-alive connection) and an
-/// `InvalidData` error on malformed input.
-pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
-    let mut line = String::new();
-    if read_header_line(reader, &mut line)? == 0 {
+/// Largest number of buffered bytes one request may occupy: full header
+/// section plus full body (the bound the server's per-connection read buffer
+/// enforces).
+pub const MAX_REQUEST_BYTES: usize = MAX_HEADER_BYTES + MAX_BODY_BYTES;
+
+/// Tries to parse one complete request from the front of `buf`.
+///
+/// This is the *incremental* entry point behind the server's nonblocking read
+/// loop: the caller appends whatever bytes the socket had, then asks whether
+/// a full request has arrived.
+///
+/// * `Ok(Some((request, consumed)))` — a complete request; the caller must
+///   drain `consumed` bytes from the buffer (any remainder is the start of a
+///   pipelined next request);
+/// * `Ok(None)` — the bytes so far are a valid *prefix*; read more;
+/// * `Err(InvalidData)` — the bytes can never become a valid request.
+///
+/// Hostile-input bounds hold *before* anything is allocated for the body: a
+/// `Content-Length` that overflows `usize` or exceeds [`MAX_BODY_BYTES`] is
+/// rejected while parsing the header line, so the server never sizes a buffer
+/// from an unvalidated length.
+pub fn parse_request(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
+    let Some((request_line, mut pos)) = next_line(buf, 0)? else {
         return Ok(None);
-    }
-    let mut parts = line.split_whitespace();
+    };
+    let mut parts = request_line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) => (m.to_ascii_uppercase(), p.to_string(), v.to_string()),
         _ => return Err(bad_input("malformed request line")),
@@ -94,10 +111,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
 
     let mut content_length = 0usize;
     let mut keep_alive = version == "HTTP/1.1";
-    let mut header_bytes = line.len();
+    let mut header_bytes = request_line.len();
     loop {
-        line.clear();
-        read_header_line(reader, &mut line)?;
+        let Some((line, next)) = next_line(buf, pos)? else {
+            return Ok(None); // header section not terminated yet
+        };
+        pos = next;
         if line.is_empty() {
             break;
         }
@@ -110,12 +129,16 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse::<usize>()
+            // Parse into u128 so a length that does not even fit usize is
+            // still *compared against the cap* instead of wrapping, and
+            // reject before any body buffer exists.
+            let length = value
+                .parse::<u128>()
                 .map_err(|_| bad_input("invalid Content-Length"))?;
-            if content_length > MAX_BODY_BYTES {
+            if length > MAX_BODY_BYTES as u128 {
                 return Err(bad_input("request body too large"));
             }
+            content_length = length as usize;
         } else if name.eq_ignore_ascii_case("connection") {
             if value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
@@ -125,14 +148,86 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         }
     }
 
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request {
-        method,
-        path,
-        body,
-        keep_alive,
-    }))
+    let total = pos + content_length;
+    if buf.len() < total {
+        return Ok(None); // body not fully arrived yet
+    }
+    Ok(Some((
+        Request {
+            method,
+            path,
+            body: buf[pos..total].to_vec(),
+            keep_alive,
+        },
+        total,
+    )))
+}
+
+/// Extracts the `\n`-terminated line starting at `start`, stripping the
+/// terminator and any trailing `\r`s. Returns the line text and the offset
+/// just past the terminator, or `None` when the line is not complete yet.
+/// A line exceeding [`MAX_HEADER_BYTES`] is rejected even before its
+/// terminator arrives, so a newline-free flood cannot buffer unboundedly.
+fn next_line(buf: &[u8], start: usize) -> io::Result<Option<(&str, usize)>> {
+    match buf[start..].iter().position(|&b| b == b'\n') {
+        None => {
+            if buf.len() - start > MAX_HEADER_BYTES {
+                return Err(bad_input("header line too long"));
+            }
+            Ok(None)
+        }
+        Some(rel) => {
+            if rel > MAX_HEADER_BYTES {
+                return Err(bad_input("header line too long"));
+            }
+            let mut slice = &buf[start..start + rel];
+            while slice.last() == Some(&b'\r') {
+                slice = &slice[..slice.len() - 1];
+            }
+            let text = std::str::from_utf8(slice)
+                .map_err(|_| bad_input("header line is not valid UTF-8"))?;
+            Ok(Some((text, start + rel + 1)))
+        }
+    }
+}
+
+/// Reads one request off a blocking connection (the offline engine's replay
+/// tooling and the unit tests; the server itself uses [`parse_request`] on a
+/// nonblocking buffer).
+///
+/// Returns `Ok(None)` on a clean EOF between requests — and also when the
+/// peer disappears mid-request (truncated headers or a body shorter than its
+/// `Content-Length`): a short read is the client going away, which is a
+/// connection close, not a server error. Malformed bytes that can never
+/// become a request are an `InvalidData` error.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk_len = {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                // EOF: between requests (empty buffer) or mid-request (short
+                // body / truncated headers) — either way a clean close.
+                return Ok(None);
+            }
+            buf.extend_from_slice(chunk);
+            chunk.len()
+        };
+        match parse_request(&buf) {
+            Ok(Some((request, consumed))) => {
+                // Only the parsed request's bytes belong to us; anything
+                // after it stays in the reader for the next call.
+                let previously_consumed = buf.len() - chunk_len;
+                reader.consume(consumed - previously_consumed);
+                return Ok(Some(request));
+            }
+            Ok(None) => reader.consume(chunk_len),
+            Err(e) => {
+                reader.consume(chunk_len);
+                return Err(e);
+            }
+        }
+    }
 }
 
 /// Reads one CRLF-terminated line, stripping the terminator. Returns the
@@ -177,24 +272,35 @@ fn bad_input(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
+/// Serializes a response to raw HTTP/1.1 bytes (status line, headers, JSON
+/// body) — the form the server's nonblocking write path needs, since it must
+/// hand one finished buffer to a polling writer instead of formatting into a
+/// blocking stream.
+pub fn response_bytes(response: &Response, keep_alive: bool) -> Vec<u8> {
+    let body = serde_json::to_string(&response.body)
+        .expect("Value serialization is total")
+        .into_bytes();
+    let mut out = Vec::with_capacity(body.len() + 128);
+    write!(
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .expect("writing to a Vec cannot fail");
+    out.extend_from_slice(&body);
+    out
+}
+
 /// Writes a response, honoring the request's keep-alive decision.
 pub fn write_response<W: Write>(
     writer: &mut W,
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let body = serde_json::to_string(&response.body)
-        .expect("Value serialization is total")
-        .into_bytes();
-    write!(
-        writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        response.status,
-        reason(response.status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    )?;
-    writer.write_all(&body)?;
+    writer.write_all(&response_bytes(response, keep_alive))?;
     writer.flush()
 }
 
@@ -365,6 +471,77 @@ mod tests {
         );
         let mut reader = BufReader::new(Cursor::new(raw.into_bytes()));
         assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn overflowing_content_lengths_are_rejected_before_allocating() {
+        // Values that exceed the cap, u64::MAX, and u128::MAX: all must be
+        // rejected from the *header bytes alone* — parse_request sees no body
+        // byte, so erroring here proves no body buffer was ever sized from
+        // the hostile length.
+        for huge in [
+            (MAX_BODY_BYTES as u128 + 1).to_string(),
+            u64::MAX.to_string(),
+            format!("{}0", u128::MAX), // does not even fit u128
+        ] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {huge}\r\n\r\n");
+            let err = parse_request(raw.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{huge}");
+        }
+    }
+
+    #[test]
+    fn short_body_eof_is_a_clean_close_not_an_error() {
+        // The client promised 10 bytes, sent 3, then went away. That is a
+        // connection close, not a 500.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+        assert!(read_request(&mut reader).unwrap().is_none());
+
+        // Same for headers cut off mid-section.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Len";
+        let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_request_is_incremental() {
+        let raw = b"POST /scenarios HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"k\":1}";
+        // Every strict prefix is incomplete, never an error.
+        for cut in 0..raw.len() {
+            assert!(
+                parse_request(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (request, consumed) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, b"{\"k\":1}");
+    }
+
+    #[test]
+    fn parse_request_leaves_pipelined_bytes_alone() {
+        let mut raw = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+        let second = b"GET /scenarios/1/metrics HTTP/1.1\r\n\r\n";
+        raw.extend_from_slice(second);
+        let (first, consumed) = parse_request(&raw).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert_eq!(&raw[consumed..], second, "second request untouched");
+        let (parsed_second, consumed_second) = parse_request(&raw[consumed..]).unwrap().unwrap();
+        assert_eq!(parsed_second.path, "/scenarios/1/metrics");
+        assert_eq!(consumed + consumed_second, raw.len());
+    }
+
+    #[test]
+    fn read_request_only_consumes_the_parsed_request() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /nope HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+        let first = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        let second = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(second.path, "/nope");
+        assert!(read_request(&mut reader).unwrap().is_none());
     }
 
     #[test]

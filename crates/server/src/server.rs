@@ -1,55 +1,94 @@
-//! The TCP front of the service: accept loop, keep-alive connection handling
-//! on a [`WorkerPool`], and graceful shutdown.
+//! The TCP front of the service: a readiness-based nonblocking accept/read
+//! loop feeding a [`WorkerPool`], and graceful shutdown.
+//!
+//! ## Execution model
+//!
+//! One *event thread* (the thread that called [`TaggingServer::run`]) owns
+//! the listener and every connection. Everything it touches is nonblocking:
+//!
+//! 1. accept every connection the listener has pending;
+//! 2. sweep the open connections, draining whatever bytes each socket has
+//!    into its per-connection buffer ([`tagging_runtime::poll`]);
+//! 3. when a buffer holds one *complete* request
+//!    ([`crate::http::parse_request`]), hand it to the worker pool and mark
+//!    the connection busy until the worker reports back.
+//!
+//! Workers therefore only ever run fully-parsed requests: an idle keep-alive
+//! connection costs one entry in the sweep (no thread, no stack, no parked
+//! read), so thousands of idle clients are fine with a handful of workers.
+//! Long-idle connections are polled on a stride of sweeps rather than every
+//! sweep, bounding the sweep cost of a mostly-idle fleet; the first request
+//! after a long silence pays at most a few milliseconds of extra latency.
+//!
+//! A worker that panics answers 500 and poisons nothing: the service's locks
+//! recover (see [`tagging_runtime::lock_unpoisoned`]), the connection is
+//! re-armed by the completion message, and the pool thread survives because
+//! the panic is caught at the job boundary.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use tagging_runtime::poll::{read_available, write_all_polling, IdleBackoff, ReadOutcome};
 use tagging_runtime::{Runtime, WorkerPool};
 
-use crate::http::{read_request, write_response, Response};
-use crate::service::TaggingService;
+use crate::http::{parse_request, response_bytes, Request, Response, MAX_REQUEST_BYTES};
+use crate::service::{Handled, TaggingService};
 
-/// Tracks the open connections so shutdown can unblock workers parked in a
-/// read on an idle keep-alive connection: without this, one idle client would
-/// keep the worker join (and therefore process exit) waiting forever.
-#[derive(Debug, Default)]
-struct ConnectionRegistry {
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    next_token: AtomicU64,
+/// Sweeps without bytes before a connection is considered cold.
+const COLD_AFTER_SWEEPS: u32 = 64;
+
+/// A cold connection is polled once per this many sweeps (staggered by
+/// connection token so cold polls spread over sweeps instead of bunching).
+const COLD_POLL_STRIDE: u64 = 16;
+
+/// One open connection, owned by the event thread.
+#[derive(Debug)]
+struct Connection {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by a parsed request.
+    buf: Vec<u8>,
+    /// True while a request from this connection is on the worker pool; the
+    /// sweep skips busy connections, which also guarantees at most one writer
+    /// per stream and in-order responses.
+    busy: bool,
+    /// Consecutive sweeps that found no bytes (drives the cold stride).
+    idle_sweeps: u32,
 }
 
-impl ConnectionRegistry {
-    /// Registers a connection; the returned token deregisters it.
-    fn register(&self, stream: &TcpStream) -> u64 {
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            self.streams
-                .lock()
-                .expect("registry poisoned")
-                .insert(token, clone);
-        }
-        token
-    }
-
-    fn deregister(&self, token: u64) {
-        self.streams
-            .lock()
-            .expect("registry poisoned")
-            .remove(&token);
-    }
-
-    /// Closes the *read* half of every open connection: parked `read_request`
-    /// calls observe EOF and wind down cleanly, while any response still
-    /// being written goes out on the intact write half.
-    fn shutdown_reads(&self) {
-        for stream in self.streams.lock().expect("registry poisoned").values() {
-            let _ = stream.shutdown(Shutdown::Read);
+impl Connection {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            busy: false,
+            idle_sweeps: 0,
         }
     }
+
+    /// True when this sweep should skip polling the socket: the connection
+    /// has been silent for a while and it is not its turn on the cold stride.
+    fn skip_cold_poll(&self, sweep: u64, token: u64) -> bool {
+        self.buf.is_empty()
+            && self.idle_sweeps > COLD_AFTER_SWEEPS
+            && !sweep.wrapping_add(token).is_multiple_of(COLD_POLL_STRIDE)
+    }
+}
+
+/// What a worker reports when it finishes a request.
+#[derive(Debug)]
+struct Done {
+    token: u64,
+    /// Keep the connection open for the next request?
+    keep_alive: bool,
+    /// The handled request asked the server to shut down.
+    shutdown: bool,
+    /// Writing the response failed; the connection is dead.
+    write_failed: bool,
 }
 
 /// A bound-but-not-yet-running tagging server.
@@ -58,21 +97,23 @@ pub struct TaggingServer {
     listener: TcpListener,
     service: Arc<TaggingService>,
     pool: WorkerPool,
-    shutdown: Arc<AtomicBool>,
-    connections: Arc<ConnectionRegistry>,
 }
 
 impl TaggingServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) with `threads`
-    /// connection-handling workers.
+    /// request-handling workers and the default registry shard count.
     pub fn bind(addr: &str, threads: usize) -> io::Result<Self> {
+        Self::bind_with(addr, threads, tagging_sim::registry::DEFAULT_SHARDS)
+    }
+
+    /// Binds with an explicit session-registry shard count (rounded up to a
+    /// power of two; 1 = the single-lock baseline).
+    pub fn bind_with(addr: &str, threads: usize, shards: usize) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(Self {
             listener,
-            service: Arc::new(TaggingService::new(Runtime::from_env())),
+            service: Arc::new(TaggingService::with_shards(Runtime::from_env(), shards)),
             pool: WorkerPool::new(threads),
-            shutdown: Arc::new(AtomicBool::new(false)),
-            connections: Arc::new(ConnectionRegistry::default()),
         })
     }
 
@@ -81,45 +122,147 @@ impl TaggingServer {
         self.listener.local_addr()
     }
 
-    /// Serves until a `POST /shutdown` arrives, then joins the workers so
-    /// every in-flight request finishes before returning.
+    /// The shared service behind this server (tests and diagnostics).
+    pub fn service(&self) -> &Arc<TaggingService> {
+        &self.service
+    }
+
+    /// Serves until a `POST /shutdown` arrives, then drains: every dispatched
+    /// request finishes (and its response is written) before this returns.
     pub fn run(self) -> io::Result<()> {
-        let addr = self.local_addr()?;
+        self.listener.set_nonblocking(true)?;
+        let (done_tx, done_rx) = channel::<Done>();
+        let mut connections: HashMap<u64, Connection> = HashMap::new();
+        let mut next_token: u64 = 0;
+        let mut backoff = IdleBackoff::new();
+        let mut sweep: u64 = 0;
+        let mut draining = false;
+
         loop {
-            let stream = match self.listener.accept() {
-                Ok((stream, _)) => stream,
-                // Transient per-connection failures (client reset before the
-                // accept, interrupted syscall) must not take the server down.
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::ConnectionAborted
-                            | io::ErrorKind::ConnectionReset
-                            | io::ErrorKind::Interrupted
-                    ) =>
-                {
-                    continue
+            sweep = sweep.wrapping_add(1);
+            let mut progress = false;
+
+            // 1. Accept everything pending (stop taking new work once
+            //    draining).
+            if !draining {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            connections.insert(next_token, Connection::new(stream));
+                            next_token = next_token.wrapping_add(1);
+                            progress = true;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        // Transient per-connection failures (client reset
+                        // before the accept, interrupted syscall) must not
+                        // take the server down.
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::ConnectionAborted
+                                    | io::ErrorKind::ConnectionReset
+                                    | io::ErrorKind::Interrupted
+                            ) =>
+                        {
+                            continue
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
-                Err(e) => return Err(e),
-            };
-            if self.shutdown.load(Ordering::Acquire) {
-                // The wake-up connection (or a late client); stop accepting.
+            }
+
+            // 2. Collect worker completions: re-arm or retire connections.
+            while let Ok(done) = done_rx.try_recv() {
+                progress = true;
+                if done.shutdown {
+                    draining = true;
+                }
+                if let Some(connection) = connections.get_mut(&done.token) {
+                    connection.busy = false;
+                    connection.idle_sweeps = 0;
+                    if !done.keep_alive || done.write_failed {
+                        connections.remove(&done.token);
+                    }
+                }
+            }
+
+            // 3. Sweep: read available bytes, dispatch complete requests.
+            let mut retired: Vec<u64> = Vec::new();
+            if !draining {
+                for (&token, connection) in connections.iter_mut() {
+                    if connection.busy || connection.skip_cold_poll(sweep, token) {
+                        continue;
+                    }
+                    match read_available(
+                        &mut connection.stream,
+                        &mut connection.buf,
+                        MAX_REQUEST_BYTES,
+                    ) {
+                        Ok(ReadOutcome::Read(_)) => {
+                            connection.idle_sweeps = 0;
+                            progress = true;
+                        }
+                        Ok(ReadOutcome::WouldBlock) => {
+                            connection.idle_sweeps = connection.idle_sweeps.saturating_add(1);
+                        }
+                        Ok(ReadOutcome::Closed) | Err(_) => {
+                            // EOF with a partial request buffered is the peer
+                            // going away — a clean close, never a 500.
+                            retired.push(token);
+                            continue;
+                        }
+                    }
+                    if connection.buf.is_empty() {
+                        continue;
+                    }
+                    match parse_request(&connection.buf) {
+                        Ok(Some((request, consumed))) => {
+                            connection.buf.drain(..consumed);
+                            progress = true;
+                            let Ok(stream) = connection.stream.try_clone() else {
+                                retired.push(token);
+                                continue;
+                            };
+                            connection.busy = true;
+                            dispatch(&self.pool, &self.service, &done_tx, token, request, stream);
+                        }
+                        Ok(None) => {} // a valid prefix; keep reading
+                        Err(e) => {
+                            // Malformed HTTP: answer politely, then drop.
+                            let bytes = response_bytes(&Response::error(400, e.to_string()), false);
+                            let mut write_backoff = IdleBackoff::new();
+                            let _ = write_all_polling(
+                                &mut connection.stream,
+                                &bytes,
+                                &mut write_backoff,
+                            );
+                            retired.push(token);
+                        }
+                    }
+                }
+            }
+            for token in retired {
+                connections.remove(&token);
+            }
+
+            if draining && connections.values().all(|c| !c.busy) {
+                // Every dispatched request has reported back (its response is
+                // on the wire); idle keep-alive connections just close.
                 break;
             }
-            let service = Arc::clone(&self.service);
-            let shutdown = Arc::clone(&self.shutdown);
-            let connections = Arc::clone(&self.connections);
-            self.pool.execute(move || {
-                let token = connections.register(&stream);
-                // A broken connection only affects that client.
-                let _ = handle_connection(stream, &service, &shutdown, addr);
-                connections.deregister(token);
-            });
+
+            if progress {
+                backoff.reset();
+            } else {
+                backoff.wait();
+            }
         }
-        // Unpark workers blocked reading idle keep-alive connections, then
-        // join: dropping the pool waits for in-flight requests to drain.
-        self.connections.shutdown_reads();
-        drop(self.pool);
+        drop(connections);
+        drop(self.pool); // joins the (now idle) workers
         Ok(())
     }
 
@@ -134,44 +277,37 @@ impl TaggingServer {
     }
 }
 
-/// Serves one keep-alive connection until EOF, a `Connection: close`, a
-/// protocol error, or a shutdown request.
-fn handle_connection(
-    stream: TcpStream,
-    service: &TaggingService,
-    shutdown: &AtomicBool,
-    addr: SocketAddr,
-) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            Ok(None) => return Ok(()), // client closed between requests
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Malformed HTTP: answer politely, then drop the connection.
-                write_response(&mut writer, &Response::error(400, e.to_string()), false)?;
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        let keep_alive = request.keep_alive;
-        let handled = service.handle(&request);
-        write_response(
-            &mut writer,
-            &handled.response,
-            keep_alive && !handled.shutdown,
-        )?;
-        writer.flush()?;
-        if handled.shutdown {
-            shutdown.store(true, Ordering::Release);
-            // Wake the accept loop so it observes the flag.
-            let _ = TcpStream::connect(addr);
-            return Ok(());
-        }
-        if !keep_alive {
-            return Ok(());
-        }
-    }
+/// Queues one parsed request on the pool. The worker routes it, writes the
+/// response through the nonblocking stream, and reports completion; a panic
+/// inside the handler is caught at this boundary and answered with a 500, so
+/// neither the worker thread nor the connection is lost.
+fn dispatch(
+    pool: &WorkerPool,
+    service: &Arc<TaggingService>,
+    done_tx: &Sender<Done>,
+    token: u64,
+    request: Request,
+    mut stream: TcpStream,
+) {
+    let service = Arc::clone(service);
+    let done_tx = done_tx.clone();
+    pool.execute(move || {
+        let handled = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle(&request)))
+            .unwrap_or_else(|_| Handled {
+                response: Response::error(500, "internal error: request handler panicked"),
+                shutdown: false,
+            });
+        let keep_alive = request.keep_alive && !handled.shutdown;
+        let bytes = response_bytes(&handled.response, keep_alive);
+        let mut backoff = IdleBackoff::new();
+        let write_failed = write_all_polling(&mut stream, &bytes, &mut backoff).is_err();
+        // The event thread may already be gone on a racing shutdown; a failed
+        // send is then moot.
+        let _ = done_tx.send(Done {
+            token,
+            keep_alive,
+            shutdown: handled.shutdown,
+            write_failed,
+        });
+    });
 }

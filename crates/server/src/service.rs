@@ -11,7 +11,6 @@
 //! | GET    | `/scenarios/{id}/metrics`  | incremental run metrics                  |
 //! | POST   | `/shutdown`                | finish in-flight requests, then exit     |
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -19,7 +18,8 @@ use serde::Value;
 
 use delicious_sim::generator::generate_with;
 use delicious_sim::io::load_corpus;
-use tagging_runtime::Runtime;
+use tagging_runtime::{lock_unpoisoned, Runtime};
+use tagging_sim::registry::{SessionRegistry, SharedSession};
 use tagging_sim::scenario::Scenario;
 use tagging_sim::session::{LiveSession, SessionError};
 
@@ -48,9 +48,15 @@ impl Handled {
 }
 
 /// The session registry and router.
+///
+/// Sessions live in a sharded [`SessionRegistry`]: requests on different
+/// sessions lock different shards (and usually different sessions), so they
+/// proceed concurrently; a panicking handler poisons at most its own session
+/// mutex, which the poison-recovering locks heal on the next request instead
+/// of bricking the registry.
 #[derive(Debug)]
 pub struct TaggingService {
-    sessions: Mutex<HashMap<u64, Arc<Mutex<LiveSession<'static>>>>>,
+    sessions: SessionRegistry,
     next_id: AtomicU64,
     runtime: Runtime,
 }
@@ -62,11 +68,18 @@ impl Default for TaggingService {
 }
 
 impl TaggingService {
-    /// Creates an empty registry; `runtime` drives corpus generation and
-    /// scenario preparation for registrations.
+    /// Creates an empty registry with the default shard count; `runtime`
+    /// drives corpus generation and scenario preparation for registrations.
     pub fn new(runtime: Runtime) -> Self {
+        Self::with_shards(runtime, tagging_sim::registry::DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty registry striped over `shards` locks (rounded up to a
+    /// power of two; 1 reproduces the single-lock design, which the golden
+    /// equivalence tests use as the baseline).
+    pub fn with_shards(runtime: Runtime, shards: usize) -> Self {
         Self {
-            sessions: Mutex::new(HashMap::new()),
+            sessions: SessionRegistry::new(shards),
             next_id: AtomicU64::new(1),
             runtime,
         }
@@ -74,7 +87,18 @@ impl TaggingService {
 
     /// Number of registered sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.lock().expect("registry poisoned").len()
+        self.sessions.len()
+    }
+
+    /// The number of registry shards.
+    pub fn shard_count(&self) -> usize {
+        self.sessions.shard_count()
+    }
+
+    /// The shared handle of a registered session (tests and diagnostics; the
+    /// request path goes through [`TaggingService::handle`]).
+    pub fn session(&self, id: u64) -> Option<SharedSession> {
+        self.sessions.get(id)
     }
 
     /// Routes one request. Never panics on malformed input: JSON and protocol
@@ -189,14 +213,18 @@ impl TaggingService {
             "initial_quality".to_string(),
             Value::Float(session.scenario().initial_quality()),
         ));
-        self.sessions
-            .lock()
-            .expect("registry poisoned")
-            .insert(id, Arc::new(Mutex::new(session)));
+        self.sessions.insert(id, Arc::new(Mutex::new(session)));
         Response::ok(Value::Object(info))
     }
 
     /// Looks up a session by path segment and runs `f` on it under its lock.
+    ///
+    /// Lock scope: [`SessionRegistry::get`] clones the `Arc` out under the
+    /// shard guard and drops the guard *before* returning, so the (possibly
+    /// long) per-session work below never holds a registry lock — other
+    /// sessions stay servable while `f` runs. Both locks recover from poison:
+    /// a handler that panicked inside an earlier `f` does not take the
+    /// session (or its shard) down with it.
     fn with_session<F>(&self, id: &str, f: F) -> Response
     where
         F: FnOnce(&mut LiveSession<'static>) -> Result<Response, Response>,
@@ -204,14 +232,10 @@ impl TaggingService {
         let Ok(id) = id.parse::<u64>() else {
             return Response::error(404, format!("scenario id `{id}` is not a number"));
         };
-        let session = {
-            let sessions = self.sessions.lock().expect("registry poisoned");
-            sessions.get(&id).cloned()
-        };
-        let Some(session) = session else {
+        let Some(session) = self.sessions.get(id) else {
             return Response::error(404, format!("no scenario {id}"));
         };
-        let mut session = session.lock().expect("session poisoned");
+        let mut session = lock_unpoisoned(&session);
         match f(&mut session) {
             Ok(response) | Err(response) => response,
         }

@@ -1,0 +1,302 @@
+//! Sharded-registry equivalence and robustness tests, straight against
+//! [`TaggingService`] (no sockets): the shard count must be invisible in the
+//! responses, per-session work must not serialize behind the registry lock,
+//! and a panicked handler must not take any session down with it.
+
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+use serde::Value;
+use tagging_runtime::{lock_unpoisoned, Runtime};
+use tagging_server::http::{response_bytes, Request};
+use tagging_server::TaggingService;
+
+fn service(shards: usize) -> TaggingService {
+    TaggingService::with_shards(Runtime::new(2), shards)
+}
+
+fn request(method: &str, path: &str, body: &str) -> Request {
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: body.as_bytes().to_vec(),
+        keep_alive: true,
+    }
+}
+
+fn register_body(strategy: &str, resources: u64, budget: u64, seed: u64) -> String {
+    format!(
+        r#"{{"strategy":"{strategy}","budget":{budget},"seed":7,"source":{{"generate":{{"resources":{resources},"seed":{seed}}}}}}}"#
+    )
+}
+
+/// SplitMix64 finalizer, for a deterministic pseudo-random trace.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The task ids leased by a batch response, re-encoded as a report body.
+fn report_body_from(batch_response: &Value) -> Option<String> {
+    let Some(Value::Array(tasks)) = batch_response.get("tasks") else {
+        return None;
+    };
+    if tasks.is_empty() {
+        return None;
+    }
+    let completions: Vec<String> = tasks
+        .iter()
+        .filter_map(|t| match t.get("task_id") {
+            Some(Value::UInt(id)) => Some(format!(r#"{{"task_id":{id}}}"#)),
+            _ => None,
+        })
+        .collect();
+    Some(format!(r#"{{"completions":[{}]}}"#, completions.join(",")))
+}
+
+/// Masks the one legitimately nondeterministic response field: metrics carry
+/// a wall-clock `runtime_seconds`, which differs between any two runs no
+/// matter the shard count. Everything else must match byte for byte.
+fn mask_wall_clock(body: Value) -> Value {
+    match body {
+        Value::Object(fields) => Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "runtime_seconds" {
+                        (k, Value::Null)
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// Plays a fixed request trace — registrations, interleaved batch / report /
+/// metrics traffic on every session, unknown routes, malformed ids — and
+/// returns every response serialized exactly as the server would put it on
+/// the wire.
+fn run_trace(service: &TaggingService) -> Vec<Vec<u8>> {
+    let mut wire: Vec<Vec<u8>> = Vec::new();
+    let mut respond = |service: &TaggingService, req: &Request| -> Value {
+        let mut handled = service.handle(req);
+        handled.response.body = mask_wall_clock(handled.response.body);
+        wire.push(response_bytes(&handled.response, true));
+        handled.response.body
+    };
+
+    let strategies = ["FP", "RR", "MU", "FP-MU", "FP", "RR"];
+    let mut ids: Vec<u64> = Vec::new();
+    for (i, strategy) in strategies.iter().enumerate() {
+        let body = register_body(strategy, 16 + 4 * i as u64, 200, 11 + i as u64);
+        let registered = respond(service, &request("POST", "/scenarios", &body));
+        match registered.get("scenario_id") {
+            Some(&Value::UInt(id)) => ids.push(id),
+            other => panic!("registration failed: {other:?}"),
+        }
+    }
+
+    for step in 0..240u64 {
+        let r = mix(step);
+        let id = ids[(r % ids.len() as u64) as usize];
+        match r >> 32 & 7 {
+            // Mostly lease-and-report round trips.
+            0..=4 => {
+                let k = 1 + (r >> 8) % 7;
+                let batch = respond(
+                    service,
+                    &request(
+                        "POST",
+                        &format!("/scenarios/{id}/batch"),
+                        &format!(r#"{{"k":{k}}}"#),
+                    ),
+                );
+                if let Some(body) = report_body_from(&batch) {
+                    respond(
+                        service,
+                        &request("POST", &format!("/scenarios/{id}/report"), &body),
+                    );
+                }
+            }
+            5 => {
+                respond(
+                    service,
+                    &request("GET", &format!("/scenarios/{id}/metrics"), ""),
+                );
+            }
+            6 => {
+                respond(service, &request("GET", "/healthz", ""));
+            }
+            _ => {
+                // Error paths must be shard-invisible too.
+                respond(
+                    service,
+                    &request("POST", "/scenarios/999999/batch", r#"{"k":1}"#),
+                );
+                respond(
+                    service,
+                    &request("GET", "/scenarios/not-a-number/metrics", ""),
+                );
+                respond(service, &request("PUT", "/healthz", ""));
+            }
+        }
+    }
+    for id in &ids {
+        respond(
+            service,
+            &request("GET", &format!("/scenarios/{id}/metrics"), ""),
+        );
+    }
+    wire
+}
+
+/// Golden equivalence: the sharded registry must answer a recorded trace with
+/// exactly the bytes the single-lock baseline produces.
+#[test]
+fn sharded_registry_byte_matches_the_single_lock_baseline() {
+    let baseline = run_trace(&service(1));
+    assert!(
+        baseline.len() > 400,
+        "trace too short to be meaningful: {} responses",
+        baseline.len()
+    );
+    for shards in [4, 16, 64] {
+        let sharded = run_trace(&service(shards));
+        assert_eq!(baseline.len(), sharded.len());
+        for (i, (a, b)) in baseline.iter().zip(&sharded).enumerate() {
+            assert_eq!(
+                a,
+                b,
+                "response {i} diverged at {shards} shards:\n  baseline: {}\n  sharded:  {}",
+                String::from_utf8_lossy(a),
+                String::from_utf8_lossy(b)
+            );
+        }
+    }
+}
+
+/// The registry lock must not serialize per-session work: while one session's
+/// mutex is held (a slow request in flight), requests on another session —
+/// even one in the *same* shard, hence the single-shard service — must still
+/// complete.
+#[test]
+fn a_held_session_does_not_block_other_sessions() {
+    let service = std::sync::Arc::new(self::service(1));
+    let a = match service
+        .handle(&request(
+            "POST",
+            "/scenarios",
+            &register_body("FP", 8, 50, 1),
+        ))
+        .response
+        .body
+        .get("scenario_id")
+    {
+        Some(&Value::UInt(id)) => id,
+        other => panic!("registration failed: {other:?}"),
+    };
+    let b = match service
+        .handle(&request(
+            "POST",
+            "/scenarios",
+            &register_body("RR", 8, 50, 2),
+        ))
+        .response
+        .body
+        .get("scenario_id")
+    {
+        Some(&Value::UInt(id)) => id,
+        other => panic!("registration failed: {other:?}"),
+    };
+
+    // Simulate a slow in-flight request on A by holding its session lock.
+    let held = service.session(a).expect("session A registered");
+    let guard = lock_unpoisoned(&held);
+
+    let (tx, rx) = channel();
+    let worker = {
+        let service = std::sync::Arc::clone(&service);
+        std::thread::spawn(move || {
+            let handled = service.handle(&request(
+                "POST",
+                &format!("/scenarios/{b}/batch"),
+                r#"{"k":4}"#,
+            ));
+            tx.send(handled.response.status).expect("main thread alive");
+        })
+    };
+    let status = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("request on session B must not wait for session A's lock");
+    assert_eq!(status, 200);
+    worker.join().expect("worker thread");
+
+    drop(guard);
+    let status = service
+        .handle(&request(
+            "POST",
+            &format!("/scenarios/{a}/batch"),
+            r#"{"k":4}"#,
+        ))
+        .response
+        .status;
+    assert_eq!(status, 200, "session A usable again once released");
+}
+
+/// A handler that panics mid-request poisons at most its own session mutex;
+/// the poison-recovering locks keep both that session and every other one
+/// servable.
+#[test]
+fn a_panicked_session_leaves_every_session_servable() {
+    let service = service(8);
+    let mut ids = Vec::new();
+    for seed in 0..3u64 {
+        let body = register_body(["FP", "RR", "MU"][seed as usize], 8, 50, seed);
+        match service
+            .handle(&request("POST", "/scenarios", &body))
+            .response
+            .body
+            .get("scenario_id")
+        {
+            Some(&Value::UInt(id)) => ids.push(id),
+            other => panic!("registration failed: {other:?}"),
+        }
+    }
+
+    // Panic while holding session 0's lock, the way a crashing handler would.
+    let victim = service.session(ids[0]).expect("session registered");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _guard = victim.lock().expect("not yet poisoned");
+        panic!("handler crash while holding the session lock");
+    }));
+    assert!(result.is_err());
+    assert!(
+        victim.is_poisoned(),
+        "the panic must have poisoned the mutex"
+    );
+
+    // Every session — including the poisoned one — still answers.
+    for id in &ids {
+        let handled = service.handle(&request(
+            "POST",
+            &format!("/scenarios/{id}/batch"),
+            r#"{"k":2}"#,
+        ));
+        assert_eq!(
+            handled.response.status, 200,
+            "session {id} unusable after an unrelated panic: {:?}",
+            handled.response.body
+        );
+    }
+    let handled = service.handle(&request(
+        "GET",
+        &format!("/scenarios/{}/metrics", ids[0]),
+        "",
+    ));
+    assert_eq!(handled.response.status, 200);
+}

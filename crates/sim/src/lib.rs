@@ -16,6 +16,9 @@
 //! * [`session`] — a [`session::LiveSession`]: the online form of a run, which
 //!   leases task batches and accepts completion reports (the type behind the
 //!   `tagging-server` crate; the offline engine replays through it too);
+//! * [`registry`] — a lock-striped [`registry::SessionRegistry`] of shared
+//!   live sessions, so concurrent requests on different sessions never
+//!   contend on one registry lock;
 //! * [`sweep`] — budget / resource-count / ω sweeps, i.e. the loops behind the
 //!   individual panels of Figure 6.
 //!
@@ -39,6 +42,7 @@
 pub mod engine;
 pub mod market;
 pub mod metrics;
+pub mod registry;
 pub mod scenario;
 pub mod session;
 pub mod sweep;

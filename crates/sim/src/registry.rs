@@ -1,0 +1,239 @@
+//! A sharded registry of live sessions — the concurrency backbone of the
+//! allocation server.
+//!
+//! One `Mutex<HashMap>` over all sessions serializes *every* request through
+//! a single lock: two clients working on two unrelated sessions still contend
+//! on the map, and the map guard becomes the scaling ceiling long before the
+//! sessions themselves do. [`SessionRegistry`] stripes the map over a fixed
+//! power-of-two number of shards, each shard its own
+//! `Mutex<HashMap<u64, Arc<Mutex<LiveSession>>>>`, with the session id hashed
+//! to its shard. Requests on sessions in different shards never touch the
+//! same lock; requests on different sessions in the *same* shard contend only
+//! for the nanoseconds of a map lookup, because [`SessionRegistry::get`]
+//! clones the `Arc` out and drops the shard guard before the caller ever
+//! locks the session itself.
+//!
+//! Lock discipline, enforced by the API shape:
+//!
+//! 1. shard guards are held only inside this module, never across per-session
+//!    work (the lock-scope bug class this type exists to prevent);
+//! 2. every lock is taken through [`tagging_runtime::lock_unpoisoned`], so a
+//!    handler that panics while holding a session cannot brick the shard —
+//!    or any other session — for later requests.
+//!
+//! With one shard the registry *is* the old single-lock design, which the
+//! server's golden tests exploit: responses from a sharded registry must
+//! byte-match the single-shard baseline on a recorded request trace.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use tagging_runtime::lock_unpoisoned;
+
+use crate::session::LiveSession;
+
+/// A session as the registry hands it out: shared, independently lockable.
+pub type SharedSession = Arc<Mutex<LiveSession<'static>>>;
+
+/// Default shard count: enough stripes that 8–16 worker threads on distinct
+/// sessions almost never collide, small enough that `len()` (which visits
+/// every shard) stays trivial.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A fixed-shard-count, lock-striped map of session id → live session.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    shards: Box<[Mutex<HashMap<u64, SharedSession>>]>,
+    /// `shards.len() - 1`; valid as a bitmask because the count is a power
+    /// of two.
+    mask: u64,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl SessionRegistry {
+    /// Creates a registry with `shards` stripes, rounded up to the next power
+    /// of two (minimum 1). One shard reproduces the single-lock design
+    /// exactly — useful as the baseline in equivalence tests.
+    pub fn new(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let shards: Box<[Mutex<HashMap<u64, SharedSession>>]> =
+            (0..count).map(|_| Mutex::new(HashMap::new())).collect();
+        Self {
+            mask: (count - 1) as u64,
+            shards,
+        }
+    }
+
+    /// The (power-of-two) number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a session id lives in. Ids are assigned sequentially
+    /// by the service, so they are mixed (SplitMix64 finalizer) before the
+    /// mask — consecutive ids land on unrelated shards, and any id pattern a
+    /// client produces spreads evenly.
+    pub fn shard_of(&self, id: u64) -> usize {
+        (mix(id) & self.mask) as usize
+    }
+
+    /// Inserts (or replaces) a session; returns the previous occupant if the
+    /// id was already registered.
+    pub fn insert(&self, id: u64, session: SharedSession) -> Option<SharedSession> {
+        lock_unpoisoned(&self.shards[self.shard_of(id)]).insert(id, session)
+    }
+
+    /// Looks up a session, cloning the `Arc` out under the shard guard and
+    /// dropping the guard before returning — the caller locks the session
+    /// *after* the shard lock is gone, so per-session work never blocks the
+    /// shard.
+    pub fn get(&self, id: u64) -> Option<SharedSession> {
+        lock_unpoisoned(&self.shards[self.shard_of(id)])
+            .get(&id)
+            .cloned()
+    }
+
+    /// Removes and returns a session.
+    pub fn remove(&self, id: u64) -> Option<SharedSession> {
+        lock_unpoisoned(&self.shards[self.shard_of(id)]).remove(&id)
+    }
+
+    /// Total number of registered sessions (locks each shard in turn — a
+    /// snapshot, not an atomic count across shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| lock_unpoisoned(shard).len())
+            .sum()
+    }
+
+    /// True when no shard holds any session.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids currently registered, in ascending order (for diagnostics and
+    /// tests; takes each shard lock in turn).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|shard| lock_unpoisoned(shard).keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// How many sessions each shard holds (diagnostics and the partition
+    /// tests).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|shard| lock_unpoisoned(shard).len())
+            .collect()
+    }
+}
+
+/// SplitMix64 finalizer: a cheap bijective mixer whose low bits depend on
+/// every input bit, making `mix(id) & mask` a uniform shard choice even for
+/// sequential ids.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RunConfig;
+    use crate::scenario::{Scenario, ScenarioParams};
+    use delicious_sim::generator::{generate, GeneratorConfig};
+    use tagging_core::stability::StabilityParams;
+    use tagging_strategies::StrategyKind;
+
+    fn session(seed: u64) -> SharedSession {
+        let corpus = generate(&GeneratorConfig::small(10, seed));
+        let scenario = Scenario::from_corpus(
+            &corpus,
+            &ScenarioParams {
+                stability: StabilityParams::new(10, 0.995),
+                under_tagged_threshold: 10,
+            },
+        );
+        let config = RunConfig {
+            budget: 20,
+            omega: 5,
+            seed,
+        };
+        Arc::new(Mutex::new(LiveSession::new(
+            scenario,
+            StrategyKind::Rr,
+            &config,
+        )))
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        assert_eq!(SessionRegistry::new(0).shard_count(), 1);
+        assert_eq!(SessionRegistry::new(1).shard_count(), 1);
+        assert_eq!(SessionRegistry::new(3).shard_count(), 4);
+        assert_eq!(SessionRegistry::new(16).shard_count(), 16);
+        assert_eq!(SessionRegistry::new(17).shard_count(), 32);
+        assert_eq!(SessionRegistry::default().shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let registry = SessionRegistry::new(8);
+        assert!(registry.is_empty());
+        let s = session(1);
+        assert!(registry.insert(42, Arc::clone(&s)).is_none());
+        assert_eq!(registry.len(), 1);
+        let got = registry.get(42).expect("registered");
+        assert!(Arc::ptr_eq(&got, &s));
+        assert!(registry.get(41).is_none());
+        assert!(registry.remove(42).is_some());
+        assert!(registry.get(42).is_none());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn sequential_ids_spread_over_shards() {
+        let registry = SessionRegistry::new(8);
+        let s = session(2);
+        for id in 1..=64 {
+            registry.insert(id, Arc::clone(&s));
+        }
+        let sizes = registry.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 64);
+        // The mixer must not funnel sequential ids into a few shards: with 64
+        // ids over 8 shards every shard should see traffic.
+        assert!(
+            sizes.iter().all(|&n| n > 0),
+            "sequential ids left a shard empty: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn a_poisoned_shard_recovers() {
+        let registry = Arc::new(SessionRegistry::new(4));
+        registry.insert(7, session(3));
+        let inner = Arc::clone(&registry);
+        // Poison the shard holding id 7 by panicking under its guard.
+        let _ = std::thread::spawn(move || {
+            let _guard = lock_unpoisoned(&inner.shards[inner.shard_of(7)]);
+            panic!("poison shard");
+        })
+        .join();
+        // The registry still serves lookups on that shard.
+        assert!(registry.get(7).is_some());
+        assert_eq!(registry.len(), 1);
+    }
+}

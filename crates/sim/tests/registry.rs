@@ -1,0 +1,134 @@
+//! Property tests for the shard-routing invariants of
+//! [`tagging_sim::registry::SessionRegistry`]: any set of session ids must be
+//! *fully partitioned* across the shards — every id lands in exactly one
+//! shard, nothing is lost, nothing is duplicated, and routing is a pure
+//! function of the id.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use proptest::prelude::*;
+
+use delicious_sim::generator::{generate, GeneratorConfig};
+use tagging_core::stability::StabilityParams;
+use tagging_sim::engine::RunConfig;
+use tagging_sim::registry::{SessionRegistry, SharedSession};
+use tagging_sim::scenario::{Scenario, ScenarioParams};
+use tagging_sim::session::LiveSession;
+use tagging_strategies::StrategyKind;
+
+/// One tiny shared session reused for every registration: the partition
+/// invariants are about ids and shards, not about session contents.
+fn placeholder_session() -> SharedSession {
+    static SESSION: OnceLock<SharedSession> = OnceLock::new();
+    Arc::clone(SESSION.get_or_init(|| {
+        let corpus = generate(&GeneratorConfig::small(8, 1));
+        let scenario = Scenario::from_corpus(
+            &corpus,
+            &ScenarioParams {
+                stability: StabilityParams::new(10, 0.995),
+                under_tagged_threshold: 10,
+            },
+        );
+        let config = RunConfig {
+            budget: 8,
+            omega: 5,
+            seed: 1,
+        };
+        Arc::new(Mutex::new(LiveSession::new(
+            scenario,
+            StrategyKind::Rr,
+            &config,
+        )))
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every id routes to exactly one in-range shard, and routing is stable.
+    #[test]
+    fn routing_is_an_in_range_pure_function(
+        ids in proptest::collection::vec(0u64..u64::MAX, 0..128),
+        shards in 1usize..64,
+    ) {
+        let registry = SessionRegistry::new(shards);
+        prop_assert!(registry.shard_count().is_power_of_two());
+        prop_assert!(registry.shard_count() >= shards);
+        for &id in &ids {
+            let shard = registry.shard_of(id);
+            prop_assert!(shard < registry.shard_count());
+            prop_assert_eq!(shard, registry.shard_of(id), "routing must be stable");
+        }
+    }
+
+    /// Inserting any id set partitions it exactly: per-shard sizes sum to the
+    /// number of distinct ids, every id is retrievable, and removal empties
+    /// the registry completely.
+    #[test]
+    fn any_id_set_is_fully_partitioned(
+        ids in proptest::collection::btree_set(0u64..u64::MAX, 0..96),
+        shards in 1usize..64,
+    ) {
+        let registry = SessionRegistry::new(shards);
+        for &id in &ids {
+            prop_assert!(registry.insert(id, placeholder_session()).is_none());
+        }
+        prop_assert_eq!(registry.len(), ids.len());
+        prop_assert_eq!(
+            registry.shard_sizes().iter().sum::<usize>(),
+            ids.len(),
+            "shard sizes must sum to the id count (no loss, no duplication)"
+        );
+        prop_assert_eq!(
+            registry.ids(),
+            ids.iter().copied().collect::<Vec<u64>>(),
+            "the union of the shards is exactly the inserted id set"
+        );
+        for &id in &ids {
+            prop_assert!(registry.get(id).is_some());
+        }
+        // An id that was never inserted is found in no shard.
+        let absent: Vec<u64> = (0..4)
+            .map(|k| 0xdead_beef_0000_0000u64 | k)
+            .filter(|id| !ids.contains(id))
+            .collect();
+        for id in absent {
+            prop_assert!(registry.get(id).is_none());
+        }
+        for &id in &ids {
+            prop_assert!(registry.remove(id).is_some());
+        }
+        prop_assert!(registry.is_empty());
+    }
+
+    /// Re-inserting an existing id replaces in place: the count is unchanged
+    /// and the previous occupant comes back.
+    #[test]
+    fn reinsertion_replaces_in_place(
+        ids in proptest::collection::btree_set(0u64..1_000, 1..32),
+    ) {
+        let registry = SessionRegistry::new(8);
+        for &id in &ids {
+            registry.insert(id, placeholder_session());
+        }
+        let ids_vec: Vec<u64> = ids.iter().copied().collect();
+        let victim = ids_vec[ids_vec.len() / 2];
+        prop_assert!(registry.insert(victim, placeholder_session()).is_some());
+        prop_assert_eq!(registry.len(), ids.len());
+    }
+}
+
+/// With one shard the registry is exactly the single-lock design: everything
+/// lands in shard 0.
+#[test]
+fn one_shard_degenerates_to_the_single_lock_design() {
+    let registry = SessionRegistry::new(1);
+    assert_eq!(registry.shard_count(), 1);
+    let ids: BTreeSet<u64> = [0, 1, 7, 42, u64::MAX].into_iter().collect();
+    for &id in &ids {
+        assert_eq!(registry.shard_of(id), 0);
+        registry.insert(id, placeholder_session());
+    }
+    assert_eq!(registry.shard_sizes(), vec![ids.len()]);
+}
