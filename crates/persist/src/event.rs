@@ -1,0 +1,402 @@
+//! The WAL event vocabulary and its byte codec.
+//!
+//! Persistence is event-sourced: a session's durable form is its registration
+//! (everything needed to rebuild the deterministic [`tagging_sim`] session
+//! from scratch) plus the ordered [`SessionEvent`] journal the live session
+//! recorded. Strategy internals are never serialized — replaying the journal
+//! rebuilds them bit-exactly, which is what the sim-level restore tests pin.
+
+use crate::wire::{Reader, WireError, Writer};
+use tagging_sim::session::{CompletionReport, SessionEvent};
+
+/// Where a session's corpus came from — enough to rebuild the identical
+/// scenario on recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusOrigin {
+    /// Synthesized by the paper-sample generator with this many resources and
+    /// this seed.
+    Generate {
+        /// Resource count passed to the generator.
+        resources: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Loaded from a corpus file at this path (recovery re-reads the file, so
+    /// the path must still resolve on restart).
+    Path(String),
+}
+
+/// Everything needed to re-create a session's `LiveSession` from nothing:
+/// the strategy, the run config, the corpus origin and the scenario
+/// parameters. Strategy is kept as its wire name so this crate does not
+/// depend on `tagging-strategies`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registration {
+    /// Strategy wire name, e.g. `"FP-MU"`.
+    pub strategy: String,
+    /// Post budget.
+    pub budget: u64,
+    /// Allocation lookahead ω.
+    pub omega: u64,
+    /// Run seed.
+    pub seed: u64,
+    /// Corpus origin.
+    pub source: CorpusOrigin,
+    /// Stability window (scenario parameter).
+    pub stability_window: u64,
+    /// Stability threshold τ (scenario parameter).
+    pub stability_tau: f64,
+    /// Under-tagged threshold (scenario parameter).
+    pub under_tagged_threshold: u64,
+}
+
+/// One record of the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEvent {
+    /// A session was registered.
+    Register {
+        /// Session id.
+        session: u64,
+        /// How to rebuild it.
+        registration: Registration,
+    },
+    /// A session state transition (lease or report), in apply order.
+    Session {
+        /// Session id.
+        session: u64,
+        /// The transition.
+        event: SessionEvent,
+    },
+    /// The server drained and shut down cleanly; always the last record of a
+    /// segment when present.
+    CleanShutdown,
+}
+
+const TAG_REGISTER: u8 = 1;
+const TAG_LEASE: u8 = 2;
+const TAG_REPORT: u8 = 3;
+const TAG_CLEAN_SHUTDOWN: u8 = 4;
+
+const ORIGIN_GENERATE: u8 = 1;
+const ORIGIN_PATH: u8 = 2;
+
+fn put_registration(w: &mut Writer, registration: &Registration) {
+    w.put_str(&registration.strategy);
+    w.put_u64(registration.budget);
+    w.put_u64(registration.omega);
+    w.put_u64(registration.seed);
+    match &registration.source {
+        CorpusOrigin::Generate { resources, seed } => {
+            w.put_u8(ORIGIN_GENERATE);
+            w.put_u64(*resources);
+            w.put_u64(*seed);
+        }
+        CorpusOrigin::Path(path) => {
+            w.put_u8(ORIGIN_PATH);
+            w.put_str(path);
+        }
+    }
+    w.put_u64(registration.stability_window);
+    w.put_f64(registration.stability_tau);
+    w.put_u64(registration.under_tagged_threshold);
+}
+
+fn get_registration(r: &mut Reader<'_>) -> Result<Registration, WireError> {
+    let strategy = r.get_str("registration.strategy")?;
+    let budget = r.get_u64("registration.budget")?;
+    let omega = r.get_u64("registration.omega")?;
+    let seed = r.get_u64("registration.seed")?;
+    let source = match r.get_u8("registration.source tag")? {
+        ORIGIN_GENERATE => CorpusOrigin::Generate {
+            resources: r.get_u64("origin.resources")?,
+            seed: r.get_u64("origin.seed")?,
+        },
+        ORIGIN_PATH => CorpusOrigin::Path(r.get_str("origin.path")?),
+        _ => {
+            return Err(WireError {
+                context: "registration.source tag",
+            })
+        }
+    };
+    Ok(Registration {
+        strategy,
+        budget,
+        omega,
+        seed,
+        source,
+        stability_window: r.get_u64("registration.stability_window")?,
+        stability_tau: r.get_f64("registration.stability_tau")?,
+        under_tagged_threshold: r.get_u64("registration.under_tagged_threshold")?,
+    })
+}
+
+fn put_reports(w: &mut Writer, reports: &[CompletionReport]) {
+    w.put_usize(reports.len());
+    for report in reports {
+        w.put_u64(report.task_id);
+        match &report.tags {
+            None => w.put_u8(0),
+            Some(tags) => {
+                w.put_u8(1);
+                w.put_usize(tags.len());
+                for tag in tags {
+                    w.put_str(tag);
+                }
+            }
+        }
+    }
+}
+
+fn get_reports(r: &mut Reader<'_>) -> Result<Vec<CompletionReport>, WireError> {
+    let count = r.get_usize("reports.len")?;
+    let mut reports = Vec::new();
+    for _ in 0..count {
+        let task_id = r.get_u64("report.task_id")?;
+        let tags = match r.get_u8("report.tags flag")? {
+            0 => None,
+            1 => {
+                let n = r.get_usize("report.tags.len")?;
+                let mut tags = Vec::new();
+                for _ in 0..n {
+                    tags.push(r.get_str("report.tag")?);
+                }
+                Some(tags)
+            }
+            _ => {
+                return Err(WireError {
+                    context: "report.tags flag",
+                })
+            }
+        };
+        reports.push(CompletionReport { task_id, tags });
+    }
+    Ok(reports)
+}
+
+impl WalEvent {
+    /// Encode into a standalone payload (framed by [`crate::record`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            WalEvent::Register {
+                session,
+                registration,
+            } => {
+                w.put_u8(TAG_REGISTER);
+                w.put_u64(*session);
+                put_registration(&mut w, registration);
+            }
+            WalEvent::Session { session, event } => match event {
+                SessionEvent::Lease { k } => {
+                    w.put_u8(TAG_LEASE);
+                    w.put_u64(*session);
+                    w.put_usize(*k);
+                }
+                SessionEvent::Report { reports } => {
+                    w.put_u8(TAG_REPORT);
+                    w.put_u64(*session);
+                    put_reports(&mut w, reports);
+                }
+            },
+            WalEvent::CleanShutdown => w.put_u8(TAG_CLEAN_SHUTDOWN),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a payload produced by [`WalEvent::encode`]. Trailing bytes are
+    /// rejected — after a CRC match they indicate format skew, and the caller
+    /// treats the record as corrupt.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let event = match r.get_u8("event tag")? {
+            TAG_REGISTER => WalEvent::Register {
+                session: r.get_u64("event.session")?,
+                registration: get_registration(&mut r)?,
+            },
+            TAG_LEASE => WalEvent::Session {
+                session: r.get_u64("event.session")?,
+                event: SessionEvent::Lease {
+                    k: r.get_usize("lease.k")?,
+                },
+            },
+            TAG_REPORT => WalEvent::Session {
+                session: r.get_u64("event.session")?,
+                event: SessionEvent::Report {
+                    reports: get_reports(&mut r)?,
+                },
+            },
+            TAG_CLEAN_SHUTDOWN => WalEvent::CleanShutdown,
+            _ => {
+                return Err(WireError {
+                    context: "event tag",
+                })
+            }
+        };
+        if !r.is_empty() {
+            return Err(WireError {
+                context: "trailing bytes",
+            });
+        }
+        Ok(event)
+    }
+}
+
+/// The durable form of one session: its registration plus the compacted
+/// journal — exactly what a snapshot stores per session, and what recovery
+/// hands to the server to replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionState {
+    /// How to rebuild the session from scratch.
+    pub registration: Registration,
+    /// Journal of applied transitions, in order.
+    pub events: Vec<SessionEvent>,
+}
+
+impl SessionState {
+    /// Encode for a snapshot record (the session id is written by the
+    /// snapshot layer alongside this payload).
+    pub fn encode_into(&self, w: &mut Writer) {
+        put_registration(w, &self.registration);
+        w.put_usize(self.events.len());
+        for event in &self.events {
+            match event {
+                SessionEvent::Lease { k } => {
+                    w.put_u8(TAG_LEASE);
+                    w.put_usize(*k);
+                }
+                SessionEvent::Report { reports } => {
+                    w.put_u8(TAG_REPORT);
+                    put_reports(w, reports);
+                }
+            }
+        }
+    }
+
+    /// Decode a payload produced by [`SessionState::encode_into`].
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let registration = get_registration(r)?;
+        let count = r.get_usize("state.events.len")?;
+        let mut events = Vec::new();
+        for _ in 0..count {
+            let event = match r.get_u8("state.event tag")? {
+                TAG_LEASE => SessionEvent::Lease {
+                    k: r.get_usize("state.lease.k")?,
+                },
+                TAG_REPORT => SessionEvent::Report {
+                    reports: get_reports(r)?,
+                },
+                _ => {
+                    return Err(WireError {
+                        context: "state.event tag",
+                    })
+                }
+            };
+            events.push(event);
+        }
+        Ok(Self {
+            registration,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registration() -> Registration {
+        Registration {
+            strategy: "FP-MU".into(),
+            budget: 600,
+            omega: 5,
+            seed: 42,
+            source: CorpusOrigin::Generate {
+                resources: 40,
+                seed: 7,
+            },
+            stability_window: 15,
+            stability_tau: 0.999,
+            under_tagged_threshold: 10,
+        }
+    }
+
+    #[test]
+    fn wal_events_round_trip() {
+        let events = vec![
+            WalEvent::Register {
+                session: 3,
+                registration: registration(),
+            },
+            WalEvent::Register {
+                session: 4,
+                registration: Registration {
+                    source: CorpusOrigin::Path("corpora/delicious.json".into()),
+                    ..registration()
+                },
+            },
+            WalEvent::Session {
+                session: 3,
+                event: SessionEvent::Lease { k: 64 },
+            },
+            WalEvent::Session {
+                session: 3,
+                event: SessionEvent::Report {
+                    reports: vec![
+                        CompletionReport {
+                            task_id: 9,
+                            tags: None,
+                        },
+                        CompletionReport {
+                            task_id: 10,
+                            tags: Some(vec!["design".into(), "css".into()]),
+                        },
+                        CompletionReport {
+                            task_id: 11,
+                            tags: Some(vec![]),
+                        },
+                    ],
+                },
+            },
+            WalEvent::CleanShutdown,
+        ];
+        for event in events {
+            let bytes = event.encode();
+            assert_eq!(WalEvent::decode(&bytes).unwrap(), event, "{event:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = WalEvent::CleanShutdown.encode();
+        bytes.push(0);
+        assert!(WalEvent::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(WalEvent::decode(&[0xFF]).is_err());
+        assert!(WalEvent::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn session_state_round_trips() {
+        let state = SessionState {
+            registration: registration(),
+            events: vec![
+                SessionEvent::Lease { k: 4 },
+                SessionEvent::Report {
+                    reports: vec![CompletionReport {
+                        task_id: 1,
+                        tags: Some(vec!["a".into()]),
+                    }],
+                },
+            ],
+        };
+        let mut w = Writer::new();
+        state.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(SessionState::decode_from(&mut r).unwrap(), state);
+        assert!(r.is_empty());
+    }
+}

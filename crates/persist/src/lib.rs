@@ -1,0 +1,38 @@
+//! # tagging-persist
+//!
+//! Durable sessions for the tagging server: a per-shard append-only
+//! write-ahead log of session lifecycle events, periodic full snapshots with
+//! log compaction, and crash recovery that tolerates a torn final record.
+//!
+//! The design is event-sourced. A [`session::LiveSession`] is a deterministic
+//! state machine, so its durable form is not its in-memory state (strategy
+//! internals are never serialized) but the *recipe* to rebuild it: the
+//! [`Registration`] it was created from plus the ordered
+//! [`tagging_sim::SessionEvent`] journal it has applied. Recovery replays the
+//! journal onto a freshly built session; `crates/sim/tests/session_restore.rs`
+//! pins that this restore is fingerprint-exact for every strategy.
+//!
+//! Module map:
+//!
+//! * [`crc`] — table-driven CRC-32 guarding every record;
+//! * [`wire`] — the little-endian payload codec;
+//! * [`record`] — `[len][crc][payload]` framing and torn-tail scanning;
+//! * [`event`] — [`WalEvent`] / [`Registration`] / [`SessionState`] and
+//!   their codecs;
+//! * [`snapshot`] — atomic full-shard snapshot files;
+//! * [`store`] — [`PersistStore`]: per-shard segments, compaction, recovery.
+//!
+//! [`session::LiveSession`]: tagging_sim::session::LiveSession
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod crc;
+pub mod event;
+pub mod record;
+pub mod snapshot;
+pub mod store;
+pub mod wire;
+
+pub use event::{CorpusOrigin, Registration, SessionState, WalEvent};
+pub use store::{PersistOptions, PersistStore, RecoveredState};

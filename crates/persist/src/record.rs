@@ -1,0 +1,200 @@
+//! On-disk record framing shared by WAL segments and snapshots.
+//!
+//! A segment is `MAGIC` (8 bytes) followed by zero or more records, each
+//! `[len: u32 LE][crc32: u32 LE][payload: len bytes]` where the CRC covers the
+//! payload only. There is no end-of-file marker: the reader walks records
+//! until the bytes run out, and the first frame that does not parse — short
+//! header, payload extending past EOF, CRC mismatch, or absurd length — marks
+//! the *torn tail*. Everything before it is valid; everything from it on is
+//! the debris of a crash mid-append and is discarded (for WALs) or invalidates
+//! the file (for snapshots, which are written atomically and must parse
+//! whole).
+
+use crate::crc::crc32;
+
+/// Magic prefix of WAL segment files. The trailing digits version the format.
+pub const WAL_MAGIC: &[u8; 8] = b"TAGWAL01";
+
+/// Magic prefix of snapshot files.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TAGSNP01";
+
+/// Upper bound on a single record payload (64 MiB). A length field above this
+/// is treated as corruption rather than attempted as an allocation.
+pub const MAX_RECORD_LEN: u32 = 64 << 20;
+
+/// Frame `payload` as one on-disk record.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_RECORD_LEN as usize,
+        "record payload of {} bytes exceeds the {} byte frame limit",
+        payload.len(),
+        MAX_RECORD_LEN
+    );
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc32(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// The outcome of scanning one segment's bytes.
+#[derive(Debug)]
+pub struct Segment {
+    /// Payloads of every valid record, in file order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset of the end of the last valid record (including the magic);
+    /// a writer resuming this file would truncate to this length first.
+    pub valid_len: u64,
+    /// Why the scan stopped early, if it did. `None` means the file ended
+    /// exactly on a record boundary.
+    pub torn: Option<&'static str>,
+}
+
+impl Segment {
+    /// True when the file ends exactly on a record boundary.
+    pub fn is_clean(&self) -> bool {
+        self.torn.is_none()
+    }
+}
+
+/// Scan a segment. An empty file and a file holding only the magic are both
+/// valid empty segments: creation may crash between `create` and the magic
+/// write, and that debris must not poison recovery. A wrong or partial magic
+/// on a non-empty file is a torn header — zero records, `valid_len` 0.
+pub fn scan(bytes: &[u8], magic: &[u8; 8]) -> Segment {
+    if bytes.is_empty() {
+        return Segment {
+            records: Vec::new(),
+            valid_len: 0,
+            torn: None,
+        };
+    }
+    if bytes.len() < magic.len() || &bytes[..magic.len()] != magic {
+        return Segment {
+            records: Vec::new(),
+            valid_len: 0,
+            torn: Some("bad segment magic"),
+        };
+    }
+    let mut records = Vec::new();
+    let mut pos = magic.len();
+    loop {
+        let remaining = &bytes[pos..];
+        if remaining.is_empty() {
+            return Segment {
+                records,
+                valid_len: pos as u64,
+                torn: None,
+            };
+        }
+        if remaining.len() < 8 {
+            return Segment {
+                records,
+                valid_len: pos as u64,
+                torn: Some("torn record header"),
+            };
+        }
+        let len = u32::from_le_bytes(remaining[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(remaining[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            return Segment {
+                records,
+                valid_len: pos as u64,
+                torn: Some("record length out of range"),
+            };
+        }
+        let len = len as usize;
+        if remaining.len() < 8 + len {
+            return Segment {
+                records,
+                valid_len: pos as u64,
+                torn: Some("torn record payload"),
+            };
+        }
+        let payload = &remaining[8..8 + len];
+        if crc32(payload) != crc {
+            return Segment {
+                records,
+                valid_len: pos as u64,
+                torn: Some("record checksum mismatch"),
+            };
+        }
+        records.push(payload.to_vec());
+        pos += 8 + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = WAL_MAGIC.to_vec();
+        for payload in payloads {
+            bytes.extend_from_slice(&frame(payload));
+        }
+        bytes
+    }
+
+    #[test]
+    fn scans_a_clean_segment() {
+        let bytes = segment(&[b"alpha", b"", b"gamma"]);
+        let seg = scan(&bytes, WAL_MAGIC);
+        assert!(seg.is_clean());
+        assert_eq!(
+            seg.records,
+            vec![b"alpha".to_vec(), vec![], b"gamma".to_vec()]
+        );
+        assert_eq!(seg.valid_len, bytes.len() as u64);
+    }
+
+    #[test]
+    fn empty_and_magic_only_files_are_valid_empty_segments() {
+        for bytes in [&[][..], &WAL_MAGIC[..]] {
+            let seg = scan(bytes, WAL_MAGIC);
+            assert!(seg.is_clean());
+            assert!(seg.records.is_empty());
+        }
+        // A partially written magic is torn, not fatal.
+        let seg = scan(&WAL_MAGIC[..5], WAL_MAGIC);
+        assert!(!seg.is_clean());
+        assert_eq!(seg.valid_len, 0);
+    }
+
+    #[test]
+    fn torn_tails_keep_the_valid_prefix() {
+        let clean = segment(&[b"alpha", b"beta"]);
+        let keep = scan(&clean, WAL_MAGIC).valid_len;
+        // Truncate at every byte length: the scan must never panic, and the
+        // records it returns must be a prefix of the clean ones.
+        for cut in 0..clean.len() {
+            let seg = scan(&clean[..cut], WAL_MAGIC);
+            assert!(seg.valid_len <= keep);
+            for (i, record) in seg.records.iter().enumerate() {
+                assert_eq!(record, &[b"alpha".to_vec(), b"beta".to_vec()][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_scan_at_the_bad_record() {
+        let mut bytes = segment(&[b"alpha", b"beta", b"gamma"]);
+        // Flip one payload byte of "beta" (magic 8 + record one 13 + header 8).
+        let beta_payload = 8 + (8 + 5) + 8;
+        bytes[beta_payload] ^= 0x40;
+        let seg = scan(&bytes, WAL_MAGIC);
+        assert_eq!(seg.records, vec![b"alpha".to_vec()]);
+        assert_eq!(seg.torn, Some("record checksum mismatch"));
+        assert_eq!(seg.valid_len, (8 + 8 + 5) as u64);
+    }
+
+    #[test]
+    fn absurd_length_fields_are_corruption_not_allocations() {
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let seg = scan(&bytes, WAL_MAGIC);
+        assert_eq!(seg.torn, Some("record length out of range"));
+        assert!(seg.records.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Snapshot files: a full, compacted copy of one shard's sessions.
+//!
+//! Layout: `SNAPSHOT_MAGIC`, then one header record (`session count` as
+//! `u64`), then one record per session (`id` + [`SessionState`]), ordered by
+//! id so identical states produce identical bytes. A snapshot must parse
+//! *whole* — any torn tail or count mismatch invalidates the file, because
+//! snapshots are only ever published by atomic rename: a torn one means the
+//! rename never happened and an older generation should be used instead.
+
+use crate::event::SessionState;
+use crate::record::{frame, scan, SNAPSHOT_MAGIC};
+use crate::wire::{Reader, Writer};
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serialize `sessions` into snapshot file bytes.
+pub fn encode(sessions: &HashMap<u64, SessionState>) -> Vec<u8> {
+    let mut ids: Vec<u64> = sessions.keys().copied().collect();
+    ids.sort_unstable();
+
+    let mut bytes = SNAPSHOT_MAGIC.to_vec();
+    let mut header = Writer::new();
+    header.put_u64(ids.len() as u64);
+    bytes.extend_from_slice(&frame(&header.into_bytes()));
+    for id in ids {
+        let mut w = Writer::new();
+        w.put_u64(id);
+        sessions[&id].encode_into(&mut w);
+        bytes.extend_from_slice(&frame(&w.into_bytes()));
+    }
+    bytes
+}
+
+/// Parse snapshot file bytes. Returns `None` for anything short of a fully
+/// valid snapshot — the caller falls back to an older generation.
+pub fn decode(bytes: &[u8]) -> Option<HashMap<u64, SessionState>> {
+    let segment = scan(bytes, SNAPSHOT_MAGIC);
+    if !segment.is_clean() || segment.records.is_empty() {
+        return None;
+    }
+    let mut header = Reader::new(&segment.records[0]);
+    let count = header.get_u64("snapshot.count").ok()?;
+    if !header.is_empty() || count != (segment.records.len() - 1) as u64 {
+        return None;
+    }
+    let mut sessions = HashMap::new();
+    for record in &segment.records[1..] {
+        let mut r = Reader::new(record);
+        let id = r.get_u64("snapshot.session id").ok()?;
+        let state = SessionState::decode_from(&mut r).ok()?;
+        if !r.is_empty() || sessions.insert(id, state).is_some() {
+            return None;
+        }
+    }
+    Some(sessions)
+}
+
+/// Write a snapshot durably: encode to `<path>.tmp`, fsync, rename over
+/// `path`, fsync the directory. A crash at any point leaves either the old
+/// file set or the new one — never a half-written published snapshot.
+pub fn write_atomic(path: &Path, sessions: &HashMap<u64, SessionState>) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&encode(sessions))?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        File::open(dir)?.sync_data()?;
+    }
+    Ok(())
+}
+
+/// Load the snapshot at `path`, or `None` if the file is missing or invalid.
+pub fn load(path: &Path) -> Option<HashMap<u64, SessionState>> {
+    let bytes = fs::read(path).ok()?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CorpusOrigin, Registration};
+    use tagging_sim::session::SessionEvent;
+
+    fn sessions() -> HashMap<u64, SessionState> {
+        let registration = |seed| Registration {
+            strategy: "RR".into(),
+            budget: 100,
+            omega: 5,
+            seed,
+            source: CorpusOrigin::Generate {
+                resources: 20,
+                seed,
+            },
+            stability_window: 15,
+            stability_tau: 0.999,
+            under_tagged_threshold: 10,
+        };
+        HashMap::from([
+            (
+                1,
+                SessionState {
+                    registration: registration(1),
+                    events: vec![SessionEvent::Lease { k: 3 }],
+                },
+            ),
+            (
+                9,
+                SessionState {
+                    registration: registration(9),
+                    events: vec![],
+                },
+            ),
+        ])
+    }
+
+    #[test]
+    fn snapshots_round_trip_and_encode_deterministically() {
+        let sessions = sessions();
+        let bytes = encode(&sessions);
+        assert_eq!(decode(&bytes).unwrap(), sessions);
+        assert_eq!(encode(&sessions), bytes);
+        // Empty snapshots are valid too.
+        assert_eq!(decode(&encode(&HashMap::new())).unwrap(), HashMap::new());
+    }
+
+    #[test]
+    fn any_truncation_invalidates_a_snapshot() {
+        let bytes = encode(&sessions());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_invalidates_a_snapshot() {
+        let bytes = encode(&sessions());
+        let mut corrupt = bytes.clone();
+        corrupt[bytes.len() / 2] ^= 0x10;
+        assert!(decode(&corrupt).is_none());
+    }
+}

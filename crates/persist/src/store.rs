@@ -1,0 +1,536 @@
+//! The durable session store: one WAL segment + snapshot per registry shard.
+//!
+//! ## Layout
+//!
+//! ```text
+//! data_dir/
+//!   shard-000/
+//!     snap-0000000004.snap    # full shard state as of the segment switch
+//!     wal-0000000004.log      # events appended since that snapshot
+//!   shard-001/
+//!     ...
+//! ```
+//!
+//! A shard's durable state is *snapshot ∘ WAL*: load the snapshot of the
+//! current generation, then replay the WAL of the same generation on top.
+//! Compaction advances the generation: write a new snapshot of the in-memory
+//! mirror (atomic tmp + rename), open a fresh empty WAL, then delete the old
+//! generation's files. A crash between any two of those steps leaves a
+//! recoverable directory — recovery picks the newest generation with a valid
+//! snapshot, ignores stale files, and tolerates a torn final WAL record by
+//! discarding the tail.
+//!
+//! ## Concurrency
+//!
+//! One mutex per shard, mirroring the server's registry sharding: appends on
+//! different shards never contend, and the server appends *after* releasing
+//! the session lock, so the WAL mutex is never held under a shard lock.
+
+use crate::event::{SessionState, WalEvent};
+use crate::record::{frame, scan, WAL_MAGIC};
+use crate::snapshot;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tagging_runtime::{lock_unpoisoned, FlushPolicy};
+
+/// Configuration of a [`PersistStore`].
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    /// Root directory; created (with shard subdirectories) if missing.
+    pub data_dir: PathBuf,
+    /// Number of shards — must equal the server registry's shard count so
+    /// that `shard_of(session)` addresses the same segment across restarts.
+    pub shards: usize,
+    /// Events appended to one shard between snapshots (compaction cadence).
+    pub snapshot_every: u64,
+    /// `fsync` policy of the append path.
+    pub flush: FlushPolicy,
+}
+
+impl PersistOptions {
+    /// Options with the default cadence (snapshot every 1024 events per
+    /// shard) and flush policy for `shards` shards rooted at `data_dir`.
+    pub fn new(data_dir: impl Into<PathBuf>, shards: usize) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            shards: shards.max(1),
+            snapshot_every: 1024,
+            flush: FlushPolicy::default(),
+        }
+    }
+}
+
+/// What [`PersistStore::open`] recovered from disk.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Every persisted session, as `(session id, durable state)`, sorted by
+    /// id. The caller rebuilds live sessions by replaying `events` onto a
+    /// fresh session built from `registration`.
+    pub sessions: Vec<(u64, SessionState)>,
+    /// True when every shard's WAL ended with a [`WalEvent::CleanShutdown`]
+    /// marker (or held no events at all). Informational: recovery works the
+    /// same either way.
+    pub clean_shutdown: bool,
+}
+
+struct Shard {
+    dir: PathBuf,
+    generation: u64,
+    wal: File,
+    /// Records appended since the last fsync (drives [`FlushPolicy`]).
+    appended_since_sync: u64,
+    /// Events appended since the last snapshot (drives compaction).
+    events_in_segment: u64,
+    /// In-memory mirror of the shard's durable state — the source of the
+    /// next snapshot, so compaction never re-reads the log.
+    sessions: HashMap<u64, SessionState>,
+}
+
+fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal-{generation:010}.log"))
+}
+
+fn snap_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snap-{generation:010}.snap"))
+}
+
+/// Parse `prefix-<generation>.<ext>` back out of a file name.
+fn parse_generation(name: &str, prefix: &str, ext: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(ext)?
+        .parse::<u64>()
+        .ok()
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_data()
+}
+
+fn open_wal(path: &Path, create_magic: bool) -> io::Result<File> {
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    if create_magic {
+        file.write_all(WAL_MAGIC)?;
+        file.sync_data()?;
+    }
+    Ok(file)
+}
+
+/// Apply one WAL event to a shard mirror. `strict` makes an event for an
+/// unknown session an error (the append path guarantees ordering); recovery
+/// passes `false` and skips such debris.
+fn apply_to_mirror(
+    sessions: &mut HashMap<u64, SessionState>,
+    event: &WalEvent,
+    strict: bool,
+) -> io::Result<()> {
+    match event {
+        WalEvent::Register {
+            session,
+            registration,
+        } => {
+            sessions.insert(
+                *session,
+                SessionState {
+                    registration: registration.clone(),
+                    events: Vec::new(),
+                },
+            );
+        }
+        WalEvent::Session { session, event } => match sessions.get_mut(session) {
+            Some(state) => state.events.push(event.clone()),
+            None if strict => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("WAL event for unregistered session {session}"),
+                ))
+            }
+            None => {}
+        },
+        WalEvent::CleanShutdown => {}
+    }
+    Ok(())
+}
+
+/// Recover one shard directory. Returns the rebuilt mirror, the highest
+/// generation seen on disk, and whether the WAL ended cleanly.
+fn recover_shard(dir: &Path) -> io::Result<(HashMap<u64, SessionState>, u64, bool)> {
+    let mut snap_gens: Vec<u64> = Vec::new();
+    let mut wal_gens: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(generation) = parse_generation(name, "snap-", ".snap") {
+            snap_gens.push(generation);
+        } else if let Some(generation) = parse_generation(name, "wal-", ".log") {
+            wal_gens.push(generation);
+        }
+    }
+    snap_gens.sort_unstable();
+    wal_gens.sort_unstable();
+    let top = snap_gens
+        .last()
+        .copied()
+        .max(wal_gens.last().copied())
+        .unwrap_or(0);
+
+    // Newest generation with a *valid* snapshot wins; a corrupt or torn
+    // snapshot (impossible under atomic rename, but disks disagree) falls
+    // back to the previous generation, whose WAL still holds its events.
+    let mut sessions = HashMap::new();
+    let mut base = None;
+    for &generation in snap_gens.iter().rev() {
+        if let Some(loaded) = snapshot::load(&snap_path(dir, generation)) {
+            sessions = loaded;
+            base = Some(generation);
+            break;
+        }
+    }
+    // The WAL to replay is the one of the base generation. Without any valid
+    // snapshot, the newest WAL is all there is.
+    let replay_gen = base.or(wal_gens.last().copied());
+    let mut clean = true;
+    if let Some(generation) = replay_gen {
+        let path = wal_path(dir, generation);
+        if path.exists() {
+            let bytes = fs::read(&path)?;
+            let segment = scan(&bytes, WAL_MAGIC);
+            let mut last_was_marker = true;
+            for payload in &segment.records {
+                match WalEvent::decode(payload) {
+                    Ok(event) => {
+                        last_was_marker = matches!(event, WalEvent::CleanShutdown);
+                        apply_to_mirror(&mut sessions, &event, false)?;
+                    }
+                    // A CRC-valid but undecodable record is format skew;
+                    // treat it like a torn tail and stop replaying.
+                    Err(_) => {
+                        last_was_marker = false;
+                        break;
+                    }
+                }
+            }
+            clean = segment.is_clean() && last_was_marker;
+        }
+    }
+    Ok((sessions, top, clean))
+}
+
+/// The durable store: per-shard WAL segments with snapshot compaction.
+///
+/// See the module docs for the layout and recovery rules. All methods are
+/// `&self`; each shard serializes its own appends behind its own mutex.
+pub struct PersistStore {
+    shards: Box<[Mutex<Shard>]>,
+    snapshot_every: u64,
+    flush: FlushPolicy,
+}
+
+impl PersistStore {
+    /// Open (or create) the store at `options.data_dir`, recovering whatever
+    /// a previous process left behind.
+    ///
+    /// Recovery also *rotates*: the recovered state is immediately written
+    /// out as a fresh snapshot generation with an empty WAL, and stale files
+    /// are deleted — so the on-disk layout is canonical after every startup
+    /// and the snapshot path is exercised even on an idle server.
+    pub fn open(options: &PersistOptions) -> io::Result<(Self, RecoveredState)> {
+        let shard_count = options.shards.max(1);
+        let snapshot_every = options.snapshot_every.max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut recovered = Vec::new();
+        let mut clean_shutdown = true;
+        for index in 0..shard_count {
+            let dir = options.data_dir.join(format!("shard-{index:03}"));
+            fs::create_dir_all(&dir)?;
+            let (sessions, top, clean) = recover_shard(&dir)?;
+            clean_shutdown &= clean;
+
+            // Rotate to a fresh generation holding exactly the recovered
+            // state, then clear out everything older.
+            let generation = top + 1;
+            snapshot::write_atomic(&snap_path(&dir, generation), &sessions)?;
+            let wal = open_wal(&wal_path(&dir, generation), true)?;
+            remove_stale(&dir, generation)?;
+            sync_dir(&dir)?;
+
+            recovered.extend(sessions.iter().map(|(id, state)| (*id, state.clone())));
+            shards.push(Mutex::new(Shard {
+                dir,
+                generation,
+                wal,
+                appended_since_sync: 0,
+                events_in_segment: 0,
+                sessions,
+            }));
+        }
+        recovered.sort_by_key(|(id, _)| *id);
+        Ok((
+            Self {
+                shards: shards.into_boxed_slice(),
+                snapshot_every,
+                flush: options.flush,
+            },
+            RecoveredState {
+                sessions: recovered,
+                clean_shutdown,
+            },
+        ))
+    }
+
+    /// Number of shards (fixed at open).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Append one event to `shard`'s WAL and mirror. The record is written
+    /// and flushed to the OS before this returns (so it survives a process
+    /// kill); device sync follows the configured [`FlushPolicy`].
+    pub fn append(&self, shard: usize, event: &WalEvent) -> io::Result<()> {
+        let mut guard = lock_unpoisoned(&self.shards[shard % self.shards.len()]);
+        apply_to_mirror(&mut guard.sessions, event, true)?;
+        guard.wal.write_all(&frame(&event.encode()))?;
+        guard.appended_since_sync += 1;
+        if self.flush.should_sync(guard.appended_since_sync) {
+            FlushPolicy::sync(&guard.wal)?;
+            guard.appended_since_sync = 0;
+        }
+        guard.events_in_segment += 1;
+        if guard.events_in_segment >= self.snapshot_every {
+            rotate(&mut guard)?;
+        }
+        Ok(())
+    }
+
+    /// Force a compaction of every shard (snapshot + fresh WAL) regardless of
+    /// cadence. Used by tests; the server relies on the cadence.
+    pub fn compact(&self) -> io::Result<()> {
+        for shard in self.shards.iter() {
+            rotate(&mut lock_unpoisoned(shard))?;
+        }
+        Ok(())
+    }
+
+    /// Append a [`WalEvent::CleanShutdown`] marker to every shard and fsync,
+    /// regardless of flush policy. Call after the server has drained.
+    pub fn shutdown(&self) -> io::Result<()> {
+        for shard in self.shards.iter() {
+            let mut guard = lock_unpoisoned(shard);
+            guard
+                .wal
+                .write_all(&frame(&WalEvent::CleanShutdown.encode()))?;
+            FlushPolicy::sync(&guard.wal)?;
+            guard.appended_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Total persisted sessions across all shards (test/diagnostic helper).
+    pub fn session_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| lock_unpoisoned(shard).sessions.len())
+            .sum()
+    }
+}
+
+/// Advance `shard` one generation: snapshot the mirror, open a fresh WAL,
+/// delete the previous generation's files.
+fn rotate(shard: &mut Shard) -> io::Result<()> {
+    let next = shard.generation + 1;
+    snapshot::write_atomic(&snap_path(&shard.dir, next), &shard.sessions)?;
+    let wal = open_wal(&wal_path(&shard.dir, next), true)?;
+    shard.wal = wal;
+    shard.generation = next;
+    shard.appended_since_sync = 0;
+    shard.events_in_segment = 0;
+    remove_stale(&shard.dir, next)?;
+    sync_dir(&shard.dir)
+}
+
+/// Delete every snapshot/WAL file of a generation other than `keep`, plus
+/// leftover `.tmp` files from interrupted snapshot writes.
+fn remove_stale(dir: &Path, keep: u64) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = match (
+            parse_generation(name, "snap-", ".snap"),
+            parse_generation(name, "wal-", ".log"),
+        ) {
+            (Some(generation), _) | (_, Some(generation)) => generation != keep,
+            _ => name.ends_with(".tmp"),
+        };
+        if stale {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CorpusOrigin, Registration};
+    use tagging_sim::session::SessionEvent;
+
+    fn registration(seed: u64) -> Registration {
+        Registration {
+            strategy: "FP".into(),
+            budget: 50,
+            omega: 5,
+            seed,
+            source: CorpusOrigin::Generate {
+                resources: 10,
+                seed,
+            },
+            stability_window: 15,
+            stability_tau: 0.999,
+            under_tagged_threshold: 10,
+        }
+    }
+
+    fn options(dir: &Path) -> PersistOptions {
+        PersistOptions {
+            data_dir: dir.to_path_buf(),
+            shards: 2,
+            snapshot_every: 4,
+            flush: FlushPolicy::Never,
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tagging-persist-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn a_fresh_store_is_empty_and_clean() {
+        let dir = temp_dir("fresh");
+        let (store, recovered) = PersistStore::open(&options(&dir)).unwrap();
+        assert!(recovered.sessions.is_empty());
+        assert!(recovered.clean_shutdown);
+        assert_eq!(store.shard_count(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_appended_state_and_flags_missing_shutdown() {
+        let dir = temp_dir("reopen");
+        {
+            let (store, _) = PersistStore::open(&options(&dir)).unwrap();
+            store
+                .append(
+                    0,
+                    &WalEvent::Register {
+                        session: 1,
+                        registration: registration(1),
+                    },
+                )
+                .unwrap();
+            store
+                .append(
+                    0,
+                    &WalEvent::Session {
+                        session: 1,
+                        event: SessionEvent::Lease { k: 5 },
+                    },
+                )
+                .unwrap();
+            store
+                .append(
+                    1,
+                    &WalEvent::Register {
+                        session: 2,
+                        registration: registration(2),
+                    },
+                )
+                .unwrap();
+            // Dropped without shutdown(): simulates a kill.
+        }
+        let (store, recovered) = PersistStore::open(&options(&dir)).unwrap();
+        assert!(!recovered.clean_shutdown);
+        assert_eq!(recovered.sessions.len(), 2);
+        assert_eq!(recovered.sessions[0].0, 1);
+        assert_eq!(
+            recovered.sessions[0].1.events,
+            vec![SessionEvent::Lease { k: 5 }]
+        );
+        assert_eq!(recovered.sessions[1].0, 2);
+        assert!(recovered.sessions[1].1.events.is_empty());
+        store.shutdown().unwrap();
+
+        let (_, recovered) = PersistStore::open(&options(&dir)).unwrap();
+        assert!(recovered.clean_shutdown);
+        assert_eq!(recovered.sessions.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_rotates_generations_and_cleans_old_files() {
+        let dir = temp_dir("compact");
+        let (store, _) = PersistStore::open(&options(&dir)).unwrap();
+        store
+            .append(
+                0,
+                &WalEvent::Register {
+                    session: 7,
+                    registration: registration(7),
+                },
+            )
+            .unwrap();
+        // snapshot_every = 4: four more events force at least one rotation.
+        for _ in 0..4 {
+            store
+                .append(
+                    0,
+                    &WalEvent::Session {
+                        session: 7,
+                        event: SessionEvent::Lease { k: 1 },
+                    },
+                )
+                .unwrap();
+        }
+        let shard_dir = dir.join("shard-000");
+        let names: Vec<String> = fs::read_dir(&shard_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        let snaps = names.iter().filter(|n| n.ends_with(".snap")).count();
+        let wals = names.iter().filter(|n| n.ends_with(".log")).count();
+        assert_eq!(
+            (snaps, wals),
+            (1, 1),
+            "stale generations left behind: {names:?}"
+        );
+
+        let (_, recovered) = PersistStore::open(&options(&dir)).unwrap();
+        let (id, state) = &recovered.sessions[0];
+        assert_eq!(*id, 7);
+        assert_eq!(state.events.len(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn an_event_for_an_unknown_session_is_rejected() {
+        let dir = temp_dir("strict");
+        let (store, _) = PersistStore::open(&options(&dir)).unwrap();
+        let err = store
+            .append(
+                0,
+                &WalEvent::Session {
+                    session: 99,
+                    event: SessionEvent::Lease { k: 1 },
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,183 @@
+//! A tiny byte-level codec for WAL and snapshot payloads.
+//!
+//! Everything on disk is little-endian and length-prefixed; there is no
+//! self-description (the record framing in [`crate::record`] carries the CRC,
+//! and the payloads start with a one-byte tag where a choice exists). The
+//! format is versioned by the segment magic, not per field — a format change
+//! bumps `TAGWAL01` / `TAGSNP01` and old files are rejected as corrupt rather
+//! than misread.
+
+use std::fmt;
+
+/// Decoding failure: the payload was shorter than the declared structure or
+/// contained an invalid tag / non-UTF-8 string.
+///
+/// A `WireError` after a CRC match means a programming error or a format
+/// version skew, not bit rot — callers treat it like corruption anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What the decoder was reading when it failed.
+    pub context: &'static str,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed payload while decoding {}", self.context)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(context: &'static str) -> WireError {
+    WireError { context }
+}
+
+/// Append-only payload builder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// One raw byte (used for enum tags and option flags).
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Little-endian `u32`.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// A `usize` stored as `u64` (sizes are platform-independent on disk).
+    pub fn put_usize(&mut self, value: usize) {
+        self.put_u64(value as u64);
+    }
+
+    /// An `f64` stored by bit pattern, so round-trips are exact.
+    pub fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_usize(value.len());
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+}
+
+/// Cursor over an encoded payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// True once every byte has been consumed — decoders check this to reject
+    /// payloads with trailing garbage.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(err(context))?;
+        if end > self.buf.len() {
+            return Err(err(context));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// One raw byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Little-endian `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let bytes = self.take(4, context)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Little-endian `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let bytes = self.take(8, context)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// A `u64` narrowed back to `usize`, rejecting values that don't fit.
+    pub fn get_usize(&mut self, context: &'static str) -> Result<usize, WireError> {
+        usize::try_from(self.get_u64(context)?).map_err(|_| err(context))
+    }
+
+    /// An `f64` restored from its bit pattern.
+    pub fn get_f64(&mut self, context: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64(context)?))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, context: &'static str) -> Result<String, WireError> {
+        let len = self.get_usize(context)?;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| err(context))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_usize(12_345);
+        w.put_f64(-0.125);
+        w.put_str("naïve — utf8");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8("t").unwrap(), 7);
+        assert_eq!(r.get_u32("t").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("t").unwrap(), u64::MAX);
+        assert_eq!(r.get_usize("t").unwrap(), 12_345);
+        assert_eq!(r.get_f64("t").unwrap(), -0.125);
+        assert_eq!(r.get_str("t").unwrap(), "naïve — utf8");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn short_reads_fail_instead_of_panicking() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(r.get_u64("short").is_err());
+        // A huge string length must not attempt a huge allocation.
+        let mut w = Writer::new();
+        w.put_usize(usize::MAX);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes).get_str("huge").is_err());
+    }
+}

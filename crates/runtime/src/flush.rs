@@ -1,0 +1,140 @@
+//! Durability flush policy — when an append-only log should push bytes to
+//! the OS and when it should pay for an `fsync`.
+//!
+//! Every append is always *flushed* (buffered bytes handed to the kernel):
+//! that is what makes an acknowledged write survive a `SIGKILL` of the
+//! process, because the page cache outlives the process. What a policy
+//! decides is the far more expensive question of when to `fsync` (force the
+//! kernel to put the bytes on the device), which is what it takes to survive
+//! power loss or a kernel crash:
+//!
+//! * [`FlushPolicy::Always`] — `fsync` after every record; the strongest
+//!   guarantee and the slowest write path;
+//! * [`FlushPolicy::EveryN`] — `fsync` once per `n` appended records; bounds
+//!   the number of acknowledged-but-volatile records to `n`;
+//! * [`FlushPolicy::Never`] — never `fsync` on the append path (explicit
+//!   sync points such as snapshots and clean shutdown still sync); the
+//!   process-crash guarantee only.
+//!
+//! The policy is a pure decision function plus a parser, so the WAL code
+//! stays a mechanical "append, flush, ask the policy" loop.
+
+use std::fs::File;
+use std::io;
+
+/// When to `fsync` an append-only log file (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// `fsync` after every appended record.
+    Always,
+    /// `fsync` once every `n` appended records (`n ≥ 1`).
+    EveryN(u64),
+    /// Never `fsync` on the append path.
+    Never,
+}
+
+impl Default for FlushPolicy {
+    /// The default bounds acknowledged-but-volatile records to 256 without
+    /// paying a device sync per request.
+    fn default() -> Self {
+        FlushPolicy::EveryN(256)
+    }
+}
+
+impl std::fmt::Display for FlushPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlushPolicy::Always => write!(f, "always"),
+            FlushPolicy::EveryN(n) => write!(f, "every:{n}"),
+            FlushPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+impl FlushPolicy {
+    /// Parses `"always"`, `"never"` or `"every:N"` (N ≥ 1). `every:1` is
+    /// normalized to [`FlushPolicy::Always`].
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.trim() {
+            "always" => Some(FlushPolicy::Always),
+            "never" => Some(FlushPolicy::Never),
+            other => {
+                let n = other.strip_prefix("every:")?.parse::<u64>().ok()?;
+                if n == 0 {
+                    None
+                } else if n == 1 {
+                    Some(FlushPolicy::Always)
+                } else {
+                    Some(FlushPolicy::EveryN(n))
+                }
+            }
+        }
+    }
+
+    /// True when the log should `fsync` now, given how many records have been
+    /// appended since the last sync (including the one just written).
+    pub fn should_sync(&self, appended_since_sync: u64) -> bool {
+        match self {
+            FlushPolicy::Always => true,
+            FlushPolicy::EveryN(n) => appended_since_sync >= *n,
+            FlushPolicy::Never => false,
+        }
+    }
+
+    /// Forces file contents to the device (`fdatasync` semantics — file
+    /// length changes of an append are data, not just metadata, so
+    /// `sync_data` covers the WAL case).
+    pub fn sync(file: &File) -> io::Result<()> {
+        file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_three_forms() {
+        assert_eq!(FlushPolicy::parse("always"), Some(FlushPolicy::Always));
+        assert_eq!(FlushPolicy::parse("never"), Some(FlushPolicy::Never));
+        assert_eq!(
+            FlushPolicy::parse("every:64"),
+            Some(FlushPolicy::EveryN(64))
+        );
+        assert_eq!(
+            FlushPolicy::parse(" every:2 "),
+            Some(FlushPolicy::EveryN(2))
+        );
+        assert_eq!(FlushPolicy::parse("every:1"), Some(FlushPolicy::Always));
+        assert_eq!(FlushPolicy::parse("every:0"), None);
+        assert_eq!(FlushPolicy::parse("sometimes"), None);
+        assert_eq!(FlushPolicy::parse(""), None);
+    }
+
+    #[test]
+    fn trimmed_outer_whitespace_is_accepted() {
+        assert_eq!(FlushPolicy::parse(" always "), Some(FlushPolicy::Always));
+    }
+
+    #[test]
+    fn should_sync_matches_the_policy() {
+        assert!(FlushPolicy::Always.should_sync(1));
+        assert!(FlushPolicy::Always.should_sync(100));
+        assert!(!FlushPolicy::Never.should_sync(1_000_000));
+        let every = FlushPolicy::EveryN(8);
+        assert!(!every.should_sync(7));
+        assert!(every.should_sync(8));
+        assert!(every.should_sync(9));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for policy in [
+            FlushPolicy::Always,
+            FlushPolicy::Never,
+            FlushPolicy::EveryN(32),
+        ] {
+            assert_eq!(FlushPolicy::parse(&policy.to_string()), Some(policy));
+        }
+    }
+}

@@ -23,7 +23,9 @@
 //!   reads, polling writes, adaptive idle backoff) behind the server's
 //!   sweep-based accept/read loop;
 //! * [`lock_unpoisoned`] — poison-recovering mutex lock, so one panicked
-//!   handler cannot brick a shared registry for every later request.
+//!   handler cannot brick a shared registry for every later request;
+//! * [`FlushPolicy`] — when an append-only log flushes to the OS vs pays for
+//!   an `fsync` (the `tagging-persist` WAL's durability knob).
 //!
 //! ## Determinism contract
 //!
@@ -63,11 +65,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+pub mod flush;
 pub mod poll;
 mod pool;
 mod seed;
 mod sync;
 
+pub use flush::FlushPolicy;
 pub use pool::WorkerPool;
 pub use seed::SeedSequence;
 pub use sync::lock_unpoisoned;

@@ -29,7 +29,18 @@
 //! * `--check PATH` — after draining every scenario, write a canonical JSON
 //!   digest of the final per-scenario state; two runs with the same options
 //!   against servers with *different shard counts* must produce byte-equal
-//!   digests (CI diffs them);
+//!   digests (CI diffs them) — and a `--crash-after` run must produce the
+//!   same digest as an uninterrupted one;
+//! * `--data-dir DIR` — run the in-process server with durable sessions
+//!   (WAL + snapshots) under `DIR`; recorded as `durability: "wal"` in the
+//!   report entry so WAL-on and WAL-off throughput can be compared;
+//! * `--crash-after N` — the crash-recovery harness: spawn the
+//!   `tagging_server` *daemon* as a child process on `--data-dir`, SIGKILL
+//!   it after N requests mid-drive, restart it on the same directory, verify
+//!   every session recovered, resume the drive, report the recovered pending
+//!   ("ghost") leases, drain, and write the `--check` digest — which must be
+//!   byte-identical to an uninterrupted run's (requires `--data-dir`;
+//!   N must be well below `--requests`);
 //! * `--out PATH` — the JSON report history (default `BENCH_loadgen.json`);
 //!   each run appends an entry instead of overwriting, so the file tracks
 //!   performance over time;
@@ -40,14 +51,15 @@
 //! consistent under any interleaving, which the final metrics checks verify.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::Value;
+use tagging_persist::PersistOptions;
 use tagging_runtime::lock_unpoisoned;
 use tagging_server::http::HttpClient;
-use tagging_server::TaggingServer;
+use tagging_server::{ServerOptions, TaggingServer};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Workload {
@@ -72,6 +84,8 @@ struct Options {
     shards: usize,
     corpus: Option<String>,
     check: Option<String>,
+    data_dir: Option<String>,
+    crash_after: Option<usize>,
     out: String,
     shutdown: bool,
 }
@@ -109,8 +123,19 @@ impl Options {
             shards: number("--shards", 16).max(1),
             corpus: value("--corpus"),
             check: value("--check"),
+            data_dir: value("--data-dir"),
+            crash_after: value("--crash-after").and_then(|v| v.parse().ok()),
             out: value("--out").unwrap_or_else(|| "BENCH_loadgen.json".to_string()),
             shutdown: args.iter().any(|a| a == "--shutdown"),
+        }
+    }
+
+    /// The `durability` value recorded in the report entry.
+    fn durability(&self) -> &'static str {
+        if self.data_dir.is_some() {
+            "wal"
+        } else {
+            "off"
         }
     }
 }
@@ -152,7 +177,11 @@ fn mix(mut x: u64) -> u64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = Options::parse(&args);
-    if let Err(message) = run(&options) {
+    let result = match options.crash_after {
+        Some(crash_after) => run_crash(&options, crash_after),
+        None => run(&options),
+    };
+    if let Err(message) = result {
         eprintln!("repro_loadgen failed: {message}");
         std::process::exit(1);
     }
@@ -173,15 +202,23 @@ fn run(options: &Options) -> Result<(), String> {
     let (addr, server_handle) = match &options.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let workers = (options.clients + 1).min(8);
-            let server = TaggingServer::bind_with("127.0.0.1:0", workers, options.shards)
+            let server_options = ServerOptions {
+                workers: (options.clients + 1).min(8),
+                shards: options.shards,
+                persist: options
+                    .data_dir
+                    .as_ref()
+                    .map(|dir| PersistOptions::new(dir, options.shards)),
+            };
+            let server = TaggingServer::bind_opts("127.0.0.1:0", server_options)
                 .map_err(|e| format!("cannot bind in-process server: {e}"))?;
             let (addr, handle) = server
                 .spawn()
                 .map_err(|e| format!("cannot start in-process server: {e}"))?;
             eprintln!(
-                "spawned in-process server on {addr} ({} registry shards)",
-                options.shards
+                "spawned in-process server on {addr} ({} registry shards, durability {})",
+                options.shards,
+                options.durability()
             );
             (addr.to_string(), Some(handle))
         }
@@ -221,47 +258,7 @@ fn run(options: &Options) -> Result<(), String> {
     let issued = Arc::new(AtomicUsize::new(0));
     let tallies: Arc<Mutex<Vec<Tally>>> = Arc::new(Mutex::new(Vec::new()));
     let start = Instant::now();
-    let mut workers = Vec::new();
-    for client_index in 0..options.clients {
-        let addr = addr.clone();
-        let issued = Arc::clone(&issued);
-        let tallies = Arc::clone(&tallies);
-        let scenarios = scenarios.clone();
-        let target = options.requests;
-        let batch = options.batch;
-        let seed = options.seed;
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("loadgen-client-{client_index}"))
-                .spawn(move || -> Result<(), String> {
-                    let mut client = HttpClient::connect(&addr)
-                        .map_err(|e| format!("client {client_index}: connect: {e}"))?;
-                    let mut tally = Tally::default();
-                    let mut iteration = 0usize;
-                    while issued.load(Ordering::Relaxed) < target {
-                        let scenario = pick_scenario(&scenarios, seed, client_index, iteration);
-                        drive_iteration(
-                            &mut client,
-                            scenario,
-                            batch,
-                            iteration,
-                            &issued,
-                            &mut tally,
-                        )
-                        .map_err(|e| format!("client {client_index}: {e}"))?;
-                        iteration += 1;
-                    }
-                    lock_unpoisoned(&tallies).push(tally);
-                    Ok(())
-                })
-                .expect("spawn client thread"),
-        );
-    }
-    for worker in workers {
-        worker
-            .join()
-            .map_err(|_| "client thread panicked".to_string())??;
-    }
+    drive_clients(&addr, &scenarios, options, &issued, &tallies, None)?;
     let elapsed = start.elapsed();
 
     // Merge tallies.
@@ -407,6 +404,10 @@ fn run(options: &Options) -> Result<(), String> {
                 Value::UInt(options.shards as u64)
             },
         ),
+        (
+            "durability",
+            Value::String(options.durability().to_string()),
+        ),
         ("clients", Value::UInt(options.clients as u64)),
         ("idle_connections", Value::UInt(options.idle as u64)),
         ("batch", Value::UInt(options.batch as u64)),
@@ -454,6 +455,387 @@ fn run(options: &Options) -> Result<(), String> {
             options.requests
         ));
     }
+    Ok(())
+}
+
+/// Spawns `--clients` threads that drive the workload until the shared
+/// `issued` counter reaches `--requests`, pushing their tallies into
+/// `tallies`.
+///
+/// When `aborted` is given the drive is crash-tolerant: once the flag is set
+/// (the harness sets it immediately before SIGKILLing the server), request
+/// failures end the client quietly instead of failing the run.
+fn drive_clients(
+    addr: &str,
+    scenarios: &[ScenarioHandle],
+    options: &Options,
+    issued: &Arc<AtomicUsize>,
+    tallies: &Arc<Mutex<Vec<Tally>>>,
+    aborted: Option<&Arc<AtomicBool>>,
+) -> Result<(), String> {
+    let mut workers = Vec::new();
+    for client_index in 0..options.clients {
+        let addr = addr.to_string();
+        let issued = Arc::clone(issued);
+        let tallies = Arc::clone(tallies);
+        let scenarios = scenarios.to_vec();
+        let target = options.requests;
+        let batch = options.batch;
+        let seed = options.seed;
+        let aborted = aborted.map(Arc::clone);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-client-{client_index}"))
+                .spawn(move || -> Result<(), String> {
+                    let crashed = || {
+                        aborted
+                            .as_ref()
+                            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+                    };
+                    let mut client = match HttpClient::connect(&addr) {
+                        Ok(client) => client,
+                        Err(_) if crashed() => return Ok(()),
+                        Err(e) => return Err(format!("client {client_index}: connect: {e}")),
+                    };
+                    let mut tally = Tally::default();
+                    let mut iteration = 0usize;
+                    while issued.load(Ordering::Relaxed) < target {
+                        let scenario = pick_scenario(&scenarios, seed, client_index, iteration);
+                        if let Err(e) = drive_iteration(
+                            &mut client,
+                            scenario,
+                            batch,
+                            iteration,
+                            &issued,
+                            &mut tally,
+                        ) {
+                            if crashed() {
+                                break;
+                            }
+                            return Err(format!("client {client_index}: {e}"));
+                        }
+                        iteration += 1;
+                    }
+                    lock_unpoisoned(&tallies).push(tally);
+                    Ok(())
+                })
+                .expect("spawn client thread"),
+        );
+    }
+    for worker in workers {
+        worker
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+    }
+    Ok(())
+}
+
+/// A `tagging_server` child process and the address it bound.
+struct Daemon {
+    child: std::process::Child,
+    addr: String,
+}
+
+/// Spawns the `tagging_server` daemon (expected next to this binary) on an
+/// ephemeral port with `--data-dir`, and parses the bound address from its
+/// startup banner.
+fn spawn_daemon(options: &Options, data_dir: &str) -> Result<Daemon, String> {
+    use std::io::BufRead;
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let bin = exe
+        .parent()
+        .ok_or("current_exe has no parent directory")?
+        .join("tagging_server");
+    if !bin.exists() {
+        return Err(format!(
+            "daemon binary not found at {}; build the tagging_server bin first",
+            bin.display()
+        ));
+    }
+    let workers = (options.clients + 1).min(8).to_string();
+    let shards = options.shards.to_string();
+    let mut child = std::process::Command::new(&bin)
+        .args([
+            "--port",
+            "0",
+            "--workers",
+            &workers,
+            "--shards",
+            &shards,
+            "--data-dir",
+            data_dir,
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+    let stdout = child.stdout.take().ok_or("daemon stdout not captured")?;
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut addr = None;
+    for _ in 0..64 {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                eprint!("daemon: {line}");
+                if let Some(rest) = line.strip_prefix("listening on ") {
+                    addr = Some(rest.trim().to_string());
+                    break;
+                }
+            }
+            Err(e) => return Err(format!("reading daemon stdout: {e}")),
+        }
+    }
+    let Some(addr) = addr else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("daemon never printed its listening address".to_string());
+    };
+    // Keep draining the pipe so the daemon never blocks on a full buffer.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    Ok(Daemon { child, addr })
+}
+
+/// The crash-recovery harness (`--crash-after N`, requires `--data-dir`):
+///
+/// 1. spawn the daemon as a child process with durable sessions enabled;
+/// 2. drive the workload; once N requests have been served, SIGKILL the
+///    daemon mid-flight — no flush, no shutdown marker;
+/// 3. restart the daemon on the same data directory and verify every
+///    scenario recovered;
+/// 4. resume the drive to the full `--requests` target, report the recovered
+///    pending ("ghost") leases via `GET /scenarios/{id}/tasks`, and drain
+///    every scenario to budget exhaustion;
+/// 5. write the `--check` digest, which must be byte-identical to the digest
+///    of an uninterrupted run with the same options (CI diffs the two).
+///
+/// The per-scenario lease accounting of the plain run is skipped: leases
+/// acknowledged by the first daemon just before the kill never reach a client
+/// tally, so the client-side count is legitimately incomplete. The server-side
+/// invariants (full budget spent, digest equality) still hold.
+fn run_crash(options: &Options, crash_after: usize) -> Result<(), String> {
+    let data_dir = options
+        .data_dir
+        .clone()
+        .ok_or("--crash-after requires --data-dir")?;
+    if options.addr.is_some() {
+        return Err("--crash-after drives its own daemon; drop --addr".to_string());
+    }
+    if crash_after >= options.requests {
+        return Err(format!(
+            "--crash-after {crash_after} must be below --requests {}",
+            options.requests
+        ));
+    }
+
+    // Phase 1: spawn, register, drive, kill.
+    let daemon = spawn_daemon(options, &data_dir)?;
+    let child = Arc::new(Mutex::new(daemon.child));
+    let mut admin =
+        HttpClient::connect(&daemon.addr).map_err(|e| format!("cannot connect: {e}"))?;
+    let scenarios = match options.workload {
+        Workload::Single => vec![register_single(&mut admin, options)?],
+        Workload::Mixed => register_mixed(&mut admin, options)?,
+    };
+    drop(admin);
+
+    let issued = Arc::new(AtomicUsize::new(0));
+    let tallies: Arc<Mutex<Vec<Tally>>> = Arc::new(Mutex::new(Vec::new()));
+    let aborted = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let killer = {
+        let issued = Arc::clone(&issued);
+        let aborted = Arc::clone(&aborted);
+        let child = Arc::clone(&child);
+        std::thread::spawn(move || {
+            while issued.load(Ordering::Relaxed) < crash_after {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // Set the flag first so every request failure the kill causes is
+            // seen as expected by the clients.
+            aborted.store(true, Ordering::SeqCst);
+            let mut child = lock_unpoisoned(&child);
+            let _ = child.kill();
+        })
+    };
+    drive_clients(
+        &daemon.addr,
+        &scenarios,
+        options,
+        &issued,
+        &tallies,
+        Some(&aborted),
+    )?;
+    killer.join().map_err(|_| "killer thread panicked")?;
+    lock_unpoisoned(&child)
+        .wait()
+        .map_err(|e| format!("waiting for killed daemon: {e}"))?;
+    let killed_at = issued.load(Ordering::Relaxed);
+    eprintln!("killed the daemon after {killed_at} requests (threshold {crash_after})");
+
+    // Phase 2: restart on the same data directory and verify recovery.
+    let daemon = spawn_daemon(options, &data_dir)?;
+    let mut admin =
+        HttpClient::connect(&daemon.addr).map_err(|e| format!("reconnect after restart: {e}"))?;
+    let (status, health) = admin
+        .request("GET", "/healthz", None)
+        .map_err(|e| format!("healthz after restart: {e}"))?;
+    if status != 200 {
+        return Err(format!("healthz after restart rejected ({status})"));
+    }
+    match health.get("sessions") {
+        Some(&Value::UInt(n)) if n as usize == scenarios.len() => {}
+        other => {
+            return Err(format!(
+                "expected {} recovered sessions after restart, healthz says {other:?}",
+                scenarios.len()
+            ));
+        }
+    }
+    eprintln!(
+        "daemon restarted on {} with all {} sessions recovered",
+        daemon.addr,
+        scenarios.len()
+    );
+
+    // Resume the drive to the full request target.
+    drive_clients(&daemon.addr, &scenarios, options, &issued, &tallies, None)?;
+    let elapsed = start.elapsed();
+
+    // Report the ghosts — leases the first daemon persisted but whose tasks
+    // died with the clients — then drain every scenario to exhaustion.
+    let mut ghosts = 0usize;
+    for scenario in &scenarios {
+        let (status, response) = admin
+            .request("GET", &format!("/scenarios/{}/tasks", scenario.id), None)
+            .map_err(|e| format!("pending tasks of scenario {}: {e}", scenario.id))?;
+        if status != 200 {
+            return Err(format!("pending tasks rejected ({status}): {response:?}"));
+        }
+        let pending = match response.get("pending") {
+            Some(Value::Array(ids)) => ids.clone(),
+            other => return Err(format!("no pending array: {other:?}")),
+        };
+        ghosts += pending.len();
+        for chunk in pending.chunks(64) {
+            let completions: Vec<Value> = chunk
+                .iter()
+                .map(|id| obj(vec![("task_id", id.clone())]))
+                .collect();
+            let (status, _) = admin
+                .request(
+                    "POST",
+                    &format!("/scenarios/{}/report", scenario.id),
+                    Some(&obj(vec![("completions", Value::Array(completions))])),
+                )
+                .map_err(|e| format!("reporting ghost leases: {e}"))?;
+            if status != 200 {
+                return Err(format!("ghost report rejected ({status})"));
+            }
+        }
+        drain_scenario(&mut admin, scenario.id)
+            .map_err(|e| format!("draining scenario {}: {e}", scenario.id))?;
+    }
+    eprintln!("reported {ghosts} ghost leases recovered from the WAL");
+
+    // Final metrics: full budget spent, no pending work — same server-side
+    // invariants as the plain run (client-side lease tallies are skipped).
+    let mut final_metrics: Vec<(ScenarioHandle, Value)> = Vec::new();
+    for scenario in &scenarios {
+        let (status, metrics) = admin
+            .request("GET", &format!("/scenarios/{}/metrics", scenario.id), None)
+            .map_err(|e| format!("final metrics request failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("final metrics rejected ({status}): {metrics:?}"));
+        }
+        match metrics.get("budget_spent") {
+            Some(&Value::UInt(n)) if n as usize == scenario.budget => {}
+            other => {
+                return Err(format!(
+                    "scenario {}: expected budget {} spent after the drain, got {other:?}",
+                    scenario.id, scenario.budget
+                ));
+            }
+        }
+        final_metrics.push((scenario.clone(), metrics));
+    }
+
+    if let Some(path) = &options.check {
+        let digest = check_digest(&final_metrics);
+        let text = serde_json::to_string_pretty(&digest).expect("Value serialization is total");
+        std::fs::write(path, text.as_bytes()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote response digest to {path}");
+    }
+
+    // Clean shutdown of the second daemon.
+    let (status, _) = admin
+        .request("POST", "/shutdown", None)
+        .map_err(|e| format!("shutdown request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("shutdown rejected ({status})"));
+    }
+    let exit = daemon
+        .child
+        .wait_with_output()
+        .map_err(|e| format!("waiting for daemon shutdown: {e}"))?;
+    if !exit.status.success() {
+        return Err(format!("daemon exited with {:?}", exit.status));
+    }
+
+    let total_requests = issued.load(Ordering::Relaxed);
+    let throughput = total_requests as f64 / elapsed.as_secs_f64();
+    let scenarios_value: Vec<Value> = final_metrics
+        .iter()
+        .map(|(scenario, metrics)| {
+            obj(vec![
+                ("id", Value::UInt(scenario.id)),
+                ("strategy", Value::String(scenario.strategy.clone())),
+                ("resources", Value::UInt(scenario.resources as u64)),
+                ("budget", Value::UInt(scenario.budget as u64)),
+                (
+                    "budget_spent",
+                    metrics.get("budget_spent").cloned().unwrap_or(Value::Null),
+                ),
+            ])
+        })
+        .collect();
+    let entry = obj(vec![
+        (
+            "workload",
+            Value::String(
+                match options.workload {
+                    Workload::Single => "single",
+                    Workload::Mixed => "mixed",
+                }
+                .to_string(),
+            ),
+        ),
+        ("addr", Value::String(daemon.addr.clone())),
+        ("shards", Value::UInt(options.shards as u64)),
+        ("durability", Value::String("wal".to_string())),
+        ("crash_after", Value::UInt(crash_after as u64)),
+        ("killed_at", Value::UInt(killed_at as u64)),
+        ("ghost_leases", Value::UInt(ghosts as u64)),
+        ("clients", Value::UInt(options.clients as u64)),
+        ("batch", Value::UInt(options.batch as u64)),
+        ("requests", Value::UInt(total_requests as u64)),
+        ("elapsed_seconds", Value::Float(elapsed.as_secs_f64())),
+        ("throughput_rps", Value::Float(throughput)),
+        ("scenarios", Value::Array(scenarios_value)),
+    ]);
+    append_history(&options.out, entry)?;
+
+    println!(
+        "crash harness passed: {total_requests} requests across a SIGKILL at {killed_at}, \
+         {ghosts} ghost leases recovered, every budget drained; history appended to {}",
+        options.out
+    );
     Ok(())
 }
 

@@ -1,7 +1,7 @@
 //! The tagging-server daemon.
 //!
 //! Usage:
-//! `cargo run --release -p tagging-server --bin tagging_server -- [--port P] [--workers N] [--shards S] [--threads N]`
+//! `cargo run --release -p tagging-server --bin tagging_server -- [--port P] [--workers N] [--shards S] [--threads N] [--data-dir DIR] [--snapshot-every N] [--fsync POLICY]`
 //!
 //! * `--port P` — TCP port to bind on 127.0.0.1 (default 0 = ephemeral; the
 //!   chosen address is printed as `listening on 127.0.0.1:PORT`);
@@ -11,25 +11,41 @@
 //!   two (default 16; 1 = the single-lock baseline used by the CI
 //!   divergence check);
 //! * `--threads N` — compute threads for corpus generation / scenario
-//!   preparation (defaults to `TAGGING_THREADS` / available cores).
+//!   preparation (defaults to `TAGGING_THREADS` / available cores);
+//! * `--data-dir DIR` — enable durable sessions: a write-ahead log plus
+//!   snapshots under `DIR` (one segment per registry shard). On startup the
+//!   daemon recovers every session found there and prints what it recovered;
+//! * `--snapshot-every N` — events per shard between snapshot compactions
+//!   (default 1024; only meaningful with `--data-dir`);
+//! * `--fsync POLICY` — `always`, `never` or `every:N` (default `every:256`):
+//!   when the WAL forces bytes to the device. Appends always reach the OS
+//!   before they are acknowledged, so any policy survives a process kill;
+//!   the policy bounds what a *power loss* can take.
 //!
-//! The process exits cleanly after a `POST /shutdown`.
+//! The process exits cleanly after a `POST /shutdown`, marking the WAL so
+//! the next start knows the shutdown was clean.
 
 use std::io::Write;
 
-use tagging_server::TaggingServer;
+use tagging_persist::PersistOptions;
+use tagging_runtime::FlushPolicy;
+use tagging_server::{ServerOptions, TaggingServer};
 
 fn arg_value(args: &[String], name: &str) -> Option<usize> {
+    arg_text(args, name).and_then(|v| match v.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("{name} expects a non-negative integer, ignoring");
+            None
+        }
+    })
+}
+
+fn arg_text(args: &[String], name: &str) -> Option<String> {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == name {
-            match iter.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) => return Some(n),
-                None => {
-                    eprintln!("{name} expects a non-negative integer, ignoring");
-                    return None;
-                }
-            }
+            return iter.next().cloned();
         }
     }
     None
@@ -47,14 +63,48 @@ fn main() {
     let shards = arg_value(&args, "--shards")
         .unwrap_or(tagging_sim::registry::DEFAULT_SHARDS)
         .max(1);
+    let persist = arg_text(&args, "--data-dir").map(|dir| {
+        let mut options = PersistOptions::new(dir, shards);
+        if let Some(every) = arg_value(&args, "--snapshot-every") {
+            options.snapshot_every = (every as u64).max(1);
+        }
+        if let Some(policy) = arg_text(&args, "--fsync") {
+            match FlushPolicy::parse(&policy) {
+                Some(policy) => options.flush = policy,
+                None => {
+                    eprintln!(
+                        "--fsync expects always|never|every:N, got `{policy}`; using {}",
+                        options.flush
+                    );
+                }
+            }
+        }
+        options
+    });
 
-    let server = match TaggingServer::bind_with(&format!("127.0.0.1:{port}"), workers, shards) {
+    let options = ServerOptions {
+        workers,
+        shards,
+        persist,
+    };
+    let server = match TaggingServer::bind_opts(&format!("127.0.0.1:{port}"), options) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            eprintln!("cannot start on 127.0.0.1:{port}: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(recovered) = server.recovered() {
+        println!(
+            "recovered {} session(s) from the data directory (previous shutdown {})",
+            recovered.sessions.len(),
+            if recovered.clean_shutdown {
+                "clean"
+            } else {
+                "unclean"
+            }
+        );
+    }
     let addr = server.local_addr().expect("bound listener has an address");
     // The startup line scripts (CI's smoke job) parse to find the port.
     println!("listening on {addr}");

@@ -47,5 +47,5 @@ pub mod server;
 pub mod service;
 
 pub use http::HttpClient;
-pub use server::TaggingServer;
+pub use server::{ServerOptions, TaggingServer};
 pub use service::TaggingService;

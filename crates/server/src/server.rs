@@ -33,11 +33,37 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use tagging_persist::{PersistOptions, PersistStore, RecoveredState};
 use tagging_runtime::poll::{read_available, write_all_polling, IdleBackoff, ReadOutcome};
 use tagging_runtime::{Runtime, WorkerPool};
 
 use crate::http::{parse_request, response_bytes, Request, Response, MAX_REQUEST_BYTES};
 use crate::service::{Handled, TaggingService};
+
+/// How a [`TaggingServer`] is configured beyond its bind address.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Request-handling worker threads.
+    pub workers: usize,
+    /// Session-registry shard count (rounded up to a power of two).
+    pub shards: usize,
+    /// Durable-session store configuration; `None` runs memory-only.
+    ///
+    /// The store's shard count is overridden to match the registry's — one
+    /// WAL segment per registry shard is the design invariant.
+    pub persist: Option<PersistOptions>,
+}
+
+impl ServerOptions {
+    /// `workers` workers, default shard count, no persistence.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            shards: tagging_sim::registry::DEFAULT_SHARDS,
+            persist: None,
+        }
+    }
+}
 
 /// Sweeps without bytes before a connection is considered cold.
 const COLD_AFTER_SWEEPS: u32 = 64;
@@ -97,6 +123,9 @@ pub struct TaggingServer {
     listener: TcpListener,
     service: Arc<TaggingService>,
     pool: WorkerPool,
+    /// What the durable store recovered at bind time (`None` without
+    /// persistence).
+    recovered: Option<RecoveredState>,
 }
 
 impl TaggingServer {
@@ -109,11 +138,43 @@ impl TaggingServer {
     /// Binds with an explicit session-registry shard count (rounded up to a
     /// power of two; 1 = the single-lock baseline).
     pub fn bind_with(addr: &str, threads: usize, shards: usize) -> io::Result<Self> {
+        Self::bind_opts(
+            addr,
+            ServerOptions {
+                workers: threads,
+                shards,
+                persist: None,
+            },
+        )
+    }
+
+    /// Binds with full [`ServerOptions`]. With persistence configured this
+    /// opens (or creates) the data directory, recovers every durable session
+    /// and reports what it found via [`TaggingServer::recovered`].
+    pub fn bind_opts(addr: &str, options: ServerOptions) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let runtime = Runtime::from_env();
+        let (service, recovered) = match options.persist {
+            None => (TaggingService::with_shards(runtime, options.shards), None),
+            Some(mut persist) => {
+                // One WAL segment per registry shard: force agreement.
+                persist.shards =
+                    tagging_sim::registry::SessionRegistry::new(options.shards).shard_count();
+                let (store, recovered) = PersistStore::open(&persist)?;
+                let service = TaggingService::with_persist(
+                    runtime,
+                    options.shards,
+                    Arc::new(store),
+                    &recovered,
+                )?;
+                (service, Some(recovered))
+            }
+        };
         Ok(Self {
             listener,
-            service: Arc::new(TaggingService::with_shards(Runtime::from_env(), shards)),
-            pool: WorkerPool::new(threads),
+            service: Arc::new(service),
+            pool: WorkerPool::new(options.workers),
+            recovered,
         })
     }
 
@@ -125,6 +186,12 @@ impl TaggingServer {
     /// The shared service behind this server (tests and diagnostics).
     pub fn service(&self) -> &Arc<TaggingService> {
         &self.service
+    }
+
+    /// What the durable store recovered at bind time (`None` when running
+    /// memory-only).
+    pub fn recovered(&self) -> Option<&RecoveredState> {
+        self.recovered.as_ref()
     }
 
     /// Serves until a `POST /shutdown` arrives, then drains: every dispatched
@@ -263,6 +330,9 @@ impl TaggingServer {
         }
         drop(connections);
         drop(self.pool); // joins the (now idle) workers
+                         // Every request has been handled and acknowledged; mark the WAL
+                         // segments cleanly shut down (no-op without persistence).
+        self.service.persist_shutdown()?;
         Ok(())
     }
 

@@ -9,8 +9,20 @@
 //! | POST   | `/scenarios/{id}/batch`    | lease the next batch of post tasks       |
 //! | POST   | `/scenarios/{id}/report`   | report completed tasks                   |
 //! | GET    | `/scenarios/{id}/metrics`  | incremental run metrics                  |
+//! | GET    | `/scenarios/{id}/tasks`    | ids of leased-but-unreported tasks       |
 //! | POST   | `/shutdown`                | finish in-flight requests, then exit     |
+//!
+//! ## Durability
+//!
+//! With a [`PersistStore`] attached, the service follows *append-before-
+//! apply*: the WAL record of a state transition is written (and flushed to
+//! the OS) before the transition is applied in memory and acknowledged. A
+//! kill at any point therefore leaves the WAL a superset of what clients
+//! were told — recovery can only restore *more* leases than clients saw
+//! acknowledged, never fewer, and the extra ("ghost") leases surface as
+//! pending tasks, queryable via `GET /scenarios/{id}/tasks`.
 
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -18,16 +30,20 @@ use serde::Value;
 
 use delicious_sim::generator::generate_with;
 use delicious_sim::io::load_corpus;
+use tagging_persist::{CorpusOrigin, PersistStore, RecoveredState, Registration, WalEvent};
 use tagging_runtime::{lock_unpoisoned, Runtime};
 use tagging_sim::registry::{SessionRegistry, SharedSession};
-use tagging_sim::scenario::Scenario;
-use tagging_sim::session::{LiveSession, SessionError};
+use tagging_sim::scenario::{Scenario, ScenarioParams};
+use tagging_sim::session::{LiveSession, SessionError, SessionEvent};
 
 use crate::http::{Request, Response};
 use crate::protocol::{
     batch_to_value, generator_config, metrics_to_value, parse_batch, parse_register, parse_report,
-    CorpusSource,
+    CorpusSource, RegisterRequest,
 };
+use tagging_core::stability::StabilityParams;
+use tagging_sim::engine::RunConfig;
+use tagging_strategies::StrategyKind;
 
 /// The outcome of handling one request.
 #[derive(Debug)]
@@ -54,11 +70,21 @@ impl Handled {
 /// proceed concurrently; a panicking handler poisons at most its own session
 /// mutex, which the poison-recovering locks heal on the next request instead
 /// of bricking the registry.
-#[derive(Debug)]
 pub struct TaggingService {
     sessions: SessionRegistry,
     next_id: AtomicU64,
     runtime: Runtime,
+    /// WAL + snapshot store; `None` runs the service memory-only.
+    persist: Option<Arc<PersistStore>>,
+}
+
+impl std::fmt::Debug for TaggingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaggingService")
+            .field("sessions", &self.sessions)
+            .field("durable", &self.persist.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for TaggingService {
@@ -82,7 +108,121 @@ impl TaggingService {
             sessions: SessionRegistry::new(shards),
             next_id: AtomicU64::new(1),
             runtime,
+            persist: None,
         }
+    }
+
+    /// Attaches a durable store and rebuilds every recovered session by
+    /// replaying its journal onto a freshly constructed session.
+    ///
+    /// The store's shard count must equal the registry's (each session's WAL
+    /// shard is addressed by [`SessionRegistry::shard_of`]). A session whose
+    /// journal no longer replays — e.g. its `corpus_path` file changed on
+    /// disk — is an error: silently dropping state a client paid budget for
+    /// is worse than refusing to start.
+    pub fn with_persist(
+        runtime: Runtime,
+        shards: usize,
+        store: Arc<PersistStore>,
+        recovered: &RecoveredState,
+    ) -> io::Result<Self> {
+        let service = Self {
+            sessions: SessionRegistry::new(shards),
+            next_id: AtomicU64::new(1),
+            runtime,
+            persist: None, // set after recovery: replays must not re-append
+        };
+        if store.shard_count() != service.sessions.shard_count() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "store has {} shards but the registry has {}",
+                    store.shard_count(),
+                    service.sessions.shard_count()
+                ),
+            ));
+        }
+        let mut next_id = 1;
+        for (id, state) in &recovered.sessions {
+            let session = service
+                .rebuild_session(&state.registration, &state.events)
+                .map_err(|reason| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("cannot recover session {id}: {reason}"),
+                    )
+                })?;
+            service.sessions.insert(*id, Arc::new(Mutex::new(session)));
+            next_id = next_id.max(id + 1);
+        }
+        service.next_id.store(next_id, Ordering::Relaxed);
+        Ok(Self {
+            persist: Some(store),
+            ..service
+        })
+    }
+
+    /// Builds the live session a [`Registration`] describes and replays
+    /// `events` onto it.
+    fn rebuild_session(
+        &self,
+        registration: &Registration,
+        events: &[SessionEvent],
+    ) -> Result<LiveSession<'static>, String> {
+        let strategy = StrategyKind::parse(&registration.strategy)
+            .ok_or_else(|| format!("unknown strategy `{}`", registration.strategy))?;
+        let source = match &registration.source {
+            CorpusOrigin::Generate { resources, seed } => CorpusSource::Generate {
+                resources: *resources as usize,
+                seed: *seed,
+            },
+            CorpusOrigin::Path(path) => CorpusSource::Load(path.into()),
+        };
+        let register = RegisterRequest {
+            strategy,
+            config: RunConfig {
+                budget: registration.budget as usize,
+                omega: registration.omega as usize,
+                seed: registration.seed,
+            },
+            source,
+            scenario_params: ScenarioParams {
+                stability: StabilityParams::new(
+                    registration.stability_window as usize,
+                    registration.stability_tau,
+                ),
+                under_tagged_threshold: registration.under_tagged_threshold as usize,
+            },
+        };
+        let mut session = self.build_session(&register)?;
+        session
+            .replay_events(events)
+            .map_err(|e| format!("journal replay failed: {e}"))?;
+        Ok(session)
+    }
+
+    /// Builds the live session of a registration: source the corpus, freeze
+    /// the scenario, construct the session. Errors are client-facing
+    /// messages (the register route answers them as 400).
+    fn build_session(&self, register: &RegisterRequest) -> Result<LiveSession<'static>, String> {
+        let corpus = match &register.source {
+            CorpusSource::Generate { resources, seed } => {
+                generate_with(&generator_config(*resources, *seed), &self.runtime)
+            }
+            CorpusSource::Load(path) => {
+                load_corpus(path).map_err(|e| format!("cannot load corpus: {e}"))?
+            }
+        };
+        if corpus.corpus.resources.is_empty() {
+            return Err("corpus has no resources".to_string());
+        }
+        let dictionary = corpus.corpus.tags.clone();
+        let scenario =
+            Scenario::from_corpus_with(&corpus, &register.scenario_params, &self.runtime);
+        Ok(
+            LiveSession::new(scenario, register.strategy, &register.config)
+                .with_dictionary(dictionary),
+        )
     }
 
     /// Number of registered sessions.
@@ -126,17 +266,41 @@ impl TaggingService {
             },
             ("POST", ["scenarios"]) => Handled::respond(self.register(request)),
             ("POST", ["scenarios", id, "batch"]) => {
-                Handled::respond(self.with_session(id, |session| {
+                Handled::respond(self.with_session(id, |id, session| {
                     let k =
                         parse_batch(&json_body(request)?).map_err(|e| Response::error(400, e.0))?;
-                    let tasks = session.next_batch(k);
+                    // Append-before-apply: persist the lease at its *clamped*
+                    // size (what the session will actually hand out) before
+                    // leasing. On a persistence failure nothing is leased.
+                    let k_eff = k.min(session.remaining_budget());
+                    if k_eff > 0 {
+                        self.persist_session_event(id, &SessionEvent::Lease { k: k_eff })?;
+                    }
+                    let tasks = session.next_batch(k_eff);
+                    debug_assert_eq!(tasks.len(), k_eff);
                     Ok(Response::ok(batch_to_value(&tasks, session)))
                 }))
             }
             ("POST", ["scenarios", id, "report"]) => {
-                Handled::respond(self.with_session(id, |session| {
+                Handled::respond(self.with_session(id, |id, session| {
                     let reports = parse_report(&json_body(request)?)
                         .map_err(|e| Response::error(400, e.0))?;
+                    // Validate first so only appliable reports reach the WAL,
+                    // then append-before-apply.
+                    if let Err(e) = session.validate_reports(&reports) {
+                        return Err(match e {
+                            SessionError::UnknownTask(_) | SessionError::DuplicateTask(_) => {
+                                Response::error(409, e.to_string())
+                            }
+                            e => Response::error(400, e.to_string()),
+                        });
+                    }
+                    self.persist_session_event(
+                        id,
+                        &SessionEvent::Report {
+                            reports: reports.clone(),
+                        },
+                    )?;
                     match session.report(&reports) {
                         Ok(outcome) => Ok(Response::ok(Value::Object(vec![
                             ("accepted".to_string(), Value::UInt(outcome.accepted as u64)),
@@ -157,21 +321,36 @@ impl TaggingService {
                 }))
             }
             ("GET", ["scenarios", id, "metrics"]) => {
-                Handled::respond(self.with_session(id, |session| {
+                Handled::respond(self.with_session(id, |_, session| {
                     let pending = session.pending_tasks();
                     Ok(Response::ok(metrics_to_value(&session.metrics(), pending)))
                 }))
             }
+            ("GET", ["scenarios", id, "tasks"]) => {
+                Handled::respond(self.with_session(id, |_, session| {
+                    Ok(Response::ok(Value::Object(vec![(
+                        "pending".to_string(),
+                        Value::Array(
+                            session
+                                .pending_task_ids()
+                                .into_iter()
+                                .map(Value::UInt)
+                                .collect(),
+                        ),
+                    )])))
+                }))
+            }
             // Right path, wrong method.
             (_, ["healthz"] | ["shutdown"] | ["scenarios"])
-            | (_, ["scenarios", _, "batch" | "report" | "metrics"]) => {
+            | (_, ["scenarios", _, "batch" | "report" | "metrics" | "tasks"]) => {
                 Handled::respond(Response::error(405, "method not allowed"))
             }
             _ => Handled::respond(Response::error(404, "no such route")),
         }
     }
 
-    /// Registers a scenario and opens its live session.
+    /// Registers a scenario and opens its live session. With persistence on,
+    /// the registration record is durable *before* the id is acknowledged.
     fn register(&self, request: &Request) -> Response {
         let body = match json_body(request) {
             Ok(body) => body,
@@ -181,22 +360,21 @@ impl TaggingService {
             Ok(register) => register,
             Err(e) => return Response::error(400, e.0),
         };
-        let corpus = match &register.source {
-            CorpusSource::Generate { resources, seed } => {
-                generate_with(&generator_config(*resources, *seed), &self.runtime)
-            }
-            CorpusSource::Load(path) => match load_corpus(path) {
-                Ok(corpus) => corpus,
-                Err(e) => return Response::error(400, format!("cannot load corpus: {e}")),
-            },
+        let session = match self.build_session(&register) {
+            Ok(session) => session,
+            Err(reason) => return Response::error(400, reason),
         };
-        let dictionary = corpus.corpus.tags.clone();
-        let scenario =
-            Scenario::from_corpus_with(&corpus, &register.scenario_params, &self.runtime);
-        let session = LiveSession::new(scenario, register.strategy, &register.config)
-            .with_dictionary(dictionary);
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.persist {
+            let event = WalEvent::Register {
+                session: id,
+                registration: registration_of(&register),
+            };
+            if let Err(e) = store.append(self.sessions.shard_of(id), &event) {
+                return Response::error(500, format!("cannot persist registration: {e}"));
+            }
+        }
         let mut info = vec![
             ("scenario_id".to_string(), Value::UInt(id)),
             (
@@ -227,7 +405,7 @@ impl TaggingService {
     /// session (or its shard) down with it.
     fn with_session<F>(&self, id: &str, f: F) -> Response
     where
-        F: FnOnce(&mut LiveSession<'static>) -> Result<Response, Response>,
+        F: FnOnce(u64, &mut LiveSession<'static>) -> Result<Response, Response>,
     {
         let Ok(id) = id.parse::<u64>() else {
             return Response::error(404, format!("scenario id `{id}` is not a number"));
@@ -236,9 +414,60 @@ impl TaggingService {
             return Response::error(404, format!("no scenario {id}"));
         };
         let mut session = lock_unpoisoned(&session);
-        match f(&mut session) {
+        match f(id, &mut session) {
             Ok(response) | Err(response) => response,
         }
+    }
+
+    /// Appends one session transition to the WAL (no-op without a store).
+    /// The caller holds the session's mutex, which orders the shard's WAL
+    /// records exactly like the applied transitions.
+    fn persist_session_event(&self, id: u64, event: &SessionEvent) -> Result<(), Response> {
+        let Some(store) = &self.persist else {
+            return Ok(());
+        };
+        let wal_event = WalEvent::Session {
+            session: id,
+            event: event.clone(),
+        };
+        store
+            .append(self.sessions.shard_of(id), &wal_event)
+            .map_err(|e| Response::error(500, format!("cannot persist event: {e}")))
+    }
+
+    /// True when a durable store is attached.
+    pub fn durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Writes the clean-shutdown markers and syncs every WAL segment. Call
+    /// once after the last request has been handled.
+    pub fn persist_shutdown(&self) -> io::Result<()> {
+        match &self.persist {
+            Some(store) => store.shutdown(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The durable form of a registration (what recovery needs to rebuild the
+/// session from scratch).
+fn registration_of(register: &RegisterRequest) -> Registration {
+    Registration {
+        strategy: register.strategy.name().to_string(),
+        budget: register.config.budget as u64,
+        omega: register.config.omega as u64,
+        seed: register.config.seed,
+        source: match &register.source {
+            CorpusSource::Generate { resources, seed } => CorpusOrigin::Generate {
+                resources: *resources as u64,
+                seed: *seed,
+            },
+            CorpusSource::Load(path) => CorpusOrigin::Path(path.display().to_string()),
+        },
+        stability_window: register.scenario_params.stability.omega as u64,
+        stability_tau: register.scenario_params.stability.tau,
+        under_tagged_threshold: register.scenario_params.under_tagged_threshold as u64,
     }
 }
 

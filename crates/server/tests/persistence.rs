@@ -1,0 +1,273 @@
+//! Durable-session tests straight against [`TaggingService`] (no sockets):
+//! a service backed by a [`PersistStore`] must come back from an abrupt stop
+//! with every session intact — identical metrics, identical pending tasks,
+//! a continuing id sequence — and must answer corpus problems with 4xx, not
+//! a panicking 500.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use serde::Value;
+use tagging_persist::{PersistOptions, PersistStore};
+use tagging_runtime::{FlushPolicy, Runtime};
+use tagging_server::http::Request;
+use tagging_server::TaggingService;
+
+const SHARDS: usize = 4;
+
+fn request(method: &str, path: &str, body: &str) -> Request {
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: body.as_bytes().to_vec(),
+        keep_alive: true,
+    }
+}
+
+fn store_options(dir: &Path) -> PersistOptions {
+    PersistOptions {
+        data_dir: dir.to_path_buf(),
+        shards: SHARDS,
+        // Small cadence so these tests exercise compaction, not just the WAL.
+        snapshot_every: 8,
+        flush: FlushPolicy::Never,
+    }
+}
+
+/// Open (or reopen) a durable service over `dir`.
+fn open_service(dir: &Path) -> TaggingService {
+    let (store, recovered) = PersistStore::open(&store_options(dir)).expect("open store");
+    TaggingService::with_persist(Runtime::new(2), SHARDS, Arc::new(store), &recovered)
+        .expect("recover service")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tagging-server-persist-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn call(service: &TaggingService, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let handled = service.handle(&request(method, path, body));
+    (handled.response.status, handled.response.body)
+}
+
+fn register(service: &TaggingService, strategy: &str, budget: u64, seed: u64) -> u64 {
+    let body = format!(
+        r#"{{"strategy":"{strategy}","budget":{budget},
+            "source":{{"generate":{{"resources":20,"seed":{seed}}}}}}}"#
+    );
+    let (status, response) = call(service, "POST", "/scenarios", &body);
+    assert_eq!(status, 200, "{response:?}");
+    match response.get("scenario_id") {
+        Some(&Value::UInt(id)) => id,
+        other => panic!("no scenario_id: {other:?}"),
+    }
+}
+
+/// Leases `k` tasks and returns their ids.
+fn lease(service: &TaggingService, id: u64, k: usize) -> Vec<u64> {
+    let (status, response) = call(
+        service,
+        "POST",
+        &format!("/scenarios/{id}/batch"),
+        &format!(r#"{{"k":{k}}}"#),
+    );
+    assert_eq!(status, 200, "{response:?}");
+    match response.get("tasks") {
+        Some(Value::Array(tasks)) => tasks
+            .iter()
+            .map(|t| match t.get("task_id") {
+                Some(&Value::UInt(id)) => id,
+                other => panic!("no task_id: {other:?}"),
+            })
+            .collect(),
+        other => panic!("no tasks: {other:?}"),
+    }
+}
+
+fn report_replay(service: &TaggingService, id: u64, tasks: &[u64]) {
+    let completions: Vec<String> = tasks
+        .iter()
+        .map(|t| format!(r#"{{"task_id":{t}}}"#))
+        .collect();
+    let (status, response) = call(
+        service,
+        "POST",
+        &format!("/scenarios/{id}/report"),
+        &format!(r#"{{"completions":[{}]}}"#, completions.join(",")),
+    );
+    assert_eq!(status, 200, "{response:?}");
+}
+
+fn pending_tasks(service: &TaggingService, id: u64) -> Vec<u64> {
+    let (status, response) = call(service, "GET", &format!("/scenarios/{id}/tasks"), "");
+    assert_eq!(status, 200, "{response:?}");
+    match response.get("pending") {
+        Some(Value::Array(ids)) => ids
+            .iter()
+            .map(|v| match v {
+                Value::UInt(id) => *id,
+                other => panic!("bad id: {other:?}"),
+            })
+            .collect(),
+        other => panic!("no pending: {other:?}"),
+    }
+}
+
+/// Metrics JSON with the wall-clock field removed (it legitimately differs
+/// across processes; everything else must be bit-identical).
+fn comparable_metrics(service: &TaggingService, id: u64) -> Value {
+    let (status, response) = call(service, "GET", &format!("/scenarios/{id}/metrics"), "");
+    assert_eq!(status, 200, "{response:?}");
+    match response {
+        Value::Object(fields) => Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "runtime_seconds")
+                .collect(),
+        ),
+        other => panic!("metrics not an object: {other:?}"),
+    }
+}
+
+#[test]
+fn sessions_survive_an_abrupt_stop_with_identical_state() {
+    let dir = temp_dir("abrupt");
+    let (ids, before): (Vec<u64>, Vec<Value>) = {
+        let service = open_service(&dir);
+        let mut ids = Vec::new();
+        for (strategy, seed) in [("FP", 1), ("RR", 2), ("MU", 3), ("FP-MU", 4), ("FC", 5)] {
+            ids.push(register(&service, strategy, 40, seed));
+        }
+        for &id in &ids {
+            // Mixed history: reported leases, tagged reports, and one batch
+            // left pending so recovery has ghosts to restore.
+            let tasks = lease(&service, id, 6);
+            report_replay(&service, id, &tasks);
+            let tasks = lease(&service, id, 5);
+            let completions: Vec<String> = tasks
+                .iter()
+                .map(|t| format!(r#"{{"task_id":{t},"tags":["x","y-{t}"]}}"#))
+                .collect();
+            let (status, _) = call(
+                &service,
+                "POST",
+                &format!("/scenarios/{id}/report"),
+                &format!(r#"{{"completions":[{}]}}"#, completions.join(",")),
+            );
+            assert_eq!(status, 200);
+            lease(&service, id, 4); // left pending
+        }
+        let before = ids
+            .iter()
+            .map(|&id| comparable_metrics(&service, id))
+            .collect();
+        (ids, before)
+        // The service (and its store) drops here without any shutdown call —
+        // the closest a unit test gets to a kill.
+    };
+
+    let service = open_service(&dir);
+    assert_eq!(service.session_count(), ids.len());
+    for (&id, before) in ids.iter().zip(&before) {
+        assert_eq!(
+            comparable_metrics(&service, id),
+            *before,
+            "session {id} diverged across restart"
+        );
+        assert_eq!(pending_tasks(&service, id).len(), 4);
+    }
+
+    // The id sequence continues: no recycled ids after recovery.
+    let next = register(&service, "FP", 10, 9);
+    assert_eq!(next, *ids.iter().max().unwrap() + 1);
+
+    // And recovered sessions keep working: drain one to budget exhaustion.
+    let id = ids[0];
+    loop {
+        let tasks = lease(&service, id, 8);
+        let pending = pending_tasks(&service, id);
+        report_replay(&service, id, &pending);
+        if tasks.is_empty() {
+            break;
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_survives_a_second_restart_after_new_traffic() {
+    // Restart, write more (exercising post-recovery WAL segments and
+    // compaction), restart again.
+    let dir = temp_dir("tworestarts");
+    let id = {
+        let service = open_service(&dir);
+        let id = register(&service, "FP-MU", 30, 7);
+        let tasks = lease(&service, id, 7);
+        report_replay(&service, id, &tasks);
+        id
+    };
+    let before = {
+        let service = open_service(&dir);
+        let tasks = lease(&service, id, 9);
+        report_replay(&service, id, &tasks);
+        comparable_metrics(&service, id)
+    };
+    let service = open_service(&dir);
+    assert_eq!(comparable_metrics(&service, id), before);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_torn_wal_tail_is_truncated_not_fatal() {
+    let dir = temp_dir("torn");
+    let id = {
+        let service = open_service(&dir);
+        let id = register(&service, "RR", 20, 3);
+        let tasks = lease(&service, id, 5);
+        report_replay(&service, id, &tasks);
+        id
+    };
+    // Tear the tail of every shard WAL by a few bytes; only one shard holds
+    // the session, the others are empty (magic only, torn to a bad header).
+    let mut torn = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let shard_dir = entry.unwrap().path();
+        for file in std::fs::read_dir(&shard_dir).unwrap() {
+            let path = file.unwrap().path();
+            if path.extension().is_some_and(|e| e == "log") {
+                let len = std::fs::metadata(&path).unwrap().len();
+                if len > 8 {
+                    std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .unwrap()
+                        .set_len(len - 3)
+                        .unwrap();
+                    torn += 1;
+                }
+            }
+        }
+    }
+    assert!(torn >= 1, "expected at least one non-empty WAL");
+
+    // The session survives; the torn final record (the report) is discarded,
+    // so its five tasks are pending again — exactly the ghost-lease shape.
+    let service = open_service(&dir);
+    assert_eq!(service.session_count(), 1);
+    assert_eq!(pending_tasks(&service, id).len(), 5);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durable_flag_reflects_configuration() {
+    let dir = temp_dir("flag");
+    let service = open_service(&dir);
+    assert!(service.durable());
+    assert!(!TaggingService::with_shards(Runtime::new(1), SHARDS).durable());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -437,3 +437,166 @@ fn concurrent_clients_share_one_session_consistently() {
     admin.request("POST", "/shutdown", None).unwrap();
     handle.join().unwrap().unwrap();
 }
+
+#[test]
+fn corpus_problems_are_client_errors_not_500s() {
+    let (addr, handle) = spawn_server();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+
+    // A corpus path that does not exist: 400 with a JSON error body.
+    let body = obj(vec![(
+        "source",
+        obj(vec![(
+            "corpus_path",
+            Value::String("/nonexistent/corpus.json".to_string()),
+        )]),
+    )]);
+    let (status, response) = client
+        .request("POST", "/scenarios", Some(&body))
+        .expect("request");
+    assert_eq!(status, 400, "{response:?}");
+    match response.get("error") {
+        Some(Value::String(message)) => {
+            assert!(message.contains("corpus"), "unhelpful error: {message}")
+        }
+        other => panic!("no error field: {other:?}"),
+    }
+
+    // A file that is not a corpus at all: still a 400, never a 500.
+    let bogus = std::env::temp_dir().join(format!("bogus-corpus-{}.json", std::process::id()));
+    std::fs::write(&bogus, b"{\"not\":\"a corpus\"}").unwrap();
+    let body = obj(vec![(
+        "source",
+        obj(vec![(
+            "corpus_path",
+            Value::String(bogus.display().to_string()),
+        )]),
+    )]);
+    let (status, response) = client
+        .request("POST", "/scenarios", Some(&body))
+        .expect("request");
+    assert_eq!(status, 400, "{response:?}");
+    std::fs::remove_file(&bogus).unwrap();
+
+    // A syntactically valid corpus with zero resources: rejected up front
+    // (it used to panic inside session construction and surface as a 500).
+    let saved = std::env::temp_dir().join(format!("empty-corpus-{}.json", std::process::id()));
+    let corpus = generate(&generator_config(1, 7));
+    delicious_sim::io::save_corpus(&corpus, &saved).unwrap();
+    let text = std::fs::read_to_string(&saved).unwrap();
+    let emptied = text.replace(
+        &format!("\"resources\":{}", resources_json(&text)),
+        "\"resources\":[]",
+    );
+    std::fs::write(&saved, emptied).unwrap();
+    let body = obj(vec![(
+        "source",
+        obj(vec![(
+            "corpus_path",
+            Value::String(saved.display().to_string()),
+        )]),
+    )]);
+    let (status, response) = client
+        .request("POST", "/scenarios", Some(&body))
+        .expect("request");
+    assert!(
+        status == 400,
+        "want 400 for an empty corpus, got {status}: {response:?}"
+    );
+    std::fs::remove_file(&saved).unwrap();
+
+    // The server is still healthy afterwards.
+    let (status, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    client.request("POST", "/shutdown", None).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+/// Extracts the JSON text of the first top-level-ish `"resources":[...]`
+/// array so the test can blank it without modelling the whole corpus schema.
+fn resources_json(text: &str) -> String {
+    let start = text.find("\"resources\":[").expect("resources field") + "\"resources\":".len();
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (offset, &b) in bytes[start..].iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_string => escaped = true,
+            b'"' => in_string = !in_string,
+            b'[' if !in_string => depth += 1,
+            b']' if !in_string => {
+                depth -= 1;
+                if depth == 0 {
+                    return text[start..start + offset + 1].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated resources array");
+}
+
+#[test]
+fn tasks_route_lists_pending_leases() {
+    let (addr, handle) = spawn_server();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+    let id = register_small(&mut client, "FP", 20);
+
+    let (status, response) = client
+        .request("GET", &format!("/scenarios/{id}/tasks"), None)
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(response.get("pending"), Some(&Value::Array(vec![])));
+
+    let (_, batch) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/batch"),
+            Some(&obj(vec![("k", Value::UInt(5))])),
+        )
+        .unwrap();
+    let leased: Vec<Value> = match batch.get("tasks") {
+        Some(Value::Array(tasks)) => tasks
+            .iter()
+            .map(|t| t.get("task_id").cloned().unwrap())
+            .collect(),
+        other => panic!("no tasks: {other:?}"),
+    };
+    let (status, response) = client
+        .request("GET", &format!("/scenarios/{id}/tasks"), None)
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(response.get("pending"), Some(&Value::Array(leased.clone())));
+
+    // Report them all: pending drains to empty again.
+    let completions: Vec<Value> = leased
+        .iter()
+        .map(|t| obj(vec![("task_id", t.clone())]))
+        .collect();
+    let (status, _) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/report"),
+            Some(&obj(vec![("completions", Value::Array(completions))])),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let (_, response) = client
+        .request("GET", &format!("/scenarios/{id}/tasks"), None)
+        .unwrap();
+    assert_eq!(response.get("pending"), Some(&Value::Array(vec![])));
+
+    // Wrong method on the route: 405.
+    let (status, _) = client
+        .request("POST", &format!("/scenarios/{id}/tasks"), None)
+        .unwrap();
+    assert_eq!(status, 405);
+
+    client.request("POST", "/shutdown", None).unwrap();
+    handle.join().unwrap().unwrap();
+}

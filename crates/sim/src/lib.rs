@@ -51,5 +51,7 @@ pub use engine::{run_custom, run_dp, run_dp_capped, run_strategy, RunConfig};
 pub use market::MarketSource;
 pub use metrics::RunMetrics;
 pub use scenario::{Scenario, ScenarioParams};
-pub use session::{CompletionReport, LiveSession, ReportOutcome, SessionError, TaskAssignment};
+pub use session::{
+    CompletionReport, LiveSession, ReportOutcome, SessionError, SessionEvent, TaskAssignment,
+};
 pub use sweep::{budget_sweep, omega_sweep, resource_sweep, SweepAlgorithms, SweepPoint};

@@ -54,6 +54,31 @@ pub struct CompletionReport {
     pub tags: Option<Vec<String>>,
 }
 
+/// One replayable state transition of a session — the unit of the journal
+/// behind durable sessions.
+///
+/// A [`LiveSession`] is a deterministic state machine: given the same
+/// scenario, strategy and config, applying the same sequence of events
+/// reproduces the same state bit for bit (the property the whole
+/// `tagging-runtime` determinism contract rests on). The journal therefore
+/// *is* the session's serialized state: `tagging-persist` snapshots are the
+/// journal written down, and recovery is [`LiveSession::replay_events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A batch of `k` tasks was leased (`k` is the *actual* leased count,
+    /// after clamping to the remaining budget — replay applies the same
+    /// clamp, so the lease reproduces exactly).
+    Lease {
+        /// Number of tasks leased.
+        k: usize,
+    },
+    /// A report batch was accepted.
+    Report {
+        /// The accepted completion reports, in report order.
+        reports: Vec<CompletionReport>,
+    },
+}
+
 /// Summary of one accepted report batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReportOutcome {
@@ -76,6 +101,15 @@ pub enum SessionError {
     /// A completion carried an empty tag list (posts are non-empty by
     /// Definition 1).
     EmptyPost(u64),
+    /// Replaying a journal diverged from the recorded events — the session
+    /// being restored does not match the one the journal was recorded on
+    /// (wrong scenario, strategy, config or a corrupted journal).
+    ReplayDivergence {
+        /// Tasks the replayed lease was recorded to produce.
+        expected: usize,
+        /// Tasks the lease actually produced on the session being restored.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -84,6 +118,10 @@ impl std::fmt::Display for SessionError {
             SessionError::UnknownTask(id) => write!(f, "unknown or already-completed task {id}"),
             SessionError::DuplicateTask(id) => write!(f, "task {id} reported twice in one batch"),
             SessionError::EmptyPost(id) => write!(f, "task {id} reported an empty tag list"),
+            SessionError::ReplayDivergence { expected, got } => write!(
+                f,
+                "journal replay diverged: recorded lease of {expected} tasks produced {got}"
+            ),
         }
     }
 }
@@ -116,6 +154,10 @@ pub struct LiveSession<'a> {
     undelivered: usize,
     delivered: usize,
     elapsed: Duration,
+    /// `Some` when the session records its state transitions for extraction
+    /// (see [`SessionEvent`]); `None` on the offline sweep path, which runs
+    /// thousands of throwaway sessions and must not pay for the history.
+    journal: Option<Vec<SessionEvent>>,
 }
 
 impl std::fmt::Debug for LiveSession<'_> {
@@ -213,6 +255,7 @@ impl<'a> LiveSession<'a> {
             undelivered: 0,
             delivered: 0,
             elapsed: Duration::ZERO,
+            journal: None,
         }
     }
 
@@ -222,6 +265,50 @@ impl<'a> LiveSession<'a> {
     pub fn with_dictionary(mut self, dictionary: TagDictionary) -> Self {
         self.dictionary = dictionary;
         self
+    }
+
+    /// Turns on journal recording: every subsequent lease and accepted report
+    /// is appended to the session's [`SessionEvent`] journal, making the
+    /// session's state extractable via [`LiveSession::journal`] and
+    /// restorable via [`LiveSession::replay_events`].
+    pub fn with_journal(mut self) -> Self {
+        self.journal = Some(Vec::new());
+        self
+    }
+
+    /// The recorded journal, or `None` when recording is off.
+    pub fn journal(&self) -> Option<&[SessionEvent]> {
+        self.journal.as_deref()
+    }
+
+    /// Replays recorded events onto this (freshly opened) session, restoring
+    /// the state the journal was extracted from — the recovery path of
+    /// durable sessions.
+    ///
+    /// Every event must apply exactly as recorded: a lease that produces a
+    /// different task count, or a report the session rejects, is a
+    /// [`SessionError::ReplayDivergence`] / the report's own error, and means
+    /// the journal does not belong to this scenario/strategy/config. If this
+    /// session records its own journal, the replayed events are re-recorded,
+    /// so a restored session can itself be extracted again.
+    pub fn replay_events(&mut self, events: &[SessionEvent]) -> Result<(), SessionError> {
+        for event in events {
+            match event {
+                SessionEvent::Lease { k } => {
+                    let leased = self.next_batch(*k).len();
+                    if leased != *k {
+                        return Err(SessionError::ReplayDivergence {
+                            expected: *k,
+                            got: leased,
+                        });
+                    }
+                }
+                SessionEvent::Report { reports } => {
+                    self.report(reports)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The scenario the session runs over.
@@ -282,6 +369,9 @@ impl<'a> LiveSession<'a> {
             })
             .collect();
         self.elapsed += start.elapsed();
+        if let Some(journal) = &mut self.journal {
+            journal.push(SessionEvent::Lease { k });
+        }
         assignments
     }
 
@@ -290,18 +380,7 @@ impl<'a> LiveSession<'a> {
     /// rejected up front with the session unchanged.
     pub fn report(&mut self, reports: &[CompletionReport]) -> Result<ReportOutcome, SessionError> {
         // Validate before mutating anything.
-        let mut seen: HashSet<u64> = HashSet::with_capacity(reports.len());
-        for report in reports {
-            if !self.pending.contains_key(&report.task_id) {
-                return Err(SessionError::UnknownTask(report.task_id));
-            }
-            if !seen.insert(report.task_id) {
-                return Err(SessionError::DuplicateTask(report.task_id));
-            }
-            if matches!(&report.tags, Some(tags) if tags.is_empty()) {
-                return Err(SessionError::EmptyPost(report.task_id));
-            }
-        }
+        self.validate_reports(reports)?;
 
         let start = Instant::now();
         let mut completions: Vec<(ResourceId, Option<Post>)> = Vec::with_capacity(reports.len());
@@ -349,7 +428,40 @@ impl<'a> LiveSession<'a> {
             undelivered: completions.iter().filter(|(_, p)| p.is_none()).count(),
         };
         self.elapsed += start.elapsed();
+        if let Some(journal) = &mut self.journal {
+            journal.push(SessionEvent::Report {
+                reports: reports.to_vec(),
+            });
+        }
         Ok(outcome)
+    }
+
+    /// Checks a report batch against the session without applying anything —
+    /// exactly the validation [`LiveSession::report`] performs before it
+    /// mutates. A batch that validates cannot fail to apply, which is what
+    /// lets a write-ahead log record the batch *before* it is applied.
+    pub fn validate_reports(&self, reports: &[CompletionReport]) -> Result<(), SessionError> {
+        let mut seen: HashSet<u64> = HashSet::with_capacity(reports.len());
+        for report in reports {
+            if !self.pending.contains_key(&report.task_id) {
+                return Err(SessionError::UnknownTask(report.task_id));
+            }
+            if !seen.insert(report.task_id) {
+                return Err(SessionError::DuplicateTask(report.task_id));
+            }
+            if matches!(&report.tags, Some(tags) if tags.is_empty()) {
+                return Err(SessionError::EmptyPost(report.task_id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Task ids of the outstanding (leased, unreported) tasks, ascending —
+    /// what a recovering client needs to finish a restored session.
+    pub fn pending_task_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// The metrics of the run so far. Identical to what the offline engine

@@ -1,0 +1,185 @@
+//! Recovery equivalence for [`LiveSession`] journals: a session restored from
+//! its extracted journal at *any* batch boundary, then driven to completion,
+//! must end bit-identical (by [`RunMetrics::fingerprint`]) to the session
+//! that ran uninterrupted — for every strategy, including the
+//! observation-order-sensitive MU / FP-MU.
+//!
+//! This is the sim-level half of the durability proof: `tagging-persist`
+//! stores journals, and this suite pins that replaying a journal is a
+//! faithful restore.
+
+use delicious_sim::generator::{generate, GeneratorConfig};
+use tagging_core::stability::StabilityParams;
+use tagging_sim::engine::RunConfig;
+use tagging_sim::scenario::{Scenario, ScenarioParams};
+use tagging_sim::session::{CompletionReport, LiveSession, SessionError, SessionEvent};
+use tagging_strategies::StrategyKind;
+
+fn scenario(n: usize, seed: u64) -> Scenario {
+    let corpus = generate(&GeneratorConfig::small(n, seed));
+    Scenario::from_corpus(
+        &corpus,
+        &ScenarioParams {
+            stability: StabilityParams::new(10, 0.995),
+            under_tagged_threshold: 10,
+        },
+    )
+}
+
+fn config(budget: usize) -> RunConfig {
+    RunConfig {
+        budget,
+        omega: 5,
+        seed: 7,
+    }
+}
+
+/// Drives one batch of up to `batch` tasks and reports every lease — most by
+/// recorded-future replay, every third with explicit foreign tags, so the
+/// journal contains both report flavors (and the restored session must intern
+/// the same tag names into its dictionary). Returns false once the budget is
+/// exhausted.
+fn drive_one_batch(session: &mut LiveSession<'_>, batch: usize, step: usize) -> bool {
+    let tasks = session.next_batch(batch);
+    if tasks.is_empty() {
+        return false;
+    }
+    let reports: Vec<CompletionReport> = tasks
+        .iter()
+        .enumerate()
+        .map(|(j, t)| CompletionReport {
+            task_id: t.task_id,
+            tags: if (step + j).is_multiple_of(3) {
+                Some(vec![format!("tag-{}", (step * 31 + j) % 11), "x".into()])
+            } else {
+                None
+            },
+        })
+        .collect();
+    session
+        .report(&reports)
+        .expect("reports reference freshly leased tasks");
+    true
+}
+
+#[test]
+fn restore_at_every_batch_boundary_matches_the_uninterrupted_run() {
+    let s = scenario(25, 91);
+    let cfg = config(120);
+    let batch = 7; // not a divisor of the budget: the final batch is partial
+    let boundaries = cfg.budget.div_ceil(batch);
+
+    for kind in StrategyKind::ALL {
+        // Reference: one uninterrupted run.
+        let mut reference = LiveSession::new(s.clone(), kind, &cfg).with_journal();
+        let mut step = 0;
+        while drive_one_batch(&mut reference, batch, step) {
+            step += 1;
+        }
+        let reference_fp = reference.metrics().fingerprint();
+        let reference_journal = reference.journal().expect("journal enabled").to_vec();
+
+        for boundary in 0..=boundaries {
+            // Run the first `boundary` batches, extract the journal…
+            let mut first = LiveSession::new(s.clone(), kind, &cfg).with_journal();
+            for step in 0..boundary {
+                drive_one_batch(&mut first, batch, step);
+            }
+            let journal = first.journal().expect("journal enabled").to_vec();
+
+            // …restore a fresh session from it…
+            let mut restored = LiveSession::new(s.clone(), kind, &cfg).with_journal();
+            restored
+                .replay_events(&journal)
+                .expect("journal replays onto an identical session");
+            assert_eq!(
+                restored.journal().expect("journal enabled"),
+                &journal[..],
+                "{} boundary {boundary}: replay must re-record the journal",
+                kind.name()
+            );
+            assert_eq!(
+                restored.budget_spent(),
+                first.budget_spent(),
+                "{} boundary {boundary}",
+                kind.name()
+            );
+            assert_eq!(
+                restored.metrics().fingerprint(),
+                first.metrics().fingerprint(),
+                "{} boundary {boundary}: restored state diverged",
+                kind.name()
+            );
+
+            // …and drive it to completion: the final state must be the
+            // uninterrupted run's, bit for bit.
+            let mut step = boundary;
+            while drive_one_batch(&mut restored, batch, step) {
+                step += 1;
+            }
+            assert_eq!(
+                restored.metrics().fingerprint(),
+                reference_fp,
+                "{} boundary {boundary}: completed run diverged",
+                kind.name()
+            );
+            assert_eq!(
+                restored.journal().expect("journal enabled"),
+                &reference_journal[..],
+                "{} boundary {boundary}: completed journal diverged",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_on_a_mismatched_session_reports_divergence() {
+    let s = scenario(12, 17);
+    let cfg = config(30);
+    let mut session = LiveSession::new(s.clone(), StrategyKind::Fp, &cfg).with_journal();
+    while drive_one_batch(&mut session, 8, 0) {}
+    let journal = session.journal().unwrap().to_vec();
+    assert!(!journal.is_empty());
+
+    // A smaller budget cannot honor the recorded leases.
+    let mut small = LiveSession::new(s, StrategyKind::Fp, &config(10)).with_journal();
+    let err = small.replay_events(&journal).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SessionError::ReplayDivergence { .. } | SessionError::UnknownTask(_)
+        ),
+        "unexpected error {err:?}"
+    );
+}
+
+#[test]
+fn journal_records_leases_and_reports_in_order() {
+    let s = scenario(10, 5);
+    let mut session = LiveSession::new(s, StrategyKind::Rr, &config(10)).with_journal();
+    let tasks = session.next_batch(4);
+    let reports: Vec<CompletionReport> = tasks
+        .iter()
+        .map(|t| CompletionReport {
+            task_id: t.task_id,
+            tags: None,
+        })
+        .collect();
+    session.report(&reports).unwrap();
+    // A rejected report must not be journaled.
+    assert!(session
+        .report(&[CompletionReport {
+            task_id: 999,
+            tags: None,
+        }])
+        .is_err());
+    // A zero-size lease (after exhaustion) must not be journaled.
+    session.next_batch(6);
+    session.next_batch(5);
+    let journal = session.journal().unwrap();
+    assert_eq!(journal.len(), 3);
+    assert_eq!(journal[0], SessionEvent::Lease { k: 4 });
+    assert!(matches!(&journal[1], SessionEvent::Report { reports } if reports.len() == 4));
+    assert_eq!(journal[2], SessionEvent::Lease { k: 6 });
+}
