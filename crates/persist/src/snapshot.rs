@@ -60,18 +60,21 @@ pub fn decode(bytes: &[u8]) -> Option<HashMap<u64, SessionState>> {
 /// Write a snapshot durably: encode to `<path>.tmp`, fsync, rename over
 /// `path`, fsync the directory. A crash at any point leaves either the old
 /// file set or the new one — never a half-written published snapshot.
-pub fn write_atomic(path: &Path, sessions: &HashMap<u64, SessionState>) -> io::Result<()> {
+/// Returns the snapshot's size in bytes (feeds the store's byte counters
+/// without re-encoding).
+pub fn write_atomic(path: &Path, sessions: &HashMap<u64, SessionState>) -> io::Result<u64> {
     let tmp = path.with_extension("tmp");
+    let bytes = encode(sessions);
     {
         let mut file = File::create(&tmp)?;
-        file.write_all(&encode(sessions))?;
+        file.write_all(&bytes)?;
         file.sync_data()?;
     }
     fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
         File::open(dir)?.sync_data()?;
     }
-    Ok(())
+    Ok(bytes.len() as u64)
 }
 
 /// Load the snapshot at `path`, or `None` if the file is missing or invalid.

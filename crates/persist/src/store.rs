@@ -33,8 +33,9 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use tagging_runtime::{lock_unpoisoned, FlushPolicy};
+use tagging_telemetry::{Counter, Gauge, Histogram};
 
 /// Configuration of a [`PersistStore`].
 #[derive(Debug, Clone)]
@@ -74,6 +75,91 @@ pub struct RecoveredState {
     /// marker (or held no events at all). Informational: recovery works the
     /// same either way.
     pub clean_shutdown: bool,
+}
+
+/// Handles into the global telemetry registry for every metric the store
+/// records. Resolved once at [`PersistStore::open`] so the append path never
+/// touches the registry lock.
+struct StoreMetrics {
+    /// `persist_wal_append_us`: time to mirror + frame + write one event.
+    wal_append_us: Arc<Histogram>,
+    /// `persist_wal_fsync_us`: time of each device sync on the append path.
+    wal_fsync_us: Arc<Histogram>,
+    /// `persist_wal_appends_total` / `persist_wal_append_bytes_total`.
+    wal_appends: Arc<Counter>,
+    wal_append_bytes: Arc<Counter>,
+    /// `persist_wal_fsyncs_total`.
+    wal_fsyncs: Arc<Counter>,
+    /// `persist_snapshot_write_us`: full compaction (snapshot + WAL swap +
+    /// stale cleanup) duration.
+    snapshot_write_us: Arc<Histogram>,
+    /// `persist_snapshots_total` / `persist_snapshot_bytes_total`.
+    snapshots: Arc<Counter>,
+    snapshot_bytes: Arc<Counter>,
+    /// Recovery stats, set once per open: sessions and events rebuilt, and a
+    /// counter of opens that found no clean-shutdown marker.
+    recovered_sessions: Arc<Gauge>,
+    recovered_events: Arc<Gauge>,
+    unclean_recoveries: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    fn resolve() -> Self {
+        let registry = tagging_telemetry::global();
+        Self {
+            wal_append_us: registry.histogram(
+                "persist_wal_append_us",
+                &[],
+                "WAL event append latency (mirror apply + frame write) in microseconds",
+            ),
+            wal_fsync_us: registry.histogram(
+                "persist_wal_fsync_us",
+                &[],
+                "WAL fsync latency in microseconds",
+            ),
+            wal_appends: registry.counter("persist_wal_appends_total", &[], "WAL events appended"),
+            wal_append_bytes: registry.counter(
+                "persist_wal_append_bytes_total",
+                &[],
+                "Framed WAL bytes written",
+            ),
+            wal_fsyncs: registry.counter(
+                "persist_wal_fsyncs_total",
+                &[],
+                "Device syncs issued on the WAL append path",
+            ),
+            snapshot_write_us: registry.histogram(
+                "persist_snapshot_write_us",
+                &[],
+                "Snapshot compaction (write + rotate + cleanup) latency in microseconds",
+            ),
+            snapshots: registry.counter(
+                "persist_snapshots_total",
+                &[],
+                "Snapshot generations written",
+            ),
+            snapshot_bytes: registry.counter(
+                "persist_snapshot_bytes_total",
+                &[],
+                "Snapshot bytes written",
+            ),
+            recovered_sessions: registry.gauge(
+                "persist_recovered_sessions",
+                &[],
+                "Sessions rebuilt from disk at the most recent open",
+            ),
+            recovered_events: registry.gauge(
+                "persist_recovered_events",
+                &[],
+                "Session events replayed from disk at the most recent open",
+            ),
+            unclean_recoveries: registry.counter(
+                "persist_unclean_recoveries_total",
+                &[],
+                "Store opens that found no clean-shutdown marker",
+            ),
+        }
+    }
 }
 
 struct Shard {
@@ -227,6 +313,7 @@ pub struct PersistStore {
     shards: Box<[Mutex<Shard>]>,
     snapshot_every: u64,
     flush: FlushPolicy,
+    metrics: StoreMetrics,
 }
 
 impl PersistStore {
@@ -240,6 +327,7 @@ impl PersistStore {
     pub fn open(options: &PersistOptions) -> io::Result<(Self, RecoveredState)> {
         let shard_count = options.shards.max(1);
         let snapshot_every = options.snapshot_every.max(1);
+        let metrics = StoreMetrics::resolve();
         let mut shards = Vec::with_capacity(shard_count);
         let mut recovered = Vec::new();
         let mut clean_shutdown = true;
@@ -252,7 +340,9 @@ impl PersistStore {
             // Rotate to a fresh generation holding exactly the recovered
             // state, then clear out everything older.
             let generation = top + 1;
-            snapshot::write_atomic(&snap_path(&dir, generation), &sessions)?;
+            let written = snapshot::write_atomic(&snap_path(&dir, generation), &sessions)?;
+            metrics.snapshots.inc();
+            metrics.snapshot_bytes.add(written);
             let wal = open_wal(&wal_path(&dir, generation), true)?;
             remove_stale(&dir, generation)?;
             sync_dir(&dir)?;
@@ -268,11 +358,19 @@ impl PersistStore {
             }));
         }
         recovered.sort_by_key(|(id, _)| *id);
+        metrics.recovered_sessions.set(recovered.len() as i64);
+        metrics
+            .recovered_events
+            .set(recovered.iter().map(|(_, s)| s.events.len() as i64).sum());
+        if !clean_shutdown {
+            metrics.unclean_recoveries.inc();
+        }
         Ok((
             Self {
                 shards: shards.into_boxed_slice(),
                 snapshot_every,
                 flush: options.flush,
+                metrics,
             },
             RecoveredState {
                 sessions: recovered,
@@ -291,16 +389,23 @@ impl PersistStore {
     /// kill); device sync follows the configured [`FlushPolicy`].
     pub fn append(&self, shard: usize, event: &WalEvent) -> io::Result<()> {
         let mut guard = lock_unpoisoned(&self.shards[shard % self.shards.len()]);
+        let append_timer = self.metrics.wal_append_us.start_timer();
         apply_to_mirror(&mut guard.sessions, event, true)?;
-        guard.wal.write_all(&frame(&event.encode()))?;
+        let framed = frame(&event.encode());
+        guard.wal.write_all(&framed)?;
+        drop(append_timer);
+        self.metrics.wal_appends.inc();
+        self.metrics.wal_append_bytes.add(framed.len() as u64);
         guard.appended_since_sync += 1;
         if self.flush.should_sync(guard.appended_since_sync) {
+            let _fsync_timer = self.metrics.wal_fsync_us.start_timer();
             FlushPolicy::sync(&guard.wal)?;
+            self.metrics.wal_fsyncs.inc();
             guard.appended_since_sync = 0;
         }
         guard.events_in_segment += 1;
         if guard.events_in_segment >= self.snapshot_every {
-            rotate(&mut guard)?;
+            rotate(&mut guard, &self.metrics)?;
         }
         Ok(())
     }
@@ -309,7 +414,7 @@ impl PersistStore {
     /// cadence. Used by tests; the server relies on the cadence.
     pub fn compact(&self) -> io::Result<()> {
         for shard in self.shards.iter() {
-            rotate(&mut lock_unpoisoned(shard))?;
+            rotate(&mut lock_unpoisoned(shard), &self.metrics)?;
         }
         Ok(())
     }
@@ -322,7 +427,9 @@ impl PersistStore {
             guard
                 .wal
                 .write_all(&frame(&WalEvent::CleanShutdown.encode()))?;
+            let _fsync_timer = self.metrics.wal_fsync_us.start_timer();
             FlushPolicy::sync(&guard.wal)?;
+            self.metrics.wal_fsyncs.inc();
             guard.appended_since_sync = 0;
         }
         Ok(())
@@ -339,9 +446,12 @@ impl PersistStore {
 
 /// Advance `shard` one generation: snapshot the mirror, open a fresh WAL,
 /// delete the previous generation's files.
-fn rotate(shard: &mut Shard) -> io::Result<()> {
+fn rotate(shard: &mut Shard, metrics: &StoreMetrics) -> io::Result<()> {
+    let _compact_timer = metrics.snapshot_write_us.start_timer();
     let next = shard.generation + 1;
-    snapshot::write_atomic(&snap_path(&shard.dir, next), &shard.sessions)?;
+    let written = snapshot::write_atomic(&snap_path(&shard.dir, next), &shard.sessions)?;
+    metrics.snapshots.inc();
+    metrics.snapshot_bytes.add(written);
     let wal = open_wal(&wal_path(&shard.dir, next), true)?;
     shard.wal = wal;
     shard.generation = next;

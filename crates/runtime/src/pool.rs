@@ -11,6 +11,7 @@
 //! joins every worker, so already-queued jobs finish before shutdown
 //! completes.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -24,6 +25,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    // Jobs submitted but not yet finished (queued + running). Kept as a plain
+    // atomic so observers (the server's pool-depth gauge) can sample the
+    // pool's saturation without any locking.
+    pending: Arc<AtomicUsize>,
 }
 
 impl WorkerPool {
@@ -59,6 +64,7 @@ impl WorkerPool {
         Self {
             sender: Some(sender),
             workers,
+            pending: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -67,15 +73,38 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Number of jobs submitted but not yet finished (queued plus currently
+    /// running). A sustained value well above [`threads`](Self::threads)
+    /// means the pool is saturated and work is waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
     /// Queues a job; some idle worker will run it. Panics if called after the
     /// pool started shutting down (impossible through the public API, since
     /// shutdown happens in `drop`).
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let pending = Arc::clone(&self.pending);
+        pending.fetch_add(1, Ordering::Relaxed);
         self.sender
             .as_ref()
             .expect("pool is shutting down")
-            .send(Box::new(job))
+            .send(Box::new(move || {
+                // Count down even if the job panics: a poisoned-but-counted
+                // slot would otherwise make the depth gauge drift upward
+                // forever.
+                let _guard = PendingGuard(pending);
+                job();
+            }))
             .expect("all workers exited early");
+    }
+}
+
+struct PendingGuard(Arc<AtomicUsize>);
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -135,6 +164,40 @@ mod tests {
         let mut finished: Vec<&str> = vec![rx.recv().unwrap(), rx.recv().unwrap()];
         finished.sort_unstable();
         assert_eq!(finished, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn pending_tracks_queue_depth() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.pending(), 0);
+        let (gate_tx, gate_rx) = result_channel::<()>();
+        let (started_tx, started_rx) = result_channel::<()>();
+        pool.execute(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        // One job running; queue three more behind it on the single worker.
+        for _ in 0..3 {
+            pool.execute(|| {});
+        }
+        assert_eq!(pool.pending(), 4);
+        gate_tx.send(()).unwrap();
+        drop(pool); // joins: everything drains
+    }
+
+    #[test]
+    fn pending_returns_to_zero_after_drain() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..50 {
+            pool.execute(|| {});
+        }
+        // Spin briefly: jobs are trivial, the queue drains in microseconds.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.pending() != 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.pending(), 0);
     }
 
     #[test]

@@ -30,7 +30,10 @@
 //!   digest of the final per-scenario state; two runs with the same options
 //!   against servers with *different shard counts* must produce byte-equal
 //!   digests (CI diffs them) — and a `--crash-after` run must produce the
-//!   same digest as an uninterrupted one;
+//!   same digest as an uninterrupted one; `--check` also cross-checks the
+//!   client-side latency percentiles against the server's own
+//!   `server_request_us` histogram scraped from `GET /stats` (skipped when
+//!   the server was built with telemetry compiled to no-ops);
 //! * `--data-dir DIR` — run the in-process server with durable sessions
 //!   (WAL + snapshots) under `DIR`; recorded as `durability: "wal"` in the
 //!   report entry so WAL-on and WAL-off throughput can be compared;
@@ -338,6 +341,11 @@ fn run(options: &Options) -> Result<(), String> {
     }
     drop(idle_fleet);
 
+    // Scrape the server's own request-latency histogram so the report entry
+    // carries both sides of the latency story. Never part of the --check
+    // digest: telemetry must not perturb determinism.
+    let server_stats = scrape_server_stats(&mut admin)?;
+
     if let Some(path) = &options.check {
         let digest = check_digest(&final_metrics);
         let text = serde_json::to_string_pretty(&digest).expect("Value serialization is total");
@@ -368,6 +376,40 @@ fn run(options: &Options) -> Result<(), String> {
         let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
         latencies[idx]
     };
+
+    // Cross-check the two latency views in --check mode: the server-side
+    // histogram must have seen at least every driven request, its quantile
+    // upper bounds must be monotone, and — since the handler time it measures
+    // is a subset of the client-observed round trip and bucket upper bounds
+    // overshoot by strictly less than 2x — its p50 cannot plausibly exceed
+    // twice the client p50 plus slack. Skipped when the server was built
+    // with telemetry compiled out.
+    if options.check.is_some() && server_stats.telemetry == "on" {
+        if server_stats.count < total_requests as u64 {
+            return Err(format!(
+                "server histogram counted {} requests but the clients drove {total_requests}",
+                server_stats.count
+            ));
+        }
+        if !(server_stats.p50 <= server_stats.p90 && server_stats.p90 <= server_stats.p99) {
+            return Err(format!(
+                "server percentiles are not monotone: p50 {} p90 {} p99 {}",
+                server_stats.p50, server_stats.p90, server_stats.p99
+            ));
+        }
+        let bound = 2 * percentile(0.50) + 1000;
+        if server_stats.p50 > bound {
+            return Err(format!(
+                "server p50 {}us exceeds client-derived bound {bound}us",
+                server_stats.p50
+            ));
+        }
+        eprintln!(
+            "latency cross-check ok: server saw {} requests, p50 {}us within bound {bound}us",
+            server_stats.count, server_stats.p50
+        );
+    }
+
     let throughput = total_requests as f64 / elapsed.as_secs_f64();
     let scenarios_value: Vec<Value> = final_metrics
         .iter()
@@ -432,6 +474,17 @@ fn run(options: &Options) -> Result<(), String> {
                 ("max", Value::UInt(latencies.last().copied().unwrap_or(0))),
             ]),
         ),
+        (
+            "server_latency_us",
+            obj(vec![
+                ("p50", Value::UInt(server_stats.p50)),
+                ("p90", Value::UInt(server_stats.p90)),
+                ("p99", Value::UInt(server_stats.p99)),
+                ("max", Value::UInt(server_stats.max)),
+                ("count", Value::UInt(server_stats.count)),
+            ]),
+        ),
+        ("telemetry", Value::String(server_stats.telemetry.clone())),
         ("scenarios", Value::Array(scenarios_value)),
     ]);
     append_history(&options.out, entry)?;
@@ -448,6 +501,14 @@ fn run(options: &Options) -> Result<(), String> {
         percentile(0.90),
         percentile(0.99),
         options.out
+    );
+    println!(
+        "server-side handler latency (telemetry {}): p50 {}us p90 {}us p99 {}us over {} requests",
+        server_stats.telemetry,
+        server_stats.p50,
+        server_stats.p90,
+        server_stats.p99,
+        server_stats.count
     );
     if total_requests < options.requests {
         return Err(format!(
@@ -1074,6 +1135,50 @@ fn drain_scenario(admin: &mut HttpClient, id: u64) -> Result<usize, String> {
     }
 }
 
+/// The server's own view of request latency, scraped from `GET /stats`.
+struct ServerStats {
+    /// `"on"` or `"noop"` — whether the server recorded anything at all.
+    telemetry: String,
+    count: u64,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
+}
+
+/// Scrapes `GET /stats` and extracts the `server_request_us` histogram
+/// summary plus the `telemetry` marker.
+fn scrape_server_stats(admin: &mut HttpClient) -> Result<ServerStats, String> {
+    let (status, stats) = admin
+        .request("GET", "/stats", None)
+        .map_err(|e| format!("stats scrape failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("stats scrape rejected ({status}): {stats:?}"));
+    }
+    let telemetry = match stats.get("telemetry") {
+        Some(Value::String(s)) => s.clone(),
+        other => return Err(format!("stats missing telemetry marker: {other:?}")),
+    };
+    let hist = stats
+        .get("histograms")
+        .and_then(|h| h.get("server_request_us"))
+        .ok_or("stats missing the server_request_us histogram")?;
+    let field = |name: &str| -> Result<u64, String> {
+        match hist.get(name) {
+            Some(&Value::UInt(n)) => Ok(n),
+            other => Err(format!("server_request_us missing {name}: {other:?}")),
+        }
+    };
+    Ok(ServerStats {
+        telemetry,
+        count: field("count")?,
+        p50: field("p50")?,
+        p90: field("p90")?,
+        p99: field("p99")?,
+        max: field("max")?,
+    })
+}
+
 /// Canonical digest of the fully-drained final state, for byte-diffing runs
 /// against servers with different shard counts.
 ///
@@ -1083,7 +1188,8 @@ fn drain_scenario(admin: &mut HttpClient, id: u64) -> Result<usize, String> {
 /// allocation is a pure function of the total spend — independent of how
 /// concurrent clients interleaved. MU/FP-MU state depends on observation
 /// order, so their detailed fields are legitimately interleaving-dependent
-/// and excluded.
+/// and excluded. Telemetry never contributes: the digest must be byte-equal
+/// whether the server records metrics or compiles them to no-ops.
 fn check_digest(final_metrics: &[(ScenarioHandle, Value)]) -> Value {
     let entries: Vec<Value> = final_metrics
         .iter()

@@ -24,6 +24,13 @@
 //!
 //! The process exits cleanly after a `POST /shutdown`, marking the WAL so
 //! the next start knows the shutdown was clean.
+//!
+//! Observability: `GET /metrics` serves the Prometheus text exposition and
+//! `GET /stats` a JSON projection of the same registry (request counters per
+//! route, latency histograms, WAL/snapshot activity, per-shard session
+//! gauges). Setting the `TAGGING_TRACE` environment variable to anything but
+//! `0` additionally emits one structured `TRACE ...` line per request to
+//! stderr, carrying a process-unique request id.
 
 use std::io::Write;
 

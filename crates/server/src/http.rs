@@ -38,19 +38,26 @@ impl Request {
     }
 }
 
-/// A response: status code plus a JSON body.
+/// A response: status code plus a JSON body (or, exceptionally, a plain-text
+/// payload — the Prometheus `/metrics` exposition).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// JSON body (ignored on the wire when a plain-text payload is set).
     pub body: Value,
+    /// Plain-text payload; `Some` switches the Content-Type to text/plain.
+    text: Option<String>,
 }
 
 impl Response {
     /// A 200 response.
     pub fn ok(body: Value) -> Self {
-        Self { status: 200, body }
+        Self {
+            status: 200,
+            body,
+            text: None,
+        }
     }
 
     /// An error response with the conventional `{"error": message}` body.
@@ -58,6 +65,17 @@ impl Response {
         Self {
             status,
             body: Value::Object(vec![("error".to_string(), Value::String(message.into()))]),
+            text: None,
+        }
+    }
+
+    /// A 200 response carrying `text/plain` instead of JSON (the Prometheus
+    /// exposition format of `GET /metrics`).
+    pub fn plain(text: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            body: Value::Null,
+            text: Some(text.into()),
         }
     }
 }
@@ -277,15 +295,22 @@ fn bad_input(message: &str) -> io::Error {
 /// hand one finished buffer to a polling writer instead of formatting into a
 /// blocking stream.
 pub fn response_bytes(response: &Response, keep_alive: bool) -> Vec<u8> {
-    let body = serde_json::to_string(&response.body)
-        .expect("Value serialization is total")
-        .into_bytes();
+    let (content_type, body) = match &response.text {
+        Some(text) => ("text/plain; version=0.0.4", text.clone().into_bytes()),
+        None => (
+            "application/json",
+            serde_json::to_string(&response.body)
+                .expect("Value serialization is total")
+                .into_bytes(),
+        ),
+    };
     let mut out = Vec::with_capacity(body.len() + 128);
     write!(
         out,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         reason(response.status),
+        content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )
@@ -363,7 +388,29 @@ impl HttpClient {
         self.read_response()
     }
 
+    /// Sends one request and returns the response body as raw text (for
+    /// non-JSON endpoints such as the Prometheus `GET /metrics`).
+    pub fn request_text(&mut self, method: &str, path: &str) -> io::Result<(u16, String)> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n",
+        )?;
+        self.writer.flush()?;
+        self.read_response_text()
+    }
+
     fn read_response(&mut self) -> io::Result<(u16, Value)> {
+        let (status, text) = self.read_response_text()?;
+        let value = if text.is_empty() {
+            Value::Null
+        } else {
+            serde_json::from_str(&text)
+                .map_err(|e| bad_input(&format!("invalid JSON response: {e}")))?
+        };
+        Ok((status, value))
+    }
+
+    fn read_response_text(&mut self) -> io::Result<(u16, String)> {
         let mut line = String::new();
         if read_header_line(&mut self.reader, &mut line)? == 0 {
             return Err(io::Error::new(
@@ -395,13 +442,7 @@ impl HttpClient {
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         let text = String::from_utf8(body).map_err(|_| bad_input("non-UTF-8 response body"))?;
-        let value = if text.is_empty() {
-            Value::Null
-        } else {
-            serde_json::from_str(&text)
-                .map_err(|e| bad_input(&format!("invalid JSON response: {e}")))?
-        };
-        Ok((status, value))
+        Ok((status, text))
     }
 }
 

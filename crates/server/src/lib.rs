@@ -45,6 +45,7 @@ pub mod http;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod telemetry;
 
 pub use http::HttpClient;
 pub use server::{ServerOptions, TaggingServer};

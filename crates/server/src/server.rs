@@ -32,13 +32,16 @@ use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use tagging_persist::{PersistOptions, PersistStore, RecoveredState};
 use tagging_runtime::poll::{read_available, write_all_polling, IdleBackoff, ReadOutcome};
 use tagging_runtime::{Runtime, WorkerPool};
+use tagging_telemetry::trace;
 
 use crate::http::{parse_request, response_bytes, Request, Response, MAX_REQUEST_BYTES};
 use crate::service::{Handled, TaggingService};
+use crate::telemetry::Route;
 
 /// How a [`TaggingServer`] is configured beyond its bind address.
 #[derive(Debug, Clone)]
@@ -161,12 +164,16 @@ impl TaggingServer {
                 persist.shards =
                     tagging_sim::registry::SessionRegistry::new(options.shards).shard_count();
                 let (store, recovered) = PersistStore::open(&persist)?;
-                let service = TaggingService::with_persist(
+                let mut service = TaggingService::with_persist(
                     runtime,
                     options.shards,
                     Arc::new(store),
                     &recovered,
                 )?;
+                service.describe_persistence(
+                    persist.data_dir.display().to_string(),
+                    persist.flush.to_string(),
+                );
                 (service, Some(recovered))
             }
         };
@@ -204,9 +211,11 @@ impl TaggingServer {
         let mut backoff = IdleBackoff::new();
         let mut sweep: u64 = 0;
         let mut draining = false;
+        let metrics = self.service.metrics();
 
         loop {
             sweep = sweep.wrapping_add(1);
+            let sweep_timer = metrics.sweep_us.start_timer();
             let mut progress = false;
 
             // 1. Accept everything pending (stop taking new work once
@@ -300,6 +309,9 @@ impl TaggingServer {
                         Ok(None) => {} // a valid prefix; keep reading
                         Err(e) => {
                             // Malformed HTTP: answer politely, then drop.
+                            // Counted like any other request — 4xx floods
+                            // must show up in the route/status metrics.
+                            metrics.record_response(Route::Malformed, 400);
                             let bytes = response_bytes(&Response::error(400, e.to_string()), false);
                             let mut write_backoff = IdleBackoff::new();
                             let _ = write_all_polling(
@@ -315,6 +327,13 @@ impl TaggingServer {
             for token in retired {
                 connections.remove(&token);
             }
+
+            metrics.connections_live.set(connections.len() as i64);
+            metrics
+                .connections_idle
+                .set(connections.values().filter(|c| !c.busy).count() as i64);
+            metrics.pool_pending.set(self.pool.pending() as i64);
+            drop(sweep_timer);
 
             if draining && connections.values().all(|c| !c.busy) {
                 // Every dispatched request has reported back (its response is
@@ -361,12 +380,45 @@ fn dispatch(
 ) {
     let service = Arc::clone(service);
     let done_tx = done_tx.clone();
+    // Request id + queue timestamp are taken on the event thread, so the
+    // queue-wait histogram covers the full dispatch-to-pickup gap and trace
+    // lines correlate the two threads through one id.
+    let request_id = trace::next_request_id();
+    if trace::enabled() {
+        trace::emit(
+            "request.recv",
+            &[
+                ("req", &request_id.to_string()),
+                ("conn", &token.to_string()),
+                ("method", &request.method),
+                ("path", &request.path),
+            ],
+        );
+    }
+    let queued_at = Instant::now();
     pool.execute(move || {
+        let queue_wait = queued_at.elapsed();
+        service
+            .metrics()
+            .queue_wait_us
+            .record(u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX));
+        let handled_at = Instant::now();
         let handled = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle(&request)))
             .unwrap_or_else(|_| Handled {
                 response: Response::error(500, "internal error: request handler panicked"),
                 shutdown: false,
             });
+        if trace::enabled() {
+            trace::emit(
+                "request.done",
+                &[
+                    ("req", &request_id.to_string()),
+                    ("status", &handled.response.status.to_string()),
+                    ("queue_us", &queue_wait.as_micros().to_string()),
+                    ("handle_us", &handled_at.elapsed().as_micros().to_string()),
+                ],
+            );
+        }
         let keep_alive = request.keep_alive && !handled.shutdown;
         let bytes = response_bytes(&handled.response, keep_alive);
         let mut backoff = IdleBackoff::new();

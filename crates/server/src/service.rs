@@ -4,7 +4,9 @@
 //!
 //! | Method | Path                       | Effect                                   |
 //! |--------|----------------------------|------------------------------------------|
-//! | GET    | `/healthz`                 | liveness probe + session count           |
+//! | GET    | `/healthz`                 | liveness, session count, uptime, build   |
+//! | GET    | `/metrics`                 | telemetry in Prometheus text format      |
+//! | GET    | `/stats`                   | telemetry as a JSON snapshot             |
 //! | POST   | `/scenarios`               | register a scenario, open a session      |
 //! | POST   | `/scenarios/{id}/batch`    | lease the next batch of post tasks       |
 //! | POST   | `/scenarios/{id}/report`   | report completed tasks                   |
@@ -25,6 +27,7 @@
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use serde::Value;
 
@@ -41,6 +44,7 @@ use crate::protocol::{
     batch_to_value, generator_config, metrics_to_value, parse_batch, parse_register, parse_report,
     CorpusSource, RegisterRequest,
 };
+use crate::telemetry::{snapshot_to_value, Route, ServerMetrics};
 use tagging_core::stability::StabilityParams;
 use tagging_sim::engine::RunConfig;
 use tagging_strategies::StrategyKind;
@@ -76,6 +80,20 @@ pub struct TaggingService {
     runtime: Runtime,
     /// WAL + snapshot store; `None` runs the service memory-only.
     persist: Option<Arc<PersistStore>>,
+    /// Pre-resolved telemetry handles (route counters, latency histograms).
+    metrics: ServerMetrics,
+    /// Construction time; `/healthz` and `/stats` report uptime from it.
+    started: Instant,
+    /// Where the durable store lives and how it flushes, for `/healthz`
+    /// (`None` when memory-only or not reported by the binder).
+    persist_info: Option<PersistInfo>,
+}
+
+/// Human-facing description of the attached store (path + flush policy).
+#[derive(Debug, Clone)]
+struct PersistInfo {
+    data_dir: String,
+    flush: String,
 }
 
 impl std::fmt::Debug for TaggingService {
@@ -109,6 +127,9 @@ impl TaggingService {
             next_id: AtomicU64::new(1),
             runtime,
             persist: None,
+            metrics: ServerMetrics::resolve(),
+            started: Instant::now(),
+            persist_info: None,
         }
     }
 
@@ -131,6 +152,9 @@ impl TaggingService {
             next_id: AtomicU64::new(1),
             runtime,
             persist: None, // set after recovery: replays must not re-append
+            metrics: ServerMetrics::resolve(),
+            started: Instant::now(),
+            persist_info: None,
         };
         if store.shard_count() != service.sessions.shard_count() {
             return Err(io::Error::new(
@@ -241,9 +265,83 @@ impl TaggingService {
         self.sessions.get(id)
     }
 
-    /// Routes one request. Never panics on malformed input: JSON and protocol
-    /// errors become 4xx responses.
+    /// The telemetry handles this service records into (the server's event
+    /// loop shares them for its connection gauges and malformed-request
+    /// counts).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Record where the durable store lives and how it flushes, so
+    /// `/healthz` can report them. Called by the server binder; separate
+    /// from [`TaggingService::with_persist`] so that signature stays stable.
+    pub fn describe_persistence(&mut self, data_dir: impl Into<String>, flush: impl Into<String>) {
+        self.persist_info = Some(PersistInfo {
+            data_dir: data_dir.into(),
+            flush: flush.into(),
+        });
+    }
+
+    /// Routes one request and records its telemetry (per-route counter,
+    /// status class, handler latency). Never panics on malformed input: JSON
+    /// and protocol errors become 4xx responses.
     pub fn handle(&self, request: &Request) -> Handled {
+        let timer = self.metrics.request_us.start_timer();
+        let (route, handled) = self.route(request);
+        drop(timer);
+        self.metrics.record_response(route, handled.response.status);
+        handled
+    }
+
+    /// The `GET /healthz` body: liveness, session count, uptime, build info
+    /// and the durability configuration.
+    fn health_value(&self) -> Value {
+        let (data_dir, flush) = match &self.persist_info {
+            Some(info) => (
+                Value::String(info.data_dir.clone()),
+                Value::String(info.flush.clone()),
+            ),
+            None => (Value::Null, Value::Null),
+        };
+        Value::Object(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            (
+                "sessions".to_string(),
+                Value::UInt(self.session_count() as u64),
+            ),
+            (
+                "uptime_seconds".to_string(),
+                Value::UInt(self.started.elapsed().as_secs()),
+            ),
+            (
+                "version".to_string(),
+                Value::String(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+            ("durable".to_string(), Value::Bool(self.durable())),
+            ("data_dir".to_string(), data_dir),
+            ("flush".to_string(), flush),
+        ])
+    }
+
+    /// The `GET /stats` body: the whole telemetry registry as JSON, plus
+    /// uptime.
+    fn stats_value(&self) -> Value {
+        let mut value = snapshot_to_value(&tagging_telemetry::global().snapshot());
+        if let Value::Object(fields) = &mut value {
+            fields.insert(
+                1,
+                (
+                    "uptime_seconds".to_string(),
+                    Value::UInt(self.started.elapsed().as_secs()),
+                ),
+            );
+        }
+        value
+    }
+
+    /// The routing proper; returns which [`Route`] the request counted as so
+    /// [`TaggingService::handle`] can attribute its metrics.
+    fn route(&self, request: &Request) -> (Route, Handled) {
         let segments: Vec<&str> = request
             .path
             .split('?')
@@ -253,19 +351,33 @@ impl TaggingService {
             .filter(|s| !s.is_empty())
             .collect();
         match (request.method.as_str(), segments.as_slice()) {
-            ("GET", ["healthz"]) => Handled::respond(Response::ok(Value::Object(vec![
-                ("ok".to_string(), Value::Bool(true)),
-                (
-                    "sessions".to_string(),
-                    Value::UInt(self.session_count() as u64),
-                ),
-            ]))),
-            ("POST", ["shutdown"]) => Handled {
-                response: Response::ok(Value::Object(vec![("ok".to_string(), Value::Bool(true))])),
-                shutdown: true,
-            },
-            ("POST", ["scenarios"]) => Handled::respond(self.register(request)),
-            ("POST", ["scenarios", id, "batch"]) => {
+            ("GET", ["healthz"]) => (
+                Route::Healthz,
+                Handled::respond(Response::ok(self.health_value())),
+            ),
+            ("GET", ["stats"]) => (
+                Route::Stats,
+                Handled::respond(Response::ok(self.stats_value())),
+            ),
+            ("GET", ["metrics"]) => (
+                Route::Metrics,
+                Handled::respond(Response::plain(
+                    tagging_telemetry::global().snapshot().to_prometheus(),
+                )),
+            ),
+            ("POST", ["shutdown"]) => (
+                Route::Shutdown,
+                Handled {
+                    response: Response::ok(Value::Object(vec![(
+                        "ok".to_string(),
+                        Value::Bool(true),
+                    )])),
+                    shutdown: true,
+                },
+            ),
+            ("POST", ["scenarios"]) => (Route::Register, Handled::respond(self.register(request))),
+            ("POST", ["scenarios", id, "batch"]) => (
+                Route::Batch,
                 Handled::respond(self.with_session(id, |id, session| {
                     let k =
                         parse_batch(&json_body(request)?).map_err(|e| Response::error(400, e.0))?;
@@ -279,9 +391,10 @@ impl TaggingService {
                     let tasks = session.next_batch(k_eff);
                     debug_assert_eq!(tasks.len(), k_eff);
                     Ok(Response::ok(batch_to_value(&tasks, session)))
-                }))
-            }
-            ("POST", ["scenarios", id, "report"]) => {
+                })),
+            ),
+            ("POST", ["scenarios", id, "report"]) => (
+                Route::Report,
                 Handled::respond(self.with_session(id, |id, session| {
                     let reports = parse_report(&json_body(request)?)
                         .map_err(|e| Response::error(400, e.0))?;
@@ -318,15 +431,17 @@ impl TaggingService {
                         ) => Err(Response::error(409, e.to_string())),
                         Err(e) => Err(Response::error(400, e.to_string())),
                     }
-                }))
-            }
-            ("GET", ["scenarios", id, "metrics"]) => {
+                })),
+            ),
+            ("GET", ["scenarios", id, "metrics"]) => (
+                Route::SessionMetrics,
                 Handled::respond(self.with_session(id, |_, session| {
                     let pending = session.pending_tasks();
                     Ok(Response::ok(metrics_to_value(&session.metrics(), pending)))
-                }))
-            }
-            ("GET", ["scenarios", id, "tasks"]) => {
+                })),
+            ),
+            ("GET", ["scenarios", id, "tasks"]) => (
+                Route::Tasks,
                 Handled::respond(self.with_session(id, |_, session| {
                     Ok(Response::ok(Value::Object(vec![(
                         "pending".to_string(),
@@ -338,14 +453,18 @@ impl TaggingService {
                                 .collect(),
                         ),
                     )])))
-                }))
-            }
+                })),
+            ),
             // Right path, wrong method.
-            (_, ["healthz"] | ["shutdown"] | ["scenarios"])
-            | (_, ["scenarios", _, "batch" | "report" | "metrics" | "tasks"]) => {
-                Handled::respond(Response::error(405, "method not allowed"))
-            }
-            _ => Handled::respond(Response::error(404, "no such route")),
+            (_, ["healthz"] | ["shutdown"] | ["scenarios"] | ["stats"] | ["metrics"])
+            | (_, ["scenarios", _, "batch" | "report" | "metrics" | "tasks"]) => (
+                Route::BadRequest,
+                Handled::respond(Response::error(405, "method not allowed")),
+            ),
+            _ => (
+                Route::BadRequest,
+                Handled::respond(Response::error(404, "no such route")),
+            ),
         }
     }
 

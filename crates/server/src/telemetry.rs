@@ -1,0 +1,297 @@
+//! Server-side metric handles and the `/stats` JSON projection.
+//!
+//! All handles are resolved once from the global
+//! [`tagging_telemetry::Registry`] when the service is constructed, so the
+//! request path records through pre-looked-up `Arc`s and never touches the
+//! registry lock. Metric families exported here:
+//!
+//! | family | kind | labels |
+//! |---|---|---|
+//! | `server_requests_total` | counter | `route` |
+//! | `server_responses_total` | counter | `class` (`2xx`/`4xx`/`5xx`) |
+//! | `server_request_us` | histogram | — (handler routing time) |
+//! | `server_queue_wait_us` | histogram | — (dispatch → worker pickup) |
+//! | `server_sweep_us` | histogram | — (event-loop sweep duration) |
+//! | `server_connections_live` | gauge | — |
+//! | `server_connections_idle` | gauge | — |
+//! | `server_pool_pending` | gauge | — (queued + running pool jobs) |
+
+use std::sync::Arc;
+
+use serde::Value;
+use tagging_telemetry::{Counter, Gauge, Histogram, RegistrySnapshot};
+
+/// Every countable request destination, including the failure paths the
+/// per-route counters must not miss: `Shutdown`, `BadRequest` (parsed HTTP
+/// that matched no route or the wrong method) and `Malformed` (bytes that
+/// never became a request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Healthz,
+    /// `POST /scenarios`.
+    Register,
+    /// `POST /scenarios/{id}/batch`.
+    Batch,
+    /// `POST /scenarios/{id}/report`.
+    Report,
+    /// `GET /scenarios/{id}/metrics`.
+    SessionMetrics,
+    /// `GET /scenarios/{id}/tasks`.
+    Tasks,
+    /// `POST /shutdown`.
+    Shutdown,
+    /// `GET /stats`.
+    Stats,
+    /// `GET /metrics`.
+    Metrics,
+    /// Parsed request that matched no route or used the wrong method.
+    BadRequest,
+    /// Bytes that could never become an HTTP request (counted by the event
+    /// loop, which answers 400 and drops the connection).
+    Malformed,
+}
+
+impl Route {
+    /// All routes, in label order.
+    pub const ALL: [Route; 11] = [
+        Route::Healthz,
+        Route::Register,
+        Route::Batch,
+        Route::Report,
+        Route::SessionMetrics,
+        Route::Tasks,
+        Route::Shutdown,
+        Route::Stats,
+        Route::Metrics,
+        Route::BadRequest,
+        Route::Malformed,
+    ];
+
+    /// The `route` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Healthz => "healthz",
+            Route::Register => "register",
+            Route::Batch => "batch",
+            Route::Report => "report",
+            Route::SessionMetrics => "session_metrics",
+            Route::Tasks => "tasks",
+            Route::Shutdown => "shutdown",
+            Route::Stats => "stats",
+            Route::Metrics => "metrics",
+            Route::BadRequest => "bad_request",
+            Route::Malformed => "malformed",
+        }
+    }
+}
+
+/// Pre-resolved handles for everything the server records.
+pub struct ServerMetrics {
+    requests: [Arc<Counter>; Route::ALL.len()],
+    /// Indexed by `status / 100 - 1` (1xx..5xx).
+    status_classes: [Arc<Counter>; 5],
+    /// Handler routing time per request, in microseconds.
+    pub request_us: Arc<Histogram>,
+    /// Time between dispatch to the pool and worker pickup, in microseconds.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Event-loop sweep duration, in microseconds.
+    pub sweep_us: Arc<Histogram>,
+    /// Open connections owned by the event thread.
+    pub connections_live: Arc<Gauge>,
+    /// Open connections with no request in flight.
+    pub connections_idle: Arc<Gauge>,
+    /// Worker-pool jobs queued or running.
+    pub pool_pending: Arc<Gauge>,
+}
+
+impl ServerMetrics {
+    /// Resolve every handle from the global registry.
+    pub fn resolve() -> Self {
+        let registry = tagging_telemetry::global();
+        let requests = Route::ALL.map(|route| {
+            registry.counter(
+                "server_requests_total",
+                &[("route", route.label())],
+                "Requests received, by route (including shutdown, bad_request and malformed)",
+            )
+        });
+        let status_classes = [1u16, 2, 3, 4, 5].map(|class| {
+            registry.counter(
+                "server_responses_total",
+                &[("class", &format!("{class}xx"))],
+                "Responses sent, by status class",
+            )
+        });
+        Self {
+            requests,
+            status_classes,
+            request_us: registry.histogram(
+                "server_request_us",
+                &[],
+                "Handler routing latency in microseconds (excludes queue wait and I/O)",
+            ),
+            queue_wait_us: registry.histogram(
+                "server_queue_wait_us",
+                &[],
+                "Dispatch-to-worker-pickup latency in microseconds",
+            ),
+            sweep_us: registry.histogram(
+                "server_sweep_us",
+                &[],
+                "Event-loop sweep duration in microseconds",
+            ),
+            connections_live: registry.gauge(
+                "server_connections_live",
+                &[],
+                "Open connections owned by the event thread",
+            ),
+            connections_idle: registry.gauge(
+                "server_connections_idle",
+                &[],
+                "Open connections with no request in flight",
+            ),
+            pool_pending: registry.gauge(
+                "server_pool_pending",
+                &[],
+                "Worker-pool jobs queued or running",
+            ),
+        }
+    }
+
+    /// Count one request on `route` and its response's status class.
+    pub fn record_response(&self, route: Route, status: u16) {
+        self.requests[Route::ALL
+            .iter()
+            .position(|&r| r == route)
+            .expect("route is in ALL")]
+        .inc();
+        let class = (status / 100).clamp(1, 5) as usize - 1;
+        self.status_classes[class].inc();
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::resolve()
+    }
+}
+
+/// Project a registry snapshot into the `GET /stats` JSON body: counters and
+/// gauges as `{"name{labels}": value}` maps, histograms as per-family
+/// objects carrying count/sum/max/mean and the p50/p90/p99 upper bounds.
+pub fn snapshot_to_value(snapshot: &RegistrySnapshot) -> Value {
+    fn key(name: &str, labels: &[(String, String)]) -> String {
+        if labels.is_empty() {
+            name.to_string()
+        } else {
+            let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            format!("{name}{{{}}}", body.join(","))
+        }
+    }
+    let counters = snapshot
+        .counters
+        .iter()
+        .map(|c| (key(&c.name, &c.labels), Value::UInt(c.value)))
+        .collect();
+    let gauges = snapshot
+        .gauges
+        .iter()
+        .map(|g| (key(&g.name, &g.labels), Value::Int(g.value)))
+        .collect();
+    let histograms = snapshot
+        .histograms
+        .iter()
+        .map(|h| {
+            let s = &h.snapshot;
+            (
+                key(&h.name, &h.labels),
+                Value::Object(vec![
+                    ("count".to_string(), Value::UInt(s.count())),
+                    ("sum".to_string(), Value::UInt(s.sum)),
+                    ("max".to_string(), Value::UInt(s.max)),
+                    ("mean".to_string(), Value::Float(s.mean())),
+                    ("p50".to_string(), Value::UInt(s.p50())),
+                    ("p90".to_string(), Value::UInt(s.p90())),
+                    ("p99".to_string(), Value::UInt(s.p99())),
+                ]),
+            )
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "telemetry".to_string(),
+            Value::String(
+                if tagging_telemetry::enabled() {
+                    "on"
+                } else {
+                    "noop"
+                }
+                .to_string(),
+            ),
+        ),
+        ("counters".to_string(), Value::Object(counters)),
+        ("gauges".to_string(), Value::Object(gauges)),
+        ("histograms".to_string(), Value::Object(histograms)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_route_has_a_distinct_label() {
+        let mut labels: Vec<&str> = Route::ALL.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Route::ALL.len());
+    }
+
+    #[test]
+    fn record_response_counts_route_and_class() {
+        let metrics = ServerMetrics::resolve();
+        let before_route = metrics.requests[Route::ALL
+            .iter()
+            .position(|&r| r == Route::Malformed)
+            .unwrap()]
+        .get();
+        let before_class = metrics.status_classes[3].get();
+        metrics.record_response(Route::Malformed, 400);
+        if tagging_telemetry::enabled() {
+            // Delta assertions: the global registry is shared by every test
+            // in this process.
+            assert_eq!(
+                metrics.requests[Route::ALL
+                    .iter()
+                    .position(|&r| r == Route::Malformed)
+                    .unwrap()]
+                .get(),
+                before_route + 1
+            );
+            assert_eq!(metrics.status_classes[3].get(), before_class + 1);
+        }
+    }
+
+    #[test]
+    fn stats_value_has_the_top_level_shape() {
+        let metrics = ServerMetrics::resolve();
+        metrics.record_response(Route::Healthz, 200);
+        let value = snapshot_to_value(&tagging_telemetry::global().snapshot());
+        let expected = if tagging_telemetry::enabled() {
+            "on"
+        } else {
+            "noop"
+        };
+        assert_eq!(
+            value.get("telemetry"),
+            Some(&Value::String(expected.to_string()))
+        );
+        for section in ["counters", "gauges", "histograms"] {
+            assert!(
+                matches!(value.get(section), Some(Value::Object(_))),
+                "missing {section}"
+            );
+        }
+    }
+}

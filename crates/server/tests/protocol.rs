@@ -541,6 +541,180 @@ fn resources_json(text: &str) -> String {
     panic!("unterminated resources array");
 }
 
+/// The `server_requests_total{route="..."}` counter value in a `/stats`
+/// body, or 0 when the family has not been touched yet.
+fn route_count(stats: &Value, route: &str) -> u64 {
+    match stats
+        .get("counters")
+        .and_then(|c| c.get(&format!("server_requests_total{{route=\"{route}\"}}")))
+    {
+        Some(&Value::UInt(n)) => n,
+        _ => 0,
+    }
+}
+
+/// Whether this server build records telemetry (the `/stats` marker).
+fn telemetry_on(stats: &Value) -> bool {
+    stats.get("telemetry") == Some(&Value::String("on".to_string()))
+}
+
+#[test]
+fn stats_and_metrics_endpoints_expose_telemetry() {
+    let (addr, handle) = spawn_server();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+
+    // The enriched health body: ok/sessions as before, plus uptime and
+    // build/durability info.
+    let (status, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("ok"), Some(&Value::Bool(true)));
+    assert!(
+        matches!(health.get("uptime_seconds"), Some(Value::UInt(_))),
+        "no uptime_seconds: {health:?}"
+    );
+    assert_eq!(
+        health.get("version"),
+        Some(&Value::String(env!("CARGO_PKG_VERSION").to_string()))
+    );
+    assert_eq!(health.get("durable"), Some(&Value::Bool(false)));
+
+    // Drive a little traffic so the families have something to show.
+    let id = register_small(&mut client, "FP", 20);
+    let (status, _) = client
+        .request(
+            "POST",
+            &format!("/scenarios/{id}/batch"),
+            Some(&obj(vec![("k", Value::UInt(5))])),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+
+    // /stats: the JSON projection.
+    let (status, stats) = client.request("GET", "/stats", None).unwrap();
+    assert_eq!(status, 200, "{stats:?}");
+    for section in ["counters", "gauges", "histograms"] {
+        assert!(
+            matches!(stats.get(section), Some(Value::Object(_))),
+            "missing {section}: {stats:?}"
+        );
+    }
+    assert!(
+        matches!(stats.get("uptime_seconds"), Some(Value::UInt(_))),
+        "no uptime_seconds: {stats:?}"
+    );
+    if telemetry_on(&stats) {
+        assert!(route_count(&stats, "healthz") >= 1, "{stats:?}");
+        assert!(route_count(&stats, "batch") >= 1, "{stats:?}");
+        let request_us = stats
+            .get("histograms")
+            .and_then(|h| h.get("server_request_us"))
+            .unwrap_or_else(|| panic!("no server_request_us histogram: {stats:?}"));
+        match request_us.get("count") {
+            Some(&Value::UInt(n)) => assert!(n >= 1),
+            other => panic!("no count: {other:?}"),
+        }
+    }
+
+    // /metrics: the Prometheus text exposition.
+    let (status, text) = client.request_text("GET", "/metrics").unwrap();
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE server_requests_total counter",
+        "# TYPE server_request_us histogram",
+        "# TYPE registry_shard_sessions gauge",
+        "server_request_us_bucket{le=\"+Inf\"}",
+        "server_request_us_count",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Wrong methods on the new routes are 405s, not 404s.
+    let (status, _) = client.request("POST", "/stats", None).unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client.request("POST", "/metrics", None).unwrap();
+    assert_eq!(status, 405);
+
+    client.request("POST", "/shutdown", None).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+/// Pins the fix this PR ships: the failure paths — `POST /shutdown`, parsed
+/// requests that match no route, and bytes that never parse — are all
+/// visible in the route counters, not just the happy paths.
+#[test]
+fn shutdown_and_malformed_requests_are_counted() {
+    use tagging_runtime::Runtime;
+    use tagging_server::http::Request;
+    use tagging_server::TaggingService;
+
+    // Shutdown is observable only service-side (the process answers and then
+    // stops serving), so pin it straight against the router.
+    let service = TaggingService::with_shards(Runtime::new(2), 4);
+    let stats_request = Request {
+        method: "GET".to_string(),
+        path: "/stats".to_string(),
+        body: Vec::new(),
+        keep_alive: true,
+    };
+    let before = service.handle(&stats_request).response.body;
+    let handled = service.handle(&Request {
+        method: "POST".to_string(),
+        path: "/shutdown".to_string(),
+        body: Vec::new(),
+        keep_alive: true,
+    });
+    assert_eq!(handled.response.status, 200);
+    assert!(handled.shutdown);
+    let bad = service.handle(&Request {
+        method: "GET".to_string(),
+        path: "/nope".to_string(),
+        body: Vec::new(),
+        keep_alive: true,
+    });
+    assert_eq!(bad.response.status, 404);
+    let after = service.handle(&stats_request).response.body;
+    if telemetry_on(&after) {
+        // Deltas, not absolutes: the registry is process-global and other
+        // tests in this binary record into the same counters concurrently.
+        assert!(
+            route_count(&after, "shutdown") > route_count(&before, "shutdown"),
+            "shutdown not counted: {after:?}"
+        );
+        assert!(
+            route_count(&after, "bad_request") > route_count(&before, "bad_request"),
+            "bad_request not counted: {after:?}"
+        );
+    }
+
+    // Malformed bytes are rejected by the event loop before a request
+    // exists, so drive a real server with raw TCP.
+    let (addr, handle) = spawn_server();
+    let mut admin = HttpClient::connect(&addr).expect("connect");
+    let (_, before) = admin.request("GET", "/stats", None).unwrap();
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(&addr).expect("connect raw");
+        raw.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+        let mut response = Vec::new();
+        raw.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("HTTP/1.1 400"),
+            "malformed bytes answered with: {text}"
+        );
+    }
+    let (_, after) = admin.request("GET", "/stats", None).unwrap();
+    if telemetry_on(&after) {
+        assert!(
+            route_count(&after, "malformed") > route_count(&before, "malformed"),
+            "malformed not counted: {after:?}"
+        );
+    }
+
+    admin.request("POST", "/shutdown", None).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
 #[test]
 fn tasks_route_lists_pending_leases() {
     let (addr, handle) = spawn_server();

@@ -56,16 +56,17 @@ fn report_body_from(batch_response: &Value) -> Option<String> {
     Some(format!(r#"{{"completions":[{}]}}"#, completions.join(",")))
 }
 
-/// Masks the one legitimately nondeterministic response field: metrics carry
-/// a wall-clock `runtime_seconds`, which differs between any two runs no
-/// matter the shard count. Everything else must match byte for byte.
+/// Masks the legitimately nondeterministic response fields: metrics carry a
+/// wall-clock `runtime_seconds` and `/healthz` an `uptime_seconds`, which
+/// differ between any two runs no matter the shard count. Everything else
+/// must match byte for byte.
 fn mask_wall_clock(body: Value) -> Value {
     match body {
         Value::Object(fields) => Value::Object(
             fields
                 .into_iter()
                 .map(|(k, v)| {
-                    if k == "runtime_seconds" {
+                    if k == "runtime_seconds" || k == "uptime_seconds" {
                         (k, Value::Null)
                     } else {
                         (k, v)

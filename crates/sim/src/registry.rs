@@ -41,12 +41,23 @@ pub type SharedSession = Arc<Mutex<LiveSession<'static>>>;
 pub const DEFAULT_SHARDS: usize = 16;
 
 /// A fixed-shard-count, lock-striped map of session id → live session.
-#[derive(Debug)]
 pub struct SessionRegistry {
     shards: Box<[Mutex<HashMap<u64, SharedSession>>]>,
     /// `shards.len() - 1`; valid as a bitmask because the count is a power
     /// of two.
     mask: u64,
+    /// One `registry_shard_sessions{shard="i"}` gauge per shard, refreshed
+    /// under the shard guard on every insert/remove, so scrapes expose shard
+    /// imbalance without taking any registry lock.
+    gauges: Box<[Arc<tagging_telemetry::Gauge>]>,
+}
+
+impl std::fmt::Debug for SessionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRegistry")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for SessionRegistry {
@@ -63,9 +74,19 @@ impl SessionRegistry {
         let count = shards.max(1).next_power_of_two();
         let shards: Box<[Mutex<HashMap<u64, SharedSession>>]> =
             (0..count).map(|_| Mutex::new(HashMap::new())).collect();
+        let gauges = (0..count)
+            .map(|i| {
+                tagging_telemetry::global().gauge(
+                    "registry_shard_sessions",
+                    &[("shard", &i.to_string())],
+                    "Live sessions held by each registry shard",
+                )
+            })
+            .collect();
         Self {
             mask: (count - 1) as u64,
             shards,
+            gauges,
         }
     }
 
@@ -85,7 +106,11 @@ impl SessionRegistry {
     /// Inserts (or replaces) a session; returns the previous occupant if the
     /// id was already registered.
     pub fn insert(&self, id: u64, session: SharedSession) -> Option<SharedSession> {
-        lock_unpoisoned(&self.shards[self.shard_of(id)]).insert(id, session)
+        let shard = self.shard_of(id);
+        let mut guard = lock_unpoisoned(&self.shards[shard]);
+        let previous = guard.insert(id, session);
+        self.gauges[shard].set(guard.len() as i64);
+        previous
     }
 
     /// Looks up a session, cloning the `Arc` out under the shard guard and
@@ -100,7 +125,11 @@ impl SessionRegistry {
 
     /// Removes and returns a session.
     pub fn remove(&self, id: u64) -> Option<SharedSession> {
-        lock_unpoisoned(&self.shards[self.shard_of(id)]).remove(&id)
+        let shard = self.shard_of(id);
+        let mut guard = lock_unpoisoned(&self.shards[shard]);
+        let removed = guard.remove(&id);
+        self.gauges[shard].set(guard.len() as i64);
+        removed
     }
 
     /// Total number of registered sessions (locks each shard in turn — a

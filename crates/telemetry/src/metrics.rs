@@ -1,0 +1,173 @@
+//! Sharded atomic counters and gauges.
+//!
+//! Counters are the write-hot primitive: every request touches several. To
+//! keep concurrent recorders from bouncing a single cache line, a counter is
+//! eight cache-line-aligned `AtomicU64` shards and each recording thread
+//! sticks to one shard chosen round-robin at first use. Reads sum all
+//! shards; they are scrape-path only and can afford the walk.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of atomic shards per counter / histogram. Eight covers the worker
+/// counts this workspace runs with while keeping snapshots cheap.
+pub(crate) const SHARDS: usize = 8;
+
+/// One cache line's worth of counter so two shards never share a line.
+#[derive(Default)]
+#[repr(align(64))]
+pub(crate) struct PaddedU64(pub(crate) AtomicU64);
+
+static NEXT_THREAD_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SHARD: usize =
+        NEXT_THREAD_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+/// The shard index this thread records into. Assigned round-robin the first
+/// time a thread records anything, so a pool of N workers spreads across
+/// `min(N, SHARDS)` distinct cache lines.
+#[inline]
+pub(crate) fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+/// A monotonically increasing counter (e.g. requests served, bytes written).
+///
+/// With the `noop` feature all recording methods compile to nothing and
+/// [`Counter::get`] always returns 0.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Create a counter at zero. Usually obtained via
+    /// [`Registry::counter`](crate::Registry::counter) instead.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "noop"))]
+        self.shards[thread_shard()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = n;
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// An up/down instantaneous value (e.g. live connections, sessions held by a
+/// registry shard).
+///
+/// Gauges are set or adjusted from whichever thread owns the underlying
+/// resource, so a single atomic suffices — there is no multi-writer hot
+/// path to shard. With the `noop` feature all recording methods compile to
+/// nothing and [`Gauge::get`] always returns 0.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Create a gauge at zero. Usually obtained via
+    /// [`Registry::gauge`](crate::Registry::gauge) instead.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(not(feature = "noop"))]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = v;
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adjust by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(not(feature = "noop"))]
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = delta;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        if crate::enabled() {
+            assert_eq!(c.get(), 4000);
+        } else {
+            assert_eq!(c.get(), 0);
+        }
+    }
+
+    #[test]
+    fn gauge_tracks_up_and_down() {
+        let g = Gauge::new();
+        g.set(10);
+        g.inc();
+        g.dec();
+        g.add(-3);
+        if crate::enabled() {
+            assert_eq!(g.get(), 7);
+        } else {
+            assert_eq!(g.get(), 0);
+        }
+    }
+}

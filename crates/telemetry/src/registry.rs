@@ -1,0 +1,411 @@
+//! Named metric families with labels, and snapshot/rendering.
+//!
+//! The registry is a lock-protected map from `(name, labels)` to a shared
+//! metric handle. Lookups are get-or-create and return `Arc`s, so callers on
+//! hot paths resolve their handles once at construction and never touch the
+//! lock again; the lock is only contended by cold-path lookups (e.g.
+//! [`crate::Span::enter`]) and by scrapes.
+
+use crate::histogram::{bucket_upper, Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Normalize a metric or span name to Prometheus' `[a-zA-Z0-9_:]` alphabet:
+/// `wal.append` and `wal-append` both become `wal_append`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a label set as the Prometheus selector body `k="v",k2="v2"`
+/// (empty string for no labels). Values are escaped per the exposition
+/// format. Label order is preserved as given, which keeps registration and
+/// rendering deterministic.
+fn render_labels(labels: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"", sanitize(k));
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    labels: Vec<(String, String)>,
+    help: String,
+    metric: Metric,
+}
+
+/// A collection of named metric families. Most code records into the
+/// process-wide [`global()`](crate::global) registry; independent instances
+/// exist mainly so tests can assert on a clean slate.
+#[derive(Default)]
+pub struct Registry {
+    // Keyed by (sanitized family name, rendered label selector) so snapshot
+    // iteration — and therefore /metrics output — is deterministic.
+    entries: Mutex<BTreeMap<(String, String), Entry>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<(String, String), Entry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get_or_insert<T, F, G>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: F,
+        extract: G,
+    ) -> Arc<T>
+    where
+        F: FnOnce() -> Metric,
+        G: FnOnce(&Metric) -> Option<Arc<T>>,
+    {
+        let key = (
+            sanitize(name),
+            render_labels(
+                &labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect::<Vec<_>>(),
+            ),
+        );
+        let mut entries = self.lock();
+        let entry = entries.entry(key).or_insert_with(|| Entry {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            metric: make(),
+        });
+        extract(&entry.metric).unwrap_or_else(|| {
+            panic!(
+                "metric `{name}` already registered as a {}",
+                entry.metric.kind()
+            )
+        })
+    }
+
+    /// Get or create the counter `name` with the given label set.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the gauge `name` with the given label set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the histogram `name` with the given label set.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Start timing a named span: `span("wal.append")` records the elapsed
+    /// microseconds into the histogram `wal_append_us` when the returned
+    /// guard drops. This takes the registry lock once per call — fine for
+    /// per-request and coarser scopes; per-item hot loops should hold an
+    /// `Arc<Histogram>` and use [`Histogram::start_timer`] directly.
+    pub fn span(&self, name: &str) -> crate::Span {
+        let histogram = self.histogram(
+            &format!("{}_us", sanitize(name)),
+            &[],
+            "Span duration in microseconds",
+        );
+        crate::Span::over(histogram)
+    }
+
+    /// Snapshot every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let entries = self.lock();
+        let mut snap = RegistrySnapshot::default();
+        for ((name, _), entry) in entries.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => snap.counters.push(CounterSample {
+                    name: name.clone(),
+                    labels: entry.labels.clone(),
+                    help: entry.help.clone(),
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSample {
+                    name: name.clone(),
+                    labels: entry.labels.clone(),
+                    help: entry.help.clone(),
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(HistogramSample {
+                    name: name.clone(),
+                    labels: entry.labels.clone(),
+                    help: entry.help.clone(),
+                    snapshot: h.snapshot(),
+                }),
+            }
+        }
+        snap
+    }
+}
+
+/// One counter's value at snapshot time.
+#[derive(Clone, Debug)]
+pub struct CounterSample {
+    /// Sanitized family name.
+    pub name: String,
+    /// Label key/value pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Counter total.
+    pub value: u64,
+}
+
+/// One gauge's value at snapshot time.
+#[derive(Clone, Debug)]
+pub struct GaugeSample {
+    /// Sanitized family name.
+    pub name: String,
+    /// Label key/value pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Gauge value.
+    pub value: i64,
+}
+
+/// One histogram's merged shards at snapshot time.
+#[derive(Clone, Debug)]
+pub struct HistogramSample {
+    /// Sanitized family name.
+    pub name: String,
+    /// Label key/value pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Merged bucket counts, sum and max.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// A point-in-time view of a whole [`Registry`], renderable as Prometheus
+/// text exposition via [`RegistrySnapshot::to_prometheus`].
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// All counters, sorted by (name, labels).
+    pub counters: Vec<CounterSample>,
+    /// All gauges, sorted by (name, labels).
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, sorted by (name, labels).
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl RegistrySnapshot {
+    /// Render in Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Histograms emit cumulative `_bucket{le="..."}` lines up to the
+    /// highest non-empty bucket plus `le="+Inf"`, then `_sum`, `_count`,
+    /// and a non-standard `_max` gauge line carrying the exact observed
+    /// maximum (bucket bounds alone only bound it).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut header = |out: &mut String, name: &str, kind: &str, help: &str| {
+            if last_family != name {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_family = name.to_string();
+            }
+        };
+        for c in &self.counters {
+            header(&mut out, &c.name, "counter", &c.help);
+            let _ = writeln!(out, "{}{} {}", c.name, selector(&c.labels), c.value);
+        }
+        let mut last_family = String::new();
+        let mut header = |out: &mut String, name: &str, kind: &str, help: &str| {
+            if last_family != name {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_family = name.to_string();
+            }
+        };
+        for g in &self.gauges {
+            header(&mut out, &g.name, "gauge", &g.help);
+            let _ = writeln!(out, "{}{} {}", g.name, selector(&g.labels), g.value);
+        }
+        let mut last_family = String::new();
+        for h in &self.histograms {
+            if last_family != h.name {
+                let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+                let _ = writeln!(out, "# TYPE {} histogram", h.name);
+                last_family = h.name.clone();
+            }
+            let snap = &h.snapshot;
+            let count = snap.count();
+            let top = snap.buckets.iter().rposition(|&b| b != 0).unwrap_or(0);
+            let mut cumulative = 0u64;
+            for (i, &b) in snap.buckets.iter().enumerate().take(top + 1) {
+                cumulative = cumulative.wrapping_add(b);
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    h.name,
+                    with_le(&h.labels, &bucket_upper(i).to_string()),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                h.name,
+                with_le(&h.labels, "+Inf"),
+                count
+            );
+            let _ = writeln!(out, "{}_sum{} {}", h.name, selector(&h.labels), snap.sum);
+            let _ = writeln!(out, "{}_count{} {}", h.name, selector(&h.labels), count);
+            let _ = writeln!(out, "{}_max{} {}", h.name, selector(&h.labels), snap.max);
+        }
+        out
+    }
+}
+
+fn selector(labels: &[(String, String)]) -> String {
+    let body = render_labels(labels);
+    if body.is_empty() {
+        String::new()
+    } else {
+        format!("{{{body}}}")
+    }
+}
+
+fn with_le(labels: &[(String, String)], le: &str) -> String {
+    let body = render_labels(labels);
+    if body.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{{{body},le=\"{le}\"}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("route", "a")], "help");
+        let b = r.counter("x_total", &[("route", "a")], "help");
+        a.inc();
+        if crate::enabled() {
+            assert_eq!(b.get(), 1);
+        }
+        let other = r.counter("x_total", &[("route", "b")], "help");
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("dual", &[], "help");
+        r.gauge("dual", &[], "help");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter("req_total", &[("route", "ping")], "Requests")
+            .add(3);
+        r.gauge("conns", &[], "Connections").set(2);
+        r.histogram("lat_us", &[], "Latency").record(5);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("# TYPE conns gauge"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+        if crate::enabled() {
+            assert!(text.contains("req_total{route=\"ping\"} 3"));
+            assert!(text.contains("conns 2"));
+            assert!(text.contains("lat_us_bucket{le=\"7\"} 1"), "{text}");
+            assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 1"));
+            assert!(text.contains("lat_us_sum 5"));
+            assert!(text.contains("lat_us_count 1"));
+            assert!(text.contains("lat_us_max 5"));
+        }
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        let r = Registry::new();
+        r.counter("wal.append-bytes", &[], "bytes").add(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].name, "wal_append_bytes");
+    }
+}

@@ -1,0 +1,74 @@
+//! Scope timing: enter a named span, record its duration on drop.
+
+use crate::histogram::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Times a lexical scope and records the elapsed microseconds into a named
+/// histogram when dropped.
+///
+/// ```
+/// {
+///     let _span = tagging_telemetry::Span::enter("wal.fsync");
+///     // ... work ...
+/// } // duration recorded into histogram `wal_fsync_us` here
+/// ```
+///
+/// `enter` resolves the histogram through the global registry lock on every
+/// call, which is fine for per-request and coarser scopes. Hot loops should
+/// resolve an `Arc<Histogram>` once and use
+/// [`Histogram::start_timer`](crate::Histogram::start_timer) instead.
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing the span `name`, recording into the histogram
+    /// `<sanitized name>_us` of the [global registry](crate::global) on
+    /// drop.
+    pub fn enter(name: &str) -> Span {
+        crate::global().span(name)
+    }
+
+    /// Start timing into an explicit histogram (used by
+    /// [`Registry::span`](crate::Registry::span)).
+    pub(crate) fn over(histogram: Arc<Histogram>) -> Span {
+        Span {
+            histogram,
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the span was entered.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_us());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_named_histogram() {
+        {
+            let _span = Span::enter("test.span-demo");
+        }
+        let snap = crate::global().snapshot();
+        let sample = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test_span_demo_us")
+            .expect("span histogram registered");
+        if crate::enabled() {
+            assert!(sample.snapshot.count() >= 1);
+        }
+    }
+}

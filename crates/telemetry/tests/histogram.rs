@@ -1,0 +1,155 @@
+//! Property and concurrency tests for the sharded log-scale histogram: the
+//! sharded/merged view must agree count-for-count with a single-threaded
+//! reference, bucket boundaries must be exact at 0, `u64::MAX` and every
+//! power of two, and concurrent recording must never lose a sample.
+//!
+//! Assertions that depend on anything being recorded are gated on
+//! [`tagging_telemetry::enabled`] so the suite also passes under the `noop`
+//! feature (where every snapshot is legitimately all-zero).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+use tagging_telemetry::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKET_COUNT};
+
+/// Single-threaded reference implementation: the bucket scheme applied
+/// one value at a time to a plain snapshot.
+fn reference(values: &[u64]) -> HistogramSnapshot {
+    let mut snap = HistogramSnapshot::default();
+    for &v in values {
+        snap.buckets[bucket_of(v)] += 1;
+        snap.sum = snap.sum.wrapping_add(v);
+        snap.max = snap.max.max(v);
+    }
+    snap
+}
+
+proptest! {
+    /// Recording values through the sharded histogram from several threads
+    /// (hitting different shards) and merging must equal the reference.
+    #[test]
+    fn merged_shards_match_reference(values in vec(0u64..=u64::MAX, 0..300)) {
+        if !tagging_telemetry::enabled() {
+            return;
+        }
+        let histogram = Arc::new(Histogram::new());
+        // Split the values across threads so multiple shard slots are
+        // exercised; each spawned thread gets its own thread-local shard.
+        let chunk = (values.len() / 4 + 1).max(16);
+        let handles: Vec<_> = values
+            .chunks(chunk)
+            .map(|c| {
+                let histogram = Arc::clone(&histogram);
+                let chunk: Vec<u64> = c.to_vec();
+                std::thread::spawn(move || {
+                    for v in chunk {
+                        histogram.record(v);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        prop_assert_eq!(histogram.snapshot(), reference(&values));
+    }
+
+    /// Merging two snapshots is the same as recording both value sets into
+    /// one histogram.
+    #[test]
+    fn snapshot_merge_is_count_for_count(
+        a in vec(0u64..=u64::MAX, 0..100),
+        b in vec(0u64..=u64::MAX, 0..100),
+    ) {
+        let mut merged = reference(&a);
+        merged.merge(&reference(&b));
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, reference(&combined));
+    }
+
+    /// Quantile upper bounds never undershoot the true quantile and
+    /// overshoot by strictly less than 2x (for non-zero values).
+    #[test]
+    fn quantile_is_a_tight_upper_bound(
+        values in vec(1u64..1_000_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = reference(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let true_q = sorted[rank - 1];
+        let estimate = snap.quantile(q);
+        prop_assert!(estimate >= true_q, "estimate {estimate} < true {true_q}");
+        prop_assert!(
+            estimate < 2 * true_q,
+            "estimate {estimate} >= 2x true {true_q}"
+        );
+    }
+}
+
+#[test]
+fn boundary_values_land_in_exact_buckets() {
+    // Zero is its own bucket; each power of two opens the next bucket.
+    assert_eq!(bucket_of(0), 0);
+    assert_eq!(bucket_of(u64::MAX), BUCKET_COUNT - 1);
+    for i in 1..64usize {
+        let low = 1u64 << (i - 1);
+        assert_eq!(bucket_of(low), i, "2^{} opens bucket {i}", i - 1);
+        assert_eq!(
+            bucket_of(low - 1),
+            i - 1,
+            "2^{} - 1 closes bucket {}",
+            i - 1,
+            i - 1
+        );
+        assert_eq!(bucket_of(bucket_upper(i)), i);
+    }
+    assert_eq!(bucket_upper(0), 0);
+    assert_eq!(bucket_upper(BUCKET_COUNT - 1), u64::MAX);
+
+    if tagging_telemetry::enabled() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[BUCKET_COUNT - 1], 1);
+        assert_eq!(snap.max, u64::MAX);
+        // Sum wraps on overflow by design (0 + u64::MAX fits exactly).
+        assert_eq!(snap.sum, u64::MAX);
+    }
+}
+
+/// N threads hammering one histogram concurrently must lose no samples:
+/// the merged count, sum and max all reflect every record call.
+#[test]
+fn concurrent_recording_loses_no_samples() {
+    if !tagging_telemetry::enabled() {
+        return;
+    }
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let histogram = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let histogram = Arc::clone(&histogram);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct value streams per thread so every shard sees
+                    // a spread of buckets.
+                    histogram.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = histogram.snapshot();
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snap.count(), n);
+    assert_eq!(snap.max, n - 1);
+    assert_eq!(snap.sum, n * (n - 1) / 2);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), n);
+}
