@@ -80,6 +80,11 @@ pub struct RecoveredState {
 /// Handles into the global telemetry registry for every metric the store
 /// records. Resolved once at [`PersistStore::open`] so the append path never
 /// touches the registry lock.
+///
+/// Because these are plain registry families, they flow into the server's
+/// trailing-window projection for free: `GET /stats?window=10s` reports
+/// `persist_wal_appends_total_per_s` (the live WAL append rate) and windowed
+/// fsync/append latency quantiles without the store knowing windows exist.
 struct StoreMetrics {
     /// `persist_wal_append_us`: time to mirror + frame + write one event.
     wal_append_us: Arc<Histogram>,

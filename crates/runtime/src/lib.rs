@@ -19,6 +19,9 @@
 //! * [`WorkerPool`] — a long-lived worker pool for request/response workloads
 //!   (the `tagging-server` crate's connection handling), complementing the
 //!   per-call scoped threads of `par_map`;
+//! * [`Scheduler`] — named periodic background tasks on dedicated threads
+//!   with deterministic phase jitter, panic isolation and a clean shutdown
+//!   join (the server's telemetry publisher and watchdog tenants);
 //! * [`poll`] — readiness plumbing for nonblocking sockets (drain-available
 //!   reads, polling writes, adaptive idle backoff) behind the server's
 //!   sweep-based accept/read loop;
@@ -68,11 +71,13 @@ use std::sync::{Mutex, OnceLock};
 pub mod flush;
 pub mod poll;
 mod pool;
+mod scheduler;
 mod seed;
 mod sync;
 
 pub use flush::FlushPolicy;
 pub use pool::WorkerPool;
+pub use scheduler::{Scheduler, TaskStats};
 pub use seed::SeedSequence;
 pub use sync::lock_unpoisoned;
 

@@ -1,0 +1,298 @@
+//! Background scheduler: named periodic tasks on dedicated threads, with
+//! deterministic phase jitter, panic isolation, and a clean shutdown join.
+//!
+//! The server needs a place to hang recurring maintenance work — telemetry
+//! window rotation, the JSONL publisher, the event-loop watchdog today;
+//! snapshot compaction and index refresh tomorrow. Each tenant is one
+//! [`Scheduler::spawn_periodic`] call: a name, a period, and a closure. The
+//! scheduler gives every tenant its own thread (tenants never block each
+//! other), staggers their first run by a deterministic name-hash phase so
+//! same-period tenants do not all fire on the same tick, catches panics at
+//! the task boundary (a panicking tenant is counted and keeps its schedule —
+//! it does not take the thread down), and joins every thread on
+//! [`Scheduler::shutdown`] so process exit never races a half-written
+//! publisher line.
+//!
+//! The scheduler deliberately has **no** dependency on `tagging-telemetry`:
+//! per-task run/panic/duration figures are exposed as plain atomics via
+//! [`TaskStats`], and callers that want them in `/stats` read the handles
+//! they kept from `spawn_periodic`. (Telemetry depends on nothing; runtime
+//! depends on nothing; the server composes both.)
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use tagging_runtime::Scheduler;
+//!
+//! let mut scheduler = Scheduler::new();
+//! let ticks = Arc::new(AtomicU64::new(0));
+//! let seen = Arc::clone(&ticks);
+//! scheduler.spawn_periodic("demo", Duration::from_millis(1), move || {
+//!     seen.fetch_add(1, Ordering::Relaxed);
+//! });
+//! std::thread::sleep(Duration::from_millis(20));
+//! scheduler.shutdown(); // interrupts waits, joins the thread
+//! assert!(ticks.load(Ordering::Relaxed) > 0);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::lock_unpoisoned;
+
+/// Per-task observability figures, updated by the task's thread and readable
+/// from anywhere (the server folds them into `/stats`). All plain atomics —
+/// this crate stays dependency-free.
+#[derive(Debug, Default)]
+pub struct TaskStats {
+    runs: AtomicU64,
+    panics: AtomicU64,
+    last_run_us: AtomicU64,
+    max_run_us: AtomicU64,
+}
+
+impl TaskStats {
+    /// Completed runs, including ones that panicked.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Runs that ended in a caught panic.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Duration of the most recent run, in microseconds.
+    pub fn last_run_us(&self) -> u64 {
+        self.last_run_us.load(Ordering::Relaxed)
+    }
+
+    /// Duration of the slowest run so far, in microseconds.
+    pub fn max_run_us(&self) -> u64 {
+        self.max_run_us.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, elapsed: Duration, panicked: bool) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        if panicked {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        self.last_run_us.store(us, Ordering::Relaxed);
+        self.max_run_us.fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+/// Shutdown flag + condvar shared by every task thread: `shutdown` flips the
+/// flag and wakes all sleepers, so a tenant mid-wait exits immediately
+/// instead of finishing its period.
+#[derive(Debug, Default)]
+struct Shared {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Sleep for `timeout` or until shutdown, whichever comes first. Returns
+    /// `false` once shutdown has been requested.
+    fn sleep(&self, timeout: Duration) -> bool {
+        let mut stopped = lock_unpoisoned(&self.stopped);
+        let deadline = Instant::now() + timeout;
+        while !*stopped {
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            let (guard, _) = self
+                .wake
+                .wait_timeout(stopped, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            stopped = guard;
+        }
+        false
+    }
+}
+
+/// A handle kept by [`Scheduler::spawn_periodic`] for the shutdown join.
+#[derive(Debug)]
+struct Task {
+    name: String,
+    handle: JoinHandle<()>,
+}
+
+/// Named periodic tasks on dedicated threads. See the module docs.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    tasks: Vec<Task>,
+}
+
+impl Scheduler {
+    /// An empty scheduler; spawns nothing until the first tenant arrives.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tenants spawned so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Spawn a tenant: `task` runs every `period` (clamped to ≥ 1ms) on its
+    /// own thread until [`Scheduler::shutdown`]. The first run is delayed by
+    /// a deterministic phase in `[0, period)` derived from the task name, so
+    /// same-period tenants stay staggered run-to-run. A panicking run is
+    /// caught, counted in the returned [`TaskStats`], and does not cancel the
+    /// schedule.
+    pub fn spawn_periodic<F>(&mut self, name: &str, period: Duration, mut task: F) -> Arc<TaskStats>
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let period = period.max(Duration::from_millis(1));
+        let stats = Arc::new(TaskStats::default());
+        let shared = Arc::clone(&self.shared);
+        let task_stats = Arc::clone(&stats);
+        let phase = jitter_phase(name, period);
+        let thread_name = format!("sched-{name}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                if !shared.sleep(phase) {
+                    return;
+                }
+                loop {
+                    let started = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(&mut task));
+                    task_stats.record(started.elapsed(), outcome.is_err());
+                    if !shared.sleep(period) {
+                        return;
+                    }
+                }
+            })
+            .expect("spawning a scheduler thread");
+        self.tasks.push(Task {
+            name: name.to_string(),
+            handle,
+        });
+        stats
+    }
+
+    /// Stop every tenant and join its thread. Tenants mid-sleep wake and exit
+    /// immediately; a tenant mid-run finishes the current run first. Safe to
+    /// call more than once.
+    pub fn shutdown(&mut self) {
+        *lock_unpoisoned(&self.shared.stopped) = true;
+        self.shared.wake.notify_all();
+        for task in self.tasks.drain(..) {
+            if task.handle.join().is_err() {
+                // Unreachable in practice — runs are wrapped in catch_unwind —
+                // but a join failure must not abort the shutdown sweep.
+                eprintln!(
+                    "scheduler task {:?} thread panicked outside a run",
+                    task.name
+                );
+            }
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Deterministic first-run phase in `[0, period)`: FNV-1a of the task name
+/// reduced mod the period. No RNG — the same tenant set always produces the
+/// same schedule, which keeps golden traces reproducible.
+fn jitter_phase(name: &str, period: Duration) -> Duration {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let period_ms = u64::try_from(period.as_millis()).unwrap_or(u64::MAX).max(1);
+    Duration::from_millis(hash % period_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_task_runs_repeatedly_and_joins_on_shutdown() {
+        let mut scheduler = Scheduler::new();
+        let stats = scheduler.spawn_periodic("ticker", Duration::from_millis(1), || {});
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.runs() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(stats.runs() >= 3, "task should keep firing");
+        scheduler.shutdown();
+        let after = stats.runs();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(stats.runs(), after, "no runs after shutdown join");
+    }
+
+    #[test]
+    fn panicking_task_is_isolated_and_keeps_its_schedule() {
+        let mut scheduler = Scheduler::new();
+        let stats = scheduler.spawn_periodic("flaky", Duration::from_millis(1), || {
+            panic!("tenant bug");
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.panics() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(stats.panics() >= 2, "panics are caught, schedule continues");
+        assert_eq!(stats.runs(), stats.panics());
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn shutdown_interrupts_a_long_sleep() {
+        let mut scheduler = Scheduler::new();
+        // One-hour period: without condvar interruption this join would hang.
+        scheduler.spawn_periodic("sleepy", Duration::from_secs(3600), || {});
+        let started = Instant::now();
+        scheduler.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "shutdown must not wait out the period"
+        );
+        assert_eq!(scheduler.task_count(), 0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_within_period() {
+        let period = Duration::from_millis(1000);
+        let a = jitter_phase("publisher", period);
+        assert_eq!(a, jitter_phase("publisher", period));
+        assert!(a < period);
+        // Distinct names should (for these fixed inputs) land on distinct
+        // phases — that is the point of the stagger.
+        assert_ne!(
+            jitter_phase("publisher", period),
+            jitter_phase("watchdog", period)
+        );
+    }
+
+    #[test]
+    fn stats_record_durations() {
+        let mut scheduler = Scheduler::new();
+        let stats = scheduler.spawn_periodic("worker", Duration::from_millis(1), || {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.runs() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        scheduler.shutdown();
+        assert!(stats.max_run_us() >= 1_000, "a 2ms run must register ≥ 1ms");
+        assert!(stats.last_run_us() > 0);
+    }
+}

@@ -44,6 +44,11 @@
 //!   ("ghost") leases, drain, and write the `--check` digest — which must be
 //!   byte-identical to an uninterrupted run's (requires `--data-dir`;
 //!   N must be well below `--requests`);
+//! * `--scrape-interval T` — spawn a scraper thread that samples the run
+//!   every `T` (`500ms`, `2s`, or a bare millisecond count): request
+//!   progress plus the server's trailing-1s windowed latency view from
+//!   `GET /stats?window=1s`, recorded as a `timeline` array in the report
+//!   entry;
 //! * `--out PATH` — the JSON report history (default `BENCH_loadgen.json`);
 //!   each run appends an entry instead of overwriting, so the file tracks
 //!   performance over time;
@@ -56,13 +61,13 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::Value;
 use tagging_persist::PersistOptions;
 use tagging_runtime::lock_unpoisoned;
 use tagging_server::http::HttpClient;
-use tagging_server::{ServerOptions, TaggingServer};
+use tagging_server::{ServerOptions, TaggingServer, TelemetryOptions};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Workload {
@@ -89,6 +94,7 @@ struct Options {
     check: Option<String>,
     data_dir: Option<String>,
     crash_after: Option<usize>,
+    scrape_interval_ms: Option<u64>,
     out: String,
     shutdown: bool,
 }
@@ -128,6 +134,7 @@ impl Options {
             check: value("--check"),
             data_dir: value("--data-dir"),
             crash_after: value("--crash-after").and_then(|v| v.parse().ok()),
+            scrape_interval_ms: value("--scrape-interval").and_then(|v| parse_interval_ms(&v)),
             out: value("--out").unwrap_or_else(|| "BENCH_loadgen.json".to_string()),
             shutdown: args.iter().any(|a| a == "--shutdown"),
         }
@@ -212,6 +219,7 @@ fn run(options: &Options) -> Result<(), String> {
                     .data_dir
                     .as_ref()
                     .map(|dir| PersistOptions::new(dir, options.shards)),
+                telemetry: TelemetryOptions::default(),
             };
             let server = TaggingServer::bind_opts("127.0.0.1:0", server_options)
                 .map_err(|e| format!("cannot bind in-process server: {e}"))?;
@@ -257,12 +265,31 @@ fn run(options: &Options) -> Result<(), String> {
         eprintln!("opened {} silent keep-alive connections", options.idle);
     }
 
-    // Fire the clients.
+    // Fire the clients (and, when asked, the timeline scraper alongside).
     let issued = Arc::new(AtomicUsize::new(0));
     let tallies: Arc<Mutex<Vec<Tally>>> = Arc::new(Mutex::new(Vec::new()));
     let start = Instant::now();
+    let scraper = options
+        .scrape_interval_ms
+        .map(|interval_ms| spawn_scraper(&addr, interval_ms, Arc::clone(&issued)));
     drive_clients(&addr, &scenarios, options, &issued, &tallies, None)?;
     let elapsed = start.elapsed();
+    let timeline = match scraper {
+        Some(scraper) => {
+            scraper.stop.store(true, Ordering::SeqCst);
+            scraper.handle.join().unwrap_or_default()
+        }
+        None => Vec::new(),
+    };
+
+    // Scrape the trailing-10s windowed view *now*, while the window still
+    // covers the drive — the drain below would skew it with its batch-64
+    // traffic. `None` when the server compiled telemetry to no-ops.
+    let windowed_stats = if options.check.is_some() {
+        scrape_windowed_stats(&mut admin)?
+    } else {
+        None
+    };
 
     // Merge tallies.
     let tallies = Arc::try_unwrap(tallies)
@@ -410,6 +437,29 @@ fn run(options: &Options) -> Result<(), String> {
         );
     }
 
+    // Same discipline for the windowed view: the trailing-10s p50/p99 from
+    // `GET /stats?window=10s` must be monotone and within 2x of the
+    // client-side percentiles (plus slack for bucket granularity).
+    if let Some(windowed) = &windowed_stats {
+        if !(windowed.p50 <= windowed.p90 && windowed.p90 <= windowed.p99) {
+            return Err(format!(
+                "windowed percentiles are not monotone: p50 {} p90 {} p99 {}",
+                windowed.p50, windowed.p90, windowed.p99
+            ));
+        }
+        let bound = 2 * percentile(0.50) + 1000;
+        if windowed.p50 > bound {
+            return Err(format!(
+                "windowed p50 {}us exceeds client-derived bound {bound}us",
+                windowed.p50
+            ));
+        }
+        eprintln!(
+            "windowed cross-check ok: trailing-10s window saw {} requests, p50 {}us p99 {}us",
+            windowed.count, windowed.p50, windowed.p99
+        );
+    }
+
     let throughput = total_requests as f64 / elapsed.as_secs_f64();
     let scenarios_value: Vec<Value> = final_metrics
         .iter()
@@ -426,7 +476,7 @@ fn run(options: &Options) -> Result<(), String> {
             ])
         })
         .collect();
-    let entry = obj(vec![
+    let mut entry = obj(vec![
         (
             "workload",
             Value::String(
@@ -487,6 +537,12 @@ fn run(options: &Options) -> Result<(), String> {
         ("telemetry", Value::String(server_stats.telemetry.clone())),
         ("scenarios", Value::Array(scenarios_value)),
     ]);
+    if let Some(interval) = options.scrape_interval_ms {
+        if let Value::Object(fields) = &mut entry {
+            fields.push(("scrape_interval_ms".to_string(), Value::UInt(interval)));
+            fields.push(("timeline".to_string(), Value::Array(timeline)));
+        }
+    }
     append_history(&options.out, entry)?;
 
     println!(
@@ -1146,6 +1202,32 @@ struct ServerStats {
     max: u64,
 }
 
+/// Extracts the `server_request_us` histogram summary plus the `telemetry`
+/// marker from a `/stats` (or `/stats?window=...`) body.
+fn extract_server_stats(stats: &Value) -> Result<ServerStats, String> {
+    let telemetry = match stats.get("telemetry") {
+        Some(Value::String(s)) => s.clone(),
+        other => return Err(format!("stats missing telemetry marker: {other:?}")),
+    };
+    let hist = stats
+        .get("histograms")
+        .and_then(|h| h.get("server_request_us"));
+    let field = |name: &str| -> u64 {
+        match hist.and_then(|h| h.get(name)) {
+            Some(&Value::UInt(n)) => n,
+            _ => 0,
+        }
+    };
+    Ok(ServerStats {
+        telemetry,
+        count: field("count"),
+        p50: field("p50"),
+        p90: field("p90"),
+        p99: field("p99"),
+        max: field("max"),
+    })
+}
+
 /// Scrapes `GET /stats` and extracts the `server_request_us` histogram
 /// summary plus the `telemetry` marker.
 fn scrape_server_stats(admin: &mut HttpClient) -> Result<ServerStats, String> {
@@ -1155,28 +1237,107 @@ fn scrape_server_stats(admin: &mut HttpClient) -> Result<ServerStats, String> {
     if status != 200 {
         return Err(format!("stats scrape rejected ({status}): {stats:?}"));
     }
-    let telemetry = match stats.get("telemetry") {
-        Some(Value::String(s)) => s.clone(),
-        other => return Err(format!("stats missing telemetry marker: {other:?}")),
-    };
-    let hist = stats
-        .get("histograms")
-        .and_then(|h| h.get("server_request_us"))
-        .ok_or("stats missing the server_request_us histogram")?;
-    let field = |name: &str| -> Result<u64, String> {
-        match hist.get(name) {
-            Some(&Value::UInt(n)) => Ok(n),
-            other => Err(format!("server_request_us missing {name}: {other:?}")),
+    let stats = extract_server_stats(&stats)?;
+    if stats.telemetry == "on" && stats.count == 0 {
+        return Err("stats missing the server_request_us histogram".to_string());
+    }
+    Ok(stats)
+}
+
+/// Scrapes `GET /stats?window=10s`, retrying until a window rotation has
+/// captured the drive's traffic (rotations happen on the publisher's
+/// cadence, nominally once per second). Returns `None` when the server
+/// compiled telemetry to no-ops.
+fn scrape_windowed_stats(admin: &mut HttpClient) -> Result<Option<ServerStats>, String> {
+    const ATTEMPTS: usize = 12;
+    for attempt in 0..ATTEMPTS {
+        let (status, stats) = admin
+            .request("GET", "/stats?window=10s", None)
+            .map_err(|e| format!("windowed stats scrape failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("windowed stats rejected ({status}): {stats:?}"));
         }
-    };
-    Ok(ServerStats {
-        telemetry,
-        count: field("count")?,
-        p50: field("p50")?,
-        p90: field("p90")?,
-        p99: field("p99")?,
-        max: field("max")?,
-    })
+        let stats = extract_server_stats(&stats)?;
+        if stats.telemetry != "on" {
+            return Ok(None);
+        }
+        if stats.count > 0 {
+            return Ok(Some(stats));
+        }
+        if attempt + 1 < ATTEMPTS {
+            std::thread::sleep(Duration::from_millis(500));
+        }
+    }
+    Err("trailing-10s window never showed the drive's traffic".to_string())
+}
+
+/// A background thread sampling the run every `--scrape-interval`.
+struct Scraper {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<Vec<Value>>,
+}
+
+/// Parse `--scrape-interval`: `500ms`, `2s`, or a bare millisecond count.
+fn parse_interval_ms(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(ms) = text.strip_suffix("ms") {
+        return ms.parse().ok().filter(|&n| n > 0);
+    }
+    if let Some(seconds) = text.strip_suffix('s') {
+        return seconds
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .and_then(|n| n.checked_mul(1_000));
+    }
+    text.parse().ok().filter(|&n| n > 0)
+}
+
+/// Spawns the timeline scraper: every `interval_ms` it records the request
+/// progress (from the shared `issued` counter) and the server's trailing-1s
+/// windowed latency view. Scrape failures degrade to progress-only entries —
+/// the timeline must never fail a run.
+fn spawn_scraper(addr: &str, interval_ms: u64, issued: Arc<AtomicUsize>) -> Scraper {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let addr = addr.to_string();
+    let handle = std::thread::Builder::new()
+        .name("loadgen-scraper".to_string())
+        .spawn(move || {
+            let started = Instant::now();
+            let mut client = HttpClient::connect(&addr).ok();
+            let mut timeline = Vec::new();
+            let mut prev_issued = 0usize;
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(interval_ms));
+                let now_issued = issued.load(Ordering::Relaxed);
+                let mut fields = vec![
+                    (
+                        "t_ms",
+                        Value::UInt(started.elapsed().as_millis().min(u64::MAX as u128) as u64),
+                    ),
+                    ("issued", Value::UInt(now_issued as u64)),
+                    (
+                        "issued_delta",
+                        Value::UInt(now_issued.saturating_sub(prev_issued) as u64),
+                    ),
+                ];
+                prev_issued = now_issued;
+                if let Some(admin) = client.as_mut() {
+                    if let Ok((200, stats)) = admin.request("GET", "/stats?window=1s", None) {
+                        if let Ok(window) = extract_server_stats(&stats) {
+                            fields.push(("window_count", Value::UInt(window.count)));
+                            fields.push(("window_p50_us", Value::UInt(window.p50)));
+                            fields.push(("window_p99_us", Value::UInt(window.p99)));
+                        }
+                    }
+                }
+                timeline.push(obj(fields));
+            }
+            timeline
+        })
+        .expect("spawn scraper thread");
+    Scraper { stop, handle }
 }
 
 /// Canonical digest of the fully-drained final state, for byte-diffing runs

@@ -22,13 +22,26 @@
 //!   before they are acknowledged, so any policy survives a process kill;
 //!   the policy bounds what a *power loss* can take.
 //!
+//! Observability flags (all observation-only):
+//!
+//! * `--publish-interval-ms N` — window-rotation / publisher period
+//!   (default 1000); with `--data-dir` the publisher also appends one JSONL
+//!   telemetry sample per interval to `DIR/telemetry.jsonl`;
+//! * `--flight-capacity N` / `--slow-capacity N` — ring sizes behind
+//!   `GET /debug/flight` and `GET /debug/slow` (defaults 256 / 512);
+//! * `--slow-threshold-us N` — handler latency at or above which a request
+//!   also enters the slow ring (default 10000);
+//! * `--stall-budget-us N` — event-loop heartbeat gap / sweep duration above
+//!   which a stall is counted under `server_loop_*` (default 100000).
+//!
 //! The process exits cleanly after a `POST /shutdown`, marking the WAL so
 //! the next start knows the shutdown was clean.
 //!
-//! Observability: `GET /metrics` serves the Prometheus text exposition and
+//! Observability: `GET /metrics` serves the Prometheus text exposition,
 //! `GET /stats` a JSON projection of the same registry (request counters per
 //! route, latency histograms, WAL/snapshot activity, per-shard session
-//! gauges). Setting the `TAGGING_TRACE` environment variable to anything but
+//! gauges), and `GET /stats?window=10s` the same projection over a trailing
+//! window. Setting the `TAGGING_TRACE` environment variable to anything but
 //! `0` additionally emits one structured `TRACE ...` line per request to
 //! stderr, carrying a process-unique request id.
 
@@ -36,7 +49,7 @@ use std::io::Write;
 
 use tagging_persist::PersistOptions;
 use tagging_runtime::FlushPolicy;
-use tagging_server::{ServerOptions, TaggingServer};
+use tagging_server::{ServerOptions, TaggingServer, TelemetryOptions};
 
 fn arg_value(args: &[String], name: &str) -> Option<usize> {
     arg_text(args, name).and_then(|v| match v.parse::<usize>() {
@@ -89,10 +102,28 @@ fn main() {
         options
     });
 
+    let mut telemetry = TelemetryOptions::default();
+    if let Some(interval) = arg_value(&args, "--publish-interval-ms") {
+        telemetry.publish_interval_ms = (interval as u64).max(1);
+    }
+    if let Some(capacity) = arg_value(&args, "--flight-capacity") {
+        telemetry.flight_capacity = capacity.max(1);
+    }
+    if let Some(capacity) = arg_value(&args, "--slow-capacity") {
+        telemetry.slow_capacity = capacity.max(1);
+    }
+    if let Some(threshold) = arg_value(&args, "--slow-threshold-us") {
+        telemetry.slow_threshold_us = threshold as u64;
+    }
+    if let Some(budget) = arg_value(&args, "--stall-budget-us") {
+        telemetry.stall_budget_us = (budget as u64).max(1);
+    }
+
     let options = ServerOptions {
         workers,
         shards,
         persist,
+        telemetry,
     };
     let server = match TaggingServer::bind_opts(&format!("127.0.0.1:{port}"), options) {
         Ok(server) => server,

@@ -50,3 +50,4 @@ pub mod telemetry;
 pub use http::HttpClient;
 pub use server::{ServerOptions, TaggingServer};
 pub use service::TaggingService;
+pub use telemetry::TelemetryOptions;

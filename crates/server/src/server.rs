@@ -27,21 +27,23 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tagging_persist::{PersistOptions, PersistStore, RecoveredState};
 use tagging_runtime::poll::{read_available, write_all_polling, IdleBackoff, ReadOutcome};
-use tagging_runtime::{Runtime, WorkerPool};
-use tagging_telemetry::trace;
+use tagging_runtime::{lock_unpoisoned, Runtime, Scheduler, WorkerPool};
+use tagging_telemetry::{trace, RequestRecord};
 
 use crate::http::{parse_request, response_bytes, Request, Response, MAX_REQUEST_BYTES};
 use crate::service::{Handled, TaggingService};
-use crate::telemetry::Route;
+use crate::telemetry::{Route, TelemetryOptions};
 
 /// How a [`TaggingServer`] is configured beyond its bind address.
 #[derive(Debug, Clone)]
@@ -55,6 +57,9 @@ pub struct ServerOptions {
     /// The store's shard count is overridden to match the registry's — one
     /// WAL segment per registry shard is the design invariant.
     pub persist: Option<PersistOptions>,
+    /// Time-resolved observability configuration: window rotation, flight
+    /// ring capacities, slow threshold, watchdog budget.
+    pub telemetry: TelemetryOptions,
 }
 
 impl ServerOptions {
@@ -64,6 +69,7 @@ impl ServerOptions {
             workers,
             shards: tagging_sim::registry::DEFAULT_SHARDS,
             persist: None,
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -129,6 +135,11 @@ pub struct TaggingServer {
     /// What the durable store recovered at bind time (`None` without
     /// persistence).
     recovered: Option<RecoveredState>,
+    /// Observability configuration the background tenants run on.
+    telemetry: TelemetryOptions,
+    /// Where the publisher appends JSONL telemetry samples (`None` without a
+    /// data directory).
+    publish_path: Option<PathBuf>,
 }
 
 impl TaggingServer {
@@ -147,6 +158,7 @@ impl TaggingServer {
                 workers: threads,
                 shards,
                 persist: None,
+                telemetry: TelemetryOptions::default(),
             },
         )
     }
@@ -157,7 +169,8 @@ impl TaggingServer {
     pub fn bind_opts(addr: &str, options: ServerOptions) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let runtime = Runtime::from_env();
-        let (service, recovered) = match options.persist {
+        let mut publish_path = None;
+        let (mut service, recovered) = match options.persist {
             None => (TaggingService::with_shards(runtime, options.shards), None),
             Some(mut persist) => {
                 // One WAL segment per registry shard: force agreement.
@@ -174,14 +187,19 @@ impl TaggingServer {
                     persist.data_dir.display().to_string(),
                     persist.flush.to_string(),
                 );
+                // The publisher appends telemetry samples next to the WAL.
+                publish_path = Some(persist.data_dir.join("telemetry.jsonl"));
                 (service, Some(recovered))
             }
         };
+        service.configure_telemetry(&options.telemetry);
         Ok(Self {
             listener,
             service: Arc::new(service),
             pool: WorkerPool::new(options.workers),
             recovered,
+            telemetry: options.telemetry,
+            publish_path,
         })
     }
 
@@ -213,10 +231,30 @@ impl TaggingServer {
         let mut draining = false;
         let metrics = self.service.metrics();
 
+        // Background tenants: the telemetry publisher (window rotation +
+        // optional JSONL samples) and the event-loop watchdog. Joined after
+        // the drain so process exit never races a half-written sample line.
+        let mut scheduler = Scheduler::new();
+        spawn_telemetry_tenants(
+            &mut scheduler,
+            &self.service,
+            &self.telemetry,
+            self.publish_path.clone(),
+        );
+        let mut stall_injected = self.telemetry.inject_sweep_stall_us == 0;
+
         loop {
             sweep = sweep.wrapping_add(1);
+            metrics.loop_watchdog.beat();
+            let sweep_started = Instant::now();
             let sweep_timer = metrics.sweep_us.start_timer();
             let mut progress = false;
+            if !stall_injected {
+                // Test hook: a deliberate one-off stall in the sweep path, so
+                // the watchdog's stall accounting can be proven end-to-end.
+                stall_injected = true;
+                std::thread::sleep(Duration::from_micros(self.telemetry.inject_sweep_stall_us));
+            }
 
             // 1. Accept everything pending (stop taking new work once
             //    draining).
@@ -334,6 +372,13 @@ impl TaggingServer {
                 .set(connections.values().filter(|c| !c.busy).count() as i64);
             metrics.pool_pending.set(self.pool.pending() as i64);
             drop(sweep_timer);
+            // A single sweep running over the stall budget is a stall even if
+            // the next heartbeat arrives promptly — count it here, where the
+            // duration is known exactly.
+            let sweep_us = u64::try_from(sweep_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            if sweep_us > self.telemetry.stall_budget_us {
+                metrics.loop_watchdog.note_stall(sweep_us);
+            }
 
             if draining && connections.values().all(|c| !c.busy) {
                 // Every dispatched request has reported back (its response is
@@ -349,8 +394,9 @@ impl TaggingServer {
         }
         drop(connections);
         drop(self.pool); // joins the (now idle) workers
-                         // Every request has been handled and acknowledged; mark the WAL
-                         // segments cleanly shut down (no-op without persistence).
+        scheduler.shutdown(); // joins the publisher/watchdog tenants
+                              // Every request has been handled and acknowledged; mark the WAL
+                              // segments cleanly shut down (no-op without persistence).
         self.service.persist_shutdown()?;
         Ok(())
     }
@@ -364,6 +410,67 @@ impl TaggingServer {
             .spawn(move || self.run())?;
         Ok((addr, handle))
     }
+}
+
+/// How often the watchdog tenant measures the event loop's heartbeat gap.
+const WATCHDOG_CHECK_MS: u64 = 100;
+
+/// Spawn the server's background observability tenants:
+///
+/// * `telemetry-publisher` — rotates the window ring against a fresh
+///   cumulative snapshot every interval and, when a data directory is
+///   attached, appends the newest one-interval delta as a JSONL sample;
+/// * `loop-watchdog` — measures the event loop's heartbeat gap and counts a
+///   stall when it exceeds the budget.
+///
+/// Both are observation-only; with `telemetry-noop` the rotations see all
+/// zeros and nothing is published.
+fn spawn_telemetry_tenants(
+    scheduler: &mut Scheduler,
+    service: &Arc<TaggingService>,
+    options: &TelemetryOptions,
+    publish_path: Option<PathBuf>,
+) {
+    let windows = Arc::clone(&service.metrics().windows);
+    let publish = publish_path.filter(|_| tagging_telemetry::enabled());
+    scheduler.spawn_periodic(
+        "telemetry-publisher",
+        Duration::from_millis(options.publish_interval_ms),
+        move || {
+            let mut ring = lock_unpoisoned(&windows);
+            ring.rotate(tagging_telemetry::global().snapshot());
+            let rotation = ring.rotations();
+            let (delta, _) = ring.window(1);
+            drop(ring);
+            if let Some(path) = &publish {
+                let mut sample = crate::telemetry::snapshot_to_value(&delta);
+                if let serde::Value::Object(fields) = &mut sample {
+                    fields.insert(0, ("rotation".to_string(), serde::Value::UInt(rotation)));
+                    fields.insert(1, ("ts_us".to_string(), serde::Value::UInt(trace::ts_us())));
+                }
+                let line = serde_json::to_string(&sample).expect("Value serialization is total");
+                // A failed append must not take the tenant down; the next
+                // interval retries with a fresh line.
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                {
+                    let _ = writeln!(file, "{line}");
+                }
+            }
+        },
+    );
+
+    let watchdog = Arc::clone(&service.metrics().loop_watchdog);
+    let budget_us = options.stall_budget_us;
+    scheduler.spawn_periodic(
+        "loop-watchdog",
+        Duration::from_millis(WATCHDOG_CHECK_MS),
+        move || {
+            watchdog.check(budget_us);
+        },
+    );
 }
 
 /// Queues one parsed request on the pool. The worker routes it, writes the
@@ -407,7 +514,19 @@ fn dispatch(
             .unwrap_or_else(|_| Handled {
                 response: Response::error(500, "internal error: request handler panicked"),
                 shutdown: false,
+                route: Route::BadRequest,
+                session: None,
             });
+        let latency_us = u64::try_from(handled_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+        service.metrics().record_flight(RequestRecord {
+            id: request_id,
+            route: handled.route.label(),
+            session: handled.session,
+            status: handled.response.status,
+            latency_us,
+            queue_us: u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX),
+            ts_us: trace::ts_us(),
+        });
         if trace::enabled() {
             trace::emit(
                 "request.done",

@@ -56,6 +56,10 @@ pub struct Handled {
     pub response: Response,
     /// True when the request asked the server to shut down.
     pub shutdown: bool,
+    /// The route the request counted as (drives the flight-recorder label).
+    pub route: Route,
+    /// The session the request addressed, when its path named one.
+    pub session: Option<u64>,
 }
 
 impl Handled {
@@ -63,6 +67,8 @@ impl Handled {
         Self {
             response,
             shutdown: false,
+            route: Route::BadRequest,
+            session: None,
         }
     }
 }
@@ -282,13 +288,22 @@ impl TaggingService {
         });
     }
 
+    /// Record non-default telemetry options (ring capacities, thresholds) on
+    /// the still-unshared metrics. Called by the server binder before the
+    /// service is wrapped in an `Arc`.
+    pub fn configure_telemetry(&mut self, options: &crate::telemetry::TelemetryOptions) {
+        self.metrics.configure(options);
+    }
+
     /// Routes one request and records its telemetry (per-route counter,
     /// status class, handler latency). Never panics on malformed input: JSON
     /// and protocol errors become 4xx responses.
     pub fn handle(&self, request: &Request) -> Handled {
         let timer = self.metrics.request_us.start_timer();
-        let (route, handled) = self.route(request);
+        let (route, mut handled) = self.route(request);
         drop(timer);
+        handled.route = route;
+        handled.session = session_of(&request.path);
         self.metrics.record_response(route, handled.response.status);
         handled
     }
@@ -339,6 +354,37 @@ impl TaggingService {
         value
     }
 
+    /// The `GET /debug/flight` / `GET /debug/slow` body: ring capacity,
+    /// total records pushed, and the retained records oldest → newest
+    /// (`?n=K` limits to the newest K).
+    fn flight_value(&self, request: &Request, slow: bool) -> Value {
+        let ring = if slow {
+            &self.metrics.slow
+        } else {
+            &self.metrics.flight
+        };
+        let limit = query_param(&request.path, "n")
+            .and_then(|n| n.parse::<usize>().ok())
+            .unwrap_or(ring.capacity());
+        let records = ring.recent(limit);
+        let mut fields = vec![
+            ("capacity".to_string(), Value::UInt(ring.capacity() as u64)),
+            ("recorded".to_string(), Value::UInt(ring.recorded())),
+            ("returned".to_string(), Value::UInt(records.len() as u64)),
+        ];
+        if slow {
+            fields.push((
+                "threshold_us".to_string(),
+                Value::UInt(self.metrics.slow_threshold_us),
+            ));
+        }
+        fields.push((
+            "records".to_string(),
+            crate::telemetry::records_to_value(&records),
+        ));
+        Value::Object(fields)
+    }
+
     /// The routing proper; returns which [`Route`] the request counted as so
     /// [`TaggingService::handle`] can attribute its metrics.
     fn route(&self, request: &Request) -> (Route, Handled) {
@@ -355,15 +401,36 @@ impl TaggingService {
                 Route::Healthz,
                 Handled::respond(Response::ok(self.health_value())),
             ),
-            ("GET", ["stats"]) => (
-                Route::Stats,
-                Handled::respond(Response::ok(self.stats_value())),
-            ),
+            ("GET", ["stats"]) => {
+                let response = match query_param(&request.path, "window") {
+                    None => Response::ok(self.stats_value()),
+                    Some(window) => match crate::telemetry::parse_window_ms(&window) {
+                        Some(ms) => {
+                            Response::ok(crate::telemetry::windowed_stats_value(&self.metrics, ms))
+                        }
+                        None => Response::error(
+                            400,
+                            format!(
+                                "window expects e.g. 10s, 500ms or a second count, got `{window}`"
+                            ),
+                        ),
+                    },
+                };
+                (Route::Stats, Handled::respond(response))
+            }
             ("GET", ["metrics"]) => (
                 Route::Metrics,
                 Handled::respond(Response::plain(
                     tagging_telemetry::global().snapshot().to_prometheus(),
                 )),
+            ),
+            ("GET", ["debug", "flight"]) => (
+                Route::DebugFlight,
+                Handled::respond(Response::ok(self.flight_value(request, false))),
+            ),
+            ("GET", ["debug", "slow"]) => (
+                Route::DebugSlow,
+                Handled::respond(Response::ok(self.flight_value(request, true))),
             ),
             ("POST", ["shutdown"]) => (
                 Route::Shutdown,
@@ -373,6 +440,8 @@ impl TaggingService {
                         Value::Bool(true),
                     )])),
                     shutdown: true,
+                    route: Route::Shutdown,
+                    session: None,
                 },
             ),
             ("POST", ["scenarios"]) => (Route::Register, Handled::respond(self.register(request))),
@@ -457,6 +526,7 @@ impl TaggingService {
             ),
             // Right path, wrong method.
             (_, ["healthz"] | ["shutdown"] | ["scenarios"] | ["stats"] | ["metrics"])
+            | (_, ["debug", "flight" | "slow"])
             | (_, ["scenarios", _, "batch" | "report" | "metrics" | "tasks"]) => (
                 Route::BadRequest,
                 Handled::respond(Response::error(405, "method not allowed")),
@@ -595,4 +665,31 @@ fn json_body(request: &Request) -> Result<Value, Response> {
     request
         .json()
         .map_err(|e| Response::error(400, format!("invalid JSON body: {e}")))
+}
+
+/// The session id a request path addresses (`/scenarios/{id}/...`), if any —
+/// recorded per request by the flight recorder.
+fn session_of(path: &str) -> Option<u64> {
+    let mut segments = path
+        .split('?')
+        .next()
+        .unwrap_or("")
+        .split('/')
+        .filter(|s| !s.is_empty());
+    if segments.next() != Some("scenarios") {
+        return None;
+    }
+    segments.next().and_then(|id| id.parse().ok())
+}
+
+/// The first value of query parameter `name` in a request path, if present.
+fn query_param(path: &str, name: &str) -> Option<String> {
+    let query = path.split_once('?')?.1;
+    query.split('&').find_map(|pair| {
+        let (key, value) = match pair.split_once('=') {
+            Some((key, value)) => (key, value),
+            None => (pair, ""),
+        };
+        (key == name).then(|| value.to_string())
+    })
 }

@@ -15,11 +15,28 @@
 //! | `server_connections_live` | gauge | — |
 //! | `server_connections_idle` | gauge | — |
 //! | `server_pool_pending` | gauge | — (queued + running pool jobs) |
+//! | `server_loop_*` | counter/gauge | — (event-loop watchdog; see [`Watchdog`]) |
+//!
+//! Beyond the flat registry this module also owns the server's time-resolved
+//! observability state, all hosted on [`ServerMetrics`] so the event loop,
+//! the worker pool and the scrape endpoints share one set of `Arc`s:
+//!
+//! * [`WindowRing`] (behind a mutex; rotated by the background publisher
+//!   task once per interval) — trailing 1s/10s/60s rates and quantiles,
+//!   served by `GET /stats?window=10s`;
+//! * two [`FlightRecorder`] rings — every completed request, and a separate
+//!   ring retaining only requests over the slow-latency threshold — served
+//!   by `GET /debug/flight` and `GET /debug/slow`;
+//! * the event-loop [`Watchdog`] the sweep heartbeats.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use serde::Value;
-use tagging_telemetry::{Counter, Gauge, Histogram, RegistrySnapshot};
+use tagging_runtime::lock_unpoisoned;
+use tagging_telemetry::{
+    Counter, FlightRecorder, Gauge, Histogram, RegistrySnapshot, RequestRecord, Watchdog,
+    WindowRing,
+};
 
 /// Every countable request destination, including the failure paths the
 /// per-route counters must not miss: `Shutdown`, `BadRequest` (parsed HTTP
@@ -45,6 +62,10 @@ pub enum Route {
     Stats,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /debug/flight`.
+    DebugFlight,
+    /// `GET /debug/slow`.
+    DebugSlow,
     /// Parsed request that matched no route or used the wrong method.
     BadRequest,
     /// Bytes that could never become an HTTP request (counted by the event
@@ -54,7 +75,7 @@ pub enum Route {
 
 impl Route {
     /// All routes, in label order.
-    pub const ALL: [Route; 11] = [
+    pub const ALL: [Route; 13] = [
         Route::Healthz,
         Route::Register,
         Route::Batch,
@@ -64,6 +85,8 @@ impl Route {
         Route::Shutdown,
         Route::Stats,
         Route::Metrics,
+        Route::DebugFlight,
+        Route::DebugSlow,
         Route::BadRequest,
         Route::Malformed,
     ];
@@ -80,8 +103,50 @@ impl Route {
             Route::Shutdown => "shutdown",
             Route::Stats => "stats",
             Route::Metrics => "metrics",
+            Route::DebugFlight => "debug_flight",
+            Route::DebugSlow => "debug_slow",
             Route::BadRequest => "bad_request",
             Route::Malformed => "malformed",
+        }
+    }
+}
+
+/// Configuration of the server's time-resolved observability: window
+/// rotation cadence, ring capacities, the slow-request threshold and the
+/// event-loop stall budget. All observation-only — none of these affect what
+/// the service computes or acknowledges.
+#[derive(Debug, Clone)]
+pub struct TelemetryOptions {
+    /// Window-rotation (and JSONL publisher) period in milliseconds.
+    pub publish_interval_ms: u64,
+    /// Delta slots the window ring retains (64 one-second slots cover every
+    /// trailing window up to a minute).
+    pub window_slots: usize,
+    /// Capacity of the all-requests flight ring.
+    pub flight_capacity: usize,
+    /// Capacity of the slow-request ring.
+    pub slow_capacity: usize,
+    /// Handler latency at or above which a request also enters the slow
+    /// ring, in microseconds.
+    pub slow_threshold_us: u64,
+    /// Event-loop heartbeat gap (or single-sweep duration) above which a
+    /// stall is counted, in microseconds.
+    pub stall_budget_us: u64,
+    /// Test hook: make the very first readiness sweep sleep this long, so a
+    /// stall can be provoked deterministically. 0 disables.
+    pub inject_sweep_stall_us: u64,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        Self {
+            publish_interval_ms: 1_000,
+            window_slots: 64,
+            flight_capacity: 256,
+            slow_capacity: 512,
+            slow_threshold_us: 10_000,
+            stall_budget_us: 100_000,
+            inject_sweep_stall_us: 0,
         }
     }
 }
@@ -103,11 +168,27 @@ pub struct ServerMetrics {
     pub connections_idle: Arc<Gauge>,
     /// Worker-pool jobs queued or running.
     pub pool_pending: Arc<Gauge>,
+    /// Ring of per-interval delta snapshots behind the windowed `/stats`
+    /// view; rotated by the background publisher task.
+    pub windows: Arc<Mutex<WindowRing>>,
+    /// Every completed request, most recent `flight_capacity` retained.
+    pub flight: Arc<FlightRecorder>,
+    /// Requests whose handler latency met the slow threshold.
+    pub slow: Arc<FlightRecorder>,
+    /// Handler latency at or above which a request enters the slow ring.
+    pub slow_threshold_us: u64,
+    /// Heartbeat gap / sweep duration above which a stall is counted.
+    pub stall_budget_us: u64,
+    /// Event-loop watchdog (families under `server_loop_*`).
+    pub loop_watchdog: Arc<Watchdog>,
 }
 
 impl ServerMetrics {
-    /// Resolve every handle from the global registry.
+    /// Resolve every handle from the global registry, with default
+    /// [`TelemetryOptions`]. Use [`ServerMetrics::configure`] to apply
+    /// non-default ring sizes before the service is shared.
     pub fn resolve() -> Self {
+        let defaults = TelemetryOptions::default();
         let registry = tagging_telemetry::global();
         let requests = Route::ALL.map(|route| {
             registry.counter(
@@ -156,7 +237,41 @@ impl ServerMetrics {
                 &[],
                 "Worker-pool jobs queued or running",
             ),
+            windows: Arc::new(Mutex::new(WindowRing::new(
+                defaults.window_slots,
+                defaults.publish_interval_ms,
+            ))),
+            flight: Arc::new(FlightRecorder::new(defaults.flight_capacity)),
+            slow: Arc::new(FlightRecorder::new(defaults.slow_capacity)),
+            slow_threshold_us: defaults.slow_threshold_us,
+            stall_budget_us: defaults.stall_budget_us,
+            loop_watchdog: Arc::new(Watchdog::new("server_loop")),
         }
+    }
+
+    /// Apply non-default [`TelemetryOptions`]: replaces the (still unshared)
+    /// rings and thresholds. Called by the server binder before the service
+    /// is wrapped in an `Arc`, mirroring
+    /// [`crate::service::TaggingService::describe_persistence`].
+    pub fn configure(&mut self, options: &TelemetryOptions) {
+        self.windows = Arc::new(Mutex::new(WindowRing::new(
+            options.window_slots,
+            options.publish_interval_ms,
+        )));
+        self.flight = Arc::new(FlightRecorder::new(options.flight_capacity));
+        self.slow = Arc::new(FlightRecorder::new(options.slow_capacity));
+        self.slow_threshold_us = options.slow_threshold_us;
+        self.stall_budget_us = options.stall_budget_us;
+    }
+
+    /// Record one completed request into the flight ring (and the slow ring
+    /// when its handler latency met the threshold). Compiles to nothing with
+    /// `telemetry-noop`.
+    pub fn record_flight(&self, record: RequestRecord) {
+        if record.latency_us >= self.slow_threshold_us {
+            self.slow.record(record.clone());
+        }
+        self.flight.record(record);
     }
 
     /// Count one request on `route` and its response's status class.
@@ -234,6 +349,101 @@ pub fn snapshot_to_value(snapshot: &RegistrySnapshot) -> Value {
         ("gauges".to_string(), Value::Object(gauges)),
         ("histograms".to_string(), Value::Object(histograms)),
     ])
+}
+
+/// The `GET /stats?window=...` body: the merged trailing window projected
+/// like the cumulative view, plus a `window` object describing the coverage
+/// and a `rates` section (counter increments per second over the window).
+pub fn windowed_stats_value(metrics: &ServerMetrics, requested_ms: u64) -> Value {
+    let (snapshot, merged, interval_ms, rotations) = {
+        let ring = lock_unpoisoned(&metrics.windows);
+        let (snapshot, merged) = ring.window_ms(requested_ms);
+        (snapshot, merged, ring.interval_ms(), ring.rotations())
+    };
+    let covered_ms = merged as u64 * interval_ms;
+    let rates = snapshot
+        .counters
+        .iter()
+        .filter(|c| c.value > 0 && covered_ms > 0)
+        .map(|c| {
+            let key = if c.labels.is_empty() {
+                c.name.clone()
+            } else {
+                let body: Vec<String> = c
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect();
+                format!("{}{{{}}}", c.name, body.join(","))
+            };
+            (
+                format!("{key}_per_s"),
+                Value::Float(c.value as f64 * 1000.0 / covered_ms as f64),
+            )
+        })
+        .collect();
+    let mut value = snapshot_to_value(&snapshot);
+    if let Value::Object(fields) = &mut value {
+        fields.insert(
+            1,
+            (
+                "window".to_string(),
+                Value::Object(vec![
+                    ("requested_ms".to_string(), Value::UInt(requested_ms)),
+                    ("slots_merged".to_string(), Value::UInt(merged as u64)),
+                    ("covered_ms".to_string(), Value::UInt(covered_ms)),
+                    ("interval_ms".to_string(), Value::UInt(interval_ms)),
+                    ("rotations".to_string(), Value::UInt(rotations)),
+                ]),
+            ),
+        );
+        fields.push(("rates".to_string(), Value::Object(rates)));
+    }
+    value
+}
+
+/// Project flight-recorder records into the `/debug/*` JSON body shape.
+pub fn records_to_value(records: &[RequestRecord]) -> Value {
+    Value::Array(
+        records
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("id".to_string(), Value::UInt(r.id)),
+                    ("route".to_string(), Value::String(r.route.to_string())),
+                    (
+                        "session".to_string(),
+                        match r.session {
+                            Some(id) => Value::UInt(id),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("status".to_string(), Value::UInt(u64::from(r.status))),
+                    ("latency_us".to_string(), Value::UInt(r.latency_us)),
+                    ("queue_us".to_string(), Value::UInt(r.queue_us)),
+                    ("ts_us".to_string(), Value::UInt(r.ts_us)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parse a `window=` query value: `10s`, `500ms` or a bare second count.
+/// Returns the window span in milliseconds.
+pub fn parse_window_ms(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(ms) = text.strip_suffix("ms") {
+        return ms.parse::<u64>().ok().filter(|&n| n > 0);
+    }
+    let seconds = match text.strip_suffix('s') {
+        Some(s) => s,
+        None => text,
+    };
+    seconds
+        .parse::<u64>()
+        .ok()
+        .filter(|&n| n > 0)
+        .and_then(|n| n.checked_mul(1_000))
 }
 
 #[cfg(test)]

@@ -1,0 +1,193 @@
+//! The flight recorder: a fixed-capacity concurrent ring of structured
+//! per-request records.
+//!
+//! Aggregates answer "how fast on average"; debugging a production incident
+//! needs "show me the last 256 requests and what they touched". A
+//! [`FlightRecorder`] keeps exactly that: every completed request pushes one
+//! [`RequestRecord`] (request id, route, session, status, latency, queue
+//! wait), overwriting the oldest once the ring is full. The server hosts two
+//! rings — one recording everything, one retaining only requests over a
+//! configurable latency threshold (the *slow ring*), so a burst of fast
+//! traffic cannot evict the interesting outliers.
+//!
+//! Recording is designed for the worker hot path: a single atomic
+//! `fetch_add` claims a slot, and each slot has its own mutex, so concurrent
+//! writers (different workers) almost never contend — they only collide when
+//! two claims wrap onto the same slot simultaneously, or with a reader.
+//! Reads ([`FlightRecorder::snapshot`]) walk every slot and are scrape-path
+//! only.
+//!
+//! With the `noop` cargo feature, [`FlightRecorder::record`] compiles to
+//! nothing and snapshots are empty, like every other recording primitive in
+//! this crate.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::sync_lock;
+
+/// One completed request, as the flight recorder remembers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Process-unique request id (see [`crate::trace::next_request_id`]).
+    pub id: u64,
+    /// The route label the request counted as (e.g. `batch`, `bad_request`).
+    pub route: &'static str,
+    /// The session (scenario) id the request addressed, when its path named
+    /// one.
+    pub session: Option<u64>,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Handler latency in microseconds (excludes queue wait and I/O).
+    pub latency_us: u64,
+    /// Dispatch-to-worker-pickup wait in microseconds.
+    pub queue_us: u64,
+    /// Completion timestamp: microseconds since process start (see
+    /// [`crate::trace::ts_us`]).
+    pub ts_us: u64,
+}
+
+/// A fixed-capacity concurrent ring buffer of [`RequestRecord`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    /// Each slot holds the claim sequence it was written under, so snapshots
+    /// can order records oldest → newest without trusting clocks.
+    slots: Vec<Mutex<Option<(u64, RequestRecord)>>>,
+    // Only the (cfg-gated) record path advances the cursor, so the `noop`
+    // build never reads it.
+    #[cfg_attr(feature = "noop", allow(dead_code))]
+    cursor: AtomicUsize,
+    recorded: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring retaining the most recent `capacity` records (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed (including those already overwritten).
+    /// Always 0 with the `noop` feature.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Push one record, overwriting the oldest once the ring is full.
+    #[inline]
+    pub fn record(&self, record: RequestRecord) {
+        #[cfg(not(feature = "noop"))]
+        {
+            let seq = self.recorded.fetch_add(1, Ordering::Relaxed);
+            let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+            *sync_lock(&self.slots[slot]) = Some((seq, record));
+        }
+        #[cfg(feature = "noop")]
+        let _ = record;
+    }
+
+    /// Every retained record, oldest → newest.
+    pub fn snapshot(&self) -> Vec<RequestRecord> {
+        let mut entries: Vec<(u64, RequestRecord)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| sync_lock(slot).clone())
+            .collect();
+        entries.sort_unstable_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, record)| record).collect()
+    }
+
+    /// The newest `n` retained records, oldest → newest.
+    pub fn recent(&self, n: usize) -> Vec<RequestRecord> {
+        let mut records = self.snapshot();
+        if records.len() > n {
+            records.drain(..records.len() - n);
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn record(id: u64, latency_us: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            route: "batch",
+            session: Some(1),
+            status: 200,
+            latency_us,
+            queue_us: 0,
+            ts_us: id,
+        }
+    }
+
+    #[test]
+    fn retains_the_most_recent_capacity_records() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            ring.record(record(i, i));
+        }
+        let snapshot = ring.snapshot();
+        if crate::enabled() {
+            assert_eq!(ring.recorded(), 10);
+            let ids: Vec<u64> = snapshot.iter().map(|r| r.id).collect();
+            assert_eq!(ids, vec![6, 7, 8, 9]);
+            assert_eq!(
+                ring.recent(2).iter().map(|r| r.id).collect::<Vec<_>>(),
+                [8, 9]
+            );
+        } else {
+            assert!(snapshot.is_empty());
+            assert_eq!(ring.recorded(), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_before_wrap() {
+        if !crate::enabled() {
+            return;
+        }
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 64;
+        let ring = Arc::new(FlightRecorder::new((THREADS * PER_THREAD) as usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        ring.record(record(t * PER_THREAD + i, i));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let mut ids: Vec<u64> = ring.snapshot().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..THREADS * PER_THREAD).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let ring = FlightRecorder::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(record(1, 5));
+        ring.record(record(2, 6));
+        if crate::enabled() {
+            assert_eq!(ring.snapshot().len(), 1);
+            assert_eq!(ring.snapshot()[0].id, 2);
+        }
+    }
+}

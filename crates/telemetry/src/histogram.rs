@@ -14,7 +14,9 @@
 //! snapshots (e.g. from different scrape intervals or processes) merge
 //! count-for-count.
 
-use crate::metrics::{thread_shard, PaddedU64, SHARDS};
+#[cfg(not(feature = "noop"))]
+use crate::metrics::thread_shard;
+use crate::metrics::{PaddedU64, SHARDS};
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 

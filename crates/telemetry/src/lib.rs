@@ -51,18 +51,31 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod flight;
 mod histogram;
 mod metrics;
 mod registry;
 mod span;
 pub mod trace;
+mod watchdog;
+mod window;
 
+pub use flight::{FlightRecorder, RequestRecord};
 pub use histogram::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, Timer, BUCKET_COUNT};
 pub use metrics::{Counter, Gauge};
 pub use registry::{CounterSample, GaugeSample, HistogramSample, Registry, RegistrySnapshot};
 pub use span::Span;
+pub use watchdog::Watchdog;
+pub use window::{delta_snapshot, merge_snapshots, WindowRing};
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Lock a mutex, recovering the guard if a panicking holder poisoned it.
+/// Telemetry state is always internally consistent (every write is a whole
+/// `Option` replacement), so poison carries no information here.
+pub(crate) fn sync_lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// True when the crate was built with recording enabled (the default). With
 /// the `noop` feature every recording operation compiles to nothing and

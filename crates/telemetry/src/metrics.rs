@@ -6,19 +6,25 @@
 //! sticks to one shard chosen round-robin at first use. Reads sum all
 //! shards; they are scrape-path only and can afford the walk.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(feature = "noop"))]
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Number of atomic shards per counter / histogram. Eight covers the worker
 /// counts this workspace runs with while keeping snapshots cheap.
 pub(crate) const SHARDS: usize = 8;
 
 /// One cache line's worth of counter so two shards never share a line.
-#[derive(Default)]
+#[derive(Debug, Default)]
 #[repr(align(64))]
 pub(crate) struct PaddedU64(pub(crate) AtomicU64);
 
+// Shard assignment only exists on the recording path, which the `noop`
+// feature compiles away entirely.
+#[cfg(not(feature = "noop"))]
 static NEXT_THREAD_SHARD: AtomicUsize = AtomicUsize::new(0);
 
+#[cfg(not(feature = "noop"))]
 thread_local! {
     static THREAD_SHARD: usize =
         NEXT_THREAD_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
@@ -28,6 +34,7 @@ thread_local! {
 /// time a thread records anything, so a pool of N workers spreads across
 /// `min(N, SHARDS)` distinct cache lines.
 #[inline]
+#[cfg(not(feature = "noop"))]
 pub(crate) fn thread_shard() -> usize {
     THREAD_SHARD.with(|s| *s)
 }
@@ -36,7 +43,7 @@ pub(crate) fn thread_shard() -> usize {
 ///
 /// With the `noop` feature all recording methods compile to nothing and
 /// [`Counter::get`] always returns 0.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Counter {
     shards: [PaddedU64; SHARDS],
 }
@@ -81,7 +88,7 @@ impl Counter {
 /// resource, so a single atomic suffices — there is no multi-writer hot
 /// path to shard. With the `noop` feature all recording methods compile to
 /// nothing and [`Gauge::get`] always returns 0.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Gauge {
     value: AtomicI64,
 }

@@ -1,0 +1,153 @@
+//! Event-loop watchdog: heartbeat tracking with stall counters and gauges.
+//!
+//! The server's readiness sweep is a single thread; if it stalls (a long
+//! sweep, a blocking syscall that should not block, scheduler starvation),
+//! every connection stalls with it — and the stall is invisible to request
+//! latency histograms because no request completes *during* it. The
+//! watchdog closes that gap: the swept loop calls [`Watchdog::beat`] every
+//! iteration, and a background task calls [`Watchdog::check`] on its own
+//! cadence. A gap above budget is counted and surfaced as gauges, so
+//! `/stats` and `/metrics` show "the event loop stalled, N times, worst
+//! case M µs" even when no request was in flight to observe it.
+//!
+//! The metric families, under a caller-chosen prefix (the server uses
+//! `server_loop`):
+//!
+//! | family | kind | meaning |
+//! |---|---|---|
+//! | `<prefix>_stalls_total` | counter | heartbeat gaps that exceeded budget |
+//! | `<prefix>_last_stall_us` | gauge | most recent over-budget gap |
+//! | `<prefix>_max_gap_us` | gauge | worst gap ever observed (stall or not) |
+//! | `<prefix>_heartbeats_total` | counter | total beats (liveness signal) |
+//!
+//! With the `noop` feature the counters and gauges record nothing, like the
+//! rest of the crate; beat/check bookkeeping stays (it is two relaxed
+//! atomic operations) so control flow is identical.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::{Counter, Gauge};
+use crate::trace::ts_us;
+
+/// Heartbeat tracker for a loop that must never stall. See the module docs.
+#[derive(Debug)]
+pub struct Watchdog {
+    /// `ts_us` of the most recent beat (0 before the first).
+    last_beat_us: AtomicU64,
+    /// Worst gap ever observed by `check`, in µs.
+    max_gap_us: AtomicU64,
+    stalls: Arc<Counter>,
+    heartbeats: Arc<Counter>,
+    last_stall_gauge: Arc<Gauge>,
+    max_gap_gauge: Arc<Gauge>,
+}
+
+impl Watchdog {
+    /// A watchdog registering its metric families under `prefix` in the
+    /// [global registry](crate::global).
+    pub fn new(prefix: &str) -> Self {
+        let registry = crate::global();
+        Self {
+            last_beat_us: AtomicU64::new(0),
+            max_gap_us: AtomicU64::new(0),
+            stalls: registry.counter(
+                &format!("{prefix}_stalls_total"),
+                &[],
+                "Heartbeat gaps that exceeded the stall budget",
+            ),
+            heartbeats: registry.counter(
+                &format!("{prefix}_heartbeats_total"),
+                &[],
+                "Heartbeats observed (liveness signal)",
+            ),
+            last_stall_gauge: registry.gauge(
+                &format!("{prefix}_last_stall_us"),
+                &[],
+                "Most recent over-budget heartbeat gap in microseconds",
+            ),
+            max_gap_gauge: registry.gauge(
+                &format!("{prefix}_max_gap_us"),
+                &[],
+                "Worst heartbeat gap ever observed in microseconds",
+            ),
+        }
+    }
+
+    /// Record one heartbeat. Called by the watched loop every iteration.
+    #[inline]
+    pub fn beat(&self) {
+        self.last_beat_us.store(ts_us(), Ordering::Relaxed);
+        self.heartbeats.inc();
+    }
+
+    /// Measure the gap since the last beat and record a stall when it
+    /// exceeds `budget_us`. Returns the over-budget gap, if any. Called by
+    /// the background watchdog task; before the first beat it returns `None`
+    /// (the loop has not started — that is a startup race, not a stall).
+    pub fn check(&self, budget_us: u64) -> Option<u64> {
+        let last = self.last_beat_us.load(Ordering::Relaxed);
+        if last == 0 {
+            return None;
+        }
+        let gap = ts_us().saturating_sub(last);
+        self.max_gap_us.fetch_max(gap, Ordering::Relaxed);
+        self.max_gap_gauge
+            .set(i64::try_from(self.max_gap_us.load(Ordering::Relaxed)).unwrap_or(i64::MAX));
+        if gap > budget_us {
+            self.stalls.inc();
+            self.last_stall_gauge
+                .set(i64::try_from(gap).unwrap_or(i64::MAX));
+            Some(gap)
+        } else {
+            None
+        }
+    }
+
+    /// Record an externally measured stall of `gap_us` — e.g. a sweep whose
+    /// own duration ran over budget, measured by the watched loop itself
+    /// rather than inferred from heartbeat gaps.
+    pub fn note_stall(&self, gap_us: u64) {
+        self.max_gap_us.fetch_max(gap_us, Ordering::Relaxed);
+        self.max_gap_gauge
+            .set(i64::try_from(self.max_gap_us.load(Ordering::Relaxed)).unwrap_or(i64::MAX));
+        self.stalls.inc();
+        self.last_stall_gauge
+            .set(i64::try_from(gap_us).unwrap_or(i64::MAX));
+    }
+
+    /// Total stalls counted so far (0 under the `noop` feature).
+    pub fn stall_count(&self) -> u64 {
+        self.stalls.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stall_before_the_first_beat() {
+        let watchdog = Watchdog::new("test_wd_startup");
+        assert_eq!(watchdog.check(0), None);
+    }
+
+    #[test]
+    fn gap_over_budget_counts_a_stall() {
+        let watchdog = Watchdog::new("test_wd_stall");
+        watchdog.beat();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // 5ms gap against a 1µs budget must register.
+        let gap = watchdog.check(1).expect("gap exceeds budget");
+        assert!(gap >= 1_000, "gap {gap}µs");
+        if crate::enabled() {
+            assert_eq!(watchdog.stall_count(), 1);
+        }
+        // A fresh beat resets the gap below any sane budget.
+        watchdog.beat();
+        assert_eq!(watchdog.check(1_000_000), None);
+        if crate::enabled() {
+            assert_eq!(watchdog.stall_count(), 1);
+        }
+    }
+}

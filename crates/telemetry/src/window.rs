@@ -1,0 +1,384 @@
+//! Rolling-window telemetry: a ring of per-interval delta snapshots.
+//!
+//! The cumulative registry answers "how many since boot"; a server under
+//! heavy traffic also needs "what was p99 over the last 10 seconds". The
+//! background publisher task calls [`WindowRing::rotate`] once per interval
+//! (nominally one second) with a fresh cumulative [`RegistrySnapshot`]; the
+//! ring keeps the *delta* against the previous rotation. A trailing window
+//! of `k` slots is then just the merge of the `k` newest deltas — counters
+//! add, histogram buckets add, gauges keep their most recent value — and
+//! quantiles/rates fall out of the merged histograms.
+//!
+//! Capture stays lock-free on the recording side: rotation reads the same
+//! sharded atomics every scrape does, so request threads never see the ring.
+//! The ring itself is mutated only by the single publisher task and read by
+//! scrape requests, behind whatever lock the host chooses (the server uses a
+//! plain `Mutex`; both paths are cold).
+//!
+//! ## Delta semantics
+//!
+//! * **Counters** subtract: a window counter is the number of increments in
+//!   that interval.
+//! * **Histograms** subtract bucket-for-bucket (and by `sum`); the window's
+//!   `max` is the cumulative max at rotation time when the interval recorded
+//!   anything, else 0 — an upper bound for intermediate windows and exact
+//!   once the interval containing the true maximum is inside the window.
+//! * **Gauges** are instantaneous, not flows: a delta slot carries the gauge
+//!   value *at rotation time*, and merging keeps the newest slot's value.
+//!
+//! Merging every slot of a ring that saw all traffic reproduces the flat
+//! cumulative snapshot exactly (count-for-count, sum-for-sum, max-for-max) —
+//! pinned by the `windows` proptest suite.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{CounterSample, HistogramSample, RegistrySnapshot};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+impl HistogramSnapshot {
+    /// The per-interval delta between this (cumulative) snapshot and an
+    /// earlier cumulative `previous`: bucket counts and sums subtract, and
+    /// `max` carries the cumulative max when the interval recorded anything
+    /// (see the module docs for why that is exact over a full ring).
+    pub fn delta_since(&self, previous: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut delta = HistogramSnapshot::default();
+        for (i, (cur, prev)) in self.buckets.iter().zip(previous.buckets.iter()).enumerate() {
+            delta.buckets[i] = cur.wrapping_sub(*prev);
+        }
+        delta.sum = self.sum.wrapping_sub(previous.sum);
+        delta.max = if delta.count() > 0 { self.max } else { 0 };
+        delta
+    }
+}
+
+/// Compute the delta registry snapshot `current - previous`.
+///
+/// Families present only in `current` (registered since the last rotation)
+/// contribute their full cumulative value; families that vanished (never
+/// happens with the global registry, which only grows) are dropped.
+pub fn delta_snapshot(current: &RegistrySnapshot, previous: &RegistrySnapshot) -> RegistrySnapshot {
+    /// A family's identity within one snapshot: `(name, labels)`.
+    type FamilyKey<'a> = (&'a str, &'a [(String, String)]);
+    let prev_counters: BTreeMap<FamilyKey<'_>, u64> = previous
+        .counters
+        .iter()
+        .map(|c| ((c.name.as_str(), c.labels.as_slice()), c.value))
+        .collect();
+    let prev_histograms: BTreeMap<FamilyKey<'_>, &HistogramSnapshot> = previous
+        .histograms
+        .iter()
+        .map(|h| ((h.name.as_str(), h.labels.as_slice()), &h.snapshot))
+        .collect();
+    RegistrySnapshot {
+        counters: current
+            .counters
+            .iter()
+            .map(|c| {
+                let prev = prev_counters
+                    .get(&(c.name.as_str(), c.labels.as_slice()))
+                    .copied()
+                    .unwrap_or(0);
+                CounterSample {
+                    value: c.value.wrapping_sub(prev),
+                    ..c.clone()
+                }
+            })
+            .collect(),
+        // Gauges are instantaneous: the slot carries the value as of this
+        // rotation, and merges keep the newest.
+        gauges: current.gauges.clone(),
+        histograms: current
+            .histograms
+            .iter()
+            .map(|h| {
+                let delta = match prev_histograms.get(&(h.name.as_str(), h.labels.as_slice())) {
+                    Some(prev) => h.snapshot.delta_since(prev),
+                    None => h.snapshot.clone(),
+                };
+                HistogramSample {
+                    snapshot: delta,
+                    ..h.clone()
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Merge delta snapshot `other` into `acc`. `other` must be the *newer* of
+/// the two slots: counters and histogram buckets add, gauges take `other`'s
+/// value (instantaneous, newest wins), families unknown to `acc` are
+/// appended.
+pub fn merge_snapshots(acc: &mut RegistrySnapshot, other: &RegistrySnapshot) {
+    for counter in &other.counters {
+        match acc
+            .counters
+            .iter_mut()
+            .find(|c| c.name == counter.name && c.labels == counter.labels)
+        {
+            Some(existing) => existing.value = existing.value.wrapping_add(counter.value),
+            None => acc.counters.push(counter.clone()),
+        }
+    }
+    for gauge in &other.gauges {
+        match acc
+            .gauges
+            .iter_mut()
+            .find(|g| g.name == gauge.name && g.labels == gauge.labels)
+        {
+            Some(existing) => existing.value = gauge.value,
+            None => acc.gauges.push(gauge.clone()),
+        }
+    }
+    for histogram in &other.histograms {
+        match acc
+            .histograms
+            .iter_mut()
+            .find(|h| h.name == histogram.name && h.labels == histogram.labels)
+        {
+            Some(existing) => existing.snapshot.merge(&histogram.snapshot),
+            None => acc.histograms.push(histogram.clone()),
+        }
+    }
+}
+
+/// A fixed-capacity ring of per-interval delta snapshots.
+///
+/// One writer (the background publisher) calls [`WindowRing::rotate`] per
+/// interval; readers call [`WindowRing::window`] for a merged trailing view.
+/// The ring holds `capacity` slots — at a one-second rotation cadence, 64
+/// slots cover every window up to a trailing minute.
+#[derive(Debug)]
+pub struct WindowRing {
+    capacity: usize,
+    /// Nominal slot duration; windows are addressed in slots but reported in
+    /// (approximate) covered milliseconds.
+    interval_ms: u64,
+    /// Oldest → newest delta slots.
+    slots: VecDeque<RegistrySnapshot>,
+    /// The cumulative snapshot of the previous rotation.
+    last_cumulative: Option<RegistrySnapshot>,
+    rotations: u64,
+}
+
+impl WindowRing {
+    /// A ring of `capacity` slots (clamped to ≥ 1) rotated every
+    /// `interval_ms` milliseconds (clamped to ≥ 1).
+    pub fn new(capacity: usize, interval_ms: u64) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            interval_ms: interval_ms.max(1),
+            slots: VecDeque::new(),
+            last_cumulative: None,
+            rotations: 0,
+        }
+    }
+
+    /// Number of slots the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Nominal slot duration in milliseconds.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Slots currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True before the first rotation.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total rotations since construction.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Push the delta since the previous rotation, evicting the oldest slot
+    /// when full. The first rotation's delta is the snapshot itself (delta
+    /// against an all-zero baseline), so pre-ring traffic is never lost.
+    pub fn rotate(&mut self, cumulative: RegistrySnapshot) {
+        let delta = match &self.last_cumulative {
+            Some(previous) => delta_snapshot(&cumulative, previous),
+            None => cumulative.clone(),
+        };
+        if self.slots.len() == self.capacity {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(delta);
+        self.last_cumulative = Some(cumulative);
+        self.rotations += 1;
+    }
+
+    /// The merged view over the trailing `slots` slots (clamped to what the
+    /// ring holds), plus the number of slots actually merged.
+    pub fn window(&self, slots: usize) -> (RegistrySnapshot, usize) {
+        let take = slots.clamp(1, self.capacity).min(self.slots.len());
+        let mut merged = RegistrySnapshot::default();
+        // Oldest → newest so gauge merges end on the newest value.
+        for slot in self.slots.iter().skip(self.slots.len() - take) {
+            merge_snapshots(&mut merged, slot);
+        }
+        (merged, take)
+    }
+
+    /// Convenience: the trailing window covering at least `ms` milliseconds
+    /// (rounded up to whole slots), plus the merged slot count.
+    pub fn window_ms(&self, ms: u64) -> (RegistrySnapshot, usize) {
+        let slots = ms.div_ceil(self.interval_ms).max(1);
+        self.window(usize::try_from(slots).unwrap_or(usize::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        registry
+            .counter("win_requests_total", &[("route", "a")], "requests")
+            .add(5);
+        registry.gauge("win_conns", &[], "connections").set(3);
+        registry.histogram("win_lat_us", &[], "latency").record(100);
+        registry
+    }
+
+    #[test]
+    fn first_rotation_carries_the_full_cumulative() {
+        if !crate::enabled() {
+            return;
+        }
+        let registry = sample_registry();
+        let mut ring = WindowRing::new(4, 1000);
+        ring.rotate(registry.snapshot());
+        let (window, merged) = ring.window(4);
+        assert_eq!(merged, 1);
+        assert_eq!(window.counters[0].value, 5);
+        assert_eq!(window.histograms[0].snapshot.count(), 1);
+    }
+
+    #[test]
+    fn deltas_subtract_and_windows_add_back() {
+        if !crate::enabled() {
+            return;
+        }
+        let registry = sample_registry();
+        let counter = registry.counter("win_requests_total", &[("route", "a")], "requests");
+        let histogram = registry.histogram("win_lat_us", &[], "latency");
+        let gauge = registry.gauge("win_conns", &[], "connections");
+        let mut ring = WindowRing::new(8, 1000);
+        ring.rotate(registry.snapshot());
+
+        counter.add(2);
+        histogram.record(200);
+        gauge.set(7);
+        ring.rotate(registry.snapshot());
+
+        // The newest slot alone holds only the second interval's flow.
+        let (latest, _) = ring.window(1);
+        let c = latest
+            .counters
+            .iter()
+            .find(|c| c.name == "win_requests_total")
+            .unwrap();
+        assert_eq!(c.value, 2);
+        let h = latest
+            .histograms
+            .iter()
+            .find(|h| h.name == "win_lat_us")
+            .unwrap();
+        assert_eq!(h.snapshot.count(), 1);
+        assert_eq!(h.snapshot.sum, 200);
+        // Gauges are instantaneous.
+        let g = latest
+            .gauges
+            .iter()
+            .find(|g| g.name == "win_conns")
+            .unwrap();
+        assert_eq!(g.value, 7);
+
+        // Both slots together reproduce the cumulative state.
+        let (both, merged) = ring.window(2);
+        assert_eq!(merged, 2);
+        let c = both
+            .counters
+            .iter()
+            .find(|c| c.name == "win_requests_total")
+            .unwrap();
+        assert_eq!(c.value, 7);
+        let h = both
+            .histograms
+            .iter()
+            .find(|h| h.name == "win_lat_us")
+            .unwrap();
+        assert_eq!(h.snapshot.count(), 2);
+        assert_eq!(h.snapshot.sum, 300);
+        assert_eq!(h.snapshot.max, 200);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_slot_at_capacity() {
+        if !crate::enabled() {
+            return;
+        }
+        let registry = Registry::new();
+        let counter = registry.counter("evict_total", &[], "n");
+        let mut ring = WindowRing::new(2, 1000);
+        for _ in 0..5 {
+            counter.inc();
+            ring.rotate(registry.snapshot());
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.rotations(), 5);
+        // Only the last two one-increment intervals remain.
+        let (window, merged) = ring.window(10);
+        assert_eq!(merged, 2);
+        assert_eq!(window.counters[0].value, 2);
+    }
+
+    #[test]
+    fn window_ms_rounds_up_to_whole_slots() {
+        let ring = WindowRing::new(64, 1000);
+        assert_eq!(ring.window_ms(10_000).1, 0); // empty ring: nothing merged
+        let mut ring = WindowRing::new(64, 250);
+        for _ in 0..10 {
+            ring.rotate(RegistrySnapshot::default());
+        }
+        // 1s at 250ms slots = 4 slots.
+        assert_eq!(ring.window_ms(1000).1, 4);
+        // Sub-slot windows clamp to one slot.
+        assert_eq!(ring.window_ms(1).1, 1);
+    }
+
+    #[test]
+    fn families_registered_mid_flight_enter_the_next_delta() {
+        if !crate::enabled() {
+            return;
+        }
+        let registry = Registry::new();
+        registry.counter("early_total", &[], "n").inc();
+        let mut ring = WindowRing::new(4, 1000);
+        ring.rotate(registry.snapshot());
+        registry.counter("late_total", &[], "n").add(9);
+        ring.rotate(registry.snapshot());
+        let (latest, _) = ring.window(1);
+        let late = latest
+            .counters
+            .iter()
+            .find(|c| c.name == "late_total")
+            .unwrap();
+        assert_eq!(late.value, 9);
+        let early = latest
+            .counters
+            .iter()
+            .find(|c| c.name == "early_total")
+            .unwrap();
+        assert_eq!(early.value, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Shape and equivalence tests for the exposition layer: every Prometheus
+//! family must carry `# HELP` / `# TYPE` headers, the histogram `_max` line
+//! must be the exact observed maximum (not a bucket bound), and merging a
+//! ring of per-second delta snapshots must reproduce the flat cumulative
+//! snapshot (the property `GET /stats?window=...` relies on).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tagging_telemetry::{Registry, WindowRing};
+
+/// Builds a registry exercising every sample kind: plain and labeled
+/// counters, a gauge, and two histogram families.
+fn sample_registry() -> Registry {
+    let registry = Registry::new();
+    let hits = registry.counter("req_total", &[("route", "batch")], "requests by route");
+    let misses = registry.counter("req_total", &[("route", "report")], "requests by route");
+    let depth = registry.gauge("queue_depth", &[], "queued jobs");
+    let lat = registry.histogram("lat_us", &[], "handler latency");
+    let wait = registry.histogram("wait_us", &[], "queue wait");
+    hits.add(3);
+    misses.inc();
+    depth.set(7);
+    lat.record(1000);
+    wait.record(42);
+    registry
+}
+
+/// Every sample line's family must be preceded by exactly one `# HELP` and
+/// one `# TYPE` header for that family, in that order, before any of the
+/// family's samples — the shape Prometheus scrapers and promtool expect.
+#[test]
+fn every_family_has_help_and_type_headers() {
+    let text = sample_registry().snapshot().to_prometheus();
+    let mut seen_help: Vec<String> = Vec::new();
+    let mut seen_type: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split(' ').next().unwrap().to_string();
+            assert!(
+                !seen_help.contains(&family),
+                "duplicate # HELP for {family}"
+            );
+            seen_help.push(family);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split(' ').next().unwrap().to_string();
+            assert!(
+                !seen_type.contains(&family),
+                "duplicate # TYPE for {family}"
+            );
+            assert_eq!(
+                seen_help.last(),
+                Some(&family),
+                "# TYPE {family} must directly follow its # HELP"
+            );
+            seen_type.push(family);
+        } else if !line.is_empty() {
+            // A sample line: `family`, `family{...}`, or a histogram-derived
+            // `family_bucket/_sum/_count/_max` series.
+            let series = line
+                .split([' ', '{'])
+                .next()
+                .expect("sample line has a name");
+            let family = ["_bucket", "_sum", "_count", "_max"]
+                .iter()
+                .find_map(|suffix| series.strip_suffix(suffix))
+                .unwrap_or(series);
+            assert!(
+                seen_type.iter().any(|f| f == family),
+                "sample `{line}` appears before its # TYPE header"
+            );
+        }
+    }
+    // Both kinds of headers exist for every family that rendered samples.
+    assert_eq!(seen_help, seen_type, "HELP and TYPE sets must match");
+    if tagging_telemetry::enabled() {
+        for family in ["req_total", "queue_depth", "lat_us", "wait_us"] {
+            assert!(
+                seen_type.iter().any(|f| f == family),
+                "family {family} missing from exposition"
+            );
+        }
+    }
+}
+
+/// The `_max` line must report the exact observed maximum. Recording 1000
+/// lands in the (512, 1024] bucket whose upper bound is 1023 — a rendering
+/// that derived max from bucket bounds would print 1023, not 1000.
+#[test]
+fn histogram_max_is_exact_not_a_bucket_bound() {
+    if !tagging_telemetry::enabled() {
+        return;
+    }
+    let registry = Registry::new();
+    let lat = registry.histogram("probe_us", &[], "probe latency");
+    lat.record(1000);
+    lat.record(17);
+    let text = registry.snapshot().to_prometheus();
+    assert!(
+        text.contains("probe_us_max 1000"),
+        "expected the true max 1000, got:\n{text}"
+    );
+    assert!(
+        !text.contains("probe_us_max 1023"),
+        "max must not degrade to the bucket upper bound:\n{text}"
+    );
+}
+
+proptest! {
+    /// Rotating a cumulative registry into per-second delta slots and
+    /// merging the whole ring back must reproduce the flat cumulative
+    /// snapshot exactly — counters sum, histograms (including `_max`)
+    /// merge, gauges resolve newest-wins to the current value. Rendering
+    /// both sides to Prometheus text compares every family in one shot.
+    #[test]
+    fn merged_window_ring_equals_flat_snapshot(
+        seconds in vec(
+            (vec(0u64..1_000_000, 0..40), 0u64..100, -50i64..50),
+            1..8,
+        ),
+    ) {
+        let registry = Registry::new();
+        let hits = registry.counter("w_req_total", &[("route", "batch")], "req");
+        let depth = registry.gauge("w_depth", &[], "depth");
+        let lat = registry.histogram("w_lat_us", &[], "latency");
+        let mut ring = WindowRing::new(seconds.len(), 1_000);
+        for (values, increments, level) in &seconds {
+            for &v in values {
+                lat.record(v);
+            }
+            hits.add(*increments);
+            depth.set(*level);
+            ring.rotate(registry.snapshot());
+        }
+        let (merged, covered) = ring.window(seconds.len());
+        prop_assert_eq!(covered, seconds.len());
+        prop_assert_eq!(
+            merged.to_prometheus(),
+            registry.snapshot().to_prometheus()
+        );
+    }
+}
