@@ -20,13 +20,18 @@
 //! * [`event`] — [`WalEvent`] / [`Registration`] / [`SessionState`] and
 //!   their codecs;
 //! * [`snapshot`] — atomic full-shard snapshot files;
-//! * [`store`] — [`PersistStore`]: per-shard segments, compaction, recovery.
+//! * [`store`] — [`PersistStore`]: configuration, shared state, recovery;
+//! * [`appender`] — the hot path: bounded appends + the group-commit gate;
+//! * [`compactor`] — background snapshot compaction and the `wal-flusher` /
+//!   `wal-compactor` scheduler tenants.
 //!
 //! [`session::LiveSession`]: tagging_sim::session::LiveSession
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod appender;
+pub mod compactor;
 pub mod crc;
 pub mod event;
 pub mod record;
@@ -34,5 +39,6 @@ pub mod snapshot;
 pub mod store;
 pub mod wire;
 
+pub use compactor::{spawn_maintenance, MaintenanceHandle, MaintenanceStatus};
 pub use event::{CorpusOrigin, Registration, SessionState, WalEvent};
 pub use store::{PersistOptions, PersistStore, RecoveredState};

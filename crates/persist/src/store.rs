@@ -12,30 +12,53 @@
 //! ```
 //!
 //! A shard's durable state is *snapshot ∘ WAL*: load the snapshot of the
-//! current generation, then replay the WAL of the same generation on top.
-//! Compaction advances the generation: write a new snapshot of the in-memory
-//! mirror (atomic tmp + rename), open a fresh empty WAL, then delete the old
-//! generation's files. A crash between any two of those steps leaves a
-//! recoverable directory — recovery picks the newest generation with a valid
-//! snapshot, ignores stale files, and tolerates a torn final WAL record by
-//! discarding the tail.
+//! current generation, then replay the WAL chain on top. Compaction advances
+//! the generation: open a fresh WAL, write a new snapshot of the in-memory
+//! mirror (atomic tmp + rename), then delete the older generations' files.
+//! A crash between any two of those steps leaves a recoverable directory —
+//! recovery picks the newest generation with a valid snapshot, replays
+//! *every* WAL generation at or above it in ascending order (the background
+//! compactor opens generation `N+1`'s WAL before snapshot `N+1` publishes,
+//! so events may legitimately be split across two WALs), ignores stale
+//! files, and tolerates a torn final record by discarding the tail.
+//!
+//! ## The two halves
+//!
+//! This module is the store's spine — configuration, open/recovery, the
+//! shared state. The work is split across:
+//!
+//! * [`crate::appender`] — the hot path: bounded appends and the
+//!   group-commit gate (`FlushPolicy::Group`);
+//! * [`crate::compactor`] — the background path: two-phase snapshot
+//!   compaction, the backlog queue, and the `wal-flusher` /
+//!   `wal-compactor` scheduler tenants ([`crate::compactor::spawn_maintenance`]).
 //!
 //! ## Concurrency
 //!
 //! One mutex per shard, mirroring the server's registry sharding: appends on
 //! different shards never contend, and the server appends *after* releasing
-//! the session lock, so the WAL mutex is never held under a shard lock.
+//! the session lock, so the WAL mutex is never held under a shard lock. The
+//! compactor takes the same per-shard mutex only to seal a segment; the
+//! snapshot write happens off-lock against a cloned mirror.
 
-use crate::event::{SessionState, WalEvent};
-use crate::record::{frame, scan, WAL_MAGIC};
+use crate::event::SessionState;
+use crate::record::{scan, WAL_MAGIC};
 use crate::snapshot;
-use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use tagging_runtime::{lock_unpoisoned, FlushPolicy};
 use tagging_telemetry::{Counter, Gauge, Histogram};
+
+use crate::appender::{
+    apply_to_mirror, open_wal, parse_generation, snap_path, sync_dir, wal_path, Shard, ShardCell,
+};
+use crate::compactor::remove_stale;
+use crate::event::WalEvent;
 
 /// Configuration of a [`PersistStore`].
 #[derive(Debug, Clone)]
@@ -49,17 +72,28 @@ pub struct PersistOptions {
     pub snapshot_every: u64,
     /// `fsync` policy of the append path.
     pub flush: FlushPolicy,
+    /// Cadence of the `wal-flusher` group-commit tenant, in milliseconds
+    /// (also sizes the appender's self-sync fallback deadline). Only
+    /// meaningful with [`FlushPolicy::Group`].
+    pub flush_interval_ms: u64,
+    /// Cadence of the `wal-compactor` tenant, in milliseconds. `0` disables
+    /// background maintenance and compacts inline on the append path (the
+    /// pre-maintenance behaviour, kept for comparison runs and tests).
+    pub compact_interval_ms: u64,
 }
 
 impl PersistOptions {
-    /// Options with the default cadence (snapshot every 1024 events per
-    /// shard) and flush policy for `shards` shards rooted at `data_dir`.
+    /// Options with the default cadences (snapshot every 1024 events per
+    /// shard, flusher every 5 ms, compactor every 25 ms) and flush policy
+    /// for `shards` shards rooted at `data_dir`.
     pub fn new(data_dir: impl Into<PathBuf>, shards: usize) -> Self {
         Self {
             data_dir: data_dir.into(),
             shards: shards.max(1),
             snapshot_every: 1024,
             flush: FlushPolicy::default(),
+            flush_interval_ms: 5,
+            compact_interval_ms: 25,
         }
     }
 }
@@ -71,7 +105,7 @@ pub struct RecoveredState {
     /// id. The caller rebuilds live sessions by replaying `events` onto a
     /// fresh session built from `registration`.
     pub sessions: Vec<(u64, SessionState)>,
-    /// True when every shard's WAL ended with a [`WalEvent::CleanShutdown`]
+    /// True when the WAL chain ended with a [`WalEvent::CleanShutdown`]
     /// marker (or held no events at all). Informational: recovery works the
     /// same either way.
     pub clean_shutdown: bool,
@@ -85,27 +119,43 @@ pub struct RecoveredState {
 /// trailing-window projection for free: `GET /stats?window=10s` reports
 /// `persist_wal_appends_total_per_s` (the live WAL append rate) and windowed
 /// fsync/append latency quantiles without the store knowing windows exist.
-struct StoreMetrics {
+pub(crate) struct StoreMetrics {
     /// `persist_wal_append_us`: time to mirror + frame + write one event.
-    wal_append_us: Arc<Histogram>,
+    pub(crate) wal_append_us: Arc<Histogram>,
     /// `persist_wal_fsync_us`: time of each device sync on the append path.
-    wal_fsync_us: Arc<Histogram>,
+    pub(crate) wal_fsync_us: Arc<Histogram>,
     /// `persist_wal_appends_total` / `persist_wal_append_bytes_total`.
-    wal_appends: Arc<Counter>,
-    wal_append_bytes: Arc<Counter>,
+    pub(crate) wal_appends: Arc<Counter>,
+    pub(crate) wal_append_bytes: Arc<Counter>,
     /// `persist_wal_fsyncs_total`.
-    wal_fsyncs: Arc<Counter>,
+    pub(crate) wal_fsyncs: Arc<Counter>,
     /// `persist_snapshot_write_us`: full compaction (snapshot + WAL swap +
     /// stale cleanup) duration.
-    snapshot_write_us: Arc<Histogram>,
+    pub(crate) snapshot_write_us: Arc<Histogram>,
     /// `persist_snapshots_total` / `persist_snapshot_bytes_total`.
-    snapshots: Arc<Counter>,
-    snapshot_bytes: Arc<Counter>,
+    pub(crate) snapshots: Arc<Counter>,
+    pub(crate) snapshot_bytes: Arc<Counter>,
+    /// `persist_compactions_total`: segment compactions completed.
+    pub(crate) compactions: Arc<Counter>,
+    /// `persist_compaction_backlog_events`: events in segments queued for
+    /// the background compactor.
+    pub(crate) compaction_backlog: Arc<Gauge>,
+    /// `persist_group_commit_batch`: appends released per shared fsync.
+    pub(crate) group_batch: Arc<Histogram>,
+    /// `persist_flush_wait_us`: time an append spent parked on the
+    /// group-commit gate.
+    pub(crate) flush_wait_us: Arc<Histogram>,
+    /// `persist_stale_files_deleted_total`: stale generation files removed.
+    pub(crate) stale_deleted: Arc<Counter>,
+    /// `persist_compactor_errors_total` / `persist_flusher_errors_total`:
+    /// maintenance ticks that failed (the shard is retried, never dropped).
+    pub(crate) compactor_errors: Arc<Counter>,
+    pub(crate) flusher_errors: Arc<Counter>,
     /// Recovery stats, set once per open: sessions and events rebuilt, and a
     /// counter of opens that found no clean-shutdown marker.
-    recovered_sessions: Arc<Gauge>,
-    recovered_events: Arc<Gauge>,
-    unclean_recoveries: Arc<Counter>,
+    pub(crate) recovered_sessions: Arc<Gauge>,
+    pub(crate) recovered_events: Arc<Gauge>,
+    pub(crate) unclean_recoveries: Arc<Counter>,
 }
 
 impl StoreMetrics {
@@ -148,6 +198,41 @@ impl StoreMetrics {
                 &[],
                 "Snapshot bytes written",
             ),
+            compactions: registry.counter(
+                "persist_compactions_total",
+                &[],
+                "Segment compactions completed (inline or by the wal-compactor tenant)",
+            ),
+            compaction_backlog: registry.gauge(
+                "persist_compaction_backlog_events",
+                &[],
+                "Events in segments queued for background compaction",
+            ),
+            group_batch: registry.histogram(
+                "persist_group_commit_batch",
+                &[],
+                "Appends released per shared group-commit fsync",
+            ),
+            flush_wait_us: registry.histogram(
+                "persist_flush_wait_us",
+                &[],
+                "Time an append waited on the group-commit gate in microseconds",
+            ),
+            stale_deleted: registry.counter(
+                "persist_stale_files_deleted_total",
+                &[],
+                "Stale generation files deleted by compaction",
+            ),
+            compactor_errors: registry.counter(
+                "persist_compactor_errors_total",
+                &[],
+                "Background compaction attempts that failed (and were re-queued)",
+            ),
+            flusher_errors: registry.counter(
+                "persist_flusher_errors_total",
+                &[],
+                "wal-flusher ticks whose shared fsync failed",
+            ),
             recovered_sessions: registry.gauge(
                 "persist_recovered_sessions",
                 &[],
@@ -167,86 +252,8 @@ impl StoreMetrics {
     }
 }
 
-struct Shard {
-    dir: PathBuf,
-    generation: u64,
-    wal: File,
-    /// Records appended since the last fsync (drives [`FlushPolicy`]).
-    appended_since_sync: u64,
-    /// Events appended since the last snapshot (drives compaction).
-    events_in_segment: u64,
-    /// In-memory mirror of the shard's durable state — the source of the
-    /// next snapshot, so compaction never re-reads the log.
-    sessions: HashMap<u64, SessionState>,
-}
-
-fn wal_path(dir: &Path, generation: u64) -> PathBuf {
-    dir.join(format!("wal-{generation:010}.log"))
-}
-
-fn snap_path(dir: &Path, generation: u64) -> PathBuf {
-    dir.join(format!("snap-{generation:010}.snap"))
-}
-
-/// Parse `prefix-<generation>.<ext>` back out of a file name.
-fn parse_generation(name: &str, prefix: &str, ext: &str) -> Option<u64> {
-    name.strip_prefix(prefix)?
-        .strip_suffix(ext)?
-        .parse::<u64>()
-        .ok()
-}
-
-fn sync_dir(dir: &Path) -> io::Result<()> {
-    File::open(dir)?.sync_data()
-}
-
-fn open_wal(path: &Path, create_magic: bool) -> io::Result<File> {
-    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-    if create_magic {
-        file.write_all(WAL_MAGIC)?;
-        file.sync_data()?;
-    }
-    Ok(file)
-}
-
-/// Apply one WAL event to a shard mirror. `strict` makes an event for an
-/// unknown session an error (the append path guarantees ordering); recovery
-/// passes `false` and skips such debris.
-fn apply_to_mirror(
-    sessions: &mut HashMap<u64, SessionState>,
-    event: &WalEvent,
-    strict: bool,
-) -> io::Result<()> {
-    match event {
-        WalEvent::Register {
-            session,
-            registration,
-        } => {
-            sessions.insert(
-                *session,
-                SessionState {
-                    registration: registration.clone(),
-                    events: Vec::new(),
-                },
-            );
-        }
-        WalEvent::Session { session, event } => match sessions.get_mut(session) {
-            Some(state) => state.events.push(event.clone()),
-            None if strict => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!("WAL event for unregistered session {session}"),
-                ))
-            }
-            None => {}
-        },
-        WalEvent::CleanShutdown => {}
-    }
-    Ok(())
-}
-
 /// Recover one shard directory. Returns the rebuilt mirror, the highest
-/// generation seen on disk, and whether the WAL ended cleanly.
+/// generation seen on disk, and whether the WAL chain ended cleanly.
 fn recover_shard(dir: &Path) -> io::Result<(HashMap<u64, SessionState>, u64, bool)> {
     let mut snap_gens: Vec<u64> = Vec::new();
     let mut wal_gens: Vec<u64> = Vec::new();
@@ -269,8 +276,9 @@ fn recover_shard(dir: &Path) -> io::Result<(HashMap<u64, SessionState>, u64, boo
         .unwrap_or(0);
 
     // Newest generation with a *valid* snapshot wins; a corrupt or torn
-    // snapshot (impossible under atomic rename, but disks disagree) falls
-    // back to the previous generation, whose WAL still holds its events.
+    // snapshot (a kill mid-publish, before the atomic rename's directory
+    // entry is durable) falls back to the previous generation, whose WAL
+    // still holds its events.
     let mut sessions = HashMap::new();
     let mut base = None;
     for &generation in snap_gens.iter().rev() {
@@ -280,45 +288,67 @@ fn recover_shard(dir: &Path) -> io::Result<(HashMap<u64, SessionState>, u64, boo
             break;
         }
     }
-    // The WAL to replay is the one of the base generation. Without any valid
-    // snapshot, the newest WAL is all there is.
-    let replay_gen = base.or(wal_gens.last().copied());
+    // Replay every WAL generation at or above the base, oldest first. The
+    // background compactor opens generation N+1's WAL *before* snapshot N+1
+    // publishes, so a kill in that window legitimately leaves the shard's
+    // events split across wal-N (sealed) and wal-N+1 (fresh appends) with
+    // snap-N as the newest valid snapshot — the chain replay loses neither
+    // half. Without any valid snapshot, the WAL chain is all there is.
+    let replay: Vec<u64> = match base {
+        Some(base) => wal_gens.iter().copied().filter(|g| *g >= base).collect(),
+        None => wal_gens,
+    };
     let mut clean = true;
-    if let Some(generation) = replay_gen {
+    let mut last_was_marker = true;
+    for generation in replay {
         let path = wal_path(dir, generation);
-        if path.exists() {
-            let bytes = fs::read(&path)?;
-            let segment = scan(&bytes, WAL_MAGIC);
-            let mut last_was_marker = true;
-            for payload in &segment.records {
-                match WalEvent::decode(payload) {
-                    Ok(event) => {
-                        last_was_marker = matches!(event, WalEvent::CleanShutdown);
-                        apply_to_mirror(&mut sessions, &event, false)?;
-                    }
-                    // A CRC-valid but undecodable record is format skew;
-                    // treat it like a torn tail and stop replaying.
-                    Err(_) => {
-                        last_was_marker = false;
-                        break;
-                    }
+        if !path.exists() {
+            continue;
+        }
+        let bytes = fs::read(&path)?;
+        let segment = scan(&bytes, WAL_MAGIC);
+        for payload in &segment.records {
+            match WalEvent::decode(payload) {
+                Ok(event) => {
+                    last_was_marker = matches!(event, WalEvent::CleanShutdown);
+                    apply_to_mirror(&mut sessions, &event, false)?;
+                }
+                // A CRC-valid but undecodable record is format skew;
+                // treat it like a torn tail and stop replaying this segment.
+                Err(_) => {
+                    last_was_marker = false;
+                    break;
                 }
             }
-            clean = segment.is_clean() && last_was_marker;
         }
+        clean &= segment.is_clean();
     }
+    clean &= last_was_marker;
     Ok((sessions, top, clean))
 }
 
 /// The durable store: per-shard WAL segments with snapshot compaction.
 ///
 /// See the module docs for the layout and recovery rules. All methods are
-/// `&self`; each shard serializes its own appends behind its own mutex.
+/// `&self`; each shard serializes its own appends behind its own mutex. The
+/// append path lives in [`crate::appender`], compaction and the maintenance
+/// tenants in [`crate::compactor`].
 pub struct PersistStore {
-    shards: Box<[Mutex<Shard>]>,
-    snapshot_every: u64,
-    flush: FlushPolicy,
-    metrics: StoreMetrics,
+    pub(crate) shards: Box<[ShardCell]>,
+    pub(crate) snapshot_every: u64,
+    pub(crate) flush: FlushPolicy,
+    /// `wal-flusher` tenant period.
+    pub(crate) flush_interval: Duration,
+    /// `wal-compactor` tenant period; zero = inline compaction.
+    pub(crate) compact_interval: Duration,
+    /// How long a group-commit waiter parks before syncing on its own.
+    pub(crate) group_wait_timeout: Duration,
+    /// Shard indices awaiting background compaction, in marking order.
+    pub(crate) backlog: Mutex<VecDeque<usize>>,
+    /// Segment compactions completed since open (plain atomic so status
+    /// reporting works identically under `telemetry-noop`).
+    pub(crate) compactions: AtomicU64,
+    pub(crate) metrics: StoreMetrics,
 }
 
 impl PersistStore {
@@ -349,16 +379,19 @@ impl PersistStore {
             metrics.snapshots.inc();
             metrics.snapshot_bytes.add(written);
             let wal = open_wal(&wal_path(&dir, generation), true)?;
-            remove_stale(&dir, generation)?;
+            remove_stale(&dir, generation, &metrics)?;
             sync_dir(&dir)?;
 
             recovered.extend(sessions.iter().map(|(id, state)| (*id, state.clone())));
-            shards.push(Mutex::new(Shard {
+            shards.push(ShardCell::new(Shard {
                 dir,
                 generation,
                 wal,
                 appended_since_sync: 0,
                 events_in_segment: 0,
+                appended_total: 0,
+                synced_total: 0,
+                compaction_pending: false,
                 sessions,
             }));
         }
@@ -370,11 +403,20 @@ impl PersistStore {
         if !clean_shutdown {
             metrics.unclean_recoveries.inc();
         }
+        let flush_interval = Duration::from_millis(options.flush_interval_ms.max(1));
         Ok((
             Self {
                 shards: shards.into_boxed_slice(),
                 snapshot_every,
                 flush: options.flush,
+                flush_interval,
+                compact_interval: Duration::from_millis(options.compact_interval_ms),
+                // Generous multiple of the flusher cadence: the fallback is
+                // for a missing or wedged tenant, not a slow tick.
+                group_wait_timeout: (flush_interval * 20)
+                    .clamp(Duration::from_millis(50), Duration::from_secs(1)),
+                backlog: Mutex::new(VecDeque::new()),
+                compactions: AtomicU64::new(0),
                 metrics,
             },
             RecoveredState {
@@ -389,102 +431,18 @@ impl PersistStore {
         self.shards.len()
     }
 
-    /// Append one event to `shard`'s WAL and mirror. The record is written
-    /// and flushed to the OS before this returns (so it survives a process
-    /// kill); device sync follows the configured [`FlushPolicy`].
-    pub fn append(&self, shard: usize, event: &WalEvent) -> io::Result<()> {
-        let mut guard = lock_unpoisoned(&self.shards[shard % self.shards.len()]);
-        let append_timer = self.metrics.wal_append_us.start_timer();
-        apply_to_mirror(&mut guard.sessions, event, true)?;
-        let framed = frame(&event.encode());
-        guard.wal.write_all(&framed)?;
-        drop(append_timer);
-        self.metrics.wal_appends.inc();
-        self.metrics.wal_append_bytes.add(framed.len() as u64);
-        guard.appended_since_sync += 1;
-        if self.flush.should_sync(guard.appended_since_sync) {
-            let _fsync_timer = self.metrics.wal_fsync_us.start_timer();
-            FlushPolicy::sync(&guard.wal)?;
-            self.metrics.wal_fsyncs.inc();
-            guard.appended_since_sync = 0;
-        }
-        guard.events_in_segment += 1;
-        if guard.events_in_segment >= self.snapshot_every {
-            rotate(&mut guard, &self.metrics)?;
-        }
-        Ok(())
-    }
-
-    /// Force a compaction of every shard (snapshot + fresh WAL) regardless of
-    /// cadence. Used by tests; the server relies on the cadence.
-    pub fn compact(&self) -> io::Result<()> {
-        for shard in self.shards.iter() {
-            rotate(&mut lock_unpoisoned(shard), &self.metrics)?;
-        }
-        Ok(())
-    }
-
-    /// Append a [`WalEvent::CleanShutdown`] marker to every shard and fsync,
-    /// regardless of flush policy. Call after the server has drained.
-    pub fn shutdown(&self) -> io::Result<()> {
-        for shard in self.shards.iter() {
-            let mut guard = lock_unpoisoned(shard);
-            guard
-                .wal
-                .write_all(&frame(&WalEvent::CleanShutdown.encode()))?;
-            let _fsync_timer = self.metrics.wal_fsync_us.start_timer();
-            FlushPolicy::sync(&guard.wal)?;
-            self.metrics.wal_fsyncs.inc();
-            guard.appended_since_sync = 0;
-        }
-        Ok(())
+    /// The configured flush policy.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.flush
     }
 
     /// Total persisted sessions across all shards (test/diagnostic helper).
     pub fn session_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|shard| lock_unpoisoned(shard).sessions.len())
+            .map(|cell| lock_unpoisoned(&cell.state).sessions.len())
             .sum()
     }
-}
-
-/// Advance `shard` one generation: snapshot the mirror, open a fresh WAL,
-/// delete the previous generation's files.
-fn rotate(shard: &mut Shard, metrics: &StoreMetrics) -> io::Result<()> {
-    let _compact_timer = metrics.snapshot_write_us.start_timer();
-    let next = shard.generation + 1;
-    let written = snapshot::write_atomic(&snap_path(&shard.dir, next), &shard.sessions)?;
-    metrics.snapshots.inc();
-    metrics.snapshot_bytes.add(written);
-    let wal = open_wal(&wal_path(&shard.dir, next), true)?;
-    shard.wal = wal;
-    shard.generation = next;
-    shard.appended_since_sync = 0;
-    shard.events_in_segment = 0;
-    remove_stale(&shard.dir, next)?;
-    sync_dir(&shard.dir)
-}
-
-/// Delete every snapshot/WAL file of a generation other than `keep`, plus
-/// leftover `.tmp` files from interrupted snapshot writes.
-fn remove_stale(dir: &Path, keep: u64) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        let stale = match (
-            parse_generation(name, "snap-", ".snap"),
-            parse_generation(name, "wal-", ".log"),
-        ) {
-            (Some(generation), _) | (_, Some(generation)) => generation != keep,
-            _ => name.ends_with(".tmp"),
-        };
-        if stale {
-            fs::remove_file(entry.path())?;
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -509,12 +467,17 @@ mod tests {
         }
     }
 
+    /// Inline-compaction options: the legacy behaviour the original tests
+    /// pinned (background maintenance has its own tests in
+    /// `tests/maintenance.rs` and `tests/compactor_race.rs`).
     fn options(dir: &Path) -> PersistOptions {
         PersistOptions {
             data_dir: dir.to_path_buf(),
             shards: 2,
             snapshot_every: 4,
             flush: FlushPolicy::Never,
+            flush_interval_ms: 5,
+            compact_interval_ms: 0,
         }
     }
 
@@ -532,6 +495,7 @@ mod tests {
         assert!(recovered.sessions.is_empty());
         assert!(recovered.clean_shutdown);
         assert_eq!(store.shard_count(), 2);
+        assert!(!store.background());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -612,6 +576,9 @@ mod tests {
                 )
                 .unwrap();
         }
+        let status = store.maintenance_status();
+        assert!(status.compactions >= 1, "{status:?}");
+        assert_eq!(status.backlog_events, 0);
         let shard_dir = dir.join("shard-000");
         let names: Vec<String> = fs::read_dir(&shard_dir)
             .unwrap()
@@ -646,6 +613,64 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_wal_chain_split_across_generations_replays_in_order() {
+        // Simulate a kill between the compactor's seal and publish phases:
+        // events split across wal-N (sealed) and wal-N+1, snap-N+1 missing.
+        let dir = temp_dir("chain");
+        {
+            let (store, _) = PersistStore::open(&options(&dir)).unwrap();
+            store
+                .append(
+                    0,
+                    &WalEvent::Register {
+                        session: 3,
+                        registration: registration(3),
+                    },
+                )
+                .unwrap();
+            store
+                .append(
+                    0,
+                    &WalEvent::Session {
+                        session: 3,
+                        event: SessionEvent::Lease { k: 2 },
+                    },
+                )
+                .unwrap();
+        }
+        // Hand-create the next generation's WAL holding a later event, as
+        // the sealed-but-unpublished window would leave it.
+        let shard_dir = dir.join("shard-000");
+        let generation = fs::read_dir(&shard_dir)
+            .unwrap()
+            .filter_map(|e| {
+                parse_generation(e.unwrap().file_name().to_str().unwrap(), "wal-", ".log")
+            })
+            .max()
+            .unwrap();
+        let mut wal = open_wal(&wal_path(&shard_dir, generation + 1), true).unwrap();
+        use std::io::Write as _;
+        wal.write_all(&crate::record::frame(
+            &WalEvent::Session {
+                session: 3,
+                event: SessionEvent::Lease { k: 9 },
+            }
+            .encode(),
+        ))
+        .unwrap();
+        drop(wal);
+
+        let (_, recovered) = PersistStore::open(&options(&dir)).unwrap();
+        assert_eq!(recovered.sessions.len(), 1);
+        assert_eq!(
+            recovered.sessions[0].1.events,
+            vec![SessionEvent::Lease { k: 2 }, SessionEvent::Lease { k: 9 }],
+            "the sealed WAL and the next generation's WAL must both replay, in order"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 }

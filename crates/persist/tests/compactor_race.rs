@@ -1,0 +1,158 @@
+//! The compactor-vs-appender race, pinned by property: a maintenance thread
+//! hammering `compact_tick` / `flush_tick` (exactly what the `wal-compactor`
+//! and `wal-flusher` tenants execute) while the test appends an arbitrary
+//! valid event sequence must never lose or reorder an event — the journal
+//! recovered after a reopen is identical to the journal that was appended.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use tagging_persist::{
+    CorpusOrigin, PersistOptions, PersistStore, Registration, SessionState, WalEvent,
+};
+use tagging_runtime::FlushPolicy;
+use tagging_sim::session::{CompletionReport, SessionEvent};
+
+/// SplitMix64 — derives event payloads from one proptest-chosen seed.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn registration_from(seed: u64) -> Registration {
+    Registration {
+        strategy: ["FP", "RR", "MU", "FP-MU", "FC"][(mix(seed ^ 5) % 5) as usize].to_string(),
+        budget: mix(seed ^ 6) % 1_000_000,
+        omega: mix(seed ^ 7) % 50,
+        seed: mix(seed ^ 8),
+        source: CorpusOrigin::Generate {
+            resources: mix(seed ^ 2) % 1000,
+            seed: mix(seed ^ 3),
+        },
+        stability_window: mix(seed ^ 9) % 100,
+        stability_tau: (mix(seed ^ 10) % 1000) as f64 / 1000.0,
+        under_tagged_threshold: mix(seed ^ 11) % 100,
+    }
+}
+
+fn session_event_from(kind: u8, seed: u64) -> SessionEvent {
+    if kind.is_multiple_of(2) {
+        SessionEvent::Lease {
+            k: (mix(seed) % 10_000) as usize,
+        }
+    } else {
+        let count = mix(seed ^ 12) % 4;
+        SessionEvent::Report {
+            reports: (0..count)
+                .map(|i| {
+                    let r = mix(seed ^ (100 + i));
+                    CompletionReport {
+                        task_id: r % 1_000_000,
+                        tags: r
+                            .is_multiple_of(2)
+                            .then(|| (0..(r % 3 + 1)).map(|t| format!("t-{t}")).collect()),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A process-unique scratch directory per proptest case.
+fn case_dir() -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "tagging-persist-race-{}-{case}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    // Each case spawns threads; a modest count keeps the suite quick while
+    // still sweeping cadence × policy × sequence shapes.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compactor_racing_appender_never_loses_or_reorders_events(
+        specs in proptest::collection::vec((0u8..8, 0u64..5, 0u64..u64::MAX), 1..120),
+        snapshot_every in 1u64..6,
+        group in 0u8..2,
+    ) {
+        let group = group == 1;
+        let dir = case_dir();
+        let options = PersistOptions {
+            data_dir: dir.clone(),
+            shards: 1,
+            snapshot_every,
+            flush: if group { FlushPolicy::Group } else { FlushPolicy::Never },
+            flush_interval_ms: 1,
+            compact_interval_ms: 1,
+        };
+        let (store, _) = PersistStore::open(&options).unwrap();
+        let store = Arc::new(store);
+
+        // The maintenance thread runs the tenants' tick functions as fast as
+        // it can — a far harsher interleaving than the periodic scheduler.
+        let stop = Arc::new(AtomicBool::new(false));
+        let maintenance = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    store.compact_tick();
+                    store.flush_tick();
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        // Append a derived valid sequence (Register always precedes Session
+        // events for an id) while mirroring the expected journal.
+        let mut expected: HashMap<u64, SessionState> = HashMap::new();
+        for (kind, session, seed) in specs {
+            let event = if kind % 4 == 0 || !expected.contains_key(&session) {
+                WalEvent::Register {
+                    session,
+                    registration: registration_from(seed),
+                }
+            } else {
+                WalEvent::Session {
+                    session,
+                    event: session_event_from(kind, seed),
+                }
+            };
+            match &event {
+                WalEvent::Register { session, registration } => {
+                    expected.insert(*session, SessionState {
+                        registration: registration.clone(),
+                        events: Vec::new(),
+                    });
+                }
+                WalEvent::Session { session, event } => {
+                    expected.get_mut(session).unwrap().events.push(event.clone());
+                }
+                WalEvent::CleanShutdown => {}
+            }
+            store.append(0, &event).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        maintenance.join().unwrap();
+
+        // Reopen: the recovered journal must be the appended journal —
+        // every session, every event, in order.
+        drop(store);
+        let (_, recovered) = PersistStore::open(&options).unwrap();
+        let mut want: Vec<(u64, SessionState)> = expected.into_iter().collect();
+        want.sort_by_key(|(id, _)| *id);
+        prop_assert_eq!(recovered.sessions, want);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

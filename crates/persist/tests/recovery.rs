@@ -193,6 +193,8 @@ fn store_options(dir: &Path) -> PersistOptions {
         shards: 1,
         snapshot_every: 1_000,
         flush: FlushPolicy::Never,
+        flush_interval_ms: 5,
+        compact_interval_ms: 0,
     }
 }
 

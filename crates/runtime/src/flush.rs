@@ -15,9 +15,17 @@
 //! * [`FlushPolicy::Never`] — never `fsync` on the append path (explicit
 //!   sync points such as snapshots and clean shutdown still sync); the
 //!   process-crash guarantee only.
+//! * [`FlushPolicy::Group`] — group commit: the append path never syncs by
+//!   itself; appends wait on a shared fsync ticket issued by a periodic
+//!   flusher, so N concurrent writers amortize one device sync. Same
+//!   durability as [`FlushPolicy::Always`] from the caller's point of view
+//!   (the acknowledgement is only released once the record is on the
+//!   device), bounded extra latency of one flusher interval.
 //!
 //! The policy is a pure decision function plus a parser, so the WAL code
-//! stays a mechanical "append, flush, ask the policy" loop.
+//! stays a mechanical "append, flush, ask the policy" loop. `Group` is the
+//! one policy where the *log* owns extra machinery (the ticket gate); the
+//! policy itself just reports `should_sync == false` and lets the gate run.
 
 use std::fs::File;
 use std::io;
@@ -31,6 +39,9 @@ pub enum FlushPolicy {
     EveryN(u64),
     /// Never `fsync` on the append path.
     Never,
+    /// Group commit: appends block on a shared fsync ticket; a periodic
+    /// flusher issues one sync for every waiter that queued since the last.
+    Group,
 }
 
 impl Default for FlushPolicy {
@@ -47,17 +58,20 @@ impl std::fmt::Display for FlushPolicy {
             FlushPolicy::Always => write!(f, "always"),
             FlushPolicy::EveryN(n) => write!(f, "every:{n}"),
             FlushPolicy::Never => write!(f, "never"),
+            FlushPolicy::Group => write!(f, "group"),
         }
     }
 }
 
 impl FlushPolicy {
-    /// Parses `"always"`, `"never"` or `"every:N"` (N ≥ 1). `every:1` is
-    /// normalized to [`FlushPolicy::Always`].
+    /// Parses `"always"`, `"never"`, `"group"` (alias `"group-commit"`) or
+    /// `"every:N"` (N ≥ 1). `every:1` is normalized to
+    /// [`FlushPolicy::Always`].
     pub fn parse(text: &str) -> Option<Self> {
         match text.trim() {
             "always" => Some(FlushPolicy::Always),
             "never" => Some(FlushPolicy::Never),
+            "group" | "group-commit" => Some(FlushPolicy::Group),
             other => {
                 let n = other.strip_prefix("every:")?.parse::<u64>().ok()?;
                 if n == 0 {
@@ -73,11 +87,15 @@ impl FlushPolicy {
 
     /// True when the log should `fsync` now, given how many records have been
     /// appended since the last sync (including the one just written).
+    ///
+    /// [`FlushPolicy::Group`] answers `false`: the append path does not sync
+    /// inline — the log's group-commit gate decides when the shared sync
+    /// happens and when the waiting appends are released.
     pub fn should_sync(&self, appended_since_sync: u64) -> bool {
         match self {
             FlushPolicy::Always => true,
             FlushPolicy::EveryN(n) => appended_since_sync >= *n,
-            FlushPolicy::Never => false,
+            FlushPolicy::Never | FlushPolicy::Group => false,
         }
     }
 
@@ -105,6 +123,8 @@ mod tests {
             FlushPolicy::parse(" every:2 "),
             Some(FlushPolicy::EveryN(2))
         );
+        assert_eq!(FlushPolicy::parse("group"), Some(FlushPolicy::Group));
+        assert_eq!(FlushPolicy::parse("group-commit"), Some(FlushPolicy::Group));
         assert_eq!(FlushPolicy::parse("every:1"), Some(FlushPolicy::Always));
         assert_eq!(FlushPolicy::parse("every:0"), None);
         assert_eq!(FlushPolicy::parse("sometimes"), None);
@@ -121,6 +141,8 @@ mod tests {
         assert!(FlushPolicy::Always.should_sync(1));
         assert!(FlushPolicy::Always.should_sync(100));
         assert!(!FlushPolicy::Never.should_sync(1_000_000));
+        assert!(!FlushPolicy::Group.should_sync(1));
+        assert!(!FlushPolicy::Group.should_sync(1_000_000));
         let every = FlushPolicy::EveryN(8);
         assert!(!every.should_sync(7));
         assert!(every.should_sync(8));
@@ -132,6 +154,7 @@ mod tests {
         for policy in [
             FlushPolicy::Always,
             FlushPolicy::Never,
+            FlushPolicy::Group,
             FlushPolicy::EveryN(32),
         ] {
             assert_eq!(FlushPolicy::parse(&policy.to_string()), Some(policy));

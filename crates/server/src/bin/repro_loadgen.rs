@@ -37,6 +37,11 @@
 //! * `--data-dir DIR` — run the in-process server with durable sessions
 //!   (WAL + snapshots) under `DIR`; recorded as `durability: "wal"` in the
 //!   report entry so WAL-on and WAL-off throughput can be compared;
+//! * `--snapshot-every N` / `--fsync POLICY` / `--flush-interval-ms N` /
+//!   `--compact-interval-ms N` — forwarded to the store (and to the daemon
+//!   in crash mode) exactly as `tagging_server` takes them; the effective
+//!   flush policy is recorded as `flush_mode` in the report entry, so
+//!   `always` and `group` runs can be compared line against line;
 //! * `--crash-after N` — the crash-recovery harness: spawn the
 //!   `tagging_server` *daemon* as a child process on `--data-dir`, SIGKILL
 //!   it after N requests mid-drive, restart it on the same directory, verify
@@ -65,7 +70,7 @@ use std::time::{Duration, Instant};
 
 use serde::Value;
 use tagging_persist::PersistOptions;
-use tagging_runtime::lock_unpoisoned;
+use tagging_runtime::{lock_unpoisoned, FlushPolicy};
 use tagging_server::http::HttpClient;
 use tagging_server::{ServerOptions, TaggingServer, TelemetryOptions};
 
@@ -93,6 +98,10 @@ struct Options {
     corpus: Option<String>,
     check: Option<String>,
     data_dir: Option<String>,
+    snapshot_every: Option<usize>,
+    fsync: Option<String>,
+    flush_interval_ms: Option<usize>,
+    compact_interval_ms: Option<usize>,
     crash_after: Option<usize>,
     scrape_interval_ms: Option<u64>,
     out: String,
@@ -133,6 +142,10 @@ impl Options {
             corpus: value("--corpus"),
             check: value("--check"),
             data_dir: value("--data-dir"),
+            snapshot_every: value("--snapshot-every").and_then(|v| v.parse().ok()),
+            fsync: value("--fsync"),
+            flush_interval_ms: value("--flush-interval-ms").and_then(|v| v.parse().ok()),
+            compact_interval_ms: value("--compact-interval-ms").and_then(|v| v.parse().ok()),
             crash_after: value("--crash-after").and_then(|v| v.parse().ok()),
             scrape_interval_ms: value("--scrape-interval").and_then(|v| parse_interval_ms(&v)),
             out: value("--out").unwrap_or_else(|| "BENCH_loadgen.json".to_string()),
@@ -146,6 +159,47 @@ impl Options {
             "wal"
         } else {
             "off"
+        }
+    }
+
+    /// Store options for the in-process server, mirroring the daemon's flag
+    /// semantics (a `--flush-interval-ms` without `--fsync` selects group
+    /// commit — the cadence names the tenant it drives).
+    fn persist_options(&self) -> Option<PersistOptions> {
+        let dir = self.data_dir.as_ref()?;
+        let mut persist = PersistOptions::new(dir, self.shards);
+        if let Some(every) = self.snapshot_every {
+            persist.snapshot_every = (every as u64).max(1);
+        }
+        match self.fsync.as_deref() {
+            Some(policy) => match FlushPolicy::parse(policy) {
+                Some(policy) => persist.flush = policy,
+                None => eprintln!(
+                    "--fsync expects always|never|group|every:N, got `{policy}`; using {}",
+                    persist.flush
+                ),
+            },
+            None => {
+                if self.flush_interval_ms.is_some() {
+                    persist.flush = FlushPolicy::Group;
+                }
+            }
+        }
+        if let Some(interval) = self.flush_interval_ms {
+            persist.flush_interval_ms = (interval as u64).max(1);
+        }
+        if let Some(interval) = self.compact_interval_ms {
+            persist.compact_interval_ms = interval as u64;
+        }
+        Some(persist)
+    }
+
+    /// The `flush_mode` value recorded in the report entry: the effective
+    /// WAL flush policy, or `off` when the run is not durable at all.
+    fn flush_mode(&self) -> String {
+        match self.persist_options() {
+            Some(persist) => persist.flush.to_string(),
+            None => "off".to_string(),
         }
     }
 }
@@ -215,10 +269,7 @@ fn run(options: &Options) -> Result<(), String> {
             let server_options = ServerOptions {
                 workers: (options.clients + 1).min(8),
                 shards: options.shards,
-                persist: options
-                    .data_dir
-                    .as_ref()
-                    .map(|dir| PersistOptions::new(dir, options.shards)),
+                persist: options.persist_options(),
                 telemetry: TelemetryOptions::default(),
             };
             let server = TaggingServer::bind_opts("127.0.0.1:0", server_options)
@@ -437,9 +488,12 @@ fn run(options: &Options) -> Result<(), String> {
         );
     }
 
-    // Same discipline for the windowed view: the trailing-10s p50/p99 from
-    // `GET /stats?window=10s` must be monotone and within 2x of the
-    // client-side percentiles (plus slack for bucket granularity).
+    // Same discipline for the windowed view, except the bound derives from
+    // the client p99: the trailing-10s window covers only the tail of the
+    // drive, and under group commit the drain tail legitimately runs slower
+    // than the run-wide median (every straggler waits out a flusher tick) —
+    // but no time-local median can plausibly exceed twice the run-wide p99
+    // plus bucket slack.
     if let Some(windowed) = &windowed_stats {
         if !(windowed.p50 <= windowed.p90 && windowed.p90 <= windowed.p99) {
             return Err(format!(
@@ -447,7 +501,7 @@ fn run(options: &Options) -> Result<(), String> {
                 windowed.p50, windowed.p90, windowed.p99
             ));
         }
-        let bound = 2 * percentile(0.50) + 1000;
+        let bound = 2 * percentile(0.99) + 1000;
         if windowed.p50 > bound {
             return Err(format!(
                 "windowed p50 {}us exceeds client-derived bound {bound}us",
@@ -500,6 +554,7 @@ fn run(options: &Options) -> Result<(), String> {
             "durability",
             Value::String(options.durability().to_string()),
         ),
+        ("flush_mode", Value::String(options.flush_mode())),
         ("clients", Value::UInt(options.clients as u64)),
         ("idle_connections", Value::UInt(options.idle as u64)),
         ("batch", Value::UInt(options.batch as u64)),
@@ -670,19 +725,35 @@ fn spawn_daemon(options: &Options, data_dir: &str) -> Result<Daemon, String> {
             bin.display()
         ));
     }
-    let workers = (options.clients + 1).min(8).to_string();
-    let shards = options.shards.to_string();
+    let mut args: Vec<String> = [
+        "--port",
+        "0",
+        "--workers",
+        &(options.clients + 1).min(8).to_string(),
+        "--shards",
+        &options.shards.to_string(),
+        "--data-dir",
+        data_dir,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    // Forward the store-tuning flags so the daemon persists exactly the way
+    // an in-process run with the same options would.
+    if let Some(every) = options.snapshot_every {
+        args.extend(["--snapshot-every".to_string(), every.to_string()]);
+    }
+    if let Some(policy) = &options.fsync {
+        args.extend(["--fsync".to_string(), policy.clone()]);
+    }
+    if let Some(interval) = options.flush_interval_ms {
+        args.extend(["--flush-interval-ms".to_string(), interval.to_string()]);
+    }
+    if let Some(interval) = options.compact_interval_ms {
+        args.extend(["--compact-interval-ms".to_string(), interval.to_string()]);
+    }
     let mut child = std::process::Command::new(&bin)
-        .args([
-            "--port",
-            "0",
-            "--workers",
-            &workers,
-            "--shards",
-            &shards,
-            "--data-dir",
-            data_dir,
-        ])
+        .args(&args)
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::inherit())
         .spawn()
@@ -936,6 +1007,7 @@ fn run_crash(options: &Options, crash_after: usize) -> Result<(), String> {
         ("addr", Value::String(daemon.addr.clone())),
         ("shards", Value::UInt(options.shards as u64)),
         ("durability", Value::String("wal".to_string())),
+        ("flush_mode", Value::String(options.flush_mode())),
         ("crash_after", Value::UInt(crash_after as u64)),
         ("killed_at", Value::UInt(killed_at as u64)),
         ("ghost_leases", Value::UInt(ghosts as u64)),

@@ -17,10 +17,18 @@
 //!   daemon recovers every session found there and prints what it recovered;
 //! * `--snapshot-every N` — events per shard between snapshot compactions
 //!   (default 1024; only meaningful with `--data-dir`);
-//! * `--fsync POLICY` — `always`, `never` or `every:N` (default `every:256`):
-//!   when the WAL forces bytes to the device. Appends always reach the OS
-//!   before they are acknowledged, so any policy survives a process kill;
-//!   the policy bounds what a *power loss* can take.
+//! * `--fsync POLICY` — `always`, `never`, `group` or `every:N` (default
+//!   `every:256`): when the WAL forces bytes to the device. Appends always
+//!   reach the OS before they are acknowledged, so any policy survives a
+//!   process kill; the policy bounds what a *power loss* can take. `group`
+//!   is group commit: acknowledgements wait on the shared fsync the
+//!   `wal-flusher` tenant issues, so concurrent requests split one sync;
+//! * `--flush-interval-ms N` — the `wal-flusher` tenant's period (default
+//!   5). Giving this flag without an explicit `--fsync` selects `group`;
+//! * `--compact-interval-ms N` — the `wal-compactor` tenant's period
+//!   (default 25). Snapshot compaction runs on that tenant, never on a
+//!   request thread; `0` restores the legacy inline compaction where the
+//!   append crossing the cadence pays for the snapshot itself.
 //!
 //! Observability flags (all observation-only):
 //!
@@ -88,16 +96,29 @@ fn main() {
         if let Some(every) = arg_value(&args, "--snapshot-every") {
             options.snapshot_every = (every as u64).max(1);
         }
-        if let Some(policy) = arg_text(&args, "--fsync") {
-            match FlushPolicy::parse(&policy) {
+        match arg_text(&args, "--fsync") {
+            Some(policy) => match FlushPolicy::parse(&policy) {
                 Some(policy) => options.flush = policy,
                 None => {
                     eprintln!(
-                        "--fsync expects always|never|every:N, got `{policy}`; using {}",
+                        "--fsync expects always|never|group|every:N, got `{policy}`; using {}",
                         options.flush
                     );
                 }
+            },
+            // Asking for a flusher cadence without naming a policy means
+            // group commit — that is the tenant the cadence drives.
+            None => {
+                if args.iter().any(|arg| arg == "--flush-interval-ms") {
+                    options.flush = FlushPolicy::Group;
+                }
             }
+        }
+        if let Some(interval) = arg_value(&args, "--flush-interval-ms") {
+            options.flush_interval_ms = (interval as u64).max(1);
+        }
+        if let Some(interval) = arg_value(&args, "--compact-interval-ms") {
+            options.compact_interval_ms = interval as u64;
         }
         options
     });

@@ -232,8 +232,11 @@ impl TaggingServer {
         let metrics = self.service.metrics();
 
         // Background tenants: the telemetry publisher (window rotation +
-        // optional JSONL samples) and the event-loop watchdog. Joined after
-        // the drain so process exit never races a half-written sample line.
+        // optional JSONL samples), the event-loop watchdog, and — with a
+        // durable store — the WAL maintenance pair (`wal-flusher` syncing
+        // the group-commit cohorts, `wal-compactor` cutting snapshots off
+        // the request path). Joined after the drain so process exit never
+        // races a half-written sample line or a half-published snapshot.
         let mut scheduler = Scheduler::new();
         spawn_telemetry_tenants(
             &mut scheduler,
@@ -241,6 +244,10 @@ impl TaggingServer {
             &self.telemetry,
             self.publish_path.clone(),
         );
+        let _maintenance = self
+            .service
+            .persist_store()
+            .map(|store| tagging_persist::spawn_maintenance(&store, &mut scheduler));
         let mut stall_injected = self.telemetry.inject_sweep_stall_us == 0;
 
         loop {
@@ -394,9 +401,11 @@ impl TaggingServer {
         }
         drop(connections);
         drop(self.pool); // joins the (now idle) workers
-        scheduler.shutdown(); // joins the publisher/watchdog tenants
-                              // Every request has been handled and acknowledged; mark the WAL
-                              // segments cleanly shut down (no-op without persistence).
+        scheduler.shutdown(); // joins the publisher/watchdog/maintenance tenants
+                              // Every request has been handled and acknowledged, and the
+                              // maintenance tenants are gone; drain the compaction backlog
+                              // (final compact) and mark the WAL segments cleanly shut down
+                              // (no-op without persistence).
         self.service.persist_shutdown()?;
         Ok(())
     }

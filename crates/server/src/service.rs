@@ -335,11 +335,57 @@ impl TaggingService {
             ("durable".to_string(), Value::Bool(self.durable())),
             ("data_dir".to_string(), data_dir),
             ("flush".to_string(), flush),
+            ("maintenance".to_string(), self.maintenance_value()),
+        ])
+    }
+
+    /// The WAL maintenance state as JSON: flush mode, compaction mode,
+    /// backlog depth and per-shard generations. `Null` when memory-only.
+    fn maintenance_value(&self) -> Value {
+        let Some(store) = &self.persist else {
+            return Value::Null;
+        };
+        let status = store.maintenance_status();
+        Value::Object(vec![
+            (
+                "flush_mode".to_string(),
+                Value::String(status.flush_mode.clone()),
+            ),
+            (
+                "compaction".to_string(),
+                Value::String(
+                    if status.background {
+                        "background"
+                    } else {
+                        "inline"
+                    }
+                    .to_string(),
+                ),
+            ),
+            (
+                "backlog_events".to_string(),
+                Value::UInt(status.backlog_events),
+            ),
+            (
+                "backlog_shards".to_string(),
+                Value::UInt(status.backlog_shards as u64),
+            ),
+            ("compactions".to_string(), Value::UInt(status.compactions)),
+            (
+                "shard_generations".to_string(),
+                Value::Array(
+                    status
+                        .shard_generations
+                        .iter()
+                        .map(|generation| Value::UInt(*generation))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
     /// The `GET /stats` body: the whole telemetry registry as JSON, plus
-    /// uptime.
+    /// uptime and (when durable) the WAL maintenance state.
     fn stats_value(&self) -> Value {
         let mut value = snapshot_to_value(&tagging_telemetry::global().snapshot());
         if let Value::Object(fields) = &mut value {
@@ -350,6 +396,9 @@ impl TaggingService {
                     Value::UInt(self.started.elapsed().as_secs()),
                 ),
             );
+            if self.durable() {
+                fields.insert(2, ("maintenance".to_string(), self.maintenance_value()));
+            }
         }
         value
     }
@@ -629,8 +678,16 @@ impl TaggingService {
         self.persist.is_some()
     }
 
-    /// Writes the clean-shutdown markers and syncs every WAL segment. Call
-    /// once after the last request has been handled.
+    /// The attached durable store (`None` when memory-only). The server
+    /// binder uses it to spawn the WAL maintenance tenants.
+    pub fn persist_store(&self) -> Option<Arc<PersistStore>> {
+        self.persist.clone()
+    }
+
+    /// Drains the compaction backlog (final compact, on this thread), then
+    /// writes the clean-shutdown markers and syncs every WAL segment. Call
+    /// once after the last request has been handled and the maintenance
+    /// tenants have been joined.
     pub fn persist_shutdown(&self) -> io::Result<()> {
         match &self.persist {
             Some(store) => store.shutdown(),

@@ -31,6 +31,11 @@ fn store_options(dir: &Path) -> PersistOptions {
         // Small cadence so these tests exercise compaction, not just the WAL.
         snapshot_every: 8,
         flush: FlushPolicy::Never,
+        flush_interval_ms: 5,
+        // Inline compaction: these tests drive the service without the
+        // scheduler, so the legacy mode keeps them exercising rotation. The
+        // kill-point sweep below covers the background-compaction windows.
+        compact_interval_ms: 0,
     }
 }
 
@@ -261,6 +266,222 @@ fn a_torn_wal_tail_is_truncated_not_fatal() {
     assert_eq!(service.session_count(), 1);
     assert_eq!(pending_tasks(&service, id).len(), 5);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Kill-point sweep: background compaction proceeds seal → publish → retire,
+// and a kill (SIGKILL, power loss) can land between any two steps. Each case
+// below reconstructs one such on-disk state exactly — the same bytes a kill
+// at that point leaves behind — and asserts the service recovers bit-exact
+// session state from it. The CI crash-recovery job delivers real SIGKILLs
+// under load; this sweep pins each window deterministically.
+// ---------------------------------------------------------------------------
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn shard_dirs(dir: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// Highest WAL generation present in one shard directory.
+fn max_wal_gen(shard: &Path) -> u64 {
+    std::fs::read_dir(shard)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().ok()?;
+            let gen = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+            gen.parse::<u64>().ok()
+        })
+        .max()
+        .expect("shard dir has at least one WAL")
+}
+
+fn wal_file(shard: &Path, gen: u64) -> PathBuf {
+    shard.join(format!("wal-{gen:010}.log"))
+}
+
+fn snap_file(shard: &Path, gen: u64) -> PathBuf {
+    shard.join(format!("snap-{gen:010}.snap"))
+}
+
+/// Builds a mixed-history base state under `dir`, returning the session ids
+/// and their reference metrics. The directory is left as an abrupt stop
+/// leaves it: no clean-shutdown marker, pending leases in the WAL tail.
+fn build_base_state(dir: &Path) -> (Vec<u64>, Vec<Value>) {
+    let service = open_service(dir);
+    let mut ids = Vec::new();
+    for (strategy, seed) in [("FP", 11), ("RR", 12), ("MU", 13), ("FP-MU", 14)] {
+        ids.push(register(&service, strategy, 60, seed));
+    }
+    for &id in &ids {
+        let tasks = lease(&service, id, 6);
+        report_replay(&service, id, &tasks);
+        let tasks = lease(&service, id, 2);
+        report_replay(&service, id, &tasks);
+        lease(&service, id, 3); // left pending: recovery restores ghosts
+    }
+    let before = ids
+        .iter()
+        .map(|&id| comparable_metrics(&service, id))
+        .collect();
+    (ids, before)
+}
+
+/// Reopens a service over `dir` and asserts every session recovered with
+/// metrics identical to the reference.
+fn assert_recovers_bit_exact(dir: &Path, ids: &[u64], before: &[Value], case: &str) {
+    let service = open_service(dir);
+    assert_eq!(service.session_count(), ids.len(), "{case}: session count");
+    for (&id, want) in ids.iter().zip(before) {
+        assert_eq!(
+            comparable_metrics(&service, id),
+            *want,
+            "{case}: session {id} diverged"
+        );
+    }
+}
+
+/// Kill point 1 — after the compactor sealed a generation (created the
+/// next-generation WAL, still empty) but before the snapshot was cut. The
+/// chain replay must traverse both generations.
+#[test]
+fn kill_after_seal_before_snapshot_recovers_bit_exactly() {
+    let dir = temp_dir("kp-seal");
+    let (ids, before) = build_base_state(&dir);
+    for shard in shard_dirs(&dir) {
+        let gen = max_wal_gen(&shard);
+        std::fs::write(
+            wal_file(&shard, gen + 1),
+            tagging_persist::record::WAL_MAGIC,
+        )
+        .unwrap();
+    }
+    assert_recovers_bit_exact(&dir, &ids, &before, "seal-only");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill point 2 — the appender moved on to the next generation and wrote
+/// records there while the compactor was still publishing the snapshot: the
+/// live event stream is split across two WAL files. Recovery must replay
+/// both, in order, as one journal.
+#[test]
+fn kill_with_events_split_across_wal_generations_recovers_bit_exactly() {
+    use tagging_persist::record::{frame, scan, WAL_MAGIC};
+
+    let dir = temp_dir("kp-split");
+    let (ids, before) = build_base_state(&dir);
+    let mut split = 0;
+    for shard in shard_dirs(&dir) {
+        let gen = max_wal_gen(&shard);
+        let bytes = std::fs::read(wal_file(&shard, gen)).unwrap();
+        let segment = scan(&bytes, WAL_MAGIC);
+        assert!(segment.is_clean(), "base WAL must be clean");
+        if segment.records.len() < 2 {
+            continue;
+        }
+        let cut = segment.records.len() / 2;
+        let mut head = WAL_MAGIC.to_vec();
+        for record in &segment.records[..cut] {
+            head.extend_from_slice(&frame(record));
+        }
+        let mut tail = WAL_MAGIC.to_vec();
+        for record in &segment.records[cut..] {
+            tail.extend_from_slice(&frame(record));
+        }
+        std::fs::write(wal_file(&shard, gen), head).unwrap();
+        std::fs::write(wal_file(&shard, gen + 1), tail).unwrap();
+        split += 1;
+    }
+    assert!(split >= 1, "expected at least one WAL with two records");
+    assert_recovers_bit_exact(&dir, &ids, &before, "split-wal");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill point 3 — the snapshot of the next generation is published but the
+/// stale previous-generation files were not yet deleted. Recovery must pick
+/// the newest snapshot and ignore the leftovers.
+#[test]
+fn kill_before_stale_removal_recovers_bit_exactly() {
+    let dir = temp_dir("kp-stale");
+    let (ids, before) = build_base_state(&dir);
+
+    // Advance every shard one generation the way the compactor does (the
+    // forced compaction also retires stale files), then resurrect the old
+    // generation's files next to the new ones.
+    let backup = temp_dir("kp-stale-backup");
+    copy_tree(&dir, &backup);
+    {
+        let (store, _) = PersistStore::open(&store_options(&dir)).expect("open store");
+        store.compact().expect("forced compaction");
+    }
+    for (old, new) in shard_dirs(&backup).iter().zip(shard_dirs(&dir).iter()) {
+        for entry in std::fs::read_dir(old).unwrap() {
+            let entry = entry.unwrap();
+            let to = new.join(entry.file_name());
+            if !to.exists() {
+                std::fs::copy(entry.path(), &to).unwrap();
+            }
+        }
+    }
+    assert_recovers_bit_exact(&dir, &ids, &before, "stale-left-behind");
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&backup).unwrap();
+}
+
+/// Kill point 4 — the next generation's snapshot is torn (a power loss ate
+/// its tail before the bytes hit the device). Recovery must reject it and
+/// fall back one generation, replaying the previous snapshot plus the full
+/// WAL chain.
+#[test]
+fn a_torn_snapshot_falls_back_a_generation_bit_exactly() {
+    let dir = temp_dir("kp-torn-snap");
+    let (ids, before) = build_base_state(&dir);
+
+    let backup = temp_dir("kp-torn-snap-backup");
+    copy_tree(&dir, &backup);
+    {
+        let (store, _) = PersistStore::open(&store_options(&dir)).expect("open store");
+        store.compact().expect("forced compaction");
+    }
+    for (old, new) in shard_dirs(&backup).iter().zip(shard_dirs(&dir).iter()) {
+        for entry in std::fs::read_dir(old).unwrap() {
+            let entry = entry.unwrap();
+            let to = new.join(entry.file_name());
+            if !to.exists() {
+                std::fs::copy(entry.path(), &to).unwrap();
+            }
+        }
+        // Tear the freshly published snapshot: recovery must fall back to
+        // the resurrected previous generation.
+        let snap = snap_file(new, max_wal_gen(new));
+        let len = std::fs::metadata(&snap).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&snap)
+            .unwrap()
+            .set_len(len.saturating_sub(3))
+            .unwrap();
+    }
+    assert_recovers_bit_exact(&dir, &ids, &before, "torn-snapshot");
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&backup).unwrap();
 }
 
 #[test]

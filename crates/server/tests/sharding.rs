@@ -58,15 +58,16 @@ fn report_body_from(batch_response: &Value) -> Option<String> {
 
 /// Masks the legitimately nondeterministic response fields: metrics carry a
 /// wall-clock `runtime_seconds` and `/healthz` an `uptime_seconds`, which
-/// differ between any two runs no matter the shard count. Everything else
-/// must match byte for byte.
+/// differ between any two runs no matter the shard count — and the
+/// `maintenance` object, whose `shard_generations` array legitimately has
+/// one entry per shard. Everything else must match byte for byte.
 fn mask_wall_clock(body: Value) -> Value {
     match body {
         Value::Object(fields) => Value::Object(
             fields
                 .into_iter()
                 .map(|(k, v)| {
-                    if k == "runtime_seconds" || k == "uptime_seconds" {
+                    if k == "runtime_seconds" || k == "uptime_seconds" || k == "maintenance" {
                         (k, Value::Null)
                     } else {
                         (k, v)
